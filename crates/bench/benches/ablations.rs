@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out: how the
+//! paper's phenomena respond to the platform knobs.
+//!
+//! * core count → queueing tails (Finding 1's CPU side)
+//! * subscription queue capacity → drop behaviour (Table III's mechanism)
+//! * memory-bandwidth contention exponent → co-runner tail inflation
+//!
+//! Each sweep prints a paper-style table; one configuration is also
+//! Criterion-timed so regressions in engine throughput show up.
+
+use av_core::stack::{run_drive, RunConfig, StackConfig};
+use av_core::topics::nodes;
+use av_profiling::Table;
+use av_vision::DetectorKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run_cfg(mutate: impl FnOnce(&mut StackConfig)) -> av_core::stack::RunReport {
+    let mut config = StackConfig::paper_default(DetectorKind::Ssd512);
+    mutate(&mut config);
+    run_drive(&config, &RunConfig { duration_s: Some(30.0) })
+}
+
+fn sweep_cores() {
+    let mut table = Table::with_headers(&[
+        "Cores",
+        "costmap_obj p99 (ms)",
+        "ndt p99 (ms)",
+        "CPU util",
+        "vision mean (ms)",
+    ]);
+    for cores in [2usize, 4, 6, 8, 12] {
+        let report = run_cfg(|c| c.calib.cpu.cores = cores);
+        table.add_row(vec![
+            cores.to_string(),
+            format!("{:.1}", report.node_summary(nodes::COSTMAP_GENERATOR_OBJ).p99),
+            format!("{:.1}", report.node_summary(nodes::NDT_MATCHING).p99),
+            format!("{:.0}%", report.cpu.utilization(report.cores, report.elapsed) * 100.0),
+            format!("{:.1}", report.node_summary(nodes::VISION_DETECTION).mean),
+        ]);
+    }
+    println!("\nAblation: core count vs queueing tails (SSD512, 30 s):\n{table}");
+}
+
+fn sweep_contention_exponent() {
+    let mut table = Table::with_headers(&[
+        "Contention exponent",
+        "costmap_obj p99 (ms)",
+        "cluster p99 (ms)",
+        "vision mean (ms)",
+    ]);
+    for exponent in [1.0, 1.4, 1.7, 2.0] {
+        let report = run_cfg(|c| c.calib.cpu.contention_exponent = exponent);
+        table.add_row(vec![
+            format!("{exponent:.1}"),
+            format!("{:.1}", report.node_summary(nodes::COSTMAP_GENERATOR_OBJ).p99),
+            format!("{:.1}", report.node_summary(nodes::EUCLIDEAN_CLUSTER).p99),
+            format!("{:.1}", report.node_summary(nodes::VISION_DETECTION).mean),
+        ]);
+    }
+    println!("\nAblation: bandwidth-contention exponent (SSD512, 30 s):\n{table}");
+}
+
+fn sweep_camera_rate() {
+    // Table III's mechanism: the drop rate is set by service time vs
+    // inter-arrival time. Sweeping the camera rate moves SSD512 across
+    // the keep-up boundary.
+    let mut table =
+        Table::with_headers(&["Camera rate (Hz)", "/image_raw drop rate", "vision mean (ms)"]);
+    for rate in [10.0, 12.5, 15.0, 20.0] {
+        let report = run_cfg(|c| c.camera.rate_hz = rate);
+        let drops = report
+            .drops
+            .iter()
+            .find(|d| d.topic == "/image_raw")
+            .map(|d| d.drop_rate())
+            .unwrap_or(0.0);
+        table.add_row(vec![
+            format!("{rate:.1}"),
+            format!("{:.1}%", drops * 100.0),
+            format!("{:.1}", report.node_summary(nodes::VISION_DETECTION).mean),
+        ]);
+    }
+    println!("\nAblation: camera rate vs SSD512 drop rate (30 s):\n{table}");
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    sweep_cores();
+    sweep_contention_exponent();
+    sweep_camera_rate();
+
+    let config = StackConfig::smoke_test(DetectorKind::Ssd512);
+    let quick = RunConfig { duration_s: Some(5.0) };
+    c.bench_function("ablation_baseline/5s_smoke_ssd512", |b| {
+        b.iter(|| black_box(run_drive(black_box(&config), black_box(&quick))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion benchmarks of the real algorithm kernels — the substrate's
+//! own performance (wall-clock), complementing the modeled latencies.
+
+use av_des::RngStreams;
+use av_geom::{Pose, Vec3};
+use av_perception::{ClusterParams, EuclideanCluster, NdtMatcher, NdtParams, RayGroundFilter,
+    RayGroundParams};
+use av_pointcloud::{KdTree, NdtGrid, PointCloud, VoxelGrid};
+use av_vision::{nms, rank_candidates, ScoredBox};
+use av_world::{LidarConfig, LidarModel, ScenarioConfig, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn realistic_sweep() -> PointCloud {
+    let world = World::generate(&ScenarioConfig::urban_drive());
+    let lidar = LidarModel::new(LidarConfig::default());
+    let mut rng = RngStreams::new(7).stream("bench-lidar");
+    lidar.scan(&world, &world.snapshot(30.0), &mut rng)
+}
+
+fn bench_voxel_filter(c: &mut Criterion) {
+    let sweep = realistic_sweep();
+    let filter = VoxelGrid::new(1.0);
+    c.bench_function("voxel_grid_filter/sweep", |b| {
+        b.iter(|| black_box(filter.filter(black_box(&sweep))))
+    });
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let sweep = realistic_sweep();
+    let positions: Vec<Vec3> = sweep.positions().collect();
+    c.bench_function("kdtree/build", |b| b.iter(|| black_box(KdTree::build(black_box(&positions)))));
+    let tree = KdTree::build(&positions);
+    c.bench_function("kdtree/radius_search", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            tree.radius_search_into(black_box(Vec3::new(5.0, 2.0, -1.0)), 0.75, &mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_ground_filter(c: &mut Criterion) {
+    let sweep = realistic_sweep();
+    let filter = RayGroundFilter::new(RayGroundParams::default());
+    c.bench_function("ray_ground_filter/sweep", |b| {
+        b.iter(|| black_box(filter.split(black_box(&sweep))))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let sweep = realistic_sweep();
+    let split = RayGroundFilter::new(RayGroundParams::default()).split(&sweep);
+    let clusterer = EuclideanCluster::new(ClusterParams::default());
+    c.bench_function("euclidean_cluster/sweep", |b| {
+        b.iter(|| black_box(clusterer.cluster(black_box(&split.no_ground))))
+    });
+}
+
+fn bench_ndt(c: &mut Criterion) {
+    let world = World::generate(&ScenarioConfig::urban_drive());
+    let lidar = LidarModel::new(LidarConfig::default());
+    let mut rng = RngStreams::new(7).stream("bench-ndt");
+    // Small map patch around the start.
+    let mut map = PointCloud::new();
+    for i in 0..20 {
+        let scene = world.snapshot(i as f64);
+        let mut pose = scene.ego.pose;
+        pose.translation.z = lidar.config().mount_height;
+        map.append(&lidar.scan(&world, &scene, &mut rng).transformed(&pose));
+    }
+    let map = VoxelGrid::new(0.5).filter(&map);
+    let grid = NdtGrid::build(&map, 2.0, 6);
+    let matcher = NdtMatcher::new(grid, NdtParams::default());
+
+    let scene = world.snapshot(5.0);
+    let sweep = lidar.scan(&world, &scene, &mut rng);
+    let filtered = VoxelGrid::new(1.0).filter(&sweep);
+    let lifted = filtered
+        .transformed(&Pose::new(Vec3::new(0.0, 0.0, lidar.config().mount_height), Default::default()));
+    let mut guess = scene.ego.pose;
+    guess.translation.z = 0.0;
+    c.bench_function("ndt_matching/align", |b| {
+        b.iter(|| black_box(matcher.align(black_box(&lifted), black_box(&guess))))
+    });
+}
+
+fn bench_nms(c: &mut Criterion) {
+    // SSD512-scale candidate ranking: the hot CPU loop of §IV-C.
+    let mut rng = RngStreams::new(9).stream("bench-nms");
+    let candidates: Vec<ScoredBox> = (0..24_564)
+        .map(|_| ScoredBox {
+            bbox: (
+                rng.uniform(0.0, 1200.0),
+                rng.uniform(0.0, 900.0),
+                rng.uniform(8.0, 120.0),
+                rng.uniform(8.0, 160.0),
+            ),
+            score: rng.next_f64() as f32,
+            class: av_perception::ObjectClass::Car,
+        })
+        .collect();
+    c.bench_function("vision/rank_24564_candidates", |b| {
+        b.iter(|| {
+            let mut work = candidates.clone();
+            rank_candidates(black_box(&mut work));
+            black_box(work.len())
+        })
+    });
+    c.bench_function("vision/nms_24564_candidates", |b| {
+        b.iter(|| black_box(nms(black_box(&candidates), 0.3, 0.45).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_voxel_filter, bench_kdtree, bench_ground_filter, bench_clustering,
+        bench_ndt, bench_nms
+}
+criterion_main!(benches);

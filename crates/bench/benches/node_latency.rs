@@ -1,0 +1,31 @@
+//! Fig 5's regeneration bench: drives the full stack per detector and
+//! benchmarks the simulation throughput, printing the per-node latency
+//! rows the figure plots.
+
+use av_core::experiments::fig5_table;
+use av_core::stack::{run_drive, RunConfig, StackConfig};
+use av_vision::DetectorKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_node_latency(c: &mut Criterion) {
+    let run = RunConfig { duration_s: Some(20.0) };
+    for kind in DetectorKind::ALL {
+        // Print the Fig 5 rows once per detector (the artifact itself).
+        let report = run_drive(&StackConfig::paper_default(kind), &run);
+        println!("\nFig 5 (with {kind}), 20 s drive:\n{}", fig5_table(&report));
+
+        let config = StackConfig::smoke_test(kind);
+        let quick = RunConfig { duration_s: Some(5.0) };
+        c.bench_function(&format!("drive_5s_smoke/{kind}"), |b| {
+            b.iter(|| black_box(run_drive(black_box(&config), black_box(&quick))))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_node_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig 6's regeneration bench: end-to-end computation-path latency, plus
+//! a throughput benchmark of the whole virtual-time engine.
+
+use av_core::experiments::fig6_table;
+use av_core::stack::{build_map, run_drive, RunConfig, StackConfig};
+use av_des::RngStreams;
+use av_vision::DetectorKind;
+use av_world::{LidarModel, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_e2e_paths(c: &mut Criterion) {
+    let run = RunConfig { duration_s: Some(20.0) };
+    for kind in DetectorKind::ALL {
+        let report = run_drive(&StackConfig::paper_default(kind), &run);
+        println!("\nFig 6 (with {kind}), 20 s drive:\n{}", fig6_table(&report));
+        if let Some((name, s)) = report.end_to_end() {
+            println!("end-to-end (worst path {name}): mean {:.1} ms, p99 {:.1} ms", s.mean, s.p99);
+        }
+    }
+
+    // How fast does the engine replay a drive?
+    let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    let quick = RunConfig { duration_s: Some(10.0) };
+    c.bench_function("engine/10s_smoke_drive", |b| {
+        b.iter(|| black_box(run_drive(black_box(&config), black_box(&quick))))
+    });
+
+    // Map building (the ndt_mapping step) on the smoke world.
+    let world = World::generate(&config.scenario);
+    let lidar = LidarModel::new(config.lidar.clone());
+    c.bench_function("engine/build_map_smoke", |b| {
+        b.iter(|| {
+            let mut rng = RngStreams::new(1).stream("bench-map");
+            black_box(build_map(black_box(&world), &lidar, 2.0, &mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e2e_paths
+}
+criterion_main!(benches);

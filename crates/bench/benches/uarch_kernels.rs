@@ -1,0 +1,48 @@
+//! Table VII / Fig 7's regeneration bench: runs the simulated-counter
+//! kernels, prints the paper-style rows, and benchmarks the simulators
+//! themselves.
+
+use av_core::experiments::{fig7, table7};
+use av_uarch::{run_kernel, Cache, CacheConfig, GsharePredictor, KernelKind, Predictor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_uarch(c: &mut Criterion) {
+    println!("\nTable VII (scale 8):\n{}", table7(8, 2020));
+    println!("\nFig 7 (scale 8):\n{}", fig7(8, 2020));
+
+    for kind in KernelKind::ALL {
+        c.bench_function(&format!("uarch_kernel/{}", kind.node_name()), |b| {
+            b.iter(|| black_box(run_kernel(black_box(kind), 1, 2020)))
+        });
+    }
+
+    // Raw simulator structures.
+    c.bench_function("cache/1M_streaming_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::default());
+            for i in 0..1_000_000u64 {
+                cache.access(i * 8, i % 4 == 0);
+            }
+            black_box(cache.stats())
+        })
+    });
+    c.bench_function("gshare/1M_branches", |b| {
+        b.iter(|| {
+            let mut predictor = GsharePredictor::default_config();
+            let mut x = 42u64;
+            for _ in 0..1_000_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                predictor.observe(0x400, (x >> 60).is_multiple_of(3));
+            }
+            black_box(predictor.stats())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_uarch
+}
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick | --duration <seconds>] [ARTIFACT...] [--csv <dir>]
+//!
+//! ARTIFACT: --fig5 --fig6 --fig7 --fig8 --table3 --table5 --table6
+//!           --table7 --findings   (default: all)
+//! ```
+//!
+//! The full (default) run replays the 8-minute drive once per detector
+//! plus two isolation runs — a few minutes of wall-clock time in release
+//! mode. `--quick` shortens the drive to 60 s.
+
+use av_bench::{paper_config, paper_run};
+use av_core::experiments;
+use av_core::findings::FindingsReport;
+use av_core::stack::{RunConfig, RunReport};
+use av_profiling::Table;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+struct Options {
+    run: RunConfig,
+    artifacts: HashSet<String>,
+    csv_dir: Option<PathBuf>,
+}
+
+const ALL_ARTIFACTS: [&str; 9] =
+    ["fig5", "fig6", "fig7", "fig8", "table3", "table5", "table6", "table7", "findings"];
+
+fn parse_args() -> Options {
+    let mut run = paper_run();
+    let mut artifacts = HashSet::new();
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => run = av_bench::quick_run(),
+            "--duration" => {
+                let value = args.next().expect("--duration needs seconds");
+                run = RunConfig { duration_s: Some(value.parse().expect("invalid duration")) };
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(args.next().expect("--csv needs a directory")));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--quick | --duration <s>] [--csv <dir>] [--fig5 ... --findings]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                let name = other.trim_start_matches("--");
+                if ALL_ARTIFACTS.contains(&name) {
+                    artifacts.insert(name.to_string());
+                } else {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+    Options { run, artifacts, csv_dir }
+}
+
+fn emit(options: &Options, name: &str, title: &str, table: &Table) {
+    println!("## {title}\n");
+    println!("{table}");
+    if let Some(dir) = &options.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        println!("(csv: {})\n", path.display());
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let wants = |a: &str| options.artifacts.contains(a);
+    let needs_full_runs =
+        wants("fig5") || wants("fig6") || wants("table3") || wants("table5") || wants("table6")
+            || wants("findings");
+    let needs_isolation = wants("fig8") || wants("findings");
+
+    let duration = options
+        .run
+        .duration_s
+        .unwrap_or_else(|| paper_config(av_vision::DetectorKind::Ssd512).scenario.duration_s);
+    println!("# AV characterization reproduction (drive: {duration:.0} s per run)\n");
+
+    let mut reports: Vec<RunReport> = Vec::new();
+    if needs_full_runs {
+        eprintln!("running full-stack drives (3 detectors)...");
+        reports = experiments::run_all_detectors(paper_config, &options.run);
+        for r in &reports {
+            eprintln!(
+                "  {}: {} frames dropped stats ok, localization err {:.2} m",
+                r.detector,
+                r.cpu.tasks_completed,
+                r.localization_error_m
+            );
+        }
+    }
+
+    if wants("fig5") {
+        for report in &reports {
+            emit(
+                &options,
+                &format!("fig5_{}", report.detector.name().to_lowercase()),
+                &format!("Fig 5 — single-node latency (with {})", report.detector),
+                &experiments::fig5_table(report),
+            );
+        }
+    }
+
+    if wants("table3") {
+        emit(&options, "table3", "Table III — dropped messages", &experiments::table3(&reports));
+    }
+
+    if wants("fig6") {
+        for report in &reports {
+            emit(
+                &options,
+                &format!("fig6_{}", report.detector.name().to_lowercase()),
+                &format!("Fig 6 — end-to-end path latency (with {})", report.detector),
+                &experiments::fig6_table(report),
+            );
+        }
+    }
+
+    if wants("table5") {
+        emit(
+            &options,
+            "table5",
+            "Table V — CPU/GPU utilization share",
+            &experiments::table5(&reports),
+        );
+    }
+
+    if wants("table6") {
+        emit(&options, "table6", "Table VI — mean power", &experiments::table6(&reports));
+    }
+
+    let mut isolation = Vec::new();
+    if needs_isolation {
+        eprintln!("running isolation drives (SSD512, YOLO standalone + full)...");
+        isolation = experiments::fig8(paper_config, &options.run);
+    }
+
+    if wants("fig8") {
+        emit(
+            &options,
+            "fig8",
+            "Fig 8 — standalone vs full-system detector latency",
+            &experiments::fig8_table(&isolation),
+        );
+    }
+
+    // Microarchitecture artifacts are platform-independent of the drive.
+    let uarch_scale = if options.run.duration_s.is_some() { 8 } else { 30 };
+    if wants("table7") {
+        emit(
+            &options,
+            "table7",
+            "Table VII — microarchitecture profiling",
+            &experiments::table7(uarch_scale, 2020),
+        );
+    }
+
+    if wants("fig7") {
+        emit(&options, "fig7", "Fig 7 — instruction mix", &experiments::fig7(uarch_scale, 2020));
+    }
+
+    if wants("findings") {
+        let findings = FindingsReport::from_runs(&reports, isolation.clone());
+        emit(&options, "findings", "Findings 1-5", &findings.to_table());
+    }
+}

@@ -1,0 +1,285 @@
+//! One function per paper artifact: the code that regenerates every table
+//! and figure of the evaluation (§IV).
+
+use crate::stack::{run_drive, NodeSelection, RunConfig, RunReport, StackConfig};
+use crate::topics::nodes as node_names;
+use av_profiling::Table;
+use av_uarch::{run_kernel, KernelKind};
+use av_vision::DetectorKind;
+
+/// Runs the full stack once per detector (SSD512, SSD300, YOLO) — the
+/// three scenarios of Fig 5/6 and Tables III/V/VI.
+pub fn run_all_detectors(
+    make_config: impl Fn(DetectorKind) -> StackConfig,
+    run: &RunConfig,
+) -> Vec<RunReport> {
+    DetectorKind::ALL.iter().map(|&kind| run_drive(&make_config(kind), run)).collect()
+}
+
+/// Fig 5: single-node latency distributions for one detector scenario.
+pub fn fig5_table(report: &RunReport) -> Table {
+    report.node_table()
+}
+
+/// Table III: dropped messages per subscription, across detectors.
+pub fn table3(reports: &[RunReport]) -> Table {
+    let mut table = Table::with_headers(&[
+        "Scenario", "Topic", "Subscribed by node", "Delivered", "Dropped", "Drop %",
+    ]);
+    for report in reports {
+        for d in &report.drops {
+            if d.dropped == 0 {
+                continue;
+            }
+            table.add_row(vec![
+                format!("With {}", report.detector),
+                d.topic.clone(),
+                d.node.clone(),
+                d.delivered.to_string(),
+                d.dropped.to_string(),
+                format!("{:.1}%", d.drop_rate() * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+/// Fig 6: end-to-end computation-path latency for one detector scenario.
+pub fn fig6_table(report: &RunReport) -> Table {
+    report.path_table()
+}
+
+/// Table V: CPU and GPU utilization share per node, across detectors.
+pub fn table5(reports: &[RunReport]) -> Table {
+    let mut headers = vec!["Node".to_string()];
+    for r in reports {
+        headers.push(format!("CPU % ({})", r.detector));
+    }
+    for r in reports {
+        headers.push(format!("GPU % ({})", r.detector));
+    }
+    let mut table = Table::new(headers);
+    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+    for node in node_names::PERCEPTION {
+        let mut row = vec![node.to_string()];
+        let mut first_share = 0.0;
+        for (i, r) in reports.iter().enumerate() {
+            let share = r.cpu.client_share(node, r.cores, r.elapsed);
+            if i == 0 {
+                first_share = share;
+            }
+            row.push(format!("{:.2}%", share * 100.0));
+        }
+        for r in reports {
+            let share = r.gpu.client_share(node, r.elapsed);
+            row.push(if share > 0.0 { format!("{:.2}%", share * 100.0) } else { "-".into() });
+        }
+        rows.push((first_share, row));
+    }
+    // Sort by the first scenario's CPU share, like the paper's table.
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (_, row) in rows {
+        table.add_row(row);
+    }
+    // Totals row.
+    let mut total = vec!["Total".to_string()];
+    for r in reports {
+        total.push(format!("{:.2}%", r.cpu.utilization(r.cores, r.elapsed) * 100.0));
+    }
+    for r in reports {
+        total.push(format!("{:.2}%", r.gpu.utilization(r.elapsed) * 100.0));
+    }
+    table.add_row(total);
+    table
+}
+
+/// Table VI: mean CPU/GPU power per detector scenario.
+pub fn table6(reports: &[RunReport]) -> Table {
+    let mut table = Table::with_headers(&["Scenario", "CPU (W)", "GPU (W)", "Total (W)"]);
+    for r in reports {
+        table.add_row(vec![
+            format!("With {}", r.detector),
+            format!("{:.2}", r.power.cpu_w),
+            format!("{:.2}", r.power.gpu_w),
+            format!("{:.2}", r.power.total_w()),
+        ]);
+    }
+    table
+}
+
+/// Table VII: microarchitecture metrics of the six profiled nodes, from
+/// the simulated-counter kernels.
+pub fn table7(scale: u32, seed: u64) -> Table {
+    let mut table = Table::with_headers(&[
+        "Metric",
+        "SSD512",
+        "YOLO",
+        "euclidean_cluster",
+        "ndt_matching",
+        "imm_ukf_pda_tracker",
+        "costmap_generator_obj",
+    ]);
+    let reports: Vec<_> = KernelKind::ALL.iter().map(|&k| run_kernel(k, scale, seed)).collect();
+    let row = |name: &str, f: &dyn Fn(&av_uarch::KernelReport) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(reports.iter().map(f));
+        cells
+    };
+    table.add_row(row("Instructions per Cycle", &|r| format!("{:.2}", r.ipc)));
+    table.add_row(row("L1 miss rate (read)", &|r| {
+        format!("{:.2}%", r.cache.read_miss_rate() * 100.0)
+    }));
+    table.add_row(row("L1 miss rate (write)", &|r| {
+        format!("{:.2}%", r.cache.write_miss_rate() * 100.0)
+    }));
+    table.add_row(row("Branch misprediction", &|r| {
+        format!("{:.2}%", r.branch.misprediction_rate() * 100.0)
+    }));
+    table
+}
+
+/// Fig 7: instruction mix of the six profiled nodes.
+pub fn fig7(scale: u32, seed: u64) -> Table {
+    let mut table =
+        Table::with_headers(&["Node", "Loads", "Stores", "Branches", "Int", "FP"]);
+    for kind in KernelKind::ALL {
+        let r = run_kernel(kind, scale, seed);
+        let (l, s, b, i, f) = r.mix.fractions();
+        table.add_row(vec![
+            r.name.to_string(),
+            format!("{:.1}%", l * 100.0),
+            format!("{:.1}%", s * 100.0),
+            format!("{:.1}%", b * 100.0),
+            format!("{:.1}%", i * 100.0),
+            format!("{:.1}%", f * 100.0),
+        ]);
+    }
+    table
+}
+
+/// One detector's Fig 8 measurement: standalone vs full-system latency
+/// and the CPU/GPU split.
+#[derive(Debug, Clone)]
+pub struct IsolationResult {
+    /// Detector measured.
+    pub detector: DetectorKind,
+    /// Standalone mean latency, ms.
+    pub isolated_mean: f64,
+    /// Standalone latency std dev, ms.
+    pub isolated_std: f64,
+    /// Full-system mean latency, ms.
+    pub full_mean: f64,
+    /// Full-system latency std dev, ms.
+    pub full_std: f64,
+    /// Fraction of the (isolated) latency spent on the GPU.
+    pub gpu_share: f64,
+}
+
+/// Fig 8: isolated-vs-full-system comparison for SSD512 and YOLO.
+pub fn fig8(
+    make_config: impl Fn(DetectorKind) -> StackConfig,
+    run: &RunConfig,
+) -> Vec<IsolationResult> {
+    [DetectorKind::Ssd512, DetectorKind::YoloV3]
+        .into_iter()
+        .map(|kind| {
+            let full = run_drive(&make_config(kind), run);
+            let mut isolated_config = make_config(kind);
+            isolated_config.selection =
+                NodeSelection::Isolated(node_names::VISION_DETECTION.to_string());
+            let isolated = run_drive(&isolated_config, run);
+
+            let full_s = full.node_summary(node_names::VISION_DETECTION);
+            let iso_s = isolated.node_summary(node_names::VISION_DETECTION);
+            let frames = isolated.gpu.jobs_completed.max(1);
+            let gpu_ms_per_frame = isolated
+                .gpu
+                .busy_by_client
+                .get(node_names::VISION_DETECTION)
+                .map(|d| d.as_millis_f64() / frames as f64)
+                .unwrap_or(0.0);
+            IsolationResult {
+                detector: kind,
+                isolated_mean: iso_s.mean,
+                isolated_std: iso_s.std_dev,
+                full_mean: full_s.mean,
+                full_std: full_s.std_dev,
+                gpu_share: if iso_s.mean > 0.0 { gpu_ms_per_frame / iso_s.mean } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig 8 results as a table.
+pub fn fig8_table(results: &[IsolationResult]) -> Table {
+    let mut table = Table::with_headers(&[
+        "Detector",
+        "Standalone mean (ms)",
+        "Standalone σ",
+        "Full-system mean (ms)",
+        "Full-system σ",
+        "GPU share",
+    ]);
+    for r in results {
+        table.add_row(vec![
+            r.detector.to_string(),
+            format!("{:.2}", r.isolated_mean),
+            format!("{:.2}", r.isolated_std),
+            format!("{:.2}", r.full_mean),
+            format!("{:.2}", r.full_std),
+            format!("{:.0}%", r.gpu_share * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uarch_tables_render() {
+        let t7 = table7(1, 42);
+        let text = t7.to_string();
+        assert!(text.contains("Instructions per Cycle"));
+        assert!(text.contains("SSD512"));
+        let f7 = fig7(1, 42);
+        assert_eq!(f7.len(), 6);
+        assert!(f7.to_csv().contains("costmap_generator_obj"));
+    }
+
+    #[test]
+    fn fig8_shows_isolation_effect() {
+        let run = RunConfig { duration_s: Some(6.0) };
+        let results = fig8(StackConfig::smoke_test, &run);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.isolated_mean > 0.0);
+            assert!(r.full_mean > 0.0);
+            assert!((0.0..=1.0).contains(&r.gpu_share));
+        }
+        let yolo = &results[1];
+        assert!(yolo.gpu_share > 0.7, "YOLO GPU share {}", yolo.gpu_share);
+        let table = fig8_table(&results);
+        assert!(table.to_string().contains("YOLOv3"));
+    }
+
+    #[test]
+    fn detector_sweep_tables() {
+        let run = RunConfig { duration_s: Some(5.0) };
+        let reports = run_all_detectors(StackConfig::smoke_test, &run);
+        assert_eq!(reports.len(), 3);
+        let t5 = table5(&reports);
+        let text = t5.to_string();
+        assert!(text.contains("vision_detection"));
+        assert!(text.contains("Total"));
+        let t6 = table6(&reports);
+        assert_eq!(t6.len(), 3);
+        assert!(t6.to_string().contains("SSD512"));
+        let _ = table3(&reports); // may be empty on a short run
+        for r in &reports {
+            assert!(!fig5_table(r).is_empty());
+            assert!(!fig6_table(r).is_empty());
+        }
+    }
+}

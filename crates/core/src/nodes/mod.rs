@@ -1,0 +1,27 @@
+//! Every Autoware node, wired as an [`av_ros::Node`] over
+//! [`Msg`](crate::Msg).
+//!
+//! Each node runs its *real* algorithm in the callback (the payloads are
+//! real point clouds, detections and tracks), queues outputs on the
+//! outbox, and returns an [`Execution`](av_ros::Execution) whose phases
+//! are sampled from the calibrated cost model with the *actual work* of
+//! this invocation (points processed, Newton iterations taken, candidates
+//! ranked, objects stamped) as the unit count — so per-frame latency
+//! variation tracks scene complexity, as §IV-A observes ("the more the
+//! driving players, the higher the time").
+
+mod costmap;
+mod lidar;
+mod lights;
+mod planning;
+mod radar;
+mod tracking;
+mod vision;
+
+pub use costmap::{CostmapGeneratorNode, CostmapGeneratorObjNode};
+pub use lidar::{EuclideanClusterNode, NdtMatchingNode, RayGroundFilterNode, VoxelGridFilterNode};
+pub use lights::TrafficLightRecognitionNode;
+pub use planning::{OpLocalPlannerNode, PurePursuitNode, TwistFilterNode};
+pub use radar::RadarDetectionNode;
+pub use tracking::{ImmUkfPdaTrackerNode, NaiveMotionPredictNode, UkfTrackRelayNode};
+pub use vision::{RangeVisionFusionNode, VisionDetectionNode};

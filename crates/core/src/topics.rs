@@ -1,0 +1,100 @@
+//! Topic names, spelled as in the paper's Table IV.
+
+/// Raw LiDAR sweeps from the sensor driver.
+pub const POINTS_RAW: &str = "/points_raw";
+/// Voxel-filtered sweep (`voxel_grid_filter` → `ndt_matching`).
+pub const FILTERED_POINTS: &str = "/filtered_points";
+/// Localization output.
+pub const NDT_POSE: &str = "/ndt_pose";
+/// Raw camera frames.
+pub const IMAGE_RAW: &str = "/image_raw";
+/// GNSS fixes (seed for localization).
+pub const GNSS_POSE: &str = "/gnss_pose";
+/// IMU samples (motion prediction for the NDT initial guess).
+pub const IMU_RAW: &str = "/imu_raw";
+/// Ground returns from `ray_ground_filter`.
+pub const POINTS_GROUND: &str = "/points_ground";
+/// Above-ground returns from `ray_ground_filter`.
+pub const POINTS_NO_GROUND: &str = "/points_no_ground";
+/// 2D detections from the vision detector.
+pub const IMAGE_DETECTOR_OBJECTS: &str = "/detection/image_detector/objects";
+/// 3D cluster detections from `euclidean_cluster`.
+pub const LIDAR_DETECTOR_OBJECTS: &str = "/detection/lidar_detector/objects";
+/// Fused detections from `range_vision_fusion`.
+pub const FUSION_TOOLS_OBJECTS: &str = "/detection/fusion_tools/objects";
+/// Tracker output.
+pub const OBJECT_TRACKER_OBJECTS: &str = "/detection/object_tracker/objects";
+/// Relay of the tracker output (`ukf_track_relay`).
+pub const DETECTION_OBJECTS: &str = "/detection/objects";
+/// Prediction output.
+pub const MOTION_PREDICTOR_OBJECTS: &str = "/prediction/motion_predictor/objects";
+/// Costmap built from LiDAR points.
+pub const COSTMAP_POINTS: &str = "/semantics/costmap_points";
+/// Costmap built from predicted objects.
+pub const COSTMAP_OBJECTS: &str = "/semantics/costmap";
+/// Local planner output path.
+pub const FINAL_WAYPOINTS: &str = "/final_waypoints";
+/// Recognized traffic-light states.
+pub const LIGHT_COLOR: &str = "/light_color";
+/// Raw radar scans (extension sensor).
+pub const RADAR_RAW: &str = "/radar_raw";
+/// 3D objects derived from radar returns (extension).
+pub const RADAR_DETECTOR_OBJECTS: &str = "/detection/radar_detector/objects";
+/// Raw velocity command from pure pursuit.
+pub const TWIST_RAW: &str = "/twist_raw";
+/// Smoothed velocity command from the twist filter.
+pub const TWIST_CMD: &str = "/twist_cmd";
+
+/// Node names, as the paper's figures label them.
+pub mod nodes {
+    /// Down-samples raw sweeps.
+    pub const VOXEL_GRID_FILTER: &str = "voxel_grid_filter";
+    /// NDT localization.
+    pub const NDT_MATCHING: &str = "ndt_matching";
+    /// Ground segmentation.
+    pub const RAY_GROUND_FILTER: &str = "ray_ground_filter";
+    /// LiDAR clustering.
+    pub const EUCLIDEAN_CLUSTER: &str = "euclidean_cluster";
+    /// Camera DNN detection (SSD512 / SSD300 / YOLOv3).
+    pub const VISION_DETECTION: &str = "vision_detection";
+    /// LiDAR/vision fusion.
+    pub const RANGE_VISION_FUSION: &str = "range_vision_fusion";
+    /// Multi-object tracking.
+    pub const IMM_UKF_PDA_TRACKER: &str = "imm_ukf_pda_tracker";
+    /// Tracker relay (Table IV's `ukf_track_relay`).
+    pub const UKF_TRACK_RELAY: &str = "ukf_track_relay";
+    /// Constant-velocity prediction.
+    pub const NAIVE_MOTION_PREDICT: &str = "naive_motion_predict";
+    /// Costmap from LiDAR points.
+    pub const COSTMAP_GENERATOR: &str = "costmap_generator";
+    /// Costmap from predicted objects (the paper's
+    /// `costmap_generator_obj` series).
+    pub const COSTMAP_GENERATOR_OBJ: &str = "costmap_generator_obj";
+    /// Traffic-light recognition (extension: requires the HD-map light
+    /// annotations the paper's map lacked).
+    pub const TRAFFIC_LIGHT_RECOGNITION: &str = "traffic_light_recognition";
+    /// Radar detection (extension: the sensor Autoware had "under
+    /// development").
+    pub const RADAR_DETECTION: &str = "radar_detection";
+    /// Local rollout planning (actuation layer).
+    pub const OP_LOCAL_PLANNER: &str = "op_local_planner";
+    /// Pure-pursuit path tracking (actuation layer).
+    pub const PURE_PURSUIT: &str = "pure_pursuit";
+    /// Command smoothing (actuation layer).
+    pub const TWIST_FILTER: &str = "twist_filter";
+
+    /// The perception nodes profiled in Fig 5, in presentation order.
+    pub const PERCEPTION: [&str; 11] = [
+        VOXEL_GRID_FILTER,
+        NDT_MATCHING,
+        RAY_GROUND_FILTER,
+        EUCLIDEAN_CLUSTER,
+        VISION_DETECTION,
+        RANGE_VISION_FUSION,
+        IMM_UKF_PDA_TRACKER,
+        UKF_TRACK_RELAY,
+        NAIVE_MOTION_PREDICT,
+        COSTMAP_GENERATOR,
+        COSTMAP_GENERATOR_OBJ,
+    ];
+}

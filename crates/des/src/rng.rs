@@ -1,0 +1,207 @@
+//! Named, independently seeded random streams.
+//!
+//! Every stochastic component of the simulation (sensor noise, detection
+//! noise, cost-model jitter) draws from its own named stream derived from a
+//! single master seed. Adding a new consumer of randomness therefore never
+//! perturbs the draws seen by existing consumers — runs stay comparable
+//! across code changes, the virtual-time analogue of replaying one ROSBAG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Factory for named random streams.
+///
+/// ```
+/// use av_des::RngStreams;
+/// let streams = RngStreams::new(42);
+/// let mut a1 = streams.stream("lidar");
+/// let mut a2 = RngStreams::new(42).stream("lidar");
+/// assert_eq!(a1.next_f64(), a2.next_f64()); // same seed + name => same draws
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStreams {
+    master_seed: u64,
+}
+
+/// A deterministic random stream (wrapper over a PCG-family generator).
+#[derive(Debug, Clone)]
+pub struct StreamRng {
+    rng: SmallRng,
+    // State for the Box-Muller spare value.
+    gauss_spare: Option<f64>,
+}
+
+impl RngStreams {
+    /// Creates a factory with the given master seed.
+    pub fn new(master_seed: u64) -> RngStreams {
+        RngStreams { master_seed }
+    }
+
+    /// The master seed this factory derives all streams from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the stream for `name`. The same `(master_seed, name)` pair
+    /// always yields an identical sequence.
+    pub fn stream(&self, name: &str) -> StreamRng {
+        // FNV-1a over the name, mixed with the master seed via splitmix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let seed = splitmix64(self.master_seed ^ h);
+        StreamRng { rng: SmallRng::seed_from_u64(seed), gauss_spare: None }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl StreamRng {
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform requires lo < hi");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize requires n > 0");
+        self.rng.random_range(0..n)
+    }
+
+    /// Standard normal draw (Box-Muller).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(spare) = self.gauss_spare.take() {
+            return spare;
+        }
+        loop {
+            let u = self.next_f64();
+            let v = self.next_f64();
+            if u > f64::EPSILON {
+                let r = (-2.0 * u.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * v;
+                self.gauss_spare = Some(r * theta.sin());
+                return r * theta.cos();
+            }
+        }
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Log-normal draw parameterized by the *underlying* normal's mean `mu`
+    /// and standard deviation `sigma`.
+    ///
+    /// Per-frame node latencies in the characterization use log-normal
+    /// jitter: strictly positive, right-skewed — matching the violin shapes
+    /// in the paper's Fig 5.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RngStreams::new(7).stream("x");
+        let mut b = RngStreams::new(7).stream("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_f64(), b.next_f64());
+        }
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let streams = RngStreams::new(7);
+        let mut a = streams.stream("x");
+        let mut b = streams.stream("y");
+        let same = (0..32).filter(|_| a.next_f64() == b.next_f64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngStreams::new(1).stream("x");
+        let mut b = RngStreams::new(2).stream("x");
+        let same = (0..32).filter(|_| a.next_f64() == b.next_f64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = RngStreams::new(3).stream("u");
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+        }
+        for _ in 0..100 {
+            assert!(rng.uniform_usize(10) < 10);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = RngStreams::new(11).stream("g");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut rng = RngStreams::new(13).stream("ln");
+        let samples: Vec<f64> = (0..5000).map(|_| rng.log_normal(0.0, 0.5)).collect();
+        assert!(samples.iter().all(|&s| s > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[samples.len() / 2];
+        assert!(mean > median, "log-normal should be right-skewed");
+    }
+
+    #[test]
+    fn chance_estimates_probability() {
+        let mut rng = RngStreams::new(17).stream("c");
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_invalid_range_panics() {
+        let _ = RngStreams::new(1).stream("p").uniform(1.0, 1.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! The event queue and simulation driver.
+
+use crate::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::rc::Rc;
+
+type EventFn = Box<dyn FnOnce()>;
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    cancelled: Rc<Cell<bool>>,
+    callback: EventFn,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // first; equal times break ties by scheduling order (FIFO).
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Core {
+    now: SimTime,
+    next_seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Entry>,
+}
+
+/// A handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Dropping the handle does *not* cancel the event.
+#[derive(Debug, Clone)]
+pub struct EventHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// Cancels the event. Cancelling an already-fired or already-cancelled
+    /// event is a no-op.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// `true` once [`EventHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// A cheaply clonable handle to a discrete-event simulator.
+///
+/// All clones share one virtual clock and one event queue. The simulator is
+/// single-threaded: callbacks run on the caller of [`Sim::run`] /
+/// [`Sim::step`] and may freely schedule further events.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+}
+
+impl Default for Sim {
+    fn default() -> Sim {
+        Sim::new()
+    }
+}
+
+impl Sim {
+    /// Creates a simulator with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Sim {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                next_seq: 0,
+                executed: 0,
+                queue: BinaryHeap::new(),
+            })),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.core.borrow().executed
+    }
+
+    /// Number of events currently pending (including cancelled ones not yet
+    /// reaped).
+    pub fn events_pending(&self) -> usize {
+        self.core.borrow().queue.len()
+    }
+
+    /// Schedules `callback` to run at absolute virtual time `time`.
+    ///
+    /// Scheduling in the past is clamped to *now* (the event still runs,
+    /// immediately after currently pending same-time events).
+    pub fn schedule_at(&self, time: SimTime, callback: impl FnOnce() + 'static) -> EventHandle {
+        let mut core = self.core.borrow_mut();
+        let time = time.max(core.now);
+        let seq = core.next_seq;
+        core.next_seq += 1;
+        let cancelled = Rc::new(Cell::new(false));
+        core.queue.push(Entry { time, seq, cancelled: Rc::clone(&cancelled), callback: Box::new(callback) });
+        EventHandle { cancelled }
+    }
+
+    /// Schedules `callback` to run `delay` after the current virtual time.
+    pub fn schedule_in(&self, delay: SimDuration, callback: impl FnOnce() + 'static) -> EventHandle {
+        let now = self.now();
+        self.schedule_at(now + delay, callback)
+    }
+
+    /// Runs the next pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns `false` when the queue is empty. Cancelled events are
+    /// skipped (and do not count as progress for the return value).
+    pub fn step(&self) -> bool {
+        loop {
+            let entry = {
+                let mut core = self.core.borrow_mut();
+                match core.queue.pop() {
+                    Some(e) => {
+                        core.now = e.time;
+                        e
+                    }
+                    None => return false,
+                }
+            };
+            if entry.cancelled.get() {
+                continue;
+            }
+            self.core.borrow_mut().executed += 1;
+            (entry.callback)();
+            return true;
+        }
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= until`, then sets the clock to
+    /// `until` (if it is later than the last event).
+    pub fn run_until(&self, until: SimTime) {
+        loop {
+            let next_time = {
+                let core = self.core.borrow();
+                core.queue.peek().map(|e| e.time)
+            };
+            match next_time {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        let mut core = self.core.borrow_mut();
+        if core.now < until {
+            core.now = until;
+        }
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("Sim")
+            .field("now", &core.now)
+            .field("pending", &core.queue.len())
+            .field("executed", &core.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let order = Rc::clone(&order);
+            sim.schedule_at(SimTime::from_millis(ms), move || order.borrow_mut().push(label));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let order = Rc::clone(&order);
+            sim.schedule_at(SimTime::from_millis(5), move || order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn callbacks_can_schedule_more_events() {
+        let sim = Sim::new();
+        let count = Rc::new(Cell::new(0u32));
+        fn tick(sim: Sim, count: Rc<Cell<u32>>) {
+            if count.get() < 5 {
+                count.set(count.get() + 1);
+                let s = sim.clone();
+                sim.schedule_in(SimDuration::from_millis(10), move || {
+                    tick(s.clone(), count)
+                });
+            }
+        }
+        tick(sim.clone(), Rc::clone(&count));
+        sim.run();
+        assert_eq!(count.get(), 5);
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        assert_eq!(sim.events_executed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let sim = Sim::new();
+        let fired = Rc::new(Cell::new(0));
+        for ms in [10u64, 20, 30, 40] {
+            let fired = Rc::clone(&fired);
+            sim.schedule_at(SimTime::from_millis(ms), move || fired.set(fired.get() + 1));
+        }
+        sim.run_until(SimTime::from_millis(25));
+        assert_eq!(fired.get(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(25));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(fired.get(), 4);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let sim = Sim::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = Rc::clone(&fired);
+        let handle = sim.schedule_in(SimDuration::from_millis(1), move || f.set(true));
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        sim.run();
+        assert!(!fired.get());
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let sim = Sim::new();
+        let seen = Rc::new(Cell::new(SimTime::ZERO));
+        let sim2 = sim.clone();
+        let seen2 = Rc::clone(&seen);
+        sim.schedule_at(SimTime::from_millis(50), move || {
+            let seen3 = Rc::clone(&seen2);
+            let s = sim2.clone();
+            sim2.schedule_at(SimTime::from_millis(1), move || seen3.set(s.now()));
+        });
+        sim.run();
+        assert_eq!(seen.get(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn step_returns_false_on_empty_queue() {
+        let sim = Sim::new();
+        assert!(!sim.step());
+        sim.schedule_in(SimDuration::ZERO, || {});
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn identical_schedules_are_deterministic() {
+        fn run_once() -> Vec<u32> {
+            let sim = Sim::new();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..50u32 {
+                let order = Rc::clone(&order);
+                // Mix of times, including collisions.
+                sim.schedule_at(SimTime::from_millis((i % 7) as u64), move || {
+                    order.borrow_mut().push(i)
+                });
+            }
+            sim.run();
+            let v = order.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

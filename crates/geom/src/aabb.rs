@@ -1,0 +1,212 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+
+/// An axis-aligned bounding box in 3D.
+///
+/// Used for cluster bounding boxes, LiDAR raycast targets and costmap
+/// footprints.
+///
+/// ```
+/// use av_geom::{Aabb, Vec3};
+/// let b = Aabb::from_center_size(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0));
+/// assert!(b.contains(Vec3::new(0.5, -0.5, 0.9)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An "empty" box that any point will expand: min at +∞, max at −∞.
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        max: Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Creates a box from corners. Callers must ensure `min <= max`
+    /// component-wise; [`Aabb::from_points`] handles unordered input.
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Aabb {
+        Aabb { min, max }
+    }
+
+    /// Creates a box centered at `center` with full extents `size`.
+    pub fn from_center_size(center: Vec3, size: Vec3) -> Aabb {
+        let half = size * 0.5;
+        Aabb::new(center - half, center + half)
+    }
+
+    /// The tightest box containing all `points`; [`Aabb::EMPTY`] for none.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// `true` when no point has been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Grows the box to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grows every face outward by `margin`.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Full extents (max − min).
+    #[inline]
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` when the two boxes overlap (closed intervals).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Ray/box intersection (slab method).
+    ///
+    /// Returns the entry distance `t >= 0` along `dir` from `origin`, or
+    /// `None` when the ray misses. `dir` need not be normalized; the
+    /// returned `t` is in units of `dir`'s length.
+    pub fn ray_intersect(&self, origin: Vec3, dir: Vec3) -> Option<f64> {
+        let mut t_min = 0.0f64;
+        let mut t_max = f64::INFINITY;
+        for axis in 0..3 {
+            let o = origin[axis];
+            let d = dir[axis];
+            let (lo, hi) = (self.min[axis], self.max[axis]);
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (mut t0, mut t1) = ((lo - o) * inv, (hi - o) * inv);
+                if t0 > t1 {
+                    std::mem::swap(&mut t0, &mut t1);
+                }
+                t_min = t_min.max(t0);
+                t_max = t_max.min(t1);
+                if t_min > t_max {
+                    return None;
+                }
+            }
+        }
+        Some(t_min)
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Aabb {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_bounds_everything() {
+        let pts = [Vec3::new(1.0, -2.0, 3.0), Vec3::new(-1.0, 4.0, 0.0), Vec3::ZERO];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 4.0, 3.0));
+    }
+
+    #[test]
+    fn empty_box_contains_nothing() {
+        assert!(Aabb::EMPTY.is_empty());
+        assert!(!Aabb::EMPTY.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn center_and_size() {
+        let b = Aabb::from_center_size(Vec3::new(1.0, 2.0, 3.0), Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.size(), Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Aabb::from_center_size(Vec3::ZERO, Vec3::splat(2.0));
+        let b = Aabb::from_center_size(Vec3::new(1.5, 0.0, 0.0), Vec3::splat(2.0));
+        let c = Aabb::from_center_size(Vec3::new(5.0, 0.0, 0.0), Vec3::splat(2.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn ray_hits_front_face() {
+        let b = Aabb::from_center_size(Vec3::new(10.0, 0.0, 0.0), Vec3::splat(2.0));
+        let t = b.ray_intersect(Vec3::ZERO, Vec3::X).unwrap();
+        assert!((t - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_misses_aside() {
+        let b = Aabb::from_center_size(Vec3::new(10.0, 5.0, 0.0), Vec3::splat(2.0));
+        assert!(b.ray_intersect(Vec3::ZERO, Vec3::X).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_returns_zero() {
+        let b = Aabb::from_center_size(Vec3::ZERO, Vec3::splat(4.0));
+        let t = b.ray_intersect(Vec3::new(0.5, 0.5, 0.0), Vec3::X).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn ray_parallel_outside_slab_misses() {
+        let b = Aabb::from_center_size(Vec3::ZERO, Vec3::splat(2.0));
+        assert!(b.ray_intersect(Vec3::new(0.0, 5.0, 0.0), Vec3::X).is_none());
+    }
+
+    #[test]
+    fn inflate_grows_box() {
+        let b = Aabb::from_center_size(Vec3::ZERO, Vec3::splat(2.0)).inflated(0.5);
+        assert!(b.contains(Vec3::new(1.4, 0.0, 0.0)));
+        assert!(!b.contains(Vec3::new(1.6, 0.0, 0.0)));
+    }
+}

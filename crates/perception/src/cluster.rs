@@ -1,0 +1,314 @@
+//! Euclidean clustering — the `euclidean_cluster` node.
+//!
+//! Region growing over a k-d tree: points within `tolerance` of any point
+//! already in a cluster join that cluster. Clusters within a size band
+//! become detected objects with centroid and bounding box — "identifying
+//! volumes that can be perceived as objects ... also calculates the
+//! cluster centroids to stipulate how distant the objects are" (Table I).
+
+use crate::{DetectedObject, ObjectClass};
+use av_geom::Aabb;
+use av_pointcloud::{KdTree, PointCloud};
+
+/// Clustering parameters (Autoware defaults: 0.75 m tolerance, 20–100k
+/// point clusters, scaled here to the simulated beam density).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterParams {
+    /// Neighbour distance for region growing, meters.
+    pub tolerance: f64,
+    /// Minimum points for a cluster to become an object.
+    pub min_points: usize,
+    /// Maximum points (larger blobs are walls/buildings, not objects).
+    pub max_points: usize,
+    /// Ignore points beyond this range (objects too far to matter).
+    pub max_range: f64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> ClusterParams {
+        ClusterParams { tolerance: 0.75, min_points: 5, max_points: 5000, max_range: 60.0 }
+    }
+}
+
+/// One extracted cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Indices of member points in the input cloud.
+    pub indices: Vec<usize>,
+    /// Member centroid.
+    pub centroid: av_geom::Vec3,
+    /// Axis-aligned bounds of the members.
+    pub bounds: Aabb,
+}
+
+impl Cluster {
+    /// Converts the cluster to a detection (class unknown).
+    pub fn to_detection(&self) -> DetectedObject {
+        let size = self.bounds.size();
+        DetectedObject {
+            position: self.centroid,
+            half_extents: size * 0.5,
+            yaw: 0.0,
+            class: ObjectClass::Unknown,
+            confidence: 1.0,
+            point_count: self.indices.len() as u32,
+        }
+    }
+}
+
+/// The euclidean clustering algorithm.
+///
+/// ```
+/// use av_geom::Vec3;
+/// use av_pointcloud::PointCloud;
+/// use av_perception::{ClusterParams, EuclideanCluster};
+///
+/// // Two blobs 10 m apart.
+/// let mut pts = Vec::new();
+/// for i in 0..10 {
+///     pts.push(Vec3::new(5.0 + 0.05 * i as f64, 0.0, 0.0));
+///     pts.push(Vec3::new(15.0 + 0.05 * i as f64, 0.0, 0.0));
+/// }
+/// let clusters = EuclideanCluster::new(ClusterParams::default())
+///     .cluster(&PointCloud::from_positions(pts));
+/// assert_eq!(clusters.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EuclideanCluster {
+    params: ClusterParams,
+}
+
+impl EuclideanCluster {
+    /// Creates the clusterer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance <= 0` or `min_points == 0`.
+    pub fn new(params: ClusterParams) -> EuclideanCluster {
+        assert!(params.tolerance > 0.0, "cluster tolerance must be positive");
+        assert!(params.min_points > 0, "clusters need at least one point");
+        EuclideanCluster { params }
+    }
+
+    /// Clustering parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Extracts clusters from a (non-ground) cloud.
+    ///
+    /// Output is deterministic: clusters are seeded in point order and
+    /// reported in seed order.
+    pub fn cluster(&self, cloud: &PointCloud) -> Vec<Cluster> {
+        // Range gate first (Autoware clips the cloud before clustering).
+        let in_range: Vec<usize> = (0..cloud.len())
+            .filter(|&i| cloud.point(i).position.norm_xy() <= self.params.max_range)
+            .collect();
+        if in_range.is_empty() {
+            return Vec::new();
+        }
+        let positions: Vec<av_geom::Vec3> =
+            in_range.iter().map(|&i| cloud.point(i).position).collect();
+        let tree = KdTree::build(&positions);
+
+        let mut visited = vec![false; positions.len()];
+        let mut clusters = Vec::new();
+        let mut neighbour_buf = Vec::new();
+        for seed in 0..positions.len() {
+            if visited[seed] {
+                continue;
+            }
+            visited[seed] = true;
+            let mut members = vec![seed];
+            let mut cursor = 0;
+            while cursor < members.len() {
+                let current = members[cursor];
+                cursor += 1;
+                tree.radius_search_into(
+                    positions[current],
+                    self.params.tolerance,
+                    &mut neighbour_buf,
+                );
+                for &n in &neighbour_buf {
+                    if !visited[n] {
+                        visited[n] = true;
+                        members.push(n);
+                    }
+                }
+            }
+            if members.len() < self.params.min_points || members.len() > self.params.max_points {
+                continue;
+            }
+            members.sort_unstable();
+            let mut centroid = av_geom::Vec3::ZERO;
+            let mut bounds = Aabb::EMPTY;
+            for &m in &members {
+                centroid += positions[m];
+                bounds.expand(positions[m]);
+            }
+            centroid /= members.len() as f64;
+            clusters.push(Cluster {
+                indices: members.iter().map(|&m| in_range[m]).collect(),
+                centroid,
+                bounds,
+            });
+        }
+        clusters
+    }
+
+    /// Convenience: clusters and converts to detections in one call.
+    pub fn detect(&self, cloud: &PointCloud) -> Vec<DetectedObject> {
+        self.cluster(cloud).iter().map(Cluster::to_detection).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_geom::Vec3;
+
+    fn blob(center: Vec3, n: usize, spacing: f64) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                center
+                    + Vec3::new(
+                        (i % 3) as f64 * spacing,
+                        ((i / 3) % 3) as f64 * spacing,
+                        (i / 9) as f64 * spacing,
+                    )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separate_blobs_become_clusters() {
+        let mut pts = blob(Vec3::new(5.0, 0.0, 0.0), 12, 0.2);
+        pts.extend(blob(Vec3::new(5.0, 8.0, 0.0), 15, 0.2));
+        pts.extend(blob(Vec3::new(-6.0, -3.0, 0.0), 9, 0.2));
+        let clusters =
+            EuclideanCluster::new(ClusterParams::default()).cluster(&PointCloud::from_positions(pts));
+        assert_eq!(clusters.len(), 3);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.indices.len()).collect();
+        assert!(sizes.contains(&12) && sizes.contains(&15) && sizes.contains(&9));
+    }
+
+    #[test]
+    fn chain_within_tolerance_is_one_cluster() {
+        // A line of points each 0.5 m apart: transitively connected.
+        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(3.0 + i as f64 * 0.5, 0.0, 0.0)).collect();
+        let clusters =
+            EuclideanCluster::new(ClusterParams::default()).cluster(&PointCloud::from_positions(pts));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].indices.len(), 20);
+    }
+
+    #[test]
+    fn small_clusters_filtered() {
+        let params = ClusterParams { min_points: 10, ..ClusterParams::default() };
+        let pts = blob(Vec3::new(4.0, 0.0, 0.0), 5, 0.2);
+        let clusters = EuclideanCluster::new(params).cluster(&PointCloud::from_positions(pts));
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn oversized_clusters_filtered() {
+        let params = ClusterParams { max_points: 10, ..ClusterParams::default() };
+        let pts = blob(Vec3::new(4.0, 0.0, 0.0), 27, 0.2);
+        let clusters = EuclideanCluster::new(params).cluster(&PointCloud::from_positions(pts));
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn far_points_ignored() {
+        let params = ClusterParams { max_range: 20.0, ..ClusterParams::default() };
+        let pts = blob(Vec3::new(50.0, 0.0, 0.0), 12, 0.2);
+        let clusters = EuclideanCluster::new(params).cluster(&PointCloud::from_positions(pts));
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn centroid_and_bounds_cover_members() {
+        let pts = blob(Vec3::new(5.0, 1.0, 0.0), 18, 0.3);
+        let cloud = PointCloud::from_positions(pts);
+        let clusters = EuclideanCluster::new(ClusterParams::default()).cluster(&cloud);
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert!(c.bounds.contains(c.centroid));
+        for &i in &c.indices {
+            assert!(c.bounds.contains(cloud.point(i).position));
+        }
+    }
+
+    #[test]
+    fn detection_conversion() {
+        let pts = blob(Vec3::new(5.0, 0.0, 0.0), 12, 0.3);
+        let detections =
+            EuclideanCluster::new(ClusterParams::default()).detect(&PointCloud::from_positions(pts));
+        assert_eq!(detections.len(), 1);
+        assert_eq!(detections[0].class, ObjectClass::Unknown);
+        assert_eq!(detections[0].point_count, 12);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut pts = blob(Vec3::new(5.0, 0.0, 0.0), 12, 0.2);
+        pts.extend(blob(Vec3::new(-5.0, 2.0, 0.0), 14, 0.2));
+        let cloud = PointCloud::from_positions(pts);
+        let c = EuclideanCluster::new(ClusterParams::default());
+        assert_eq!(c.cluster(&cloud), c.cluster(&cloud));
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        let clusters = EuclideanCluster::new(ClusterParams::default()).cluster(&PointCloud::new());
+        assert!(clusters.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use av_geom::Vec3;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Clusters partition their members: no index appears twice, all
+        /// indices valid, all member pairs transitively connected (weakly
+        /// checked via bounds diameter ≥ tolerance gaps).
+        #[test]
+        fn clusters_are_disjoint_and_valid(
+            pts in prop::collection::vec(
+                (-30.0f64..30.0, -30.0f64..30.0, 0.0f64..2.0), 1..120),
+        ) {
+            let cloud = PointCloud::from_positions(pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)));
+            let params = ClusterParams { min_points: 1, ..ClusterParams::default() };
+            let clusters = EuclideanCluster::new(params).cluster(&cloud);
+            let mut seen = std::collections::HashSet::new();
+            for c in &clusters {
+                for &i in &c.indices {
+                    prop_assert!(i < cloud.len());
+                    prop_assert!(seen.insert(i), "index {i} in two clusters");
+                }
+            }
+        }
+
+        /// Every in-range point lands in exactly one cluster when no size
+        /// filtering applies.
+        #[test]
+        fn min1_clustering_covers_in_range_points(
+            pts in prop::collection::vec(
+                (-30.0f64..30.0, -30.0f64..30.0, 0.0f64..2.0), 1..80),
+        ) {
+            let cloud = PointCloud::from_positions(pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)));
+            let params = ClusterParams {
+                min_points: 1,
+                max_points: usize::MAX,
+                ..ClusterParams::default()
+            };
+            let clusters = EuclideanCluster::new(params).cluster(&cloud);
+            let covered: usize = clusters.iter().map(|c| c.indices.len()).sum();
+            let in_range = cloud.positions().filter(|p| p.norm_xy() <= 60.0).count();
+            prop_assert_eq!(covered, in_range);
+        }
+    }
+}

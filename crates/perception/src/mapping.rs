@@ -1,0 +1,130 @@
+//! Map building — the `ndt_mapping` utility.
+//!
+//! The paper's sensor data came without an HD map, so the authors ran
+//! Autoware's `ndt_mapping` over the recorded LiDAR to produce the
+//! point-cloud map that `ndt_matching` then localizes against (§III-A).
+//! This builder mirrors that step: accumulate sweeps at known poses,
+//! down-sample, and emit both the map cloud and its NDT grid.
+
+use av_geom::Pose;
+use av_pointcloud::{NdtGrid, PointCloud, VoxelGrid};
+
+/// Incremental point-cloud map builder.
+///
+/// ```
+/// use av_geom::{Pose, Vec3};
+/// use av_pointcloud::PointCloud;
+/// use av_perception::NdtMappingBuilder;
+///
+/// let mut builder = NdtMappingBuilder::new(0.5);
+/// let sweep = PointCloud::from_positions((0..100).map(|i| {
+///     Vec3::new((i % 10) as f64 * 0.5, (i / 10) as f64 * 0.5, 0.0)
+/// }));
+/// builder.add_sweep(&sweep, &Pose::planar(5.0, 0.0, 0.0));
+/// let (map, grid) = builder.build(2.0, 5);
+/// assert!(!map.is_empty());
+/// assert!(!grid.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NdtMappingBuilder {
+    map: PointCloud,
+    voxel: VoxelGrid,
+    sweeps: usize,
+}
+
+impl NdtMappingBuilder {
+    /// Creates a builder that down-samples accumulated points with the
+    /// given voxel leaf size (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_size` is not positive (see
+    /// [`VoxelGrid::new`]).
+    pub fn new(leaf_size: f64) -> NdtMappingBuilder {
+        NdtMappingBuilder { map: PointCloud::new(), voxel: VoxelGrid::new(leaf_size), sweeps: 0 }
+    }
+
+    /// Adds one sweep captured at `pose` (body → map).
+    ///
+    /// The sweep is transformed into the map frame and the running map is
+    /// re-down-sampled every few sweeps to bound memory.
+    pub fn add_sweep(&mut self, sweep: &PointCloud, pose: &Pose) {
+        self.map.append(&sweep.transformed(pose));
+        self.sweeps += 1;
+        if self.sweeps.is_multiple_of(8) {
+            self.map = self.voxel.filter(&self.map);
+        }
+    }
+
+    /// Number of sweeps folded in.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Current (possibly not yet re-down-sampled) map size in points.
+    pub fn map_points(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Finalizes the map: one last down-sample, then builds the NDT grid
+    /// with the given cell size and minimum points per cell.
+    pub fn build(&self, cell_size: f64, min_points: usize) -> (PointCloud, NdtGrid) {
+        let map = self.voxel.filter(&self.map);
+        let grid = NdtGrid::build(&map, cell_size, min_points);
+        (map, grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_geom::Vec3;
+
+    fn ground_sweep() -> PointCloud {
+        PointCloud::from_positions(
+            (0..400).map(|i| Vec3::new((i % 20) as f64 * 0.5, (i / 20) as f64 * 0.5, 0.0)),
+        )
+    }
+
+    #[test]
+    fn sweeps_are_placed_at_their_pose() {
+        let mut b = NdtMappingBuilder::new(0.5);
+        b.add_sweep(&ground_sweep(), &Pose::planar(100.0, 0.0, 0.0));
+        let (map, _) = b.build(2.0, 5);
+        let bounds = map.bounds();
+        assert!(bounds.min.x >= 99.0, "sweep not transformed: {:?}", bounds);
+    }
+
+    #[test]
+    fn overlapping_sweeps_deduplicate() {
+        let mut b = NdtMappingBuilder::new(0.5);
+        for _ in 0..20 {
+            b.add_sweep(&ground_sweep(), &Pose::IDENTITY);
+        }
+        let (map, _) = b.build(2.0, 5);
+        // 20 identical sweeps must not grow the map 20×.
+        assert!(map.len() <= ground_sweep().len() * 2);
+        assert_eq!(b.sweeps(), 20);
+    }
+
+    #[test]
+    fn periodic_downsampling_bounds_memory() {
+        let mut b = NdtMappingBuilder::new(0.5);
+        for _ in 0..9 {
+            b.add_sweep(&ground_sweep(), &Pose::IDENTITY);
+        }
+        // After the 8th sweep a compaction ran.
+        assert!(b.map_points() < 9 * ground_sweep().len());
+    }
+
+    #[test]
+    fn built_grid_covers_map() {
+        let mut b = NdtMappingBuilder::new(0.25);
+        b.add_sweep(&ground_sweep(), &Pose::IDENTITY);
+        let (map, grid) = b.build(2.0, 5);
+        assert!(!grid.is_empty());
+        // Most map points should land in populated cells.
+        let matched = map.positions().filter(|&p| grid.cell_containing(p).is_some()).count();
+        assert!(matched as f64 > 0.8 * map.len() as f64);
+    }
+}

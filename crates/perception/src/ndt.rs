@@ -1,0 +1,336 @@
+//! NDT scan matching — the `ndt_matching` node.
+//!
+//! Matches a (voxel-filtered) LiDAR sweep against the HD map's NDT grid by
+//! maximizing the sum of per-point Gaussian likelihoods with damped Newton
+//! iterations, following Magnusson's P2D-NDT formulation that PCL (and
+//! therefore Autoware) implements. The pose is optimized over the planar
+//! parameters `(x, y, yaw)` — the drive is planar, and the vertical DOF
+//! would be unconstrained by it; the substitution is documented in
+//! DESIGN.md.
+
+use av_geom::{Mat3, Pose, Vec3};
+use av_pointcloud::{NdtGrid, PointCloud};
+
+/// NDT optimization parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdtParams {
+    /// Maximum Newton iterations per match.
+    pub max_iterations: u32,
+    /// Convergence threshold on the translation step, meters.
+    pub translation_eps: f64,
+    /// Convergence threshold on the rotation step, radians.
+    pub rotation_eps: f64,
+    /// Initial Levenberg damping added to the Hessian diagonal.
+    pub initial_damping: f64,
+}
+
+impl Default for NdtParams {
+    fn default() -> NdtParams {
+        NdtParams {
+            max_iterations: 30,
+            translation_eps: 1e-3,
+            rotation_eps: 1e-4,
+            initial_damping: 1e-3,
+        }
+    }
+}
+
+/// Outcome of one scan match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// The aligned pose (body → map).
+    pub pose: Pose,
+    /// Mean summed neighbourhood likelihood per matched point (higher is
+    /// better; can exceed 1 since up to 7 cells contribute per point).
+    pub fitness: f64,
+    /// Newton iterations executed — the dominant term of the node's
+    /// latency, which is why the cost model consumes it.
+    pub iterations: u32,
+    /// Whether the step sizes fell below the convergence thresholds.
+    pub converged: bool,
+    /// Scan points that landed in populated NDT cells (at the final pose).
+    pub matched_points: usize,
+}
+
+/// The NDT scan matcher. Holds the map grid; [`NdtMatcher::align`] is
+/// called per sweep with the previous pose as the initial guess.
+///
+/// See `tests` for an end-to-end alignment example.
+#[derive(Debug, Clone)]
+pub struct NdtMatcher {
+    grid: NdtGrid,
+    params: NdtParams,
+}
+
+struct Objective {
+    /// Negative sum of Gaussian scores (we minimize).
+    f: f64,
+    g: Vec3,
+    h: Mat3,
+    matched: usize,
+}
+
+impl NdtMatcher {
+    /// Creates a matcher over a map grid.
+    pub fn new(grid: NdtGrid, params: NdtParams) -> NdtMatcher {
+        NdtMatcher { grid, params }
+    }
+
+    /// The map grid.
+    pub fn grid(&self) -> &NdtGrid {
+        &self.grid
+    }
+
+    /// Matcher parameters.
+    pub fn params(&self) -> &NdtParams {
+        &self.params
+    }
+
+    fn evaluate(&self, scan: &PointCloud, x: f64, y: f64, yaw: f64, with_derivs: bool) -> Objective {
+        let (sin_t, cos_t) = yaw.sin_cos();
+        let mut f = 0.0;
+        let mut g = Vec3::ZERO;
+        let mut h = Mat3::ZERO;
+        let mut matched = 0usize;
+        for p in scan.positions() {
+            let q = Vec3::new(
+                cos_t * p.x - sin_t * p.y + x,
+                sin_t * p.x + cos_t * p.y + y,
+                p.z,
+            );
+            let mut any_cell = false;
+            for cell in self.grid.cells_around(q) {
+                any_cell = true;
+                let d = q - cell.mean;
+                let bd = cell.inv_cov * d;
+                let md = d.dot(bd);
+                let e = (-0.5 * md).exp();
+                f -= e;
+                if !with_derivs {
+                    continue;
+                }
+                // Jacobian columns of q wrt (x, y, yaw).
+                let j_x = Vec3::X;
+                let j_y = Vec3::Y;
+                let j_t = Vec3::new(-sin_t * p.x - cos_t * p.y, cos_t * p.x - sin_t * p.y, 0.0);
+                let dbj = Vec3::new(bd.dot(j_x), bd.dot(j_y), bd.dot(j_t));
+                // Gradient of f = −Σ e: ∂f/∂ρ = e · (d·B·Jρ).
+                g += dbj * e;
+                // Hessian (Magnusson): e·[ Jk·B·Jl − (d·B·Jk)(d·B·Jl) + d·B·∂²q ].
+                // Second derivative of q is nonzero only for (yaw, yaw):
+                // ∂²q/∂yaw² = −R·p (in the XY block).
+                let d2 =
+                    Vec3::new(-(cos_t * p.x - sin_t * p.y), -(sin_t * p.x + cos_t * p.y), 0.0);
+                let js = [j_x, j_y, j_t];
+                for r in 0..3 {
+                    let bjr = cell.inv_cov * js[r];
+                    for c in 0..3 {
+                        let mut term = js[c].dot(bjr) - dbj[r] * dbj[c];
+                        if r == 2 && c == 2 {
+                            term += bd.dot(d2);
+                        }
+                        h.m[r][c] += e * term;
+                    }
+                }
+            }
+            if any_cell {
+                matched += 1;
+            }
+        }
+        Objective { f, g, h, matched }
+    }
+
+    /// Aligns `scan` (body frame) to the map starting from `initial_guess`.
+    ///
+    /// Sweeps that match no populated cell at all return the initial guess
+    /// with `fitness = 0` and `converged = false`.
+    pub fn align(&self, scan: &PointCloud, initial_guess: &Pose) -> MatchResult {
+        let mut x = initial_guess.translation.x;
+        let mut y = initial_guess.translation.y;
+        let mut yaw = initial_guess.yaw();
+        let mut damping = self.params.initial_damping;
+
+        let mut current = self.evaluate(scan, x, y, yaw, true);
+        let mut iterations = 0u32;
+        let mut converged = false;
+
+        while iterations < self.params.max_iterations {
+            iterations += 1;
+            if current.matched == 0 {
+                break;
+            }
+            // Solve (H + λI) Δ = −g, inflating λ until the step descends.
+            let mut stepped = false;
+            for _ in 0..8 {
+                let mut damped = current.h;
+                for i in 0..3 {
+                    damped.m[i][i] += damping;
+                }
+                let Some(inv) = damped.inverse() else {
+                    damping *= 10.0;
+                    continue;
+                };
+                let step = inv * (-current.g);
+                let (nx, ny, nyaw) = (x + step.x, y + step.y, yaw + step.z);
+                let next = self.evaluate(scan, nx, ny, nyaw, true);
+                if next.f < current.f {
+                    x = nx;
+                    y = ny;
+                    yaw = nyaw;
+                    current = next;
+                    damping = (damping / 3.0).max(1e-9);
+                    stepped = true;
+                    if step.truncate().norm() < self.params.translation_eps
+                        && step.z.abs() < self.params.rotation_eps
+                    {
+                        converged = true;
+                    }
+                    break;
+                }
+                damping *= 10.0;
+            }
+            if !stepped || converged {
+                converged = converged || !stepped && current.g.norm() < 1e-6;
+                break;
+            }
+        }
+
+        let final_eval = self.evaluate(scan, x, y, yaw, false);
+        let fitness = if final_eval.matched == 0 {
+            0.0
+        } else {
+            -final_eval.f / final_eval.matched as f64
+        };
+        MatchResult {
+            pose: Pose::planar(x, y, yaw),
+            fitness,
+            iterations,
+            converged,
+            matched_points: final_eval.matched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_des::RngStreams;
+    use av_pointcloud::NdtGrid;
+
+    /// A structured scene: ground patch plus two perpendicular walls —
+    /// enough geometry to pin down (x, y, yaw).
+    fn scene_points(rng_name: &str, n_per_surface: usize) -> PointCloud {
+        let mut rng = RngStreams::new(42).stream(rng_name);
+        let mut cloud = PointCloud::new();
+        for _ in 0..n_per_surface {
+            // Ground z≈0 over [0,20]×[0,20].
+            cloud.push(av_pointcloud::Point::new(
+                rng.uniform(0.0, 20.0),
+                rng.uniform(0.0, 20.0),
+                rng.normal(0.0, 0.02),
+            ));
+            // Wall x≈20.
+            cloud.push(av_pointcloud::Point::new(
+                20.0 + rng.normal(0.0, 0.02),
+                rng.uniform(0.0, 20.0),
+                rng.uniform(0.0, 4.0),
+            ));
+            // Wall y≈20.
+            cloud.push(av_pointcloud::Point::new(
+                rng.uniform(0.0, 20.0),
+                20.0 + rng.normal(0.0, 0.02),
+                rng.uniform(0.0, 4.0),
+            ));
+        }
+        cloud
+    }
+
+    fn matcher() -> NdtMatcher {
+        let map = scene_points("map", 800);
+        let grid = NdtGrid::build(&map, 2.0, 6);
+        NdtMatcher::new(grid, NdtParams::default())
+    }
+
+    /// Takes map-frame points, moves them into the body frame of `pose`.
+    fn to_body(cloud: &PointCloud, pose: &Pose) -> PointCloud {
+        cloud.transformed(&pose.inverse())
+    }
+
+    #[test]
+    fn recovers_known_offset() {
+        let m = matcher();
+        let true_pose = Pose::planar(0.4, -0.3, 0.05);
+        let scan = to_body(&scene_points("scan", 150), &true_pose);
+        let result = m.align(&scan, &Pose::planar(0.0, 0.0, 0.0));
+        let err = result.pose.translation.distance(true_pose.translation);
+        assert!(err < 0.05, "translation error {err}, pose {:?}", result.pose);
+        assert!((result.pose.yaw() - 0.05).abs() < 0.01);
+        assert!(result.matched_points > 100);
+        assert!(result.fitness > 0.3, "fitness {}", result.fitness);
+    }
+
+    #[test]
+    fn perfect_guess_converges_quickly() {
+        let m = matcher();
+        let true_pose = Pose::planar(1.0, 2.0, -0.1);
+        let scan = to_body(&scene_points("scan2", 150), &true_pose);
+        let from_truth = m.align(&scan, &true_pose);
+        let from_far = m.align(&scan, &Pose::planar(0.2, 1.2, 0.0));
+        assert!(from_truth.iterations <= from_far.iterations);
+        assert!(from_truth.converged);
+    }
+
+    #[test]
+    fn iterations_bounded_by_max() {
+        let params = NdtParams { max_iterations: 3, ..NdtParams::default() };
+        let map = scene_points("map", 400);
+        let m = NdtMatcher::new(NdtGrid::build(&map, 2.0, 6), params);
+        let scan = to_body(&scene_points("scan3", 100), &Pose::planar(0.8, 0.8, 0.1));
+        let result = m.align(&scan, &Pose::IDENTITY);
+        assert!(result.iterations <= 3);
+    }
+
+    #[test]
+    fn unmatched_scan_returns_guess() {
+        let m = matcher();
+        // A scan entirely outside the map.
+        let scan = PointCloud::from_positions(
+            (0..50).map(|i| Vec3::new(500.0 + i as f64, 500.0, 0.0)),
+        );
+        let guess = Pose::planar(1.0, 1.0, 0.2);
+        let result = m.align(&scan, &guess);
+        assert_eq!(result.pose.translation, guess.translation);
+        assert_eq!(result.fitness, 0.0);
+        assert!(!result.converged);
+        assert_eq!(result.matched_points, 0);
+    }
+
+    #[test]
+    fn fitness_degrades_with_misalignment() {
+        let m = matcher();
+        let scan = to_body(&scene_points("scan4", 150), &Pose::IDENTITY);
+        let aligned = m.align(&scan, &Pose::IDENTITY);
+        // Evaluate fitness at a deliberately wrong pose: restrict to zero
+        // iterations so it cannot correct.
+        let params = NdtParams { max_iterations: 0, ..NdtParams::default() };
+        let frozen = NdtMatcher::new(m.grid().clone(), params);
+        let wrong = frozen.align(&scan, &Pose::planar(1.5, 1.5, 0.2));
+        assert!(aligned.fitness > wrong.fitness);
+    }
+
+    #[test]
+    fn sequential_tracking_follows_motion() {
+        // Simulate localization across consecutive sweeps: each uses the
+        // previous result as its guess.
+        let m = matcher();
+        let mut guess = Pose::planar(0.0, 0.0, 0.0);
+        for step in 1..=5 {
+            let true_pose = Pose::planar(0.15 * step as f64, 0.1 * step as f64, 0.01 * step as f64);
+            let scan = to_body(&scene_points("track", 120), &true_pose);
+            let result = m.align(&scan, &guess);
+            let err = result.pose.translation.distance(true_pose.translation);
+            assert!(err < 0.08, "step {step}: error {err}");
+            guess = result.pose;
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The actuation layer: planning and motion nodes.
+//!
+//! The paper describes these nodes (§II-B "Actuation") but could not
+//! stimulate them — its recorded drive lacked the HD-map lane/speed
+//! annotations they require (§III-C). Our synthetic world *does* carry
+//! that information, so the reproduction implements and exercises them
+//! (examples and integration tests), while — like the paper — excluding
+//! them from the headline perception experiments.
+//!
+//! * [`RoadGraph`] — `op_global_planner`: Dijkstra route search over a
+//!   waypoint graph.
+//! * [`LocalPlanner`] — `op_local_planner`: lateral rollout generation
+//!   scored against the costmap.
+//! * [`PurePursuit`] — `pure_pursuit`: lookahead-point steering, emitting
+//!   "the linear and angular velocity the vehicle should perform".
+//! * [`TwistFilter`] — `twist_filter`: the low-pass smoothing applied to
+//!   those commands.
+
+#![warn(missing_docs)]
+
+mod local;
+mod pursuit;
+mod roadgraph;
+mod twist;
+
+pub use local::{LocalPlanner, LocalPlannerParams, Rollout};
+pub use pursuit::{PurePursuit, PurePursuitParams};
+pub use roadgraph::{RoadGraph, Waypoint};
+pub use twist::{TwistFilter, TwistFilterParams};

@@ -1,0 +1,252 @@
+//! Local rollout planning — the `op_local_planner` node.
+//!
+//! "The local planner details how the route will be followed depending on
+//! the perception outcome" (§II-B): candidate trajectories at lateral
+//! offsets from the global path are scored against the costmap; the
+//! cheapest collision-free rollout wins.
+
+use crate::Waypoint;
+use av_geom::{Pose, Vec3};
+use av_perception::OccupancyGrid;
+
+/// Local planner parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalPlannerParams {
+    /// Number of lateral rollouts (odd; the middle one follows the path).
+    pub rollouts: usize,
+    /// Lateral spacing between adjacent rollouts, meters.
+    pub rollout_spacing: f64,
+    /// Plan horizon along the path, meters.
+    pub horizon: f64,
+    /// Sample spacing along each rollout, meters.
+    pub sample_step: f64,
+    /// Weight of lateral deviation from the global path in the score.
+    pub deviation_weight: f64,
+    /// Cost above which a sampled cell counts as blocking.
+    pub blocking_cost: u8,
+}
+
+impl Default for LocalPlannerParams {
+    fn default() -> LocalPlannerParams {
+        LocalPlannerParams {
+            rollouts: 7,
+            rollout_spacing: 0.8,
+            horizon: 25.0,
+            sample_step: 1.0,
+            deviation_weight: 0.35,
+            blocking_cost: 80,
+        }
+    }
+}
+
+/// One scored candidate trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rollout {
+    /// Lateral offset from the global path, meters (0 = on the path).
+    pub lateral_offset: f64,
+    /// Sampled waypoints (body frame).
+    pub samples: Vec<Vec3>,
+    /// Accumulated costmap + deviation score (lower is better).
+    pub score: f64,
+    /// `true` when a sample crossed a blocking-cost cell.
+    pub blocked: bool,
+}
+
+/// The local rollout planner.
+///
+/// Operates in the ego body frame (the costmap's frame): the global-path
+/// waypoints are transformed in, offset laterally, sampled, and scored.
+#[derive(Debug, Clone)]
+pub struct LocalPlanner {
+    params: LocalPlannerParams,
+}
+
+impl LocalPlanner {
+    /// Creates a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rollouts` is even or zero, or spacing/step are not
+    /// positive.
+    pub fn new(params: LocalPlannerParams) -> LocalPlanner {
+        assert!(params.rollouts % 2 == 1, "rollout count must be odd");
+        assert!(params.rollout_spacing > 0.0 && params.sample_step > 0.0);
+        LocalPlanner { params }
+    }
+
+    /// Planner parameters.
+    pub fn params(&self) -> &LocalPlannerParams {
+        &self.params
+    }
+
+    /// Generates and scores all rollouts; returns them (best first) —
+    /// exposing the intermediate result so callers can inspect the
+    /// alternatives ([`LocalPlanner::best`] picks the winner).
+    pub fn plan(
+        &self,
+        ego: &Pose,
+        global_path: &[Waypoint],
+        costmap: &OccupancyGrid,
+    ) -> Vec<Rollout> {
+        // Transform the global path into the body frame and keep the
+        // stretch ahead of the vehicle.
+        let inv = ego.inverse();
+        let mut path_body: Vec<Vec3> = global_path
+            .iter()
+            .map(|w| inv.transform_point(w.position))
+            .filter(|p| p.x > -2.0 && p.x < self.params.horizon * 1.5)
+            .collect();
+        path_body.sort_by(|a, b| a.x.total_cmp(&b.x));
+        if path_body.len() < 2 {
+            return Vec::new();
+        }
+
+        let half = (self.params.rollouts / 2) as i64;
+        let mut rollouts = Vec::with_capacity(self.params.rollouts);
+        for k in -half..=half {
+            let lateral = k as f64 * self.params.rollout_spacing;
+            let mut samples = Vec::new();
+            let mut score = 0.0f64;
+            let mut blocked = false;
+            let mut s = 0.0;
+            while s <= self.params.horizon {
+                let p = interp_at(&path_body, s);
+                // Lateral offset along the local path normal (approximate
+                // with body +y; the path runs mostly along +x ahead).
+                let sample = Vec3::new(p.x, p.y + lateral, 0.0);
+                let cost = costmap.cost_at(sample);
+                if cost >= self.params.blocking_cost {
+                    blocked = true;
+                }
+                score += cost as f64;
+                samples.push(sample);
+                s += self.params.sample_step;
+            }
+            score += self.params.deviation_weight * lateral.abs() * samples.len() as f64;
+            rollouts.push(Rollout { lateral_offset: lateral, samples, score, blocked });
+        }
+        rollouts.sort_by(|a, b| {
+            (a.blocked as u8, a.score)
+                .partial_cmp(&(b.blocked as u8, b.score))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rollouts
+    }
+
+    /// The winning rollout: unblocked and cheapest, or `None` when every
+    /// rollout is blocked (emergency stop).
+    pub fn best(
+        &self,
+        ego: &Pose,
+        global_path: &[Waypoint],
+        costmap: &OccupancyGrid,
+    ) -> Option<Rollout> {
+        self.plan(ego, global_path, costmap).into_iter().find(|r| !r.blocked)
+    }
+}
+
+/// Linear interpolation of the body-frame path at forward distance `s`.
+fn interp_at(path: &[Vec3], s: f64) -> Vec3 {
+    if s <= path[0].x {
+        return path[0];
+    }
+    for pair in path.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if s <= b.x {
+            let t = if (b.x - a.x).abs() < 1e-9 { 0.0 } else { (s - a.x) / (b.x - a.x) };
+            return a.lerp(b, t);
+        }
+    }
+    *path.last().expect("path checked non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_perception::{CostmapGenerator, CostmapParams};
+    use av_pointcloud::PointCloud;
+
+    fn straight_path() -> Vec<Waypoint> {
+        (0..40)
+            .map(|i| Waypoint {
+                position: Vec3::new(i as f64 * 2.0, 0.0, 0.0),
+                speed_limit: 10.0,
+            })
+            .collect()
+    }
+
+    fn costmap_with_obstacle_at(x: f64, y: f64) -> OccupancyGrid {
+        let points = PointCloud::from_positions(
+            (0..20).map(|i| Vec3::new(x + (i % 5) as f64 * 0.2, y + (i / 5) as f64 * 0.2, 0.0)),
+        );
+        CostmapGenerator::new(CostmapParams::default()).from_points(&points)
+    }
+
+    fn empty_costmap() -> OccupancyGrid {
+        CostmapGenerator::new(CostmapParams::default()).from_points(&PointCloud::new())
+    }
+
+    #[test]
+    fn free_road_prefers_centerline() {
+        let planner = LocalPlanner::new(LocalPlannerParams::default());
+        let best = planner.best(&Pose::IDENTITY, &straight_path(), &empty_costmap()).unwrap();
+        assert_eq!(best.lateral_offset, 0.0);
+        assert!(!best.blocked);
+    }
+
+    #[test]
+    fn obstacle_forces_lateral_swerve() {
+        let planner = LocalPlanner::new(LocalPlannerParams::default());
+        let costmap = costmap_with_obstacle_at(10.0, 0.0);
+        let best = planner.best(&Pose::IDENTITY, &straight_path(), &costmap).unwrap();
+        assert!(best.lateral_offset.abs() > 0.5, "must dodge: offset {}", best.lateral_offset);
+        assert!(!best.blocked);
+    }
+
+    #[test]
+    fn fully_blocked_road_returns_none() {
+        let planner = LocalPlanner::new(LocalPlannerParams::default());
+        // Wall across every rollout.
+        let mut points = PointCloud::new();
+        for i in 0..120 {
+            points.push(av_pointcloud::Point::new(12.0, -6.0 + i as f64 * 0.1, 0.0));
+        }
+        let costmap = CostmapGenerator::new(CostmapParams::default()).from_points(&points);
+        assert!(planner.best(&Pose::IDENTITY, &straight_path(), &costmap).is_none());
+    }
+
+    #[test]
+    fn rollouts_sorted_best_first() {
+        let planner = LocalPlanner::new(LocalPlannerParams::default());
+        let rollouts = planner.plan(&Pose::IDENTITY, &straight_path(), &empty_costmap());
+        assert_eq!(rollouts.len(), 7);
+        for pair in rollouts.windows(2) {
+            assert!(
+                (pair[0].blocked as u8, pair[0].score) <= (pair[1].blocked as u8, pair[1].score)
+            );
+        }
+    }
+
+    #[test]
+    fn ego_pose_transforms_path() {
+        let planner = LocalPlanner::new(LocalPlannerParams::default());
+        // Ego mid-path: still plans ahead.
+        let ego = Pose::planar(40.0, 0.0, 0.0);
+        let best = planner.best(&ego, &straight_path(), &empty_costmap()).unwrap();
+        assert!(!best.samples.is_empty());
+        assert!(best.samples.iter().all(|p| p.x >= -1.0));
+    }
+
+    #[test]
+    fn behind_path_yields_empty_plan() {
+        let planner = LocalPlanner::new(LocalPlannerParams::default());
+        let ego = Pose::planar(500.0, 0.0, 0.0);
+        assert!(planner.plan(&ego, &straight_path(), &empty_costmap()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_rollouts_panics() {
+        let _ = LocalPlanner::new(LocalPlannerParams { rollouts: 4, ..Default::default() });
+    }
+}

@@ -1,0 +1,157 @@
+//! Pure-pursuit path tracking — the `pure_pursuit` node.
+//!
+//! The classic geometric controller: pick the path point one lookahead
+//! distance ahead, steer along the circular arc that reaches it. Emits
+//! the linear and angular velocity the vehicle should perform (§II-B).
+
+use av_geom::{Pose, Twist, Vec3};
+
+/// Pure-pursuit parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurePursuitParams {
+    /// Lookahead distance as a multiple of current speed (seconds).
+    pub lookahead_time: f64,
+    /// Minimum lookahead distance, meters.
+    pub min_lookahead: f64,
+    /// Commanded cruise speed, m/s.
+    pub cruise_speed: f64,
+}
+
+impl Default for PurePursuitParams {
+    fn default() -> PurePursuitParams {
+        PurePursuitParams { lookahead_time: 1.2, min_lookahead: 4.0, cruise_speed: 8.0 }
+    }
+}
+
+/// The pure-pursuit controller.
+///
+/// ```
+/// use av_geom::{Pose, Vec3};
+/// use av_planning::PurePursuit;
+///
+/// let controller = PurePursuit::new(Default::default());
+/// let path: Vec<Vec3> = (0..30).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+/// let twist = controller.control(&Pose::IDENTITY, 8.0, &path).unwrap();
+/// assert!(twist.yaw_rate().abs() < 1e-6); // straight path: no turning
+/// ```
+#[derive(Debug, Clone)]
+pub struct PurePursuit {
+    params: PurePursuitParams,
+}
+
+impl PurePursuit {
+    /// Creates a controller.
+    pub fn new(params: PurePursuitParams) -> PurePursuit {
+        PurePursuit { params }
+    }
+
+    /// Controller parameters.
+    pub fn params(&self) -> &PurePursuitParams {
+        &self.params
+    }
+
+    /// Computes the velocity command to follow `path` (map frame) from
+    /// the current pose and speed.
+    ///
+    /// Returns `None` when no path point lies ahead of the vehicle (path
+    /// finished or lost).
+    pub fn control(&self, ego: &Pose, speed: f64, path: &[Vec3]) -> Option<Twist> {
+        let lookahead = (speed * self.params.lookahead_time).max(self.params.min_lookahead);
+        let inv = ego.inverse();
+        // First path point at or beyond the lookahead distance, in front.
+        let target = path
+            .iter()
+            .map(|&p| inv.transform_point(p))
+            .filter(|p| p.x > 0.0)
+            .find(|p| p.norm_xy() >= lookahead)
+            .or_else(|| {
+                // Fall back to the farthest forward point (path end).
+                path.iter()
+                    .map(|&p| inv.transform_point(p))
+                    .filter(|p| p.x > 0.0)
+                    .max_by(|a, b| a.norm_xy().total_cmp(&b.norm_xy()))
+            })?;
+
+        // Pure pursuit: curvature κ = 2·y / L².
+        let l_sq = target.norm_xy().powi(2);
+        let curvature = if l_sq > 1e-9 { 2.0 * target.y / l_sq } else { 0.0 };
+        let v = self.params.cruise_speed;
+        Some(Twist::planar(v, v * curvature))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> PurePursuit {
+        PurePursuit::new(PurePursuitParams::default())
+    }
+
+    fn straight_path() -> Vec<Vec3> {
+        (0..50).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn straight_path_no_turn() {
+        let twist = controller().control(&Pose::IDENTITY, 8.0, &straight_path()).unwrap();
+        assert!(twist.yaw_rate().abs() < 1e-9);
+        assert_eq!(twist.speed(), 8.0);
+    }
+
+    #[test]
+    fn target_left_turns_left() {
+        let path: Vec<Vec3> = (0..50).map(|i| Vec3::new(i as f64, 0.3 * i as f64, 0.0)).collect();
+        let twist = controller().control(&Pose::IDENTITY, 8.0, &path).unwrap();
+        assert!(twist.yaw_rate() > 0.01, "left offset must steer left");
+    }
+
+    #[test]
+    fn target_right_turns_right() {
+        let path: Vec<Vec3> = (0..50).map(|i| Vec3::new(i as f64, -0.3 * i as f64, 0.0)).collect();
+        let twist = controller().control(&Pose::IDENTITY, 8.0, &path).unwrap();
+        assert!(twist.yaw_rate() < -0.01);
+    }
+
+    #[test]
+    fn lookahead_scales_with_speed() {
+        // At high speed the lookahead point is farther, so the same lateral
+        // offset produces a gentler curvature.
+        let path: Vec<Vec3> = (0..200).map(|i| {
+            let x = i as f64 * 0.5;
+            Vec3::new(x, if x > 3.0 { 2.0 } else { 0.0 }, 0.0)
+        }).collect();
+        let slow = controller().control(&Pose::IDENTITY, 2.0, &path).unwrap();
+        let fast = controller().control(&Pose::IDENTITY, 20.0, &path).unwrap();
+        assert!(slow.yaw_rate().abs() / slow.speed() > fast.yaw_rate().abs() / fast.speed());
+    }
+
+    #[test]
+    fn no_forward_points_returns_none() {
+        // Entire path behind the vehicle.
+        let path: Vec<Vec3> = (1..20).map(|i| Vec3::new(-(i as f64), 0.0, 0.0)).collect();
+        assert!(controller().control(&Pose::IDENTITY, 8.0, &path).is_none());
+        assert!(controller().control(&Pose::IDENTITY, 8.0, &[]).is_none());
+    }
+
+    #[test]
+    fn short_path_falls_back_to_endpoint() {
+        let path = vec![Vec3::new(2.0, 0.5, 0.0)];
+        let twist = controller().control(&Pose::IDENTITY, 8.0, &path).unwrap();
+        assert!(twist.yaw_rate() > 0.0);
+    }
+
+    #[test]
+    fn follows_circular_path_with_constant_curvature() {
+        // Path on a circle of radius 20 m; commanded curvature ≈ 1/20.
+        let path: Vec<Vec3> = (0..80)
+            .map(|i| {
+                let theta = i as f64 * 0.05;
+                Vec3::new(20.0 * theta.sin(), 20.0 * (1.0 - theta.cos()), 0.0)
+            })
+            .collect();
+        let twist = controller().control(&Pose::IDENTITY, 8.0, &path).unwrap();
+        let curvature = twist.yaw_rate() / twist.speed();
+        assert!((curvature - 0.05).abs() < 0.02, "curvature {curvature}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Global route planning — the `op_global_planner` node.
+
+use av_geom::Vec3;
+
+/// A drivable waypoint with its speed limit (the HD-map annotation the
+/// paper lacked).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waypoint {
+    /// Position on the lane centerline.
+    pub position: Vec3,
+    /// Speed limit at this waypoint, m/s.
+    pub speed_limit: f64,
+}
+
+/// A directed waypoint graph with Dijkstra shortest-path routing.
+///
+/// ```
+/// use av_geom::Vec3;
+/// use av_planning::{RoadGraph, Waypoint};
+///
+/// let mut g = RoadGraph::new();
+/// let a = g.add_waypoint(Waypoint { position: Vec3::ZERO, speed_limit: 10.0 });
+/// let b = g.add_waypoint(Waypoint { position: Vec3::new(10.0, 0.0, 0.0), speed_limit: 10.0 });
+/// g.connect(a, b);
+/// let route = g.plan(a, b).unwrap();
+/// assert_eq!(route, vec![a, b]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoadGraph {
+    waypoints: Vec<Waypoint>,
+    adjacency: Vec<Vec<(usize, f64)>>,
+}
+
+impl RoadGraph {
+    /// Creates an empty graph.
+    pub fn new() -> RoadGraph {
+        RoadGraph::default()
+    }
+
+    /// Builds a one-way ring road from an ordered loop of waypoints
+    /// (each connects to the next, last to first).
+    pub fn ring(waypoints: Vec<Waypoint>) -> RoadGraph {
+        let mut g = RoadGraph::new();
+        let n = waypoints.len();
+        for w in waypoints {
+            g.add_waypoint(w);
+        }
+        for i in 0..n {
+            g.connect(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// Adds a waypoint, returning its index.
+    pub fn add_waypoint(&mut self, waypoint: Waypoint) -> usize {
+        self.waypoints.push(waypoint);
+        self.adjacency.push(Vec::new());
+        self.waypoints.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with Euclidean cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn connect(&mut self, from: usize, to: usize) {
+        let cost = self.waypoints[from].position.distance(self.waypoints[to].position);
+        self.adjacency[from].push((to, cost));
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// `true` when the graph has no waypoints.
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.is_empty()
+    }
+
+    /// The waypoint at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn waypoint(&self, index: usize) -> Waypoint {
+        self.waypoints[index]
+    }
+
+    /// Index of the waypoint nearest to `pos`, or `None` for an empty
+    /// graph.
+    pub fn nearest(&self, pos: Vec3) -> Option<usize> {
+        (0..self.waypoints.len())
+            .min_by(|&a, &b| {
+                let da = self.waypoints[a].position.distance_sq(pos);
+                let db = self.waypoints[b].position.distance_sq(pos);
+                da.total_cmp(&db)
+            })
+    }
+
+    /// Dijkstra shortest path from `start` to `goal` (inclusive), or
+    /// `None` when unreachable.
+    pub fn plan(&self, start: usize, goal: usize) -> Option<Vec<usize>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.waypoints.len();
+        if start >= n || goal >= n {
+            return None;
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[start] = 0.0;
+        heap.push(Reverse((ordered(0.0), start)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let d = d.0;
+            if u == goal {
+                break;
+            }
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, cost) in &self.adjacency[u] {
+                let nd = d + cost;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(Reverse((ordered(nd), v)));
+                }
+            }
+        }
+        if start != goal && prev[goal] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![goal];
+        let mut cur = goal;
+        while cur != start {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Expands a planned index path into waypoints.
+    pub fn route_waypoints(&self, path: &[usize]) -> Vec<Waypoint> {
+        path.iter().map(|&i| self.waypoints[i]).collect()
+    }
+}
+
+/// Total-ordered wrapper so distances can live in a `BinaryHeap`.
+#[derive(PartialEq)]
+struct Ordered(f64);
+
+impl Eq for Ordered {}
+
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Ordered) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ordered {
+    fn cmp(&self, other: &Ordered) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+fn ordered(v: f64) -> Ordered {
+    Ordered(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp(x: f64, y: f64) -> Waypoint {
+        Waypoint { position: Vec3::new(x, y, 0.0), speed_limit: 10.0 }
+    }
+
+    fn grid_graph() -> RoadGraph {
+        // 0 → 1 → 2
+        //  ↘ 3 ↗     (detour with longer cost)
+        let mut g = RoadGraph::new();
+        let a = g.add_waypoint(wp(0.0, 0.0));
+        let b = g.add_waypoint(wp(10.0, 0.0));
+        let c = g.add_waypoint(wp(20.0, 0.0));
+        let d = g.add_waypoint(wp(10.0, 15.0));
+        g.connect(a, b);
+        g.connect(b, c);
+        g.connect(a, d);
+        g.connect(d, c);
+        g
+    }
+
+    #[test]
+    fn shortest_path_chosen() {
+        let g = grid_graph();
+        assert_eq!(g.plan(0, 2).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let g = grid_graph();
+        assert!(g.plan(2, 0).is_none(), "edges are directed");
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let g = grid_graph();
+        assert_eq!(g.plan(1, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let g = RoadGraph::ring(vec![wp(0.0, 0.0), wp(10.0, 0.0), wp(10.0, 10.0), wp(0.0, 10.0)]);
+        // From 2 back to 1 must go the long way: 2 → 3 → 0 → 1.
+        assert_eq!(g.plan(2, 1).unwrap(), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn nearest_waypoint() {
+        let g = grid_graph();
+        assert_eq!(g.nearest(Vec3::new(9.0, 1.0, 0.0)), Some(1));
+        assert_eq!(RoadGraph::new().nearest(Vec3::ZERO), None);
+    }
+
+    #[test]
+    fn route_waypoints_expand() {
+        let g = grid_graph();
+        let route = g.route_waypoints(&g.plan(0, 2).unwrap());
+        assert_eq!(route.len(), 3);
+        assert_eq!(route[2].position.x, 20.0);
+    }
+
+    #[test]
+    fn out_of_range_plan_is_none() {
+        let g = grid_graph();
+        assert!(g.plan(0, 99).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Power models for the CPU and GPU (Table VI's instrument).
+
+use crate::{CpuStats, GpuStats};
+use av_des::SimDuration;
+
+/// Linear power models for both devices.
+///
+/// * CPU: `P = idle + (peak − idle) × utilization` — every node (plus the
+///   OS/middleware background load) contributes through utilization, which
+///   is why the paper sees CPU power vary little across detector choices.
+/// * GPU: `P = idle + Σ kernel energy / elapsed` — dominated by which
+///   kernels ran, which is why detector choice swings GPU power by ~55 W
+///   (SSD300 vs SSD512 in Table VI).
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// CPU idle (package + uncore) power, watts.
+    pub cpu_idle_w: f64,
+    /// CPU power at 100% utilization, watts.
+    pub cpu_peak_w: f64,
+    /// Constant background CPU utilization from OS + middleware, added on
+    /// top of node utilization (the paper notes the "complete Operating
+    /// System and ROS stack" keep the CPU partially busy).
+    pub cpu_background_util: f64,
+    /// GPU idle power, watts.
+    pub gpu_idle_w: f64,
+}
+
+impl Default for PowerModel {
+    /// Workstation-class defaults (calibrated in `av-core::calib`).
+    fn default() -> PowerModel {
+        PowerModel {
+            cpu_idle_w: 28.0,
+            cpu_peak_w: 95.0,
+            cpu_background_util: 0.08,
+            gpu_idle_w: 12.0,
+        }
+    }
+}
+
+/// Mean power over a window, as Table VI reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Mean CPU power, watts.
+    pub cpu_w: f64,
+    /// Mean GPU power, watts.
+    pub gpu_w: f64,
+}
+
+impl PowerReport {
+    /// Combined mean power.
+    pub fn total_w(&self) -> f64 {
+        self.cpu_w + self.gpu_w
+    }
+}
+
+impl PowerModel {
+    /// Computes mean power over `elapsed` from device statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn report(
+        &self,
+        cpu: &CpuStats,
+        cpu_cores: usize,
+        gpu: &GpuStats,
+        elapsed: SimDuration,
+    ) -> PowerReport {
+        assert!(!elapsed.is_zero(), "power report needs a non-empty window");
+        let util = (cpu.utilization(cpu_cores, elapsed) + self.cpu_background_util).min(1.0);
+        let cpu_w = self.cpu_idle_w + (self.cpu_peak_w - self.cpu_idle_w) * util;
+        let gpu_w = self.gpu_idle_w + gpu.total_energy_j / elapsed.as_secs_f64();
+        PowerReport { cpu_w, gpu_w }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn cpu_stats(busy_ms: u64) -> CpuStats {
+        CpuStats {
+            tasks_completed: 1,
+            total_busy: SimDuration::from_millis(busy_ms),
+            busy_by_client: HashMap::new(),
+            total_wait: SimDuration::ZERO,
+            max_wait: SimDuration::ZERO,
+        }
+    }
+
+    fn gpu_stats(energy_j: f64) -> GpuStats {
+        GpuStats { total_energy_j: energy_j, ..GpuStats::default() }
+    }
+
+    #[test]
+    fn idle_platform_draws_idle_power() {
+        let model = PowerModel { cpu_background_util: 0.0, ..PowerModel::default() };
+        let r = model.report(&cpu_stats(0), 8, &gpu_stats(0.0), SimDuration::from_secs(1));
+        assert_eq!(r.cpu_w, model.cpu_idle_w);
+        assert_eq!(r.gpu_w, model.gpu_idle_w);
+        assert_eq!(r.total_w(), model.cpu_idle_w + model.gpu_idle_w);
+    }
+
+    #[test]
+    fn cpu_power_scales_with_utilization() {
+        let model = PowerModel {
+            cpu_idle_w: 20.0,
+            cpu_peak_w: 100.0,
+            cpu_background_util: 0.0,
+            gpu_idle_w: 10.0,
+        };
+        // 4 core-seconds busy over 1 s on 8 cores = 50% util → 60 W.
+        let r = model.report(&cpu_stats(4000), 8, &gpu_stats(0.0), SimDuration::from_secs(1));
+        assert!((r.cpu_w - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_power_is_energy_over_time() {
+        let model = PowerModel { gpu_idle_w: 10.0, ..PowerModel::default() };
+        // 50 J over 2 s = 25 W dynamic → 35 W mean.
+        let r = model.report(&cpu_stats(0), 8, &gpu_stats(50.0), SimDuration::from_secs(2));
+        assert!((r.gpu_w - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_clamped_at_one() {
+        let model = PowerModel {
+            cpu_idle_w: 20.0,
+            cpu_peak_w: 100.0,
+            cpu_background_util: 0.5,
+            gpu_idle_w: 0.0,
+        };
+        // 8 core-seconds over 1 s on 8 cores → util 1.0 even with background.
+        let r = model.report(&cpu_stats(8000), 8, &gpu_stats(0.0), SimDuration::from_secs(1));
+        assert!((r.cpu_w - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty window")]
+    fn zero_window_panics() {
+        let model = PowerModel::default();
+        let _ = model.report(&cpu_stats(0), 8, &gpu_stats(0.0), SimDuration::ZERO);
+    }
+}

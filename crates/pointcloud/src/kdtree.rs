@@ -1,0 +1,297 @@
+//! A 3D k-d tree over point positions.
+
+use av_geom::Vec3;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    /// Index into the original position array.
+    point: u32,
+    axis: u8,
+    left: u32,
+    right: u32,
+}
+
+/// A balanced k-d tree built by median splitting.
+///
+/// Query results are indices into the position slice the tree was built
+/// from; the tree stores positions by value, so the source may be dropped.
+///
+/// ```
+/// use av_geom::Vec3;
+/// use av_pointcloud::KdTree;
+///
+/// let pts = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0)];
+/// let tree = KdTree::build(&pts);
+/// let (idx, dist_sq) = tree.nearest(Vec3::new(4.0, 0.0, 0.0)).unwrap();
+/// assert_eq!(idx, 1);
+/// assert_eq!(dist_sq, 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KdTree {
+    nodes: Vec<TreeNode>,
+    positions: Vec<Vec3>,
+    root: u32,
+}
+
+impl KdTree {
+    /// Builds a tree from positions. An empty slice yields an empty tree.
+    pub fn build(positions: &[Vec3]) -> KdTree {
+        let mut tree = KdTree {
+            nodes: Vec::with_capacity(positions.len()),
+            positions: positions.to_vec(),
+            root: NONE,
+        };
+        if positions.is_empty() {
+            return tree;
+        }
+        let mut indices: Vec<u32> = (0..positions.len() as u32).collect();
+        tree.root = tree.build_recursive(&mut indices, 0);
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    fn build_recursive(&mut self, indices: &mut [u32], depth: usize) -> u32 {
+        if indices.is_empty() {
+            return NONE;
+        }
+        let axis = (depth % 3) as u8;
+        let mid = indices.len() / 2;
+        let positions = &self.positions;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            let va = positions[a as usize][axis as usize];
+            let vb = positions[b as usize][axis as usize];
+            va.total_cmp(&vb)
+        });
+        let point = indices[mid];
+        let node_idx = self.nodes.len() as u32;
+        self.nodes.push(TreeNode { point, axis, left: NONE, right: NONE });
+        let (lo, rest) = indices.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = self.build_recursive(lo, depth + 1);
+        let right = self.build_recursive(hi, depth + 1);
+        self.nodes[node_idx as usize].left = left;
+        self.nodes[node_idx as usize].right = right;
+        node_idx
+    }
+
+    /// Nearest neighbour of `query`: `(point index, squared distance)`.
+    ///
+    /// Returns `None` for an empty tree.
+    pub fn nearest(&self, query: Vec3) -> Option<(usize, f64)> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nearest_recursive(self.root, query, &mut best);
+        Some(best)
+    }
+
+    fn nearest_recursive(&self, node_idx: u32, query: Vec3, best: &mut (usize, f64)) {
+        let node = &self.nodes[node_idx as usize];
+        let pos = self.positions[node.point as usize];
+        let dist_sq = pos.distance_sq(query);
+        if dist_sq < best.1 {
+            *best = (node.point as usize, dist_sq);
+        }
+        let delta = query[node.axis as usize] - pos[node.axis as usize];
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.nearest_recursive(near, query, best);
+        }
+        if far != NONE && delta * delta < best.1 {
+            self.nearest_recursive(far, query, best);
+        }
+    }
+
+    /// Indices of all points within `radius` of `query` (inclusive).
+    pub fn radius_search(&self, query: Vec3, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.radius_search_into(query, radius, &mut out);
+        out
+    }
+
+    /// Radius search writing into a caller-provided buffer (cleared first),
+    /// avoiding per-query allocation in the clustering hot loop.
+    pub fn radius_search_into(&self, query: Vec3, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.root == NONE {
+            return;
+        }
+        self.radius_recursive(self.root, query, radius * radius, out);
+    }
+
+    fn radius_recursive(&self, node_idx: u32, query: Vec3, radius_sq: f64, out: &mut Vec<usize>) {
+        let node = &self.nodes[node_idx as usize];
+        let pos = self.positions[node.point as usize];
+        if pos.distance_sq(query) <= radius_sq {
+            out.push(node.point as usize);
+        }
+        let delta = query[node.axis as usize] - pos[node.axis as usize];
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.radius_recursive(near, query, radius_sq, out);
+        }
+        if far != NONE && delta * delta <= radius_sq {
+            self.radius_recursive(far, query, radius_sq, out);
+        }
+    }
+
+    /// Position of indexed point `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn position(&self, index: usize) -> Vec3 {
+        self.positions[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                for z in 0..3 {
+                    pts.push(Vec3::new(x as f64, y as f64, z as f64));
+                }
+            }
+        }
+        pts
+    }
+
+    fn brute_nearest(pts: &[Vec3], q: Vec3) -> (usize, f64) {
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.distance_sq(q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+    }
+
+    fn brute_radius(pts: &[Vec3], q: Vec3, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(q) <= r * r)
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(Vec3::ZERO).is_none());
+        assert!(tree.radius_search(Vec3::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = KdTree::build(&[Vec3::new(1.0, 2.0, 3.0)]);
+        let (idx, d) = tree.nearest(Vec3::ZERO).unwrap();
+        assert_eq!(idx, 0);
+        assert!((d - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_grid() {
+        let pts = grid_points();
+        let tree = KdTree::build(&pts);
+        for q in [
+            Vec3::new(0.4, 0.4, 0.4),
+            Vec3::new(2.6, 3.4, 1.1),
+            Vec3::new(-1.0, -1.0, -1.0),
+            Vec3::new(10.0, 10.0, 10.0),
+        ] {
+            let (_, want_d) = brute_nearest(&pts, q);
+            let (_, got_d) = tree.nearest(q).unwrap();
+            assert!((want_d - got_d).abs() < 1e-12, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn radius_matches_brute_force_on_grid() {
+        let pts = grid_points();
+        let tree = KdTree::build(&pts);
+        for r in [0.5, 1.0, 1.5, 3.0] {
+            let q = Vec3::new(2.2, 2.2, 1.0);
+            let mut got = tree.radius_search(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_radius(&pts, q, r), "radius {r}");
+        }
+    }
+
+    #[test]
+    fn radius_boundary_inclusive() {
+        let tree = KdTree::build(&[Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)]);
+        let hits = tree.radius_search(Vec3::ZERO, 1.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let pts = vec![Vec3::ZERO, Vec3::ZERO, Vec3::ZERO];
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.radius_search(Vec3::ZERO, 0.1).len(), 3);
+    }
+
+    #[test]
+    fn reusable_buffer_is_cleared() {
+        let tree = KdTree::build(&grid_points());
+        let mut buf = vec![999usize];
+        tree.radius_search_into(Vec3::ZERO, 1.0, &mut buf);
+        assert!(!buf.contains(&999));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
+        prop::collection::vec(
+            (-50.0f64..50.0, -50.0f64..50.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+            1..max,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_agrees_with_brute_force(pts in arb_points(200), qx in -60.0f64..60.0, qy in -60.0f64..60.0) {
+            let q = Vec3::new(qx, qy, 0.0);
+            let tree = KdTree::build(&pts);
+            let brute = pts.iter().map(|p| p.distance_sq(q)).fold(f64::INFINITY, f64::min);
+            let (_, got) = tree.nearest(q).unwrap();
+            prop_assert!((brute - got).abs() < 1e-9);
+        }
+
+        #[test]
+        fn radius_agrees_with_brute_force(pts in arb_points(150), r in 0.1f64..20.0) {
+            let q = Vec3::new(0.0, 0.0, 0.0);
+            let tree = KdTree::build(&pts);
+            let mut got = tree.radius_search(q, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts.iter().enumerate()
+                .filter(|(_, p)| p.distance_sq(q) <= r * r)
+                .map(|(i, _)| i).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

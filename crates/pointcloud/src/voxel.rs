@@ -1,0 +1,204 @@
+//! Voxel-grid down-sampling — the `voxel_grid_filter` node's algorithm.
+
+use crate::{Point, PointCloud};
+use av_geom::Vec3;
+use std::collections::HashMap;
+
+/// Centroid-based voxel down-sampler.
+///
+/// Space is divided into cubes of `leaf_size`; all points falling into one
+/// cube are replaced by their centroid (position and intensity averaged).
+/// This is exactly what Autoware's `voxel_grid_filter` does to shrink the
+/// raw sweep before handing it to `ndt_matching`.
+///
+/// ```
+/// use av_geom::Vec3;
+/// use av_pointcloud::{PointCloud, VoxelGrid};
+///
+/// let cloud = PointCloud::from_positions([
+///     Vec3::new(0.1, 0.1, 0.0),
+///     Vec3::new(0.2, 0.2, 0.0), // same 1 m voxel
+///     Vec3::new(5.0, 5.0, 0.0), // different voxel
+/// ]);
+/// let filtered = VoxelGrid::new(1.0).filter(&cloud);
+/// assert_eq!(filtered.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelGrid {
+    leaf_size: f64,
+}
+
+impl VoxelGrid {
+    /// Creates a down-sampler with cubic leaves of `leaf_size` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_size` is not strictly positive and finite.
+    pub fn new(leaf_size: f64) -> VoxelGrid {
+        assert!(
+            leaf_size.is_finite() && leaf_size > 0.0,
+            "voxel leaf size must be positive and finite"
+        );
+        VoxelGrid { leaf_size }
+    }
+
+    /// The configured leaf size.
+    pub fn leaf_size(&self) -> f64 {
+        self.leaf_size
+    }
+
+    /// The integer voxel coordinate containing `p`.
+    pub fn voxel_of(&self, p: Vec3) -> (i32, i32, i32) {
+        (
+            (p.x / self.leaf_size).floor() as i32,
+            (p.y / self.leaf_size).floor() as i32,
+            (p.z / self.leaf_size).floor() as i32,
+        )
+    }
+
+    /// Down-samples `cloud` to one centroid per occupied voxel.
+    ///
+    /// Output order follows the first appearance of each voxel in the
+    /// input, so the operation is deterministic.
+    pub fn filter(&self, cloud: &PointCloud) -> PointCloud {
+        struct Acc {
+            sum: Vec3,
+            intensity: f64,
+            count: u32,
+            order: u32,
+            ring: u8,
+        }
+        let mut cells: HashMap<(i32, i32, i32), Acc> = HashMap::new();
+        let mut next_order = 0u32;
+        for p in cloud.iter() {
+            let key = self.voxel_of(p.position);
+            let acc = cells.entry(key).or_insert_with(|| {
+                let order = next_order;
+                next_order += 1;
+                Acc { sum: Vec3::ZERO, intensity: 0.0, count: 0, order, ring: p.ring }
+            });
+            acc.sum += p.position;
+            acc.intensity += p.intensity as f64;
+            acc.count += 1;
+        }
+        let mut out: Vec<(u32, Point)> = cells
+            .into_values()
+            .map(|acc| {
+                let n = acc.count as f64;
+                (
+                    acc.order,
+                    Point {
+                        position: acc.sum / n,
+                        intensity: (acc.intensity / n) as f32,
+                        ring: acc.ring,
+                    },
+                )
+            })
+            .collect();
+        out.sort_unstable_by_key(|(order, _)| *order);
+        out.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centroid_within_voxel() {
+        let cloud = PointCloud::from_positions([Vec3::new(0.2, 0.2, 0.2), Vec3::new(0.4, 0.4, 0.4)]);
+        let out = VoxelGrid::new(1.0).filter(&cloud);
+        assert_eq!(out.len(), 1);
+        assert!((out.point(0).position - Vec3::new(0.3, 0.3, 0.3)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn negative_coordinates_use_floor() {
+        let g = VoxelGrid::new(1.0);
+        assert_eq!(g.voxel_of(Vec3::new(-0.1, 0.1, 0.0)), (-1, 0, 0));
+        assert_eq!(g.voxel_of(Vec3::new(-1.0, 0.0, 0.0)), (-1, 0, 0));
+    }
+
+    #[test]
+    fn intensity_averaged() {
+        let mut cloud = PointCloud::new();
+        cloud.push(Point::with_attributes(Vec3::new(0.1, 0.0, 0.0), 0.2, 3));
+        cloud.push(Point::with_attributes(Vec3::new(0.2, 0.0, 0.0), 0.6, 4));
+        let out = VoxelGrid::new(1.0).filter(&cloud);
+        assert_eq!(out.len(), 1);
+        assert!((out.point(0).intensity - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_cloud_stays_empty() {
+        assert!(VoxelGrid::new(0.5).filter(&PointCloud::new()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let cloud = PointCloud::from_positions([
+            Vec3::new(5.5, 0.0, 0.0),
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(2.5, 0.0, 0.0),
+            Vec3::new(5.6, 0.0, 0.0),
+        ]);
+        let g = VoxelGrid::new(1.0);
+        let a = g.filter(&cloud);
+        let b = g.filter(&cloud);
+        assert_eq!(a, b);
+        // First-appearance order: voxel of 5.5 first, then 0.5, then 2.5.
+        assert!((a.point(0).position.x - 5.55).abs() < 1e-12);
+        assert!((a.point(1).position.x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_leaf_size_panics() {
+        let _ = VoxelGrid::new(0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Down-sampling never increases the point count and never moves
+        /// points outside the input bounds.
+        #[test]
+        fn filter_shrinks_and_stays_in_bounds(
+            xs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0, -5.0f64..5.0), 1..200),
+            leaf in 0.1f64..5.0,
+        ) {
+            let cloud = PointCloud::from_positions(xs.iter().map(|&(x, y, z)| Vec3::new(x, y, z)));
+            let out = VoxelGrid::new(leaf).filter(&cloud);
+            prop_assert!(out.len() <= cloud.len());
+            prop_assert!(!out.is_empty());
+            let b = cloud.bounds();
+            for p in out.iter() {
+                prop_assert!(b.contains(p.position));
+            }
+        }
+
+        /// Every output centroid stays inside its voxel cell.
+        #[test]
+        fn centroids_stay_in_their_voxel(
+            xs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -5.0f64..5.0), 1..100),
+            leaf in 0.5f64..4.0,
+        ) {
+            let g = VoxelGrid::new(leaf);
+            let cloud = PointCloud::from_positions(xs.iter().map(|&(x, y, z)| Vec3::new(x, y, z)));
+            // Group inputs per voxel and check each centroid maps back.
+            let out = g.filter(&cloud);
+            for p in out.iter() {
+                let v = g.voxel_of(p.position);
+                let members: Vec<Vec3> = cloud
+                    .positions()
+                    .filter(|&q| g.voxel_of(q) == v)
+                    .collect();
+                prop_assert!(!members.is_empty(), "centroid escaped its voxel");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The characterization instruments: latency recording, end-to-end path
+//! tracing, distribution statistics and report rendering.
+//!
+//! This crate is the reproduction of the paper's *methodology* (§III-B):
+//!
+//! * [`Distribution`] — per-node latency samples with the summary
+//!   statistics Fig 5's violins show (mean, quartiles, min/max, tails)
+//!   plus histogram bins for the violin shapes themselves.
+//! * [`LatencyRecorder`] — a [`BusObserver`](av_ros::BusObserver) that
+//!   implements both measurements of §III-B: *single node latency* ("from
+//!   the moment an input arrives at the node until the output is ready")
+//!   and *end-to-end computation-path latency*, read from message-header
+//!   lineage at each path's terminal node, exactly like the authors
+//!   "track down the header information of the messages".
+//! * [`Table`] — fixed-width table rendering for the paper-style reports,
+//!   with CSV export for plotting.
+
+#![warn(missing_docs)]
+
+mod recorder;
+mod stats;
+mod table;
+
+pub use recorder::{LatencyRecorder, PathSpec, SharedRecorder};
+pub use stats::{Distribution, Summary};
+pub use table::Table;

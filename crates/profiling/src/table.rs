@@ -1,0 +1,169 @@
+//! Fixed-width table rendering for paper-style reports.
+
+use std::fmt;
+
+/// A simple text table: headers plus rows, rendered fixed-width, with CSV
+/// export for plotting.
+///
+/// ```
+/// use av_profiling::Table;
+/// let mut t = Table::new(vec!["Node".into(), "Mean (ms)".into()]);
+/// t.add_row(vec!["ndt_matching".into(), "24.8".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("ndt_matching"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Table {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_headers(headers: &[&str]) -> Table {
+        Table::new(headers.iter().map(|h| h.to_string()).collect())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as comma-separated values (headers first). Fields
+    /// containing commas or quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |field: &str| -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, cell) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", cell, width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        write_row(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_headers(&["Node", "Mean", "p99"]);
+        t.add_row(vec!["ndt".into(), "24.8".into(), "41.2".into()]);
+        t.add_row(vec!["vision_detection".into(), "82.3".into(), "97.0".into()]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // 3 rules + header + 2 data rows.
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{text}");
+        assert!(text.contains("vision_detection"));
+    }
+
+    #[test]
+    fn csv_roundtrip_basics() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Node,Mean,p99");
+        assert_eq!(lines[1], "ndt,24.8,41.2");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::with_headers(&["a"]);
+        t.add_row(vec!["x,y".into()]);
+        t.add_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::with_headers(&["a"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::with_headers(&["a", "b"]).add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panics() {
+        let _ = Table::new(vec![]);
+    }
+}

@@ -1,0 +1,743 @@
+//! The topic bus and node executor.
+
+use crate::node::{Execution, Node, Outbox, Phase};
+use crate::observer::{BusObserver, ProcessedEvent};
+use crate::{Header, Lineage, Message};
+use av_des::{Sim, SimTime};
+use av_platform::{CpuTask, GpuJob, Platform};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Declares one subscription of a node: topic plus queue capacity.
+///
+/// Autoware's perception subscribers overwhelmingly use queue size 1 — a
+/// stale scene is worthless — which is what makes messages drop when a node
+/// falls behind (Table III).
+#[derive(Debug, Clone)]
+pub struct SubscriptionSpec {
+    /// Topic name.
+    pub topic: String,
+    /// Maximum queued (undelivered) messages; the oldest is dropped on
+    /// overflow.
+    pub capacity: usize,
+}
+
+impl SubscriptionSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(topic: impl Into<String>, capacity: usize) -> SubscriptionSpec {
+        assert!(capacity > 0, "subscription queue capacity must be at least 1");
+        SubscriptionSpec { topic: topic.into(), capacity }
+    }
+}
+
+/// Per-topic publication statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Topic name.
+    pub topic: String,
+    /// Messages published.
+    pub published: u64,
+}
+
+/// Per-(topic, subscriber) delivery/drop statistics — the raw data of
+/// Table III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropStats {
+    /// Topic name.
+    pub topic: String,
+    /// Subscribing node.
+    pub node: String,
+    /// Messages delivered to the subscription (queued or processed).
+    pub delivered: u64,
+    /// Messages discarded because a newer one arrived first.
+    pub dropped: u64,
+}
+
+impl DropStats {
+    /// Fraction of delivered messages that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.delivered as f64
+        }
+    }
+}
+
+struct PendingMsg<M> {
+    topic: String,
+    msg: Message<M>,
+    arrival: SimTime,
+}
+
+struct Subscription<M> {
+    topic: String,
+    capacity: usize,
+    queue: VecDeque<PendingMsg<M>>,
+    delivered: u64,
+    dropped: u64,
+}
+
+struct NodeSlot<M> {
+    name: String,
+    node: Rc<RefCell<dyn Node<M>>>,
+    subs: Vec<Subscription<M>>,
+    busy: bool,
+}
+
+#[derive(Default)]
+struct TopicState {
+    seq: u64,
+    published: u64,
+}
+
+struct BusInner<M> {
+    sim: Sim,
+    platform: Platform,
+    topics: HashMap<String, TopicState>,
+    nodes: Vec<NodeSlot<M>>,
+    subs_by_topic: HashMap<String, Vec<(usize, usize)>>,
+    observer: Option<Rc<RefCell<dyn BusObserver>>>,
+}
+
+struct ExecState<M> {
+    node_idx: usize,
+    node_name: String,
+    topic: String,
+    arrival: SimTime,
+    started: SimTime,
+    phases: VecDeque<Phase>,
+    outbox_items: Vec<(String, M, Lineage)>,
+    input_lineage: Lineage,
+}
+
+/// The publish/subscribe bus. Clonable handle; all clones share state.
+///
+/// `M` is the payload type — typically an enum covering every message kind
+/// in the stack.
+///
+/// ```
+/// use av_des::{Sim, SimDuration};
+/// use av_platform::Platform;
+/// use av_ros::{Bus, Execution, Lineage, Message, Node, Outbox, Source, SubscriptionSpec};
+///
+/// struct Doubler;
+/// impl Node<i64> for Doubler {
+///     fn on_message(&mut self, _t: &str, msg: &Message<i64>, out: &mut Outbox<i64>) -> Execution {
+///         out.publish("doubled", *msg.payload * 2);
+///         Execution::cpu(SimDuration::from_millis(1), 0.0)
+///     }
+/// }
+///
+/// let sim = Sim::new();
+/// let platform = Platform::new(&sim, Default::default(), Default::default());
+/// let bus = Bus::new(&sim, &platform);
+/// bus.add_node("doubler", Doubler, &[SubscriptionSpec::new("input", 1)]);
+/// bus.publish("input", 21, Lineage::empty());
+/// sim.run();
+/// assert_eq!(bus.published_count("doubled"), 1);
+/// ```
+pub struct Bus<M: 'static> {
+    inner: Rc<RefCell<BusInner<M>>>,
+}
+
+impl<M: 'static> Clone for Bus<M> {
+    fn clone(&self) -> Bus<M> {
+        Bus { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<M: 'static> Bus<M> {
+    /// Creates a bus executing on the given simulator and platform.
+    pub fn new(sim: &Sim, platform: &Platform) -> Bus<M> {
+        Bus {
+            inner: Rc::new(RefCell::new(BusInner {
+                sim: sim.clone(),
+                platform: platform.clone(),
+                topics: HashMap::new(),
+                nodes: Vec::new(),
+                subs_by_topic: HashMap::new(),
+                observer: None,
+            })),
+        }
+    }
+
+    /// Installs the (single) observer.
+    pub fn set_observer(&self, observer: impl BusObserver + 'static) {
+        self.inner.borrow_mut().observer = Some(Rc::new(RefCell::new(observer)));
+    }
+
+    /// Installs a shared observer handle (lets the caller keep access to it).
+    pub fn set_shared_observer(&self, observer: Rc<RefCell<dyn BusObserver>>) {
+        self.inner.borrow_mut().observer = Some(observer);
+    }
+
+    /// Registers a node with its subscriptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same name is already registered.
+    pub fn add_node(
+        &self,
+        name: impl Into<String>,
+        node: impl Node<M> + 'static,
+        subs: &[SubscriptionSpec],
+    ) {
+        let name = name.into();
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.nodes.iter().all(|slot| slot.name != name),
+            "node {name:?} already registered"
+        );
+        let node_idx = inner.nodes.len();
+        let subs: Vec<Subscription<M>> = subs
+            .iter()
+            .map(|s| Subscription {
+                topic: s.topic.clone(),
+                capacity: s.capacity,
+                queue: VecDeque::new(),
+                delivered: 0,
+                dropped: 0,
+            })
+            .collect();
+        for (sub_idx, sub) in subs.iter().enumerate() {
+            inner
+                .subs_by_topic
+                .entry(sub.topic.clone())
+                .or_default()
+                .push((node_idx, sub_idx));
+        }
+        inner.nodes.push(NodeSlot { name, node: Rc::new(RefCell::new(node)), subs, busy: false });
+    }
+
+    /// Publishes a message from outside the graph (sensor drivers, tests).
+    pub fn publish(&self, topic: &str, payload: M, lineage: Lineage) {
+        let (msg, targets, observer, now) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = inner.sim.now();
+            let state = inner.topics.entry(topic.to_string()).or_default();
+            state.seq += 1;
+            state.published += 1;
+            let header = Header { seq: state.seq, stamp: now, lineage };
+            let msg = Message::new(header, payload);
+            let targets = inner.subs_by_topic.get(topic).cloned().unwrap_or_default();
+            (msg, targets, inner.observer.clone(), now)
+        };
+        if let Some(obs) = &observer {
+            obs.borrow_mut().message_published(topic, &msg.header, now);
+        }
+        for (node_idx, sub_idx) in targets {
+            self.deliver(node_idx, sub_idx, msg.clone());
+        }
+    }
+
+    fn deliver(&self, node_idx: usize, sub_idx: usize, msg: Message<M>) {
+        enum Action<M> {
+            None,
+            Dropped { topic: String, node: String },
+            Start(PendingMsg<M>),
+        }
+        let (action, observer, now) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = inner.sim.now();
+            let observer = inner.observer.clone();
+            let slot = &mut inner.nodes[node_idx];
+            let topic = slot.subs[sub_idx].topic.clone();
+            slot.subs[sub_idx].delivered += 1;
+            let action = if slot.busy {
+                let node_name = slot.name.clone();
+                let sub = &mut slot.subs[sub_idx];
+                sub.queue.push_back(PendingMsg { topic: topic.clone(), msg, arrival: now });
+                if sub.queue.len() > sub.capacity {
+                    sub.queue.pop_front();
+                    sub.dropped += 1;
+                    Action::Dropped { topic, node: node_name }
+                } else {
+                    Action::None
+                }
+            } else {
+                slot.busy = true;
+                Action::Start(PendingMsg { topic, msg, arrival: now })
+            };
+            (action, observer, now)
+        };
+        match action {
+            Action::None => {}
+            Action::Dropped { topic, node } => {
+                if let Some(obs) = &observer {
+                    obs.borrow_mut().message_dropped(&topic, &node, now);
+                }
+            }
+            Action::Start(pending) => self.start_processing(node_idx, pending),
+        }
+    }
+
+    fn start_processing(&self, node_idx: usize, pending: PendingMsg<M>) {
+        let (node_rc, node_name, started) = {
+            let inner = self.inner.borrow();
+            let slot = &inner.nodes[node_idx];
+            debug_assert!(slot.busy, "node must be marked busy before processing");
+            (Rc::clone(&slot.node), slot.name.clone(), inner.sim.now())
+        };
+        let input_lineage = pending.msg.header.lineage.clone();
+        let mut outbox = Outbox::new(input_lineage.clone());
+        let execution: Execution =
+            node_rc.borrow_mut().on_message(&pending.topic, &pending.msg, &mut outbox);
+        let state = ExecState {
+            node_idx,
+            node_name,
+            topic: pending.topic,
+            arrival: pending.arrival,
+            started,
+            phases: VecDeque::from(execution.phases),
+            outbox_items: outbox.into_items(),
+            input_lineage,
+        };
+        self.advance(state);
+    }
+
+    fn advance(&self, mut state: ExecState<M>) {
+        match state.phases.pop_front() {
+            Some(Phase::Cpu { demand, mem_intensity }) => {
+                let bus = self.clone();
+                let task = CpuTask::new(state.node_name.clone(), demand, mem_intensity);
+                let cpu = self.inner.borrow().platform.cpu().clone();
+                cpu.submit(task, move || bus.advance(state));
+            }
+            Some(Phase::Gpu { kernel_time, copy_bytes, energy_j }) => {
+                let bus = self.clone();
+                let job = GpuJob::new(state.node_name.clone(), kernel_time, copy_bytes, energy_j);
+                let gpu = self.inner.borrow().platform.gpu().clone();
+                gpu.submit(job, move || bus.advance(state));
+            }
+            None => self.complete(state),
+        }
+    }
+
+    fn complete(&self, state: ExecState<M>) {
+        let (observer, now) = {
+            let inner = self.inner.borrow();
+            (inner.observer.clone(), inner.sim.now())
+        };
+
+        // Output lineage: the input's, merged with anything the node fused
+        // in explicitly.
+        let mut lineage = state.input_lineage.clone();
+        for (_, _, item_lineage) in &state.outbox_items {
+            lineage.merge(item_lineage);
+        }
+
+        if let Some(obs) = &observer {
+            let event = ProcessedEvent {
+                node: state.node_name.clone(),
+                topic: state.topic.clone(),
+                arrival: state.arrival,
+                started: state.started,
+                completed: now,
+                lineage,
+                published: state.outbox_items.iter().map(|(t, _, _)| t.clone()).collect(),
+            };
+            obs.borrow_mut().node_processed(&event);
+        }
+
+        // Publish outputs while the node is still marked busy, so a
+        // self-loop message queues rather than recursing.
+        for (topic, payload, item_lineage) in state.outbox_items {
+            self.publish(&topic, payload, item_lineage);
+        }
+
+        // Pull the next pending message (earliest arrival wins) or go idle.
+        let next = {
+            let mut inner = self.inner.borrow_mut();
+            let slot = &mut inner.nodes[state.node_idx];
+            let best = slot
+                .subs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.queue.front().map(|p| (i, p.arrival)))
+                .min_by_key(|&(_, arrival)| arrival)
+                .map(|(i, _)| i);
+            match best {
+                Some(sub_idx) => slot.subs[sub_idx].queue.pop_front(),
+                None => {
+                    slot.busy = false;
+                    None
+                }
+            }
+        };
+        if let Some(pending) = next {
+            self.start_processing(state.node_idx, pending);
+        }
+    }
+
+    /// Number of messages published on `topic`.
+    pub fn published_count(&self, topic: &str) -> u64 {
+        self.inner.borrow().topics.get(topic).map(|t| t.published).unwrap_or(0)
+    }
+
+    /// Publication statistics for every topic seen, sorted by name.
+    pub fn topic_stats(&self) -> Vec<TopicStats> {
+        let inner = self.inner.borrow();
+        let mut stats: Vec<TopicStats> = inner
+            .topics
+            .iter()
+            .map(|(topic, s)| TopicStats { topic: topic.clone(), published: s.published })
+            .collect();
+        stats.sort_by(|a, b| a.topic.cmp(&b.topic));
+        stats
+    }
+
+    /// Delivery/drop statistics for every subscription, sorted by
+    /// `(topic, node)`.
+    pub fn drop_stats(&self) -> Vec<DropStats> {
+        let inner = self.inner.borrow();
+        let mut stats: Vec<DropStats> = inner
+            .nodes
+            .iter()
+            .flat_map(|slot| {
+                slot.subs.iter().map(|sub| DropStats {
+                    topic: sub.topic.clone(),
+                    node: slot.name.clone(),
+                    delivered: sub.delivered,
+                    dropped: sub.dropped,
+                })
+            })
+            .collect();
+        stats.sort_by(|a, b| (&a.topic, &a.node).cmp(&(&b.topic, &b.node)));
+        stats
+    }
+
+    /// Names of registered nodes, in registration order.
+    pub fn node_names(&self) -> Vec<String> {
+        self.inner.borrow().nodes.iter().map(|s| s.name.clone()).collect()
+    }
+}
+
+impl<M: 'static> fmt::Debug for Bus<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Bus")
+            .field("nodes", &inner.nodes.len())
+            .field("topics", &inner.topics.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Source;
+    use av_des::SimDuration;
+    use av_platform::{CpuConfig, GpuConfig};
+
+    fn test_platform(sim: &Sim, cores: usize) -> Platform {
+        Platform::new(
+            sim,
+            CpuConfig {
+                cores,
+                dispatch_overhead: SimDuration::ZERO,
+                mem_bandwidth: 1.0,
+                contention_exponent: 1.0,
+            },
+            GpuConfig { copy_bandwidth: 1e12, launch_overhead: SimDuration::ZERO },
+        )
+    }
+
+    /// A node that forwards its input after a fixed CPU burst.
+    struct Relay {
+        out_topic: &'static str,
+        cost: SimDuration,
+    }
+
+    impl Node<u64> for Relay {
+        fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+            out.publish(self.out_topic, *msg.payload);
+            Execution::cpu(self.cost, 0.0)
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<ProcessedEvent>,
+        drops: Vec<(String, String)>,
+        published: Vec<(String, u64)>,
+    }
+
+    impl BusObserver for Rc<RefCell<Recorder>> {
+        fn node_processed(&mut self, event: &ProcessedEvent) {
+            self.borrow_mut().events.push(event.clone());
+        }
+        fn message_dropped(&mut self, topic: &str, node: &str, _time: SimTime) {
+            self.borrow_mut().drops.push((topic.to_string(), node.to_string()));
+        }
+        fn message_published(&mut self, topic: &str, header: &Header, _time: SimTime) {
+            self.borrow_mut().published.push((topic.to_string(), header.seq));
+        }
+    }
+
+    #[test]
+    fn pipeline_propagates_with_modeled_latency() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+
+        bus.add_node(
+            "a",
+            Relay { out_topic: "mid", cost: SimDuration::from_millis(10) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+        bus.add_node(
+            "b",
+            Relay { out_topic: "out", cost: SimDuration::from_millis(5) },
+            &[SubscriptionSpec::new("mid", 1)],
+        );
+
+        bus.publish("in", 7, Lineage::origin(Source::Lidar, SimTime::ZERO));
+        sim.run();
+
+        assert_eq!(bus.published_count("mid"), 1);
+        assert_eq!(bus.published_count("out"), 1);
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 2);
+        let a = &rec.events[0];
+        assert_eq!(a.node, "a");
+        assert_eq!(a.latency(), SimDuration::from_millis(10));
+        let b = &rec.events[1];
+        assert_eq!(b.node, "b");
+        assert_eq!(b.completed, SimTime::from_millis(15));
+        // Lineage survived the chain.
+        assert_eq!(b.lineage.stamp_of(Source::Lidar), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn busy_node_queues_and_drops_oldest() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+
+        bus.add_node(
+            "slow",
+            Relay { out_topic: "out", cost: SimDuration::from_millis(30) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+
+        // Publish 4 messages at 10 ms intervals; the node takes 30 ms.
+        for i in 0..4u64 {
+            let bus = bus.clone();
+            sim.schedule_at(SimTime::from_millis(i * 10), move || {
+                bus.publish("in", i, Lineage::empty());
+            });
+        }
+        sim.run();
+
+        // msg0 processes 0..30; msg1 queued at 10, dropped when msg2
+        // arrives at 20; msg2 dropped when msg3 arrives at 30... msg3
+        // processes. Exactly 2 processed, 2 dropped.
+        let stats = bus.drop_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].delivered, 4);
+        assert_eq!(stats[0].dropped, 2);
+        assert!((stats[0].drop_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(rec.borrow().events.len(), 2);
+        assert_eq!(rec.borrow().drops.len(), 2);
+    }
+
+    #[test]
+    fn queued_message_latency_includes_wait() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+
+        bus.add_node(
+            "n",
+            Relay { out_topic: "out", cost: SimDuration::from_millis(20) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+        bus.publish("in", 0, Lineage::empty());
+        let b2 = bus.clone();
+        sim.schedule_at(SimTime::from_millis(5), move || b2.publish("in", 1, Lineage::empty()));
+        sim.run();
+
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 2);
+        // Second message arrived at 5, started at 20, completed at 40.
+        let e = &rec.events[1];
+        assert_eq!(e.arrival, SimTime::from_millis(5));
+        assert_eq!(e.started, SimTime::from_millis(20));
+        assert_eq!(e.latency(), SimDuration::from_millis(35));
+        assert_eq!(e.processing(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn fanout_reaches_all_subscribers() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        bus.add_node(
+            "x",
+            Relay { out_topic: "out_x", cost: SimDuration::from_millis(1) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+        bus.add_node(
+            "y",
+            Relay { out_topic: "out_y", cost: SimDuration::from_millis(1) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+        bus.publish("in", 42, Lineage::empty());
+        sim.run();
+        assert_eq!(bus.published_count("out_x"), 1);
+        assert_eq!(bus.published_count("out_y"), 1);
+    }
+
+    /// A node that merges a cached lineage into its output (fusion-style).
+    struct Fuser {
+        cached: Option<Lineage>,
+    }
+
+    impl Node<u64> for Fuser {
+        fn on_message(&mut self, topic: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+            match topic {
+                "lidar_objs" => {
+                    self.cached = Some(msg.header.lineage.clone());
+                    Execution::instant()
+                }
+                _ => {
+                    let mut lineage = msg.header.lineage.clone();
+                    if let Some(cached) = &self.cached {
+                        lineage.merge(cached);
+                    }
+                    out.publish_with_lineage("fused", *msg.payload, lineage);
+                    Execution::cpu(SimDuration::from_millis(2), 0.0)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_merges_lineages() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+
+        bus.add_node(
+            "fusion",
+            Fuser { cached: None },
+            &[SubscriptionSpec::new("lidar_objs", 1), SubscriptionSpec::new("vision_objs", 1)],
+        );
+        bus.publish("lidar_objs", 1, Lineage::origin(Source::Lidar, SimTime::from_millis(1)));
+        let b = bus.clone();
+        sim.schedule_at(SimTime::from_millis(10), move || {
+            b.publish("vision_objs", 2, Lineage::origin(Source::Camera, SimTime::from_millis(10)));
+        });
+        sim.run();
+
+        let rec = rec.borrow();
+        let fused = rec.events.iter().find(|e| e.published.contains(&"fused".to_string())).unwrap();
+        assert_eq!(fused.lineage.stamp_of(Source::Lidar), Some(SimTime::from_millis(1)));
+        assert_eq!(fused.lineage.stamp_of(Source::Camera), Some(SimTime::from_millis(10)));
+    }
+
+    /// A node with a CPU→GPU→CPU execution (vision-detector shape).
+    struct GpuUser;
+
+    impl Node<u64> for GpuUser {
+        fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+            out.publish("out", *msg.payload);
+            Execution::cpu(SimDuration::from_millis(2), 0.0)
+                .then_gpu(SimDuration::from_millis(10), 0, 0.1)
+                .then_cpu(SimDuration::from_millis(3), 0.0)
+        }
+    }
+
+    #[test]
+    fn gpu_phases_serialize_between_nodes() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 8);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+
+        bus.add_node("g1", GpuUser, &[SubscriptionSpec::new("in1", 1)]);
+        bus.add_node("g2", GpuUser, &[SubscriptionSpec::new("in2", 1)]);
+        bus.publish("in1", 1, Lineage::empty());
+        bus.publish("in2", 2, Lineage::empty());
+        sim.run();
+
+        let rec = rec.borrow();
+        // Both start CPU at 0 (8 cores), reach the GPU at 2 ms; kernels
+        // serialize: g1 finishes GPU at 12, g2 at 22. Final CPU bursts:
+        // g1 completes at 15, g2 at 25.
+        let done: Vec<SimTime> = rec.events.iter().map(|e| e.completed).collect();
+        assert!(done.contains(&SimTime::from_millis(15)));
+        assert!(done.contains(&SimTime::from_millis(25)));
+        let gpu_stats = platform.gpu().stats();
+        assert_eq!(gpu_stats.jobs_completed, 2);
+        assert_eq!(gpu_stats.total_wait, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn self_loop_queues_instead_of_recursing() {
+        struct SelfLoop {
+            remaining: u32,
+        }
+        impl Node<u64> for SelfLoop {
+            fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    out.publish("loop", *msg.payload + 1);
+                }
+                Execution::cpu(SimDuration::from_millis(1), 0.0)
+            }
+        }
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 1);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        bus.add_node("looper", SelfLoop { remaining: 5 }, &[SubscriptionSpec::new("loop", 1)]);
+        bus.publish("loop", 0, Lineage::empty());
+        sim.run();
+        assert_eq!(bus.published_count("loop"), 6);
+        assert_eq!(sim.now(), SimTime::from_millis(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_node_name_panics() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 1);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        bus.add_node("n", Relay { out_topic: "o", cost: SimDuration::ZERO }, &[]);
+        bus.add_node("n", Relay { out_topic: "o", cost: SimDuration::ZERO }, &[]);
+    }
+
+    #[test]
+    fn instant_nodes_relay_synchronously() {
+        struct Instant0;
+        impl Node<u64> for Instant0 {
+            fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+                out.publish("relayed", *msg.payload);
+                Execution::instant()
+            }
+        }
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 1);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        bus.add_node("relay", Instant0, &[SubscriptionSpec::new("in", 1)]);
+        bus.publish("in", 9, Lineage::empty());
+        // Relay happens during publish — before running the sim at all.
+        assert_eq!(bus.published_count("relayed"), 1);
+    }
+}

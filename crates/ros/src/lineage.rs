@@ -1,0 +1,196 @@
+//! Message lineage: which sensor acquisitions a message derives from.
+
+use av_des::SimTime;
+
+/// The sensor class a message (transitively) originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Source {
+    /// LiDAR point-cloud sweep (`/points_raw`).
+    Lidar,
+    /// Camera frame (`/image_raw`).
+    Camera,
+    /// GNSS fix.
+    Gnss,
+    /// Inertial measurement.
+    Imu,
+    /// Radar scan (extension sensor).
+    Radar,
+}
+
+/// The set of sensor acquisition timestamps a message derives from.
+///
+/// Producers of raw sensor data create a lineage with [`Lineage::origin`];
+/// fusion nodes [`Lineage::merge`] the lineages of everything they
+/// combined. For each source kind the *earliest* stamp is kept — end-to-end
+/// latency is measured against the acquisition that entered the system
+/// first, the conservative (worst-case) reading the paper uses.
+///
+/// ```
+/// use av_des::SimTime;
+/// use av_ros::{Lineage, Source};
+///
+/// let mut l = Lineage::origin(Source::Lidar, SimTime::from_millis(100));
+/// l.merge(&Lineage::origin(Source::Camera, SimTime::from_millis(90)));
+/// assert_eq!(l.stamp_of(Source::Camera), Some(SimTime::from_millis(90)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lineage {
+    // Tiny (≤ 4 sources); a sorted Vec beats a map.
+    entries: Vec<(Source, SimTime)>,
+}
+
+impl Lineage {
+    /// An empty lineage (no sensor ancestry), for out-of-band messages such
+    /// as map updates.
+    pub fn empty() -> Lineage {
+        Lineage::default()
+    }
+
+    /// Lineage of a raw sensor message acquired at `stamp`.
+    pub fn origin(source: Source, stamp: SimTime) -> Lineage {
+        Lineage { entries: vec![(source, stamp)] }
+    }
+
+    /// The acquisition stamp for `source`, if this message derives from it.
+    pub fn stamp_of(&self, source: Source) -> Option<SimTime> {
+        self.entries.iter().find(|(s, _)| *s == source).map(|(_, t)| *t)
+    }
+
+    /// Merges another lineage in, keeping the earliest stamp per source.
+    pub fn merge(&mut self, other: &Lineage) {
+        for &(source, stamp) in &other.entries {
+            match self.entries.iter_mut().find(|(s, _)| *s == source) {
+                Some((_, existing)) => {
+                    if stamp < *existing {
+                        *existing = stamp;
+                    }
+                }
+                None => self.entries.push((source, stamp)),
+            }
+        }
+    }
+
+    /// Returns a merged copy.
+    pub fn merged(&self, other: &Lineage) -> Lineage {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Iterates over `(source, stamp)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Source, SimTime)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// `true` when the message has no sensor ancestry.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_lineage() -> impl Strategy<Value = Lineage> {
+        prop::collection::vec((0u8..5, 0u64..10_000), 0..6).prop_map(|entries| {
+            let mut l = Lineage::empty();
+            for (s, t) in entries {
+                let source = match s {
+                    0 => Source::Lidar,
+                    1 => Source::Camera,
+                    2 => Source::Gnss,
+                    3 => Source::Imu,
+                    _ => Source::Radar,
+                };
+                l.merge(&Lineage::origin(source, SimTime::from_micros(t)));
+            }
+            l
+        })
+    }
+
+    proptest! {
+        /// Merge is commutative, associative and idempotent on stamps.
+        #[test]
+        fn merge_semilattice(a in arb_lineage(), b in arb_lineage(), c in arb_lineage()) {
+            let sources =
+                [Source::Lidar, Source::Camera, Source::Gnss, Source::Imu, Source::Radar];
+            // Commutativity.
+            let ab = a.merged(&b);
+            let ba = b.merged(&a);
+            for s in sources {
+                prop_assert_eq!(ab.stamp_of(s), ba.stamp_of(s));
+            }
+            // Associativity.
+            let left = a.merged(&b).merged(&c);
+            let right = a.merged(&b.merged(&c));
+            for s in sources {
+                prop_assert_eq!(left.stamp_of(s), right.stamp_of(s));
+            }
+            // Idempotence.
+            let aa = a.merged(&a);
+            for s in sources {
+                prop_assert_eq!(aa.stamp_of(s), a.stamp_of(s));
+            }
+        }
+
+        /// Merging never loses a source and never increases a stamp.
+        #[test]
+        fn merge_monotone(a in arb_lineage(), b in arb_lineage()) {
+            let m = a.merged(&b);
+            for (source, stamp) in a.iter() {
+                let merged_stamp = m.stamp_of(source).unwrap();
+                prop_assert!(merged_stamp <= stamp);
+            }
+            for (source, _) in b.iter() {
+                prop_assert!(m.stamp_of(source).is_some());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_has_single_entry() {
+        let l = Lineage::origin(Source::Lidar, SimTime::from_millis(5));
+        assert_eq!(l.stamp_of(Source::Lidar), Some(SimTime::from_millis(5)));
+        assert_eq!(l.stamp_of(Source::Camera), None);
+        assert!(!l.is_empty());
+        assert!(Lineage::empty().is_empty());
+    }
+
+    #[test]
+    fn merge_keeps_earliest() {
+        let mut a = Lineage::origin(Source::Lidar, SimTime::from_millis(10));
+        a.merge(&Lineage::origin(Source::Lidar, SimTime::from_millis(5)));
+        assert_eq!(a.stamp_of(Source::Lidar), Some(SimTime::from_millis(5)));
+        a.merge(&Lineage::origin(Source::Lidar, SimTime::from_millis(20)));
+        assert_eq!(a.stamp_of(Source::Lidar), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn merge_unions_sources() {
+        let a = Lineage::origin(Source::Lidar, SimTime::from_millis(10));
+        let b = Lineage::origin(Source::Camera, SimTime::from_millis(12));
+        let m = a.merged(&b);
+        assert_eq!(m.stamp_of(Source::Lidar), Some(SimTime::from_millis(10)));
+        assert_eq!(m.stamp_of(Source::Camera), Some(SimTime::from_millis(12)));
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_stamps() {
+        let a = Lineage::origin(Source::Lidar, SimTime::from_millis(3));
+        let mut b = Lineage::origin(Source::Camera, SimTime::from_millis(4));
+        b.merge(&Lineage::origin(Source::Lidar, SimTime::from_millis(8)));
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        for s in [Source::Lidar, Source::Camera] {
+            assert_eq!(ab.stamp_of(s), ba.stamp_of(s));
+        }
+    }
+}

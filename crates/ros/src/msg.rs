@@ -1,0 +1,62 @@
+//! Messages and headers.
+
+use crate::Lineage;
+use av_des::SimTime;
+use std::rc::Rc;
+
+/// Message metadata, mirroring ROS's `std_msgs/Header`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Per-topic sequence number, assigned at publish.
+    pub seq: u64,
+    /// Publish time (virtual).
+    pub stamp: SimTime,
+    /// Sensor ancestry, used for end-to-end path latency.
+    pub lineage: Lineage,
+}
+
+/// A published message: header plus shared payload.
+///
+/// The payload is reference-counted so fan-out to several subscribers does
+/// not copy data; ROS's intra-process transport has the same property.
+#[derive(Debug)]
+pub struct Message<M> {
+    /// Metadata.
+    pub header: Header,
+    /// The payload, shared between subscribers.
+    pub payload: Rc<M>,
+}
+
+impl<M> Clone for Message<M> {
+    fn clone(&self) -> Message<M> {
+        Message { header: self.header.clone(), payload: Rc::clone(&self.payload) }
+    }
+}
+
+impl<M> Message<M> {
+    /// Creates a message.
+    pub fn new(header: Header, payload: M) -> Message<M> {
+        Message { header, payload: Rc::new(payload) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Source;
+
+    #[test]
+    fn clone_shares_payload() {
+        let msg = Message::new(
+            Header {
+                seq: 1,
+                stamp: SimTime::from_millis(10),
+                lineage: Lineage::origin(Source::Lidar, SimTime::from_millis(10)),
+            },
+            vec![1u8, 2, 3],
+        );
+        let copy = msg.clone();
+        assert!(Rc::ptr_eq(&msg.payload, &copy.payload));
+        assert_eq!(copy.header.seq, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! The node trait and its execution description.
+
+use crate::{Lineage, Message};
+use av_des::SimDuration;
+
+/// One phase of a node callback's modeled execution.
+///
+/// Autoware nodes alternate between CPU work and GPU kernels (Fig 8 breaks
+/// SSD512's latency ~50/50 between the two); a callback declares its phases
+/// and the executor occupies the corresponding device models in order.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// A CPU burst.
+    Cpu {
+        /// Service demand on an unloaded core.
+        demand: SimDuration,
+        /// Memory-bandwidth intensity (see `av_platform::CpuTask`).
+        mem_intensity: f64,
+    },
+    /// A GPU job (kernels + copies).
+    Gpu {
+        /// Kernel execution time on an idle device.
+        kernel_time: SimDuration,
+        /// Host↔device bytes copied.
+        copy_bytes: u64,
+        /// Dynamic energy dissipated, joules.
+        energy_j: f64,
+    },
+}
+
+/// The modeled execution of one callback invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Execution {
+    /// Phases, run in order. An empty list completes instantaneously.
+    pub phases: Vec<Phase>,
+}
+
+impl Execution {
+    /// An instantaneous execution (relay-style nodes).
+    pub fn instant() -> Execution {
+        Execution::default()
+    }
+
+    /// A single CPU burst.
+    pub fn cpu(demand: SimDuration, mem_intensity: f64) -> Execution {
+        Execution { phases: vec![Phase::Cpu { demand, mem_intensity }] }
+    }
+
+    /// Appends a CPU phase.
+    pub fn then_cpu(mut self, demand: SimDuration, mem_intensity: f64) -> Execution {
+        self.phases.push(Phase::Cpu { demand, mem_intensity });
+        self
+    }
+
+    /// Appends a GPU phase.
+    pub fn then_gpu(mut self, kernel_time: SimDuration, copy_bytes: u64, energy_j: f64) -> Execution {
+        self.phases.push(Phase::Gpu { kernel_time, copy_bytes, energy_j });
+        self
+    }
+
+    /// Sum of CPU demand across phases (undilated).
+    pub fn cpu_demand(&self) -> SimDuration {
+        self.phases.iter().fold(SimDuration::ZERO, |acc, p| match p {
+            Phase::Cpu { demand, .. } => acc + *demand,
+            Phase::Gpu { .. } => acc,
+        })
+    }
+
+    /// Sum of GPU kernel time across phases.
+    pub fn gpu_demand(&self) -> SimDuration {
+        self.phases.iter().fold(SimDuration::ZERO, |acc, p| match p {
+            Phase::Cpu { .. } => acc,
+            Phase::Gpu { kernel_time, .. } => acc + *kernel_time,
+        })
+    }
+}
+
+/// Buffer of messages a callback wants published when it completes.
+///
+/// Outputs inherit the input message's lineage by default; fusion nodes
+/// that combine cached state from other sensors use
+/// [`Outbox::publish_with_lineage`].
+#[derive(Debug)]
+pub struct Outbox<M> {
+    default_lineage: Lineage,
+    items: Vec<(String, M, Lineage)>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an outbox whose default lineage is the input's.
+    pub fn new(default_lineage: Lineage) -> Outbox<M> {
+        Outbox { default_lineage, items: Vec::new() }
+    }
+
+    /// Queues `payload` for `topic` with the input's lineage.
+    pub fn publish(&mut self, topic: impl Into<String>, payload: M) {
+        let lineage = self.default_lineage.clone();
+        self.items.push((topic.into(), payload, lineage));
+    }
+
+    /// Queues `payload` for `topic` with an explicit lineage.
+    pub fn publish_with_lineage(&mut self, topic: impl Into<String>, payload: M, lineage: Lineage) {
+        self.items.push((topic.into(), payload, lineage));
+    }
+
+    /// The lineage outputs inherit by default.
+    pub fn default_lineage(&self) -> &Lineage {
+        &self.default_lineage
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the outbox, returning `(topic, payload, lineage)` items.
+    /// Exposed for node-level tests; the bus calls this internally.
+    pub fn into_items(self) -> Vec<(String, M, Lineage)> {
+        self.items
+    }
+}
+
+/// A processing node in the graph.
+///
+/// Implementations run their real algorithm inside [`Node::on_message`]
+/// (the payloads are real point clouds, detections, tracks, …), queue
+/// outputs on the [`Outbox`], and return the [`Execution`] describing how
+/// long the work occupies the modeled platform.
+pub trait Node<M> {
+    /// Handles one message from one of the node's subscribed topics.
+    fn on_message(&mut self, topic: &str, msg: &Message<M>, out: &mut Outbox<M>) -> Execution;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_builders_accumulate() {
+        let e = Execution::cpu(SimDuration::from_millis(5), 0.2)
+            .then_gpu(SimDuration::from_millis(10), 1024, 0.5)
+            .then_cpu(SimDuration::from_millis(3), 0.1);
+        assert_eq!(e.phases.len(), 3);
+        assert_eq!(e.cpu_demand(), SimDuration::from_millis(8));
+        assert_eq!(e.gpu_demand(), SimDuration::from_millis(10));
+        assert!(Execution::instant().phases.is_empty());
+    }
+
+    #[test]
+    fn outbox_default_and_explicit_lineage() {
+        use crate::Source;
+        use av_des::SimTime;
+        let input = Lineage::origin(Source::Lidar, SimTime::from_millis(7));
+        let mut out: Outbox<u32> = Outbox::new(input.clone());
+        out.publish("a", 1);
+        out.publish_with_lineage("b", 2, Lineage::origin(Source::Camera, SimTime::ZERO));
+        assert_eq!(out.len(), 2);
+        let items = out.into_items();
+        assert_eq!(items[0].2, input);
+        assert_eq!(items[1].2.stamp_of(Source::Camera), Some(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,66 @@
+//! Instrumentation hooks: how the profiler watches the middleware.
+
+use crate::{Header, Lineage};
+use av_des::{SimDuration, SimTime};
+
+/// A completed node callback, as reported to the observer.
+#[derive(Debug, Clone)]
+pub struct ProcessedEvent {
+    /// Node name.
+    pub node: String,
+    /// Topic the processed message came from.
+    pub topic: String,
+    /// When the message arrived at the node (enqueue time). Single-node
+    /// latency is `completed − arrival` — it includes the time spent
+    /// waiting for the node's previous callback, matching the paper's
+    /// definition ("from the moment an input arrives at the node until the
+    /// output is ready").
+    pub arrival: SimTime,
+    /// When the callback started executing (dequeue time).
+    pub started: SimTime,
+    /// When the callback's outputs were published.
+    pub completed: SimTime,
+    /// Lineage of the *outputs* (inputs merged per the node's logic).
+    pub lineage: Lineage,
+    /// Topics published by this invocation.
+    pub published: Vec<String>,
+}
+
+impl ProcessedEvent {
+    /// Single-node latency (queue wait + processing).
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_since(self.arrival)
+    }
+
+    /// Pure processing time (excludes queue wait).
+    pub fn processing(&self) -> SimDuration {
+        self.completed.saturating_since(self.started)
+    }
+}
+
+/// Receiver of middleware events; the profiling crate implements this.
+///
+/// All methods have empty default bodies so observers implement only what
+/// they need.
+pub trait BusObserver {
+    /// A node callback completed.
+    fn node_processed(&mut self, event: &ProcessedEvent) {
+        let _ = event;
+    }
+
+    /// A queued message was discarded because a newer one arrived.
+    fn message_dropped(&mut self, topic: &str, node: &str, time: SimTime) {
+        let _ = (topic, node, time);
+    }
+
+    /// A message was published on a topic.
+    fn message_published(&mut self, topic: &str, header: &Header, time: SimTime) {
+        let _ = (topic, header, time);
+    }
+}
+
+/// An observer that records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl BusObserver for NullObserver {}

@@ -1,0 +1,28 @@
+//! Multi-object tracking and motion prediction.
+//!
+//! Implements the algorithms behind two Autoware nodes:
+//!
+//! * **`imm_ukf_pda_tracker`** — an Interacting-Multiple-Model unscented
+//!   Kalman filter with Probabilistic Data Association, "inspired in
+//!   previous works that combine different filter algorithms" (§II-B).
+//!   Per track, three motion hypotheses (constant velocity, constant turn
+//!   rate & velocity, random motion) run as parallel UKFs ([`ukf`]),
+//!   mixed by the IMM machinery ([`imm`]); measurements are associated by
+//!   gated probabilistic weighting ([`pda`]); track lifecycle (birth,
+//!   confirmation, coasting, death) lives in [`tracker`].
+//! * **`naive_motion_predict`** — constant-velocity/turn extrapolation of
+//!   each confirmed track into a future path ([`predict`]).
+
+#![warn(missing_docs)]
+
+pub mod imm;
+pub mod pda;
+pub mod predict;
+pub mod tracker;
+pub mod ukf;
+
+pub use imm::{ImmEstimate, ImmFilter, ImmParams};
+pub use pda::{gate_measurements, PdaParams};
+pub use predict::{predict_objects, predict_path, PredictedObject, PredictParams};
+pub use tracker::{ImmUkfPdaTracker, TrackerParams, TrackedObject};
+pub use ukf::{MotionModel, NoiseParams, Ukf};

@@ -1,0 +1,181 @@
+//! Probabilistic Data Association: gating and association weights.
+
+use av_geom::{MatN, VecN};
+
+/// PDA parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdaParams {
+    /// Gate threshold on the Mahalanobis distance² (χ², 2 DOF; 9.21 ≈ 99%).
+    pub gate: f64,
+    /// Probability that the target is detected at all.
+    pub detection_prob: f64,
+    /// Clutter (false measurement) spatial density, measurements / m².
+    pub clutter_density: f64,
+}
+
+impl Default for PdaParams {
+    fn default() -> PdaParams {
+        PdaParams { gate: 9.21, detection_prob: 0.9, clutter_density: 1e-3 }
+    }
+}
+
+/// A gated measurement with its association weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatedMeasurement {
+    /// Index into the input measurement list.
+    pub index: usize,
+    /// Innovation (z − ẑ).
+    pub innovation: VecN,
+    /// Association weight β (sums over gated measurements to ≤ 1; the
+    /// remainder is the "no detection" hypothesis).
+    pub beta: f64,
+    /// Gaussian likelihood of the measurement.
+    pub likelihood: f64,
+}
+
+/// Gates measurements against a predicted measurement distribution and
+/// computes PDA association weights.
+///
+/// Returns the gated set (possibly empty). The β weights follow the
+/// standard parametric PDA with Poisson clutter:
+///
+/// ```text
+/// β_i = L_i / (λ(1 − P_D) + Σ L_j),   L_i = P_D · N(ν_i; 0, S)
+/// ```
+///
+/// ```
+/// use av_geom::{MatN, VecN};
+/// use av_tracking::{gate_measurements, PdaParams};
+///
+/// let z_pred = VecN::from_slice(&[0.0, 0.0]);
+/// let s = MatN::from_diagonal(&[0.25, 0.25]);
+/// let measurements = vec![
+///     VecN::from_slice(&[0.1, 0.1]),   // inside the gate
+///     VecN::from_slice(&[50.0, 50.0]), // far outside
+/// ];
+/// let gated = gate_measurements(&z_pred, &s, &measurements, &PdaParams::default());
+/// assert_eq!(gated.len(), 1);
+/// assert_eq!(gated[0].index, 0);
+/// ```
+pub fn gate_measurements(
+    z_pred: &VecN,
+    s: &MatN,
+    measurements: &[VecN],
+    params: &PdaParams,
+) -> Vec<GatedMeasurement> {
+    let Some(s_inv) = s.inverse() else { return Vec::new() };
+    let det = s.det().max(1e-12);
+    let norm = 1.0 / (2.0 * std::f64::consts::PI * det.sqrt());
+
+    let mut gated: Vec<GatedMeasurement> = measurements
+        .iter()
+        .enumerate()
+        .filter_map(|(index, z)| {
+            let innovation = z - z_pred;
+            let d2 = innovation.dot(&s_inv.mul_vec(&innovation));
+            if d2 > params.gate {
+                return None;
+            }
+            let likelihood = params.detection_prob * norm * (-0.5 * d2).exp();
+            Some(GatedMeasurement { index, innovation, beta: 0.0, likelihood })
+        })
+        .collect();
+
+    let miss_mass = params.clutter_density * (1.0 - params.detection_prob);
+    let total: f64 = miss_mass + gated.iter().map(|g| g.likelihood).sum::<f64>();
+    for g in &mut gated {
+        g.beta = g.likelihood / total.max(1e-300);
+    }
+    gated
+}
+
+/// Combines gated measurements into the PDA effective innovation
+/// `ν = Σ β_i ν_i` and the total association weight `Σ β_i`.
+pub fn combine_innovations(gated: &[GatedMeasurement]) -> (VecN, f64) {
+    if gated.is_empty() {
+        return (VecN::zeros(2), 0.0);
+    }
+    let mut combined = VecN::zeros(gated[0].innovation.len());
+    let mut beta_total = 0.0;
+    for g in gated {
+        combined = &combined + &g.innovation.scaled(g.beta);
+        beta_total += g.beta;
+    }
+    (combined, beta_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (VecN, MatN) {
+        (VecN::from_slice(&[10.0, 5.0]), MatN::from_diagonal(&[0.5, 0.5]))
+    }
+
+    #[test]
+    fn gate_excludes_distant_measurements() {
+        let (z, s) = setup();
+        let ms = vec![
+            VecN::from_slice(&[10.2, 5.1]),
+            VecN::from_slice(&[13.0, 5.0]), // d² = 9/0.5 = 18 > 9.21
+            VecN::from_slice(&[10.0, 4.5]),
+        ];
+        let gated = gate_measurements(&z, &s, &ms, &PdaParams::default());
+        let indices: Vec<usize> = gated.iter().map(|g| g.index).collect();
+        assert_eq!(indices, vec![0, 2]);
+    }
+
+    #[test]
+    fn betas_sum_below_one() {
+        let (z, s) = setup();
+        let ms = vec![
+            VecN::from_slice(&[10.1, 5.0]),
+            VecN::from_slice(&[9.9, 5.1]),
+            VecN::from_slice(&[10.0, 4.9]),
+        ];
+        let gated = gate_measurements(&z, &s, &ms, &PdaParams::default());
+        let beta_sum: f64 = gated.iter().map(|g| g.beta).sum();
+        assert!(beta_sum > 0.5 && beta_sum <= 1.0, "beta sum {beta_sum}");
+    }
+
+    #[test]
+    fn closest_measurement_gets_highest_beta() {
+        let (z, s) = setup();
+        let ms = vec![VecN::from_slice(&[11.0, 5.0]), VecN::from_slice(&[10.1, 5.0])];
+        let gated = gate_measurements(&z, &s, &ms, &PdaParams::default());
+        assert_eq!(gated.len(), 2);
+        let near = gated.iter().find(|g| g.index == 1).unwrap();
+        let far = gated.iter().find(|g| g.index == 0).unwrap();
+        assert!(near.beta > far.beta);
+    }
+
+    #[test]
+    fn empty_gate_returns_empty() {
+        let (z, s) = setup();
+        let ms = vec![VecN::from_slice(&[100.0, 100.0])];
+        let gated = gate_measurements(&z, &s, &ms, &PdaParams::default());
+        assert!(gated.is_empty());
+        let (combined, beta) = combine_innovations(&gated);
+        assert_eq!(beta, 0.0);
+        assert_eq!(combined.len(), 2);
+    }
+
+    #[test]
+    fn combined_innovation_weighted() {
+        let (z, s) = setup();
+        let ms = vec![VecN::from_slice(&[10.4, 5.0]), VecN::from_slice(&[9.6, 5.0])];
+        let gated = gate_measurements(&z, &s, &ms, &PdaParams::default());
+        let (combined, beta_total) = combine_innovations(&gated);
+        // Symmetric measurements: innovations cancel.
+        assert!(combined[0].abs() < 1e-9);
+        assert!(beta_total > 0.0);
+    }
+
+    #[test]
+    fn singular_s_returns_empty() {
+        let z = VecN::from_slice(&[0.0, 0.0]);
+        let s = MatN::zeros(2, 2);
+        let ms = vec![VecN::from_slice(&[0.0, 0.0])];
+        assert!(gate_measurements(&z, &s, &ms, &PdaParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! The unscented Kalman filter over the CTRV state space.
+//!
+//! State vector: `[px, py, v, yaw, yaw_rate]`. Measurements are 2D
+//! positions (cluster centroids). Sigma points use the standard
+//! scaled-unscented transform with additive process noise.
+
+use av_geom::{normalize_angle, MatN, VecN};
+
+/// Dimension of the state vector.
+pub const STATE_DIM: usize = 5;
+/// Dimension of the measurement vector (position only).
+pub const MEAS_DIM: usize = 2;
+
+const N_SIGMA: usize = 2 * STATE_DIM + 1;
+const LAMBDA: f64 = 3.0 - STATE_DIM as f64;
+
+/// The motion hypothesis a UKF propagates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotionModel {
+    /// Constant velocity, fixed heading.
+    ConstantVelocity,
+    /// Constant turn rate and velocity (CTRV).
+    ConstantTurnRate,
+    /// Random motion: position stays, velocity decays — models stop-and-go
+    /// and clutter, the third hypothesis in Autoware's tracker.
+    RandomMotion,
+}
+
+/// Process/measurement noise intensities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseParams {
+    /// Longitudinal acceleration noise, m/s² (1σ).
+    pub std_accel: f64,
+    /// Yaw acceleration noise, rad/s² (1σ).
+    pub std_yaw_accel: f64,
+    /// Measurement position noise, m (1σ).
+    pub std_meas: f64,
+}
+
+impl Default for NoiseParams {
+    fn default() -> NoiseParams {
+        NoiseParams { std_accel: 1.2, std_yaw_accel: 0.6, std_meas: 0.35 }
+    }
+}
+
+/// Result of a measurement update.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Gaussian likelihood of the measurement under the predicted
+    /// measurement distribution (used by IMM model probabilities).
+    pub likelihood: f64,
+    /// Mahalanobis distance² of the innovation (used for gating).
+    pub nis: f64,
+}
+
+/// An unscented Kalman filter tracking one object under one motion model.
+///
+/// ```
+/// use av_geom::VecN;
+/// use av_tracking::{MotionModel, NoiseParams, Ukf};
+///
+/// let mut ukf = Ukf::new(MotionModel::ConstantVelocity, NoiseParams::default(), 1.0, 2.0);
+/// ukf.predict(0.1);
+/// let outcome = ukf.update(&VecN::from_slice(&[1.1, 2.0]));
+/// assert!(outcome.likelihood > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ukf {
+    model: MotionModel,
+    noise: NoiseParams,
+    state: VecN,
+    cov: MatN,
+    weights_mean: [f64; N_SIGMA],
+    weights_cov: [f64; N_SIGMA],
+    /// Cached predicted measurement state from the last `predict`.
+    pred_meas: Option<(VecN, MatN)>,
+}
+
+impl Ukf {
+    /// Creates a filter initialized at a measured position with zero
+    /// velocity and a broad prior.
+    pub fn new(model: MotionModel, noise: NoiseParams, px: f64, py: f64) -> Ukf {
+        let state = VecN::from_slice(&[px, py, 0.0, 0.0, 0.0]);
+        let cov = MatN::from_diagonal(&[
+            noise.std_meas * noise.std_meas,
+            noise.std_meas * noise.std_meas,
+            4.0,
+            1.0,
+            0.3,
+        ]);
+        let mut weights_mean = [0.0; N_SIGMA];
+        let mut weights_cov = [0.0; N_SIGMA];
+        let denom = LAMBDA + STATE_DIM as f64;
+        weights_mean[0] = LAMBDA / denom;
+        weights_cov[0] = LAMBDA / denom;
+        for i in 1..N_SIGMA {
+            weights_mean[i] = 0.5 / denom;
+            weights_cov[i] = 0.5 / denom;
+        }
+        Ukf { model, noise, state, cov, weights_mean, weights_cov, pred_meas: None }
+    }
+
+    /// The filter's motion model.
+    pub fn model(&self) -> MotionModel {
+        self.model
+    }
+
+    /// Current state `[px, py, v, yaw, yaw_rate]`.
+    pub fn state(&self) -> &VecN {
+        &self.state
+    }
+
+    /// Current state covariance (5×5).
+    pub fn covariance(&self) -> &MatN {
+        &self.cov
+    }
+
+    /// Replaces the state and covariance (IMM mixing does this).
+    pub fn set_state(&mut self, state: VecN, cov: MatN) {
+        assert_eq!(state.len(), STATE_DIM, "state dimension");
+        assert_eq!((cov.rows(), cov.cols()), (STATE_DIM, STATE_DIM), "covariance shape");
+        self.state = state;
+        self.cov = cov;
+        self.pred_meas = None;
+    }
+
+    fn sigma_points(&self) -> Option<Vec<VecN>> {
+        let scaled = self.cov.scaled(LAMBDA + STATE_DIM as f64);
+        let sqrt = scaled.cholesky()?;
+        let mut points = Vec::with_capacity(N_SIGMA);
+        points.push(self.state.clone());
+        for i in 0..STATE_DIM {
+            let col = sqrt.col(i);
+            points.push(&self.state + &col);
+            points.push(&self.state - &col);
+        }
+        Some(points)
+    }
+
+    fn propagate(&self, x: &VecN, dt: f64) -> VecN {
+        let (px, py, v, yaw, yawd) = (x[0], x[1], x[2], x[3], x[4]);
+        match self.model {
+            MotionModel::ConstantVelocity => VecN::from_slice(&[
+                px + v * yaw.cos() * dt,
+                py + v * yaw.sin() * dt,
+                v,
+                yaw,
+                0.0,
+            ]),
+            MotionModel::ConstantTurnRate => {
+                if yawd.abs() > 1e-4 {
+                    VecN::from_slice(&[
+                        px + v / yawd * ((yaw + yawd * dt).sin() - yaw.sin()),
+                        py + v / yawd * (-(yaw + yawd * dt).cos() + yaw.cos()),
+                        v,
+                        normalize_angle(yaw + yawd * dt),
+                        yawd,
+                    ])
+                } else {
+                    VecN::from_slice(&[
+                        px + v * yaw.cos() * dt,
+                        py + v * yaw.sin() * dt,
+                        v,
+                        normalize_angle(yaw + yawd * dt),
+                        yawd,
+                    ])
+                }
+            }
+            MotionModel::RandomMotion => {
+                // Velocity decays; position holds (plus process noise).
+                VecN::from_slice(&[px, py, v * (1.0 - 0.5 * dt).max(0.0), yaw, 0.0])
+            }
+        }
+    }
+
+    fn process_noise(&self, dt: f64) -> MatN {
+        let (sa, sy) = (self.noise.std_accel, self.noise.std_yaw_accel);
+        let (dt2, dt3, dt4) = (dt * dt, dt * dt * dt, dt * dt * dt * dt);
+        let qa = sa * sa;
+        let qy = sy * sy;
+        let mut q = MatN::zeros(STATE_DIM, STATE_DIM);
+        // Discretized white-noise acceleration along the heading; since the
+        // heading enters nonlinearly, use the isotropic position form.
+        q[(0, 0)] = 0.25 * dt4 * qa;
+        q[(1, 1)] = 0.25 * dt4 * qa;
+        q[(0, 2)] = 0.5 * dt3 * qa;
+        q[(2, 0)] = 0.5 * dt3 * qa;
+        q[(1, 2)] = 0.5 * dt3 * qa;
+        q[(2, 1)] = 0.5 * dt3 * qa;
+        q[(2, 2)] = dt2 * qa;
+        q[(3, 3)] = 0.25 * dt4 * qy;
+        q[(3, 4)] = 0.5 * dt3 * qy;
+        q[(4, 3)] = 0.5 * dt3 * qy;
+        q[(4, 4)] = dt2 * qy;
+        if self.model == MotionModel::RandomMotion {
+            // Extra positional wander.
+            q[(0, 0)] += 0.3 * dt2;
+            q[(1, 1)] += 0.3 * dt2;
+        }
+        q
+    }
+
+    /// Propagates the state `dt` seconds and caches the predicted
+    /// measurement distribution.
+    pub fn predict(&mut self, dt: f64) {
+        let Some(points) = self.sigma_points() else {
+            // Covariance lost positive-definiteness; re-inflate and retry.
+            self.cov.symmetrize();
+            for i in 0..STATE_DIM {
+                self.cov[(i, i)] += 1e-6;
+            }
+            if self.sigma_points().is_none() {
+                self.cov = MatN::from_diagonal(&[1.0, 1.0, 4.0, 1.0, 0.3]);
+            }
+            return self.predict(dt);
+        };
+        let propagated: Vec<VecN> = points.iter().map(|p| self.propagate(p, dt)).collect();
+
+        // Mean with circular yaw handling.
+        let mut mean = VecN::zeros(STATE_DIM);
+        for (w, p) in self.weights_mean.iter().zip(&propagated) {
+            for k in [0, 1, 2, 4] {
+                mean[k] += w * p[k];
+            }
+        }
+        let (mut sin_sum, mut cos_sum) = (0.0, 0.0);
+        for (w, p) in self.weights_mean.iter().zip(&propagated) {
+            sin_sum += w * p[3].sin();
+            cos_sum += w * p[3].cos();
+        }
+        mean[3] = sin_sum.atan2(cos_sum);
+
+        let mut cov = self.process_noise(dt);
+        for (w, p) in self.weights_cov.iter().zip(&propagated) {
+            let mut d = p - &mean;
+            d[3] = normalize_angle(d[3]);
+            let outer = d.outer(&d);
+            cov = &cov + &outer.scaled(*w);
+        }
+        cov.symmetrize();
+
+        // Predicted measurement: H x = [px, py].
+        let mut z_mean = VecN::zeros(MEAS_DIM);
+        z_mean[0] = mean[0];
+        z_mean[1] = mean[1];
+        let mut s = MatN::from_diagonal(&[
+            self.noise.std_meas * self.noise.std_meas,
+            self.noise.std_meas * self.noise.std_meas,
+        ]);
+        for (w, p) in self.weights_cov.iter().zip(&propagated) {
+            let dz = VecN::from_slice(&[p[0] - z_mean[0], p[1] - z_mean[1]]);
+            s = &s + &dz.outer(&dz).scaled(*w);
+        }
+
+        self.state = mean;
+        self.cov = cov;
+        self.pred_meas = Some((z_mean, s));
+    }
+
+    /// Predicted measurement mean and innovation covariance from the last
+    /// [`Ukf::predict`], or `None` before any prediction.
+    pub fn predicted_measurement(&self) -> Option<(&VecN, &MatN)> {
+        self.pred_meas.as_ref().map(|(z, s)| (z, s))
+    }
+
+    /// Kalman update against a position measurement `z = [px, py]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Ukf::predict`] or with a measurement of
+    /// the wrong dimension.
+    pub fn update(&mut self, z: &VecN) -> UpdateOutcome {
+        assert_eq!(z.len(), MEAS_DIM, "measurement dimension");
+        let (z_pred, s) = self.pred_meas.clone().expect("update requires a prior predict");
+        self.update_with_innovation(&(z - &z_pred), &s, 1.0)
+    }
+
+    /// PDA-style update with a combined innovation and an effective
+    /// information weight `beta_total ∈ (0, 1]` (1 = ordinary update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Ukf::predict`].
+    pub fn update_with_innovation(
+        &mut self,
+        innovation: &VecN,
+        s: &MatN,
+        beta_total: f64,
+    ) -> UpdateOutcome {
+        let (z_pred, _) = self.pred_meas.clone().expect("update requires a prior predict");
+        let s_inv = s.inverse().unwrap_or_else(|| MatN::identity(MEAS_DIM));
+
+        // Cross covariance T = Σ w (x − x̄)(z − z̄)ᵀ, recomputed from the
+        // linear measurement model: T = P H ᵀ = first two columns of P.
+        let mut t = MatN::zeros(STATE_DIM, MEAS_DIM);
+        for r in 0..STATE_DIM {
+            t[(r, 0)] = self.cov[(r, 0)];
+            t[(r, 1)] = self.cov[(r, 1)];
+        }
+        let k = &t * &s_inv;
+        let correction = k.mul_vec(innovation).scaled(beta_total);
+        self.state = &self.state + &correction;
+        self.state[3] = normalize_angle(self.state[3]);
+        let reduction = &(&k * s) * &k.transpose();
+        self.cov = &self.cov - &reduction.scaled(beta_total);
+        self.cov.symmetrize();
+        // Floor the diagonal to keep PD under aggressive association.
+        for i in 0..STATE_DIM {
+            if self.cov[(i, i)] < 1e-9 {
+                self.cov[(i, i)] = 1e-9;
+            }
+        }
+        self.pred_meas = Some((z_pred, s.clone()));
+
+        let nis = innovation.dot(&s_inv.mul_vec(innovation));
+        let det = s.det().max(1e-12);
+        let likelihood =
+            (-0.5 * nis).exp() / (2.0 * std::f64::consts::PI * det.sqrt());
+        UpdateOutcome { likelihood, nis }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track_target(
+        model: MotionModel,
+        positions: &[(f64, f64)],
+        dt: f64,
+    ) -> (Ukf, Vec<f64>) {
+        let mut ukf = Ukf::new(model, NoiseParams::default(), positions[0].0, positions[0].1);
+        let mut nis_values = Vec::new();
+        for &(x, y) in &positions[1..] {
+            ukf.predict(dt);
+            let outcome = ukf.update(&VecN::from_slice(&[x, y]));
+            nis_values.push(outcome.nis);
+        }
+        (ukf, nis_values)
+    }
+
+    fn straight_track(n: usize, speed: f64, dt: f64) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (speed * dt * i as f64, 1.0)).collect()
+    }
+
+    #[test]
+    fn cv_estimates_speed_on_straight_track() {
+        let (ukf, _) = track_target(
+            MotionModel::ConstantVelocity,
+            &straight_track(40, 8.0, 0.1),
+            0.1,
+        );
+        let v = ukf.state()[2];
+        let yaw = ukf.state()[3];
+        assert!((v - 8.0).abs() < 1.0, "estimated speed {v}");
+        assert!(yaw.abs() < 0.15, "estimated heading {yaw}");
+    }
+
+    #[test]
+    fn ctrv_follows_turning_target() {
+        // Target on a circle: radius 20 m, speed 8 m/s → yaw rate 0.4.
+        let dt = 0.1;
+        let positions: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let theta = 0.4 * dt * i as f64;
+                (20.0 * theta.sin(), 20.0 * (1.0 - theta.cos()))
+            })
+            .collect();
+        let (ukf, _) = track_target(MotionModel::ConstantTurnRate, &positions, dt);
+        let yawd = ukf.state()[4];
+        assert!((yawd - 0.4).abs() < 0.15, "estimated yaw rate {yawd}");
+        let v = ukf.state()[2];
+        assert!((v - 8.0).abs() < 1.5, "estimated speed {v}");
+    }
+
+    #[test]
+    fn position_tracks_measurements() {
+        let (ukf, _) =
+            track_target(MotionModel::ConstantVelocity, &straight_track(30, 5.0, 0.1), 0.1);
+        let expected_x = 5.0 * 0.1 * 29.0;
+        assert!((ukf.state()[0] - expected_x).abs() < 0.5);
+        assert!((ukf.state()[1] - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn covariance_stays_symmetric_pd() {
+        let (ukf, _) =
+            track_target(MotionModel::ConstantTurnRate, &straight_track(50, 6.0, 0.1), 0.1);
+        assert!(ukf.covariance().is_symmetric(1e-9));
+        assert!(ukf.covariance().cholesky().is_some(), "covariance must stay PD");
+    }
+
+    #[test]
+    fn nis_is_calibrated() {
+        // For a well-modeled target, NIS should hover near MEAS_DIM = 2.
+        let (_, nis) =
+            track_target(MotionModel::ConstantVelocity, &straight_track(60, 8.0, 0.1), 0.1);
+        let tail: Vec<f64> = nis[20..].to_vec();
+        let mean_nis = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(mean_nis < 6.0, "filter inconsistent: mean NIS {mean_nis}");
+    }
+
+    #[test]
+    fn prediction_grows_uncertainty() {
+        let mut ukf = Ukf::new(MotionModel::ConstantVelocity, NoiseParams::default(), 0.0, 0.0);
+        let before = ukf.covariance()[(0, 0)];
+        ukf.predict(0.5);
+        ukf.predict(0.5);
+        let after = ukf.covariance()[(0, 0)];
+        assert!(after > before, "position variance should grow without updates");
+    }
+
+    #[test]
+    fn update_shrinks_uncertainty() {
+        let mut ukf = Ukf::new(MotionModel::ConstantVelocity, NoiseParams::default(), 0.0, 0.0);
+        ukf.predict(0.1);
+        let before = ukf.covariance()[(0, 0)];
+        ukf.update(&VecN::from_slice(&[0.0, 0.0]));
+        let after = ukf.covariance()[(0, 0)];
+        assert!(after < before);
+    }
+
+    #[test]
+    fn random_motion_decays_velocity() {
+        let mut ukf = Ukf::new(MotionModel::RandomMotion, NoiseParams::default(), 0.0, 0.0);
+        let mut state = ukf.state().clone();
+        state[2] = 10.0;
+        ukf.set_state(state, ukf.covariance().clone());
+        for _ in 0..10 {
+            ukf.predict(0.2);
+        }
+        assert!(ukf.state()[2] < 5.0, "random-motion speed should decay");
+    }
+
+    #[test]
+    fn likelihood_higher_for_consistent_measurement() {
+        let mut a = Ukf::new(MotionModel::ConstantVelocity, NoiseParams::default(), 0.0, 0.0);
+        a.predict(0.1);
+        let near = a.clone().update(&VecN::from_slice(&[0.05, 0.0])).likelihood;
+        let far = a.clone().update(&VecN::from_slice(&[3.0, 3.0])).likelihood;
+        assert!(near > far);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior predict")]
+    fn update_before_predict_panics() {
+        let mut ukf = Ukf::new(MotionModel::ConstantVelocity, NoiseParams::default(), 0.0, 0.0);
+        ukf.update(&VecN::from_slice(&[0.0, 0.0]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever (reasonable) measurement sequence arrives, the
+        /// covariance stays symmetric and positive-definite.
+        #[test]
+        fn covariance_invariants_under_arbitrary_updates(
+            measurements in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..40),
+            dt in 0.02f64..0.5,
+        ) {
+            let mut ukf = Ukf::new(
+                MotionModel::ConstantTurnRate,
+                NoiseParams::default(),
+                measurements[0].0,
+                measurements[0].1,
+            );
+            for &(x, y) in &measurements {
+                ukf.predict(dt);
+                ukf.update(&VecN::from_slice(&[x, y]));
+                prop_assert!(ukf.covariance().is_symmetric(1e-6));
+                for i in 0..STATE_DIM {
+                    prop_assert!(ukf.covariance()[(i, i)] > 0.0);
+                }
+                prop_assert!(ukf.state().as_slice().iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+}

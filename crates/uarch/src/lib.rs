@@ -1,0 +1,37 @@
+//! Microarchitecture simulation: the reproduction's stand-in for PAPI /
+//! valgrind hardware counters (paper §III-B, "Architecture-level
+//! characterization").
+//!
+//! The paper reads IPC, L1 miss rates, branch misprediction and
+//! instruction mix off hardware counters while the nodes run. We cannot
+//! read counters of algorithms running inside a virtual-time simulation,
+//! so we do what architects do: drive *simulated* structures with the
+//! real algorithms' access streams.
+//!
+//! * [`Cache`] — a set-associative, LRU, write-allocate L1 data cache.
+//! * [`GsharePredictor`] / [`BimodalPredictor`] — branch predictors.
+//! * [`InstructionMix`] — per-class instruction counters (Fig 7).
+//! * [`IpcModel`] — an analytical in-order-issue IPC estimate from the
+//!   mix and the simulated miss/misprediction rates (Table VII's IPC
+//!   row).
+//! * [`kernels`] — instrumented re-executions of each profiled node's hot
+//!   loop (SSD512's output-layer sort, the k-d tree traversal under
+//!   `euclidean_cluster`, NDT's voxel walk, the UKF's small-matrix
+//!   algebra, costmap rasterization, YOLO's thresholding pass) emitting
+//!   every logical load/store/branch into a [`Probe`].
+
+#![warn(missing_docs)]
+
+mod branch;
+mod cache;
+mod ipc;
+pub mod kernels;
+mod mix;
+mod probe;
+
+pub use branch::{BimodalPredictor, BranchStats, GsharePredictor, Predictor};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use ipc::IpcModel;
+pub use kernels::{run_kernel, KernelKind, KernelReport};
+pub use mix::InstructionMix;
+pub use probe::{NullProbe, Probe, UarchProbe};

@@ -1,0 +1,89 @@
+//! Instruction-class counters (the data behind Fig 7).
+
+/// Dynamic instruction counts by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstructionMix {
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Integer ALU instructions.
+    pub int_ops: u64,
+    /// Floating-point instructions.
+    pub fp_ops: u64,
+}
+
+impl InstructionMix {
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.branches + self.int_ops + self.fp_ops
+    }
+
+    /// Fractions `(loads, stores, branches, int, fp)` summing to 1
+    /// (all zeros for an empty mix).
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.loads as f64 / t,
+            self.stores as f64 / t,
+            self.branches as f64 / t,
+            self.int_ops as f64 / t,
+            self.fp_ops as f64 / t,
+        )
+    }
+
+    /// Fraction of memory instructions (loads + stores).
+    pub fn memory_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / t as f64
+        }
+    }
+
+    /// Merges another mix in.
+    pub fn merge(&mut self, other: &InstructionMix) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.int_ops += other.int_ops;
+        self.fp_ops += other.fp_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mix = InstructionMix { loads: 30, stores: 20, branches: 10, int_ops: 25, fp_ops: 15 };
+        let (l, s, b, i, f) = mix.fractions();
+        assert!((l + s + b + i + f - 1.0).abs() < 1e-12);
+        assert_eq!(mix.total(), 100);
+        assert!((mix.memory_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_is_zero() {
+        let mix = InstructionMix::default();
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.fractions(), (0.0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(mix.memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = InstructionMix { loads: 1, stores: 2, branches: 3, int_ops: 4, fp_ops: 5 };
+        a.merge(&InstructionMix { loads: 10, stores: 20, branches: 30, int_ops: 40, fp_ops: 50 });
+        assert_eq!(a.loads, 11);
+        assert_eq!(a.total(), 165);
+    }
+}

@@ -1,0 +1,141 @@
+//! Instrumentation sinks: how kernels report their access streams.
+
+use crate::{BranchStats, Cache, CacheConfig, CacheStats, GsharePredictor, InstructionMix,
+    Predictor};
+
+/// Receiver of a kernel's dynamic events.
+///
+/// Kernels call these methods on every *logical* load, store, branch and
+/// ALU operation of their hot loop; the default sink ([`UarchProbe`])
+/// feeds a cache model and a branch predictor.
+pub trait Probe {
+    /// An `width`-byte load from `addr`.
+    fn load(&mut self, addr: u64);
+    /// A store to `addr`.
+    fn store(&mut self, addr: u64);
+    /// A conditional branch at `pc` with its outcome.
+    fn branch(&mut self, pc: u64, taken: bool);
+    /// `n` integer ALU instructions.
+    fn int_ops(&mut self, n: u64);
+    /// `n` floating-point instructions.
+    fn fp_ops(&mut self, n: u64);
+}
+
+/// A probe that discards everything (for running kernels functionally).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    fn load(&mut self, _addr: u64) {}
+    fn store(&mut self, _addr: u64) {}
+    fn branch(&mut self, _pc: u64, _taken: bool) {}
+    fn int_ops(&mut self, _n: u64) {}
+    fn fp_ops(&mut self, _n: u64) {}
+}
+
+/// The full microarchitecture probe: L1D cache + gshare predictor +
+/// instruction mix.
+///
+/// ```
+/// use av_uarch::{Probe, UarchProbe};
+/// let mut probe = UarchProbe::new(Default::default());
+/// probe.load(0x1000);
+/// probe.load(0x1008);
+/// assert_eq!(probe.cache_stats().loads, 2);
+/// assert_eq!(probe.cache_stats().load_misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UarchProbe {
+    cache: Cache,
+    predictor: GsharePredictor,
+    mix: InstructionMix,
+}
+
+impl Default for UarchProbe {
+    fn default() -> UarchProbe {
+        UarchProbe::new(CacheConfig::default())
+    }
+}
+
+impl UarchProbe {
+    /// Creates a probe with the given L1 geometry and a default gshare
+    /// predictor.
+    pub fn new(cache_config: CacheConfig) -> UarchProbe {
+        UarchProbe {
+            cache: Cache::new(cache_config),
+            predictor: GsharePredictor::default_config(),
+            mix: InstructionMix::default(),
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Branch statistics so far.
+    pub fn branch_stats(&self) -> BranchStats {
+        self.predictor.stats()
+    }
+
+    /// Instruction mix so far.
+    pub fn mix(&self) -> InstructionMix {
+        self.mix
+    }
+}
+
+impl Probe for UarchProbe {
+    fn load(&mut self, addr: u64) {
+        self.mix.loads += 1;
+        self.cache.access(addr, false);
+    }
+
+    fn store(&mut self, addr: u64) {
+        self.mix.stores += 1;
+        self.cache.access(addr, true);
+    }
+
+    fn branch(&mut self, pc: u64, taken: bool) {
+        self.mix.branches += 1;
+        self.predictor.observe(pc, taken);
+    }
+
+    fn int_ops(&mut self, n: u64) {
+        self.mix.int_ops += n;
+    }
+
+    fn fp_ops(&mut self, n: u64) {
+        self.mix.fp_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_routes_events() {
+        let mut p = UarchProbe::default();
+        p.load(0);
+        p.store(64);
+        p.branch(0x400, true);
+        p.int_ops(5);
+        p.fp_ops(3);
+        assert_eq!(p.mix().total(), 11);
+        assert_eq!(p.cache_stats().stores, 1);
+        assert_eq!(p.branch_stats().predictions, 1);
+    }
+
+    #[test]
+    fn null_probe_is_a_probe() {
+        fn exercise(p: &mut dyn Probe) {
+            p.load(1);
+            p.store(2);
+            p.branch(3, false);
+            p.int_ops(4);
+            p.fp_ops(5);
+        }
+        exercise(&mut NullProbe);
+        exercise(&mut UarchProbe::default());
+    }
+}

@@ -1,0 +1,282 @@
+//! Detection synthesis: ground-truth frames → noisy detections through
+//! the real post-processing path.
+
+use crate::network::{DetectorKind, NetworkDescriptor};
+use crate::postprocess::{nms, ScoredBox};
+use av_des::StreamRng;
+use av_perception::fusion::VisionDetection2d;
+use av_perception::ObjectClass;
+use av_world::{AgentKind, ImageFrame};
+
+/// Detection-quality knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorParams {
+    /// Score threshold applied before NMS.
+    pub score_threshold: f32,
+    /// IoU threshold for NMS.
+    pub iou_threshold: f64,
+    /// False-positive candidates per unit of scene clutter.
+    pub false_positive_rate: f64,
+}
+
+impl Default for DetectorParams {
+    fn default() -> DetectorParams {
+        DetectorParams { score_threshold: 0.30, iou_threshold: 0.45, false_positive_rate: 0.08 }
+    }
+}
+
+/// One frame's detection result plus the work numbers the cost model
+/// consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionOutput {
+    /// Final (post-NMS) detections.
+    pub detections: Vec<VisionDetection2d>,
+    /// Candidates the network head emitted (= priors/anchors ranked by
+    /// the CPU post-processing pass).
+    pub candidates_scored: usize,
+    /// Above-threshold candidates that entered NMS.
+    pub raw_candidates: usize,
+}
+
+/// A vision-detection node's algorithmic core.
+///
+/// ```
+/// use av_des::RngStreams;
+/// use av_vision::{DetectorKind, VisionDetector};
+/// use av_world::{CameraConfig, CameraModel, ScenarioConfig, World};
+///
+/// let world = World::generate(&ScenarioConfig::smoke_test());
+/// let frame = CameraModel::new(CameraConfig::default()).capture(&world, &world.snapshot(0.0));
+/// let detector = VisionDetector::new(DetectorKind::YoloV3, Default::default());
+/// let mut rng = RngStreams::new(1).stream("vision");
+/// let out = detector.detect(&frame, &mut rng);
+/// assert_eq!(out.candidates_scored, 10_647);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisionDetector {
+    kind: DetectorKind,
+    network: NetworkDescriptor,
+    params: DetectorParams,
+}
+
+impl VisionDetector {
+    /// Creates a detector of the given kind.
+    pub fn new(kind: DetectorKind, params: DetectorParams) -> VisionDetector {
+        VisionDetector { kind, network: NetworkDescriptor::for_kind(kind), params }
+    }
+
+    /// The detector kind.
+    pub fn kind(&self) -> DetectorKind {
+        self.kind
+    }
+
+    /// The network compute model.
+    pub fn network(&self) -> &NetworkDescriptor {
+        &self.network
+    }
+
+    /// Base detection probability for an unoccluded, well-sized object.
+    fn base_detect_prob(&self) -> f64 {
+        match self.kind {
+            DetectorKind::Ssd512 => 0.96,
+            DetectorKind::Ssd300 => 0.88,
+            DetectorKind::YoloV3 => 0.93,
+        }
+    }
+
+    /// Resolution floor: boxes smaller than this (pixels of width) fade
+    /// out. Higher-resolution inputs resolve smaller objects.
+    fn min_box_px(&self) -> f64 {
+        match self.kind {
+            DetectorKind::Ssd512 => 10.0,
+            DetectorKind::Ssd300 => 18.0,
+            DetectorKind::YoloV3 => 12.0,
+        }
+    }
+
+    fn class_of(kind: AgentKind) -> ObjectClass {
+        match kind {
+            AgentKind::Car => ObjectClass::Car,
+            AgentKind::Pedestrian => ObjectClass::Pedestrian,
+            AgentKind::Cyclist => ObjectClass::Cyclist,
+        }
+    }
+
+    /// Runs detection on a frame.
+    ///
+    /// Ground-truth visible objects become candidate boxes with
+    /// probability depending on occlusion and apparent size; clutter adds
+    /// false-positive candidates; the real NMS pass cleans the set up.
+    pub fn detect(&self, frame: &ImageFrame, rng: &mut StreamRng) -> DetectionOutput {
+        let mut candidates: Vec<ScoredBox> = Vec::new();
+
+        for obj in &frame.visible {
+            let (x, y, w, h) = obj.bbox;
+            let size_factor = ((w / self.min_box_px() - 0.5).clamp(0.0, 1.0)).powf(0.5);
+            let p = self.base_detect_prob() * (1.0 - obj.occlusion) * size_factor;
+            if !rng.chance(p) {
+                continue;
+            }
+            let class = if rng.chance(0.97) {
+                Self::class_of(obj.kind)
+            } else {
+                // Rare confusion between classes.
+                match obj.kind {
+                    AgentKind::Car => ObjectClass::Cyclist,
+                    AgentKind::Pedestrian => ObjectClass::Cyclist,
+                    AgentKind::Cyclist => ObjectClass::Pedestrian,
+                }
+            };
+            // Several anchors fire per object: the raw head output NMS
+            // must deduplicate.
+            let firings = 1 + rng.uniform_usize(3);
+            for _ in 0..firings {
+                let jx = rng.normal(0.0, 0.03 * w.max(4.0));
+                let jy = rng.normal(0.0, 0.03 * h.max(4.0));
+                let jw = w * rng.normal(1.0, 0.05).clamp(0.8, 1.2);
+                let jh = h * rng.normal(1.0, 0.05).clamp(0.8, 1.2);
+                let score = (rng.normal(0.75, 0.12) as f32).clamp(0.05, 0.999);
+                candidates.push(ScoredBox { bbox: (x + jx, y + jy, jw, jh), score, class });
+            }
+        }
+
+        // Clutter-driven false positives (buildings, texture).
+        let expected_fp = frame.clutter * self.params.false_positive_rate;
+        let mut fp_budget = expected_fp;
+        while fp_budget > 0.0 {
+            let emit = if fp_budget >= 1.0 { true } else { rng.chance(fp_budget) };
+            if emit {
+                let w = rng.uniform(12.0, 90.0);
+                let h = rng.uniform(12.0, 120.0);
+                let x = rng.uniform(0.0, (frame.width as f64 - w).max(1.0));
+                let y = rng.uniform(0.0, (frame.height as f64 - h).max(1.0));
+                let score = (rng.normal(0.35, 0.08) as f32).clamp(0.05, 0.9);
+                let class = match rng.uniform_usize(3) {
+                    0 => ObjectClass::Car,
+                    1 => ObjectClass::Pedestrian,
+                    _ => ObjectClass::Cyclist,
+                };
+                candidates.push(ScoredBox { bbox: (x, y, w, h), score, class });
+            }
+            fp_budget -= 1.0;
+        }
+
+        let raw_candidates = candidates.len();
+        let kept = nms(&candidates, self.params.score_threshold, self.params.iou_threshold);
+        let detections = kept
+            .into_iter()
+            .map(|b| VisionDetection2d {
+                bbox: b.bbox,
+                class: b.class,
+                confidence: b.score as f64,
+            })
+            .collect();
+        DetectionOutput {
+            detections,
+            candidates_scored: self.network.num_candidates,
+            raw_candidates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_des::RngStreams;
+    use av_world::{CameraConfig, CameraModel, ScenarioConfig, World};
+
+    fn frames() -> Vec<ImageFrame> {
+        let world = World::generate(&ScenarioConfig::smoke_test());
+        let cam = CameraModel::new(CameraConfig::default());
+        (0..20).map(|i| cam.capture(&world, &world.snapshot(i as f64 * 0.5))).collect()
+    }
+
+    #[test]
+    fn detects_most_clear_objects() {
+        let detector = VisionDetector::new(DetectorKind::Ssd512, DetectorParams::default());
+        let mut rng = RngStreams::new(3).stream("det");
+        let mut visible_total = 0usize;
+        let mut detected_total = 0usize;
+        for frame in frames() {
+            let clear = frame
+                .visible
+                .iter()
+                .filter(|v| v.occlusion < 0.2 && v.bbox.2 > 25.0)
+                .count();
+            let out = detector.detect(&frame, &mut rng);
+            visible_total += clear;
+            // Count detections near ground-truth boxes.
+            detected_total += frame
+                .visible
+                .iter()
+                .filter(|v| {
+                    out.detections.iter().any(|d| crate::iou(d.bbox, v.bbox) > 0.3)
+                })
+                .count()
+                .min(clear);
+        }
+        if visible_total > 0 {
+            let recall = detected_total as f64 / visible_total as f64;
+            assert!(recall > 0.6, "recall too low: {recall} ({detected_total}/{visible_total})");
+        }
+    }
+
+    #[test]
+    fn ssd300_misses_more_small_objects_than_ssd512() {
+        let mut rng_a = RngStreams::new(3).stream("a");
+        let mut rng_b = RngStreams::new(3).stream("a"); // same stream: paired draws
+        let big = VisionDetector::new(DetectorKind::Ssd512, DetectorParams::default());
+        let small = VisionDetector::new(DetectorKind::Ssd300, DetectorParams::default());
+        let mut det512 = 0usize;
+        let mut det300 = 0usize;
+        for frame in frames() {
+            det512 += big.detect(&frame, &mut rng_a).detections.len();
+            det300 += small.detect(&frame, &mut rng_b).detections.len();
+        }
+        assert!(det512 >= det300, "SSD512 {det512} vs SSD300 {det300}");
+    }
+
+    #[test]
+    fn candidates_scored_is_network_constant() {
+        let detector = VisionDetector::new(DetectorKind::Ssd300, DetectorParams::default());
+        let mut rng = RngStreams::new(3).stream("det");
+        for frame in frames().iter().take(3) {
+            assert_eq!(detector.detect(frame, &mut rng).candidates_scored, 8_732);
+        }
+    }
+
+    #[test]
+    fn output_is_nms_clean() {
+        let detector = VisionDetector::new(DetectorKind::YoloV3, DetectorParams::default());
+        let mut rng = RngStreams::new(9).stream("det");
+        for frame in frames() {
+            let out = detector.detect(&frame, &mut rng);
+            for (i, a) in out.detections.iter().enumerate() {
+                assert!(a.confidence >= 0.30_f64);
+                for b in &out.detections[i + 1..] {
+                    if a.class == b.class {
+                        assert!(crate::iou(a.bbox, b.bbox) <= 0.45 + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_stream() {
+        let detector = VisionDetector::new(DetectorKind::Ssd512, DetectorParams::default());
+        let frame = &frames()[0];
+        let a = detector.detect(frame, &mut RngStreams::new(5).stream("x"));
+        let b = detector.detect(frame, &mut RngStreams::new(5).stream("x"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_frame_yields_only_possible_false_positives() {
+        let detector = VisionDetector::new(DetectorKind::YoloV3, DetectorParams::default());
+        let frame = ImageFrame { width: 1280, height: 960, visible: vec![], lights: vec![], clutter: 0.0 };
+        let out = detector.detect(&frame, &mut RngStreams::new(1).stream("e"));
+        assert!(out.detections.is_empty());
+        assert_eq!(out.raw_candidates, 0);
+    }
+}

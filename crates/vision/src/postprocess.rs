@@ -1,0 +1,229 @@
+//! Detector CPU post-processing: confidence ranking and non-maximum
+//! suppression.
+//!
+//! This is the code path the paper's microarchitectural analysis keys on:
+//! "71% of CPU time of SSD512 was executing a sorting algorithm in the
+//! output layer of its CNN ... because the branches inside the sorting
+//! will depend on the unpredictable input" (§IV-C). The ranking here is a
+//! real comparison sort over real score data; the uarch experiments
+//! instrument exactly this kernel.
+
+use av_perception::ObjectClass;
+
+/// A candidate box with score and class, as emitted by a detection head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredBox {
+    /// Pixel box `(x, y, w, h)`.
+    pub bbox: (f64, f64, f64, f64),
+    /// Confidence score.
+    pub score: f32,
+    /// Predicted class.
+    pub class: ObjectClass,
+}
+
+/// Intersection-over-union of two pixel boxes.
+pub fn iou(a: (f64, f64, f64, f64), b: (f64, f64, f64, f64)) -> f64 {
+    let (ax, ay, aw, ah) = a;
+    let (bx, by, bw, bh) = b;
+    let ix = (ax + aw).min(bx + bw) - ax.max(bx);
+    let iy = (ay + ah).min(by + bh) - ay.max(by);
+    if ix <= 0.0 || iy <= 0.0 {
+        return 0.0;
+    }
+    let inter = ix * iy;
+    let union = aw * ah + bw * bh - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Sorts candidates by descending score — the detector's ranking pass.
+///
+/// Deliberately a comparison sort over data-dependent keys (scores), the
+/// branch-misprediction source Table VII attributes SSD512's 9.78% rate
+/// to.
+pub fn rank_candidates(candidates: &mut [ScoredBox]) {
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+}
+
+/// Greedy per-class non-maximum suppression.
+///
+/// `candidates` need not be sorted; ranking happens internally. Boxes
+/// with score below `score_threshold` are discarded; surviving boxes
+/// suppress same-class boxes overlapping more than `iou_threshold`.
+pub fn nms(
+    candidates: &[ScoredBox],
+    score_threshold: f32,
+    iou_threshold: f64,
+) -> Vec<ScoredBox> {
+    let mut sorted: Vec<ScoredBox> =
+        candidates.iter().filter(|c| c.score >= score_threshold).copied().collect();
+    rank_candidates(&mut sorted);
+    let mut keep: Vec<ScoredBox> = Vec::new();
+    'candidate: for c in sorted {
+        for k in &keep {
+            if k.class == c.class && iou(k.bbox, c.bbox) > iou_threshold {
+                continue 'candidate;
+            }
+        }
+        keep.push(c);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(x: f64, score: f32, class: ObjectClass) -> ScoredBox {
+        ScoredBox { bbox: (x, 0.0, 10.0, 10.0), score, class }
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = (5.0, 5.0, 10.0, 20.0);
+        assert!((iou(b, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        assert_eq!(iou((0.0, 0.0, 10.0, 10.0), (20.0, 0.0, 10.0, 10.0)), 0.0);
+        assert_eq!(iou((0.0, 0.0, 10.0, 10.0), (0.0, 20.0, 10.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // Boxes sharing half their area: inter = 50, union = 150.
+        let v = iou((0.0, 0.0, 10.0, 10.0), (5.0, 0.0, 10.0, 10.0));
+        assert!((v - 50.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_symmetric() {
+        let a = (0.0, 0.0, 8.0, 12.0);
+        let b = (3.0, 4.0, 10.0, 6.0);
+        assert!((iou(a, b) - iou(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_sorts_descending() {
+        let mut boxes =
+            vec![boxed(0.0, 0.2, ObjectClass::Car), boxed(1.0, 0.9, ObjectClass::Car), boxed(2.0, 0.5, ObjectClass::Car)];
+        rank_candidates(&mut boxes);
+        let scores: Vec<f32> = boxes.iter().map(|b| b.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn nms_suppresses_overlapping_same_class() {
+        let candidates = vec![
+            boxed(0.0, 0.9, ObjectClass::Car),
+            boxed(1.0, 0.8, ObjectClass::Car), // IoU with first ≈ 0.82
+            boxed(30.0, 0.7, ObjectClass::Car),
+        ];
+        let keep = nms(&candidates, 0.1, 0.5);
+        assert_eq!(keep.len(), 2);
+        assert_eq!(keep[0].score, 0.9);
+        assert_eq!(keep[1].score, 0.7);
+    }
+
+    #[test]
+    fn nms_keeps_overlapping_different_classes() {
+        let candidates = vec![
+            boxed(0.0, 0.9, ObjectClass::Car),
+            boxed(1.0, 0.8, ObjectClass::Pedestrian),
+        ];
+        assert_eq!(nms(&candidates, 0.1, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn nms_applies_score_threshold() {
+        let candidates = vec![boxed(0.0, 0.05, ObjectClass::Car), boxed(30.0, 0.9, ObjectClass::Car)];
+        let keep = nms(&candidates, 0.1, 0.5);
+        assert_eq!(keep.len(), 1);
+        assert_eq!(keep[0].score, 0.9);
+    }
+
+    #[test]
+    fn nms_is_idempotent() {
+        let candidates = vec![
+            boxed(0.0, 0.9, ObjectClass::Car),
+            boxed(2.0, 0.8, ObjectClass::Car),
+            boxed(30.0, 0.7, ObjectClass::Pedestrian),
+            boxed(31.0, 0.6, ObjectClass::Pedestrian),
+        ];
+        let once = nms(&candidates, 0.1, 0.5);
+        let twice = nms(&once, 0.1, 0.5);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn nms_empty_input() {
+        assert!(nms(&[], 0.1, 0.5).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_box() -> impl Strategy<Value = ScoredBox> {
+        (0.0f64..500.0, 0.0f64..500.0, 1.0f64..100.0, 1.0f64..100.0, 0.0f32..1.0, 0u8..3)
+            .prop_map(|(x, y, w, h, score, class)| ScoredBox {
+                bbox: (x, y, w, h),
+                score,
+                class: match class {
+                    0 => ObjectClass::Car,
+                    1 => ObjectClass::Pedestrian,
+                    _ => ObjectClass::Cyclist,
+                },
+            })
+    }
+
+    proptest! {
+        /// IoU is always in [0, 1] and symmetric.
+        #[test]
+        fn iou_bounded_and_symmetric(a in arb_box(), b in arb_box()) {
+            let v = iou(a.bbox, b.bbox);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!((v - iou(b.bbox, a.bbox)).abs() < 1e-12);
+        }
+
+        /// NMS output: no same-class pair overlaps above the threshold, and
+        /// every kept box appears in the input.
+        #[test]
+        fn nms_postconditions(candidates in prop::collection::vec(arb_box(), 0..60)) {
+            let keep = nms(&candidates, 0.1, 0.5);
+            for (i, a) in keep.iter().enumerate() {
+                prop_assert!(candidates.contains(a));
+                for b in &keep[i + 1..] {
+                    if a.class == b.class {
+                        prop_assert!(iou(a.bbox, b.bbox) <= 0.5 + 1e-12);
+                    }
+                }
+            }
+            prop_assert!(keep.len() <= candidates.len());
+            // Scores descending.
+            for w in keep.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+        }
+
+        /// Ranking is a permutation sorted by score.
+        #[test]
+        fn ranking_is_sorted_permutation(mut boxes in prop::collection::vec(arb_box(), 0..50)) {
+            let original = boxes.clone();
+            rank_candidates(&mut boxes);
+            prop_assert_eq!(boxes.len(), original.len());
+            for w in boxes.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+            for b in &boxes {
+                prop_assert!(original.contains(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,663 @@
+//! Sensor-stream record/replay — the ROSBAG stand-in.
+//!
+//! The paper's methodology hinges on replaying the *same* recorded drive
+//! through every experiment. [`Bag`] gives the simulation the same
+//! property: generate the sensor streams once, serialize them, and replay
+//! byte-identical input under every detector configuration.
+
+use crate::{GnssFix, ImageFrame, ImuSample, LightState, RadarScan, RadarTarget, VisibleLight,
+    VisibleObject};
+use av_des::SimTime;
+use av_geom::Vec3;
+use av_pointcloud::{Point, PointCloud};
+use bytes::{Buf, BufMut};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"AVBAG02\n";
+
+/// One recorded sensor sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorSample {
+    /// A LiDAR sweep (sensor frame).
+    Lidar(PointCloud),
+    /// A camera frame.
+    Camera(ImageFrame),
+    /// A GNSS fix.
+    Gnss(GnssFix),
+    /// An inertial measurement.
+    Imu(ImuSample),
+    /// A radar scan (extension sensor).
+    Radar(RadarScan),
+}
+
+impl SensorSample {
+    fn tag(&self) -> u8 {
+        match self {
+            SensorSample::Lidar(_) => 0,
+            SensorSample::Camera(_) => 1,
+            SensorSample::Gnss(_) => 2,
+            SensorSample::Imu(_) => 3,
+            SensorSample::Radar(_) => 4,
+        }
+    }
+}
+
+/// A timestamped bag entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BagEntry {
+    /// Acquisition time.
+    pub time: SimTime,
+    /// The sample.
+    pub sample: SensorSample,
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BagError {
+    /// The byte stream does not start with the bag magic.
+    BadMagic,
+    /// The stream ended mid-record.
+    UnexpectedEof,
+    /// An unknown sample tag was encountered.
+    BadTag(u8),
+}
+
+impl fmt::Display for BagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BagError::BadMagic => write!(f, "not a bag: bad magic"),
+            BagError::UnexpectedEof => write!(f, "unexpected end of bag data"),
+            BagError::BadTag(t) => write!(f, "unknown sample tag {t}"),
+        }
+    }
+}
+
+impl Error for BagError {}
+
+/// An ordered recording of sensor samples.
+///
+/// ```
+/// use av_des::SimTime;
+/// use av_geom::Vec3;
+/// use av_pointcloud::PointCloud;
+/// use av_world::{Bag, SensorSample};
+///
+/// let mut bag = Bag::new();
+/// bag.push(SimTime::from_millis(100),
+///          SensorSample::Lidar(PointCloud::from_positions([Vec3::X])));
+/// let bytes = bag.encode();
+/// let back = Bag::decode(&bytes).unwrap();
+/// assert_eq!(back.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Bag {
+    entries: Vec<BagEntry>,
+}
+
+impl Bag {
+    /// Creates an empty bag.
+    pub fn new() -> Bag {
+        Bag::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last entry — recordings are
+    /// monotone.
+    pub fn push(&mut self, time: SimTime, sample: SensorSample) {
+        if let Some(last) = self.entries.last() {
+            assert!(time >= last.time, "bag entries must be time-ordered");
+        }
+        self.entries.push(BagEntry { time, sample });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the bag holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, in time order.
+    pub fn entries(&self) -> &[BagEntry] {
+        &self.entries
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, BagEntry> {
+        self.entries.iter()
+    }
+
+    /// Duration from first to last entry.
+    pub fn duration(&self) -> av_des::SimDuration {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(a), Some(b)) => b.time.saturating_since(a.time),
+            _ => av_des::SimDuration::ZERO,
+        }
+    }
+
+    /// Serializes the bag to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.entries.len() * 64);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.entries.len() as u32);
+        for entry in &self.entries {
+            buf.put_u64_le(entry.time.as_nanos());
+            buf.put_u8(entry.sample.tag());
+            match &entry.sample {
+                SensorSample::Lidar(cloud) => {
+                    buf.put_u32_le(cloud.len() as u32);
+                    for p in cloud.iter() {
+                        put_vec3(&mut buf, p.position);
+                        buf.put_f32_le(p.intensity);
+                        buf.put_u8(p.ring);
+                    }
+                }
+                SensorSample::Camera(frame) => {
+                    buf.put_u32_le(frame.width);
+                    buf.put_u32_le(frame.height);
+                    buf.put_f64_le(frame.clutter);
+                    buf.put_u32_le(frame.visible.len() as u32);
+                    for v in &frame.visible {
+                        buf.put_u32_le(v.id);
+                        buf.put_u8(kind_tag(v.kind));
+                        buf.put_f64_le(v.bbox.0);
+                        buf.put_f64_le(v.bbox.1);
+                        buf.put_f64_le(v.bbox.2);
+                        buf.put_f64_le(v.bbox.3);
+                        buf.put_f64_le(v.distance);
+                        buf.put_f64_le(v.occlusion);
+                    }
+                    buf.put_u32_le(frame.lights.len() as u32);
+                    for l in &frame.lights {
+                        buf.put_u32_le(l.id);
+                        buf.put_u8(light_tag(l.state));
+                        buf.put_f64_le(l.bbox.0);
+                        buf.put_f64_le(l.bbox.1);
+                        buf.put_f64_le(l.bbox.2);
+                        buf.put_f64_le(l.bbox.3);
+                        buf.put_f64_le(l.distance);
+                    }
+                }
+                SensorSample::Gnss(fix) => {
+                    put_vec3(&mut buf, fix.position);
+                    buf.put_f64_le(fix.accuracy);
+                }
+                SensorSample::Imu(imu) => {
+                    put_vec3(&mut buf, imu.linear_accel);
+                    buf.put_f64_le(imu.yaw_rate);
+                    buf.put_f64_le(imu.speed);
+                }
+                SensorSample::Radar(scan) => {
+                    buf.put_u32_le(scan.targets.len() as u32);
+                    for t in &scan.targets {
+                        buf.put_f64_le(t.range);
+                        buf.put_f64_le(t.bearing);
+                        buf.put_f64_le(t.range_rate);
+                        buf.put_f64_le(t.rcs);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a bag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BagError`] when the data is truncated, has the wrong
+    /// magic, or contains an unknown sample tag.
+    pub fn decode(mut data: &[u8]) -> Result<Bag, BagError> {
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            return Err(BagError::BadMagic);
+        }
+        data.advance(MAGIC.len());
+        let count = get_u32(&mut data)? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let time = SimTime::from_nanos(get_u64(&mut data)?);
+            let tag = get_u8(&mut data)?;
+            let sample = match tag {
+                0 => {
+                    let n = get_u32(&mut data)? as usize;
+                    let mut cloud = PointCloud::with_capacity(n.min(1 << 22));
+                    for _ in 0..n {
+                        let position = get_vec3(&mut data)?;
+                        let intensity = get_f32(&mut data)?;
+                        let ring = get_u8(&mut data)?;
+                        cloud.push(Point { position, intensity, ring });
+                    }
+                    SensorSample::Lidar(cloud)
+                }
+                1 => {
+                    let width = get_u32(&mut data)?;
+                    let height = get_u32(&mut data)?;
+                    let clutter = get_f64(&mut data)?;
+                    let n = get_u32(&mut data)? as usize;
+                    let mut visible = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let id = get_u32(&mut data)?;
+                        let kind = kind_from_tag(get_u8(&mut data)?)?;
+                        let bbox = (
+                            get_f64(&mut data)?,
+                            get_f64(&mut data)?,
+                            get_f64(&mut data)?,
+                            get_f64(&mut data)?,
+                        );
+                        let distance = get_f64(&mut data)?;
+                        let occlusion = get_f64(&mut data)?;
+                        visible.push(VisibleObject { id, kind, bbox, distance, occlusion });
+                    }
+                    let n_lights = get_u32(&mut data)? as usize;
+                    let mut lights = Vec::with_capacity(n_lights.min(1 << 10));
+                    for _ in 0..n_lights {
+                        let id = get_u32(&mut data)?;
+                        let state = light_from_tag(get_u8(&mut data)?)?;
+                        let bbox = (
+                            get_f64(&mut data)?,
+                            get_f64(&mut data)?,
+                            get_f64(&mut data)?,
+                            get_f64(&mut data)?,
+                        );
+                        let distance = get_f64(&mut data)?;
+                        lights.push(VisibleLight { id, state, bbox, distance });
+                    }
+                    SensorSample::Camera(ImageFrame { width, height, visible, lights, clutter })
+                }
+                2 => {
+                    let position = get_vec3(&mut data)?;
+                    let accuracy = get_f64(&mut data)?;
+                    SensorSample::Gnss(GnssFix { position, accuracy })
+                }
+                3 => {
+                    let linear_accel = get_vec3(&mut data)?;
+                    let yaw_rate = get_f64(&mut data)?;
+                    let speed = get_f64(&mut data)?;
+                    SensorSample::Imu(ImuSample { linear_accel, yaw_rate, speed })
+                }
+                4 => {
+                    let n = get_u32(&mut data)? as usize;
+                    let mut targets = Vec::with_capacity(n.min(1 << 12));
+                    for _ in 0..n {
+                        targets.push(RadarTarget {
+                            range: get_f64(&mut data)?,
+                            bearing: get_f64(&mut data)?,
+                            range_rate: get_f64(&mut data)?,
+                            rcs: get_f64(&mut data)?,
+                        });
+                    }
+                    SensorSample::Radar(RadarScan { targets })
+                }
+                other => return Err(BagError::BadTag(other)),
+            };
+            entries.push(BagEntry { time, sample });
+        }
+        Ok(Bag { entries })
+    }
+
+    /// Writes the bag to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Reads a bag from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; decode failures surface as
+    /// `InvalidData` I/O errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Bag> {
+        let data = std::fs::read(path)?;
+        Bag::decode(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn kind_tag(kind: crate::AgentKind) -> u8 {
+    match kind {
+        crate::AgentKind::Car => 0,
+        crate::AgentKind::Pedestrian => 1,
+        crate::AgentKind::Cyclist => 2,
+    }
+}
+
+fn light_tag(state: LightState) -> u8 {
+    match state {
+        LightState::Green => 0,
+        LightState::Yellow => 1,
+        LightState::Red => 2,
+    }
+}
+
+fn light_from_tag(tag: u8) -> Result<LightState, BagError> {
+    match tag {
+        0 => Ok(LightState::Green),
+        1 => Ok(LightState::Yellow),
+        2 => Ok(LightState::Red),
+        other => Err(BagError::BadTag(other)),
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<crate::AgentKind, BagError> {
+    match tag {
+        0 => Ok(crate::AgentKind::Car),
+        1 => Ok(crate::AgentKind::Pedestrian),
+        2 => Ok(crate::AgentKind::Cyclist),
+        other => Err(BagError::BadTag(other)),
+    }
+}
+
+fn put_vec3(buf: &mut Vec<u8>, v: Vec3) {
+    buf.put_f64_le(v.x);
+    buf.put_f64_le(v.y);
+    buf.put_f64_le(v.z);
+}
+
+fn get_u8(data: &mut &[u8]) -> Result<u8, BagError> {
+    if data.remaining() < 1 {
+        return Err(BagError::UnexpectedEof);
+    }
+    Ok(data.get_u8())
+}
+
+fn get_u32(data: &mut &[u8]) -> Result<u32, BagError> {
+    if data.remaining() < 4 {
+        return Err(BagError::UnexpectedEof);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn get_u64(data: &mut &[u8]) -> Result<u64, BagError> {
+    if data.remaining() < 8 {
+        return Err(BagError::UnexpectedEof);
+    }
+    Ok(data.get_u64_le())
+}
+
+fn get_f32(data: &mut &[u8]) -> Result<f32, BagError> {
+    if data.remaining() < 4 {
+        return Err(BagError::UnexpectedEof);
+    }
+    Ok(data.get_f32_le())
+}
+
+fn get_f64(data: &mut &[u8]) -> Result<f64, BagError> {
+    if data.remaining() < 8 {
+        return Err(BagError::UnexpectedEof);
+    }
+    Ok(data.get_f64_le())
+}
+
+fn get_vec3(data: &mut &[u8]) -> Result<Vec3, BagError> {
+    Ok(Vec3::new(get_f64(data)?, get_f64(data)?, get_f64(data)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AgentKind;
+
+    fn sample_bag() -> Bag {
+        let mut bag = Bag::new();
+        let mut cloud = PointCloud::new();
+        cloud.push(Point { position: Vec3::new(1.5, -2.5, 0.25), intensity: 0.8, ring: 7 });
+        cloud.push(Point { position: Vec3::new(-4.0, 3.0, 1.0), intensity: 0.3, ring: 0 });
+        bag.push(SimTime::from_millis(100), SensorSample::Lidar(cloud));
+        bag.push(
+            SimTime::from_millis(133),
+            SensorSample::Camera(ImageFrame {
+                width: 1280,
+                height: 960,
+                visible: vec![VisibleObject {
+                    id: 42,
+                    kind: AgentKind::Pedestrian,
+                    bbox: (10.0, 20.0, 30.0, 40.0),
+                    distance: 12.5,
+                    occlusion: 0.25,
+                }],
+                lights: vec![VisibleLight {
+                    id: 2,
+                    state: LightState::Red,
+                    bbox: (100.0, 50.0, 8.0, 8.0),
+                    distance: 40.0,
+                }],
+                clutter: 7.5,
+            }),
+        );
+        bag.push(
+            SimTime::from_millis(200),
+            SensorSample::Gnss(GnssFix { position: Vec3::new(5.0, 6.0, 0.0), accuracy: 1.5 }),
+        );
+        bag.push(
+            SimTime::from_millis(210),
+            SensorSample::Imu(ImuSample {
+                linear_accel: Vec3::new(0.1, -0.2, 0.0),
+                yaw_rate: 0.05,
+                speed: 8.1,
+            }),
+        );
+        bag.push(
+            SimTime::from_millis(250),
+            SensorSample::Radar(RadarScan {
+                targets: vec![RadarTarget {
+                    range: 92.5,
+                    bearing: -0.05,
+                    range_rate: -11.0,
+                    rcs: 9.7,
+                }],
+            }),
+        );
+        bag
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let bag = sample_bag();
+        let decoded = Bag::decode(&bag.encode()).unwrap();
+        assert_eq!(bag, decoded);
+    }
+
+    #[test]
+    fn empty_bag_roundtrips() {
+        let bag = Bag::new();
+        assert_eq!(Bag::decode(&bag.encode()).unwrap(), bag);
+        assert!(bag.is_empty());
+        assert_eq!(bag.duration(), av_des::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_spans_entries() {
+        let bag = sample_bag();
+        assert_eq!(bag.duration(), av_des::SimDuration::from_millis(150));
+        assert_eq!(bag.len(), 5);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Bag::decode(b"NOTABAG!....."), Err(BagError::BadMagic));
+        assert_eq!(Bag::decode(b""), Err(BagError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let bytes = sample_bag().encode();
+        for cut in [9, 13, 20, bytes.len() - 1] {
+            assert_eq!(
+                Bag::decode(&bytes[..cut]),
+                Err(BagError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut bytes = Vec::new();
+        bytes.put_slice(MAGIC);
+        bytes.put_u32_le(1);
+        bytes.put_u64_le(0);
+        bytes.put_u8(9); // invalid tag
+        assert_eq!(Bag::decode(&bytes), Err(BagError::BadTag(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut bag = Bag::new();
+        bag.push(SimTime::from_millis(10), SensorSample::Gnss(GnssFix {
+            position: Vec3::ZERO,
+            accuracy: 1.0,
+        }));
+        bag.push(SimTime::from_millis(5), SensorSample::Gnss(GnssFix {
+            position: Vec3::ZERO,
+            accuracy: 1.0,
+        }));
+    }
+
+    #[test]
+    fn file_save_load() {
+        let bag = sample_bag();
+        let path = std::env::temp_dir().join("av_world_bag_test.avbag");
+        bag.save(&path).unwrap();
+        let loaded = Bag::load(&path).unwrap();
+        assert_eq!(bag, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(BagError::BadMagic.to_string().contains("magic"));
+        assert!(BagError::BadTag(3).to_string().contains('3'));
+        assert!(BagError::UnexpectedEof.to_string().contains("end"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::AgentKind;
+    use proptest::prelude::*;
+
+    fn arb_sample() -> impl Strategy<Value = SensorSample> {
+        prop_oneof![
+            prop::collection::vec(
+                ((-100.0f64..100.0), (-100.0f64..100.0), (-5.0f64..5.0), (0.0f32..1.0), 0u8..16),
+                0..40
+            )
+            .prop_map(|pts| {
+                let mut cloud = PointCloud::new();
+                for (x, y, z, intensity, ring) in pts {
+                    cloud.push(Point { position: Vec3::new(x, y, z), intensity, ring });
+                }
+                SensorSample::Lidar(cloud)
+            }),
+            prop::collection::vec(
+                (0u32..100, 0u8..3, (0.0f64..1000.0), (0.0f64..1000.0), (1.0f64..100.0)),
+                0..10
+            )
+            .prop_map(|objs| {
+                SensorSample::Camera(ImageFrame {
+                    width: 1280,
+                    height: 960,
+                    visible: objs
+                        .iter()
+                        .map(|&(id, k, x, y, d)| VisibleObject {
+                            id,
+                            kind: match k {
+                                0 => AgentKind::Car,
+                                1 => AgentKind::Pedestrian,
+                                _ => AgentKind::Cyclist,
+                            },
+                            bbox: (x, y, 10.0, 10.0),
+                            distance: d,
+                            occlusion: 0.0,
+                        })
+                        .collect(),
+                    lights: vec![],
+                    clutter: objs.len() as f64,
+                })
+            }),
+            ((-500.0f64..500.0), (-500.0f64..500.0), (0.5f64..5.0)).prop_map(|(x, y, a)| {
+                SensorSample::Gnss(GnssFix { position: Vec3::new(x, y, 0.0), accuracy: a })
+            }),
+            ((-2.0f64..2.0), (-0.5f64..0.5), (0.0f64..30.0)).prop_map(|(ax, yr, v)| {
+                SensorSample::Imu(ImuSample {
+                    linear_accel: Vec3::new(ax, 0.0, 0.0),
+                    yaw_rate: yr,
+                    speed: v,
+                })
+            }),
+            prop::collection::vec(
+                ((1.0f64..150.0), (-0.5f64..0.5), (-30.0f64..30.0), (0.0f64..12.0)),
+                0..20
+            )
+            .prop_map(|ts| {
+                SensorSample::Radar(RadarScan {
+                    targets: ts
+                        .iter()
+                        .map(|&(range, bearing, range_rate, rcs)| RadarTarget {
+                            range,
+                            bearing,
+                            range_rate,
+                            rcs,
+                        })
+                        .collect(),
+                })
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Any bag of any sample mix round-trips losslessly.
+        #[test]
+        fn arbitrary_bags_roundtrip(
+            samples in prop::collection::vec((0u64..1_000_000, arb_sample()), 0..25),
+        ) {
+            let mut samples = samples;
+            samples.sort_by_key(|(t, _)| *t);
+            let mut bag = Bag::new();
+            for (t, sample) in samples {
+                bag.push(SimTime::from_micros(t), sample);
+            }
+            let decoded = Bag::decode(&bag.encode()).unwrap();
+            prop_assert_eq!(bag, decoded);
+        }
+
+        /// Arbitrary byte soup never panics the decoder — it errors.
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+            let _ = Bag::decode(&bytes);
+        }
+
+        /// Truncating a valid bag anywhere yields an error, not a panic.
+        #[test]
+        fn decoder_handles_truncation(cut_fraction in 0.0f64..1.0) {
+            let mut bag = Bag::new();
+            let mut cloud = PointCloud::new();
+            for i in 0..20 {
+                cloud.push(Point::new(i as f64, 0.0, 0.0));
+            }
+            bag.push(SimTime::from_millis(1), SensorSample::Lidar(cloud));
+            bag.push(
+                SimTime::from_millis(2),
+                SensorSample::Gnss(GnssFix { position: Vec3::ZERO, accuracy: 1.0 }),
+            );
+            let bytes = bag.encode();
+            let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+            if cut < bytes.len() {
+                prop_assert!(Bag::decode(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

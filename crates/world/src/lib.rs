@@ -1,0 +1,42 @@
+//! Synthetic drive generation: the stand-in for the paper's Nagoya ROSBAG.
+//!
+//! The authors stimulate Autoware with an 8-minute recording of real sensor
+//! data (LiDAR sweeps, camera frames, GNSS, IMU) so that every experiment
+//! replays identical input. That recording is not redistributable, so this
+//! crate builds the closest controllable equivalent:
+//!
+//! * [`World`] — a deterministic urban scenario: a closed-loop route
+//!   through a city block, buildings lining the street, traffic vehicles
+//!   and pedestrians with time-varying density. The *scene complexity over
+//!   time* is the property that drives per-frame cost variation in the
+//!   paper's Fig 5, and it is fully parameterized here.
+//! * [`LidarModel`] — a spinning multi-beam raycaster producing real point
+//!   clouds against the world geometry (ground, buildings, agents), with
+//!   range noise.
+//! * [`CameraModel`] — a pinhole projection producing per-frame lists of
+//!   visible objects with 2D boxes, occlusion and clutter estimates (the
+//!   input the vision-detection node consumes).
+//! * [`Bag`] — a binary record/replay container for the generated sensor
+//!   streams, mirroring the ROSBAG workflow: generate once, replay the
+//!   identical byte stream through every experiment.
+
+#![warn(missing_docs)]
+
+mod bag;
+mod camera;
+mod lidar;
+mod nav;
+mod radar;
+mod route;
+mod scenario;
+
+pub use bag::{Bag, BagEntry, BagError, SensorSample};
+pub use camera::{CameraConfig, CameraModel, ImageFrame, VisibleLight, VisibleObject};
+pub use lidar::{LidarConfig, LidarModel};
+pub use nav::{GnssFix, ImuSample};
+pub use radar::{RadarConfig, RadarModel, RadarScan, RadarTarget};
+pub use route::Route;
+pub use scenario::{
+    AgentKind, EgoState, LightState, ObstacleBox, Scene, SceneObject, ScenarioConfig,
+    TrafficLight, World,
+};

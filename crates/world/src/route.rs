@@ -1,0 +1,252 @@
+//! The closed-loop drive route.
+
+use av_geom::{normalize_angle, Pose, Vec2};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// A rounded-rectangle circuit in the XY plane, parameterized by arc
+/// length.
+///
+/// The route models a city-block loop: two straights of length `2·half_w`
+/// and `2·half_h` (minus the corners) joined by quarter-circle corners of
+/// radius `corner_radius`. Arc length `s = 0` is the middle of the bottom
+/// straight, increasing counter-clockwise; `s` wraps modulo
+/// [`Route::length`].
+///
+/// ```
+/// use av_world::Route;
+/// let route = Route::new(150.0, 100.0, 20.0);
+/// let pose = route.pose_at(0.0);
+/// assert!((pose.yaw()).abs() < 1e-9); // heading +X on the bottom straight
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Route {
+    half_w: f64,
+    half_h: f64,
+    corner_radius: f64,
+    straight_w: f64,
+    straight_h: f64,
+    length: f64,
+}
+
+impl Route {
+    /// Creates a circuit with the given half-extents and corner radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `corner_radius` is positive and smaller than both
+    /// half-extents.
+    pub fn new(half_w: f64, half_h: f64, corner_radius: f64) -> Route {
+        assert!(corner_radius > 0.0, "corner radius must be positive");
+        assert!(
+            corner_radius < half_w && corner_radius < half_h,
+            "corner radius must fit inside the rectangle"
+        );
+        let straight_w = 2.0 * (half_w - corner_radius);
+        let straight_h = 2.0 * (half_h - corner_radius);
+        let length = 2.0 * straight_w + 2.0 * straight_h + 2.0 * PI * corner_radius;
+        Route { half_w, half_h, corner_radius, straight_w, straight_h, length }
+    }
+
+    /// Total circuit length, meters.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Pose (position + heading) at arc length `s` (wraps modulo length).
+    /// The pose sits on the centerline at `z = 0`, heading along increasing
+    /// `s` (counter-clockwise).
+    pub fn pose_at(&self, s: f64) -> Pose {
+        self.pose_with_offset(s, 0.0)
+    }
+
+    /// Pose at arc length `s`, displaced `lateral` meters to the *left* of
+    /// the direction of travel (so positive offsets move toward the loop
+    /// center... no — toward the outside on the bottom straight's left,
+    /// i.e. +Y). Lanes and sidewalks are built with this.
+    pub fn pose_with_offset(&self, s: f64, lateral: f64) -> Pose {
+        let (center, heading) = self.centerline(s);
+        let left = Vec2::new(-heading.sin(), heading.cos());
+        let pos = center + left * lateral;
+        Pose::planar(pos.x, pos.y, heading)
+    }
+
+    fn centerline(&self, s: f64) -> (Vec2, f64) {
+        let r = self.corner_radius;
+        let quarter = FRAC_PI_2 * r;
+        let mut s = s.rem_euclid(self.length);
+
+        // Segment 1: bottom straight, left-to-right, y = -half_h.
+        let half_sw = self.straight_w / 2.0;
+        if s < half_sw {
+            return (Vec2::new(s, -self.half_h), 0.0);
+        }
+        s -= half_sw;
+        // Corner 1: bottom-right.
+        if s < quarter {
+            let a = s / r; // 0..π/2
+            let c = Vec2::new(half_sw, -self.half_h + r);
+            let pos = c + Vec2::new(a.sin(), -a.cos()) * r;
+            return (pos, normalize_angle(a));
+        }
+        s -= quarter;
+        // Segment 2: right straight, upward, x = half_w.
+        if s < self.straight_h {
+            return (Vec2::new(self.half_w, -self.half_h + r + s), FRAC_PI_2);
+        }
+        s -= self.straight_h;
+        // Corner 2: top-right.
+        if s < quarter {
+            let a = s / r;
+            let c = Vec2::new(half_sw, self.half_h - r);
+            let pos = c + Vec2::new(a.cos(), a.sin()) * r;
+            return (pos, normalize_angle(FRAC_PI_2 + a));
+        }
+        s -= quarter;
+        // Segment 3: top straight, right-to-left, y = half_h.
+        if s < self.straight_w {
+            return (Vec2::new(half_sw - s, self.half_h), PI);
+        }
+        s -= self.straight_w;
+        // Corner 3: top-left.
+        if s < quarter {
+            let a = s / r;
+            let c = Vec2::new(-half_sw, self.half_h - r);
+            let pos = c + Vec2::new(-a.sin(), a.cos()) * r;
+            return (pos, normalize_angle(PI + a));
+        }
+        s -= quarter;
+        // Segment 4: left straight, downward, x = -half_w.
+        if s < self.straight_h {
+            return (Vec2::new(-self.half_w, self.half_h - r - s), -FRAC_PI_2);
+        }
+        s -= self.straight_h;
+        // Corner 4: bottom-left.
+        if s < quarter {
+            let a = s / r;
+            let c = Vec2::new(-half_sw, -self.half_h + r);
+            let pos = c + Vec2::new(-a.cos(), -a.sin()) * r;
+            return (pos, normalize_angle(-FRAC_PI_2 + a));
+        }
+        // Remainder of bottom straight back to s = 0.
+        (Vec2::new(-half_sw + (s - quarter), -self.half_h), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route() -> Route {
+        Route::new(150.0, 100.0, 20.0)
+    }
+
+    #[test]
+    fn length_matches_geometry() {
+        let r = route();
+        let want = 2.0 * 260.0 + 2.0 * 160.0 + 2.0 * PI * 20.0;
+        assert!((r.length() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wraps_modulo_length() {
+        let r = route();
+        let a = r.pose_at(5.0);
+        let b = r.pose_at(5.0 + r.length());
+        let c = r.pose_at(5.0 - r.length());
+        assert!((a.translation - b.translation).norm() < 1e-9);
+        assert!((a.translation - c.translation).norm() < 1e-9);
+    }
+
+    #[test]
+    fn pose_is_continuous() {
+        let r = route();
+        let n = 2000;
+        let step = r.length() / n as f64;
+        let mut prev = r.pose_at(0.0);
+        for i in 1..=n {
+            let cur = r.pose_at(i as f64 * step);
+            let jump = prev.translation.distance(cur.translation);
+            assert!(jump < 2.0 * step, "discontinuity at s = {}", i as f64 * step);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn heading_points_along_travel() {
+        let r = route();
+        let ds = 0.01;
+        for s in [0.0, 50.0, 200.0, 400.0, 600.0, 800.0] {
+            let pose = r.pose_at(s);
+            let next = r.pose_at(s + ds);
+            let motion = (next.translation - pose.translation).truncate().normalized();
+            let heading = Vec2::new(pose.yaw().cos(), pose.yaw().sin());
+            assert!(
+                motion.dot(heading) > 0.99,
+                "heading disagrees with motion at s = {s}: {} vs {}",
+                motion.angle(),
+                pose.yaw()
+            );
+        }
+    }
+
+    #[test]
+    fn lateral_offset_is_perpendicular() {
+        let r = route();
+        for s in [10.0, 300.0, 500.0] {
+            let center = r.pose_at(s);
+            let off = r.pose_with_offset(s, 3.0);
+            assert!((center.translation.distance(off.translation) - 3.0).abs() < 1e-9);
+            assert!((center.yaw() - off.yaw()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circuit_stays_within_bounds() {
+        let r = route();
+        for i in 0..1000 {
+            let p = r.pose_at(i as f64 * r.length() / 1000.0).translation;
+            assert!(p.x.abs() <= 150.0 + 1e-9 && p.y.abs() <= 100.0 + 1e-9, "{p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corner radius")]
+    fn oversized_corner_panics() {
+        let _ = Route::new(10.0, 100.0, 20.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arc-length parameterization: |pose(s+ds) − pose(s)| ≈ ds for any
+        /// valid geometry and position.
+        #[test]
+        fn arc_length_is_metric(
+            half_w in 50.0f64..300.0,
+            half_h in 50.0f64..300.0,
+            radius in 5.0f64..40.0,
+            s in 0.0f64..5000.0,
+        ) {
+            prop_assume!(radius < half_w.min(half_h));
+            let route = Route::new(half_w, half_h, radius);
+            let ds = 0.05;
+            let a = route.pose_at(s).translation;
+            let b = route.pose_at(s + ds).translation;
+            let moved = a.distance(b);
+            prop_assert!((moved - ds).abs() < 0.01, "moved {} for ds {}", moved, ds);
+        }
+
+        /// Lateral offsets preserve distance to the centerline everywhere.
+        #[test]
+        fn offset_distance_preserved(s in 0.0f64..3000.0, lateral in -8.0f64..8.0) {
+            let route = Route::new(150.0, 100.0, 20.0);
+            let c = route.pose_at(s).translation;
+            let o = route.pose_with_offset(s, lateral).translation;
+            prop_assert!((c.distance(o) - lateral.abs()).abs() < 1e-9);
+        }
+    }
+}

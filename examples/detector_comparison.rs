@@ -1,0 +1,55 @@
+//! Detector comparison: the paper's central experiment — how the choice
+//! of SSD512 / SSD300 / YOLOv3 moves latency, drops, and power.
+//!
+//! ```text
+//! cargo run --release --example detector_comparison [seconds]
+//! ```
+
+use av_core::stack::{run_drive, RunConfig, StackConfig};
+use av_core::topics::nodes;
+use av_profiling::Table;
+use av_vision::DetectorKind;
+
+fn main() {
+    let seconds: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let run = RunConfig { duration_s: Some(seconds) };
+
+    let mut table = Table::with_headers(&[
+        "Detector",
+        "Vision mean (ms)",
+        "Vision p99",
+        "Camera drops",
+        "E2E worst path",
+        "E2E mean (ms)",
+        "GPU power (W)",
+    ]);
+
+    for kind in DetectorKind::ALL {
+        let report = run_drive(&StackConfig::paper_default(kind), &run);
+        let vision = report.node_summary(nodes::VISION_DETECTION);
+        let drops = report
+            .drops
+            .iter()
+            .find(|d| d.topic == "/image_raw")
+            .map(|d| d.drop_rate())
+            .unwrap_or(0.0);
+        let (worst, e2e) = report.end_to_end().expect("paths recorded");
+        table.add_row(vec![
+            kind.to_string(),
+            format!("{:.1}", vision.mean),
+            format!("{:.1}", vision.p99),
+            format!("{:.1}%", drops * 100.0),
+            worst,
+            format!("{:.1}", e2e.mean),
+            format!("{:.1}", report.power.gpu_w),
+        ]);
+    }
+
+    println!("Detector comparison over a {seconds:.0} s drive:\n{table}");
+    println!(
+        "The paper's shape: SSD512 is the slowest and drops ~16% of camera \
+         frames; with the faster detectors the LiDAR cluster path becomes \
+         the end-to-end bottleneck."
+    );
+}

@@ -1,0 +1,36 @@
+//! Quickstart: run a short drive through the full perception stack and
+//! print the paper-style latency report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use av_core::stack::{run_drive, RunConfig, StackConfig};
+use av_vision::DetectorKind;
+
+fn main() {
+    // Configure a stack: pick the vision detector (the paper's
+    // experimental variable) and a scenario.
+    let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+
+    // Drive for 20 virtual seconds.
+    let report = run_drive(&config, &RunConfig { duration_s: Some(20.0) });
+
+    println!("Per-node latency (Fig 5 style):\n{}", report.node_table());
+    println!("Computation paths (Fig 6 style):\n{}", report.path_table());
+
+    if let Some((name, e2e)) = report.end_to_end() {
+        println!(
+            "End-to-end perception latency (worst path: {name}): mean {:.1} ms, p99 {:.1} ms",
+            e2e.mean, e2e.p99
+        );
+    }
+    println!(
+        "Platform: CPU {:.0}% / GPU {:.0}% utilized, {:.1} W + {:.1} W; localization error {:.2} m",
+        report.cpu.utilization(report.cores, report.elapsed) * 100.0,
+        report.gpu.utilization(report.elapsed) * 100.0,
+        report.power.cpu_w,
+        report.power.gpu_w,
+        report.localization_error_m,
+    );
+}

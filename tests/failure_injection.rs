@@ -1,0 +1,111 @@
+//! Failure injection: sensor blackouts and the extension sensors.
+//!
+//! The paper stresses "stimulating the AV system on a varied number of
+//! situations to capture such flaws" (§IV-A); these tests inject sensor
+//! outages and verify the stack degrades gracefully and recovers.
+
+use av_core::stack::{run_drive, Blackout, RunConfig, StackConfig};
+use av_core::topics::nodes;
+use av_ros::Source;
+use av_vision::DetectorKind;
+
+fn run(config: &StackConfig, seconds: f64) -> av_core::stack::RunReport {
+    run_drive(config, &RunConfig { duration_s: Some(seconds) })
+}
+
+#[test]
+fn lidar_blackout_suspends_the_lidar_pipeline_then_recovers() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.blackouts =
+        vec![Blackout { source: Source::Lidar, from_s: 4.0, to_s: 7.0 }];
+    let report = run(&config, 20.0);
+    let baseline = run(&StackConfig::smoke_test(DetectorKind::YoloV3), 20.0);
+
+    // ~30 sweeps lost out of ~120.
+    let got = report.node_summary(nodes::VOXEL_GRID_FILTER).count;
+    let want = baseline.node_summary(nodes::VOXEL_GRID_FILTER).count;
+    assert!(
+        got + 25 <= want && got + 40 >= want,
+        "blackout should cost ~30 sweeps: {got} vs {want}"
+    );
+
+    // Localization degrades during the outage (dead reckoning + GNSS
+    // reseed keep it bounded) and RECOVERS once sweeps return.
+    assert!(
+        report.localization_error_m < 8.0,
+        "localization lost entirely during a 3 s LiDAR outage: {} m",
+        report.localization_error_m
+    );
+    assert!(
+        report.localization_error_final_m < 1.0,
+        "localization must re-converge after the outage: {} m",
+        report.localization_error_final_m
+    );
+    assert!(
+        report.localization_error_m > baseline.localization_error_m,
+        "the outage must actually hurt"
+    );
+}
+
+#[test]
+fn camera_blackout_starves_only_the_vision_chain() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.blackouts =
+        vec![Blackout { source: Source::Camera, from_s: 3.0, to_s: 8.0 }];
+    let report = run(&config, 12.0);
+    let baseline = run(&StackConfig::smoke_test(DetectorKind::YoloV3), 12.0);
+
+    // Vision (and everything fusion-triggered) loses ~5 s of frames...
+    let vision_lost = baseline.node_summary(nodes::VISION_DETECTION).count
+        - report.node_summary(nodes::VISION_DETECTION).count;
+    assert!(vision_lost >= 60, "camera outage must starve the detector: lost {vision_lost}");
+    // ...while the LiDAR pipeline is untouched.
+    assert_eq!(
+        report.node_summary(nodes::RAY_GROUND_FILTER).count,
+        baseline.node_summary(nodes::RAY_GROUND_FILTER).count,
+    );
+    // The costmap-from-points path still produces output throughout.
+    let costmap = report.path_summary("costmap_points");
+    assert!(costmap.count >= 110, "points costmap must keep running: {}", costmap.count);
+}
+
+#[test]
+fn radar_extension_feeds_the_tracker() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.with_radar = true;
+    let report = run(&config, 10.0);
+    // The radar node runs at 20 Hz.
+    let radar = report.node_summary(nodes::RADAR_DETECTION);
+    assert!((150..=210).contains(&radar.count), "radar frames: {}", radar.count);
+    // The tracker now processes both streams: fusion (15 Hz) + radar (20 Hz).
+    let tracker = report.node_summary(nodes::IMM_UKF_PDA_TRACKER);
+    let baseline = run(&StackConfig::smoke_test(DetectorKind::YoloV3), 10.0);
+    let tracker_base = baseline.node_summary(nodes::IMM_UKF_PDA_TRACKER);
+    assert!(
+        tracker.count > tracker_base.count + 100,
+        "tracker must consume the radar stream: {} vs {}",
+        tracker.count,
+        tracker_base.count
+    );
+}
+
+#[test]
+fn traffic_light_extension_recognizes_lights() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.with_traffic_lights = true;
+    // Drive long enough to pass a signal.
+    let report = run(&config, 15.0);
+    let tlr = report.node_summary(nodes::TRAFFIC_LIGHT_RECOGNITION);
+    assert!(tlr.count > 100, "recognition runs per camera frame: {}", tlr.count);
+}
+
+#[test]
+fn radar_blackout_only_silences_radar() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.with_radar = true;
+    config.blackouts =
+        vec![Blackout { source: Source::Radar, from_s: 0.0, to_s: 100.0 }];
+    let report = run(&config, 8.0);
+    assert_eq!(report.node_summary(nodes::RADAR_DETECTION).count, 0);
+    assert!(report.node_summary(nodes::VISION_DETECTION).count > 80);
+}

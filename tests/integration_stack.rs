@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full stack drives end to end and its
+//! outputs are *functionally* meaningful (not just latency numbers).
+
+use av_core::stack::{run_drive, RunConfig, StackConfig};
+use av_core::topics::nodes;
+use av_vision::DetectorKind;
+
+fn smoke(detector: DetectorKind, seconds: f64) -> av_core::stack::RunReport {
+    run_drive(&StackConfig::smoke_test(detector), &RunConfig { duration_s: Some(seconds) })
+}
+
+#[test]
+fn every_perception_node_processes_frames() {
+    let report = smoke(DetectorKind::YoloV3, 8.0);
+    // LiDAR at 10 Hz for 8 s → ~80 sweeps through the LiDAR pipeline.
+    for node in [
+        nodes::VOXEL_GRID_FILTER,
+        nodes::NDT_MATCHING,
+        nodes::RAY_GROUND_FILTER,
+        nodes::EUCLIDEAN_CLUSTER,
+        nodes::COSTMAP_GENERATOR,
+    ] {
+        let s = report.node_summary(node);
+        assert!(s.count >= 70, "{node} processed only {} frames", s.count);
+    }
+    // Camera at 15 Hz → ~120 frames.
+    let vision = report.node_summary(nodes::VISION_DETECTION);
+    assert!(vision.count >= 100, "vision processed {} frames", vision.count);
+    // The downstream chain runs at the camera rate (fusion triggers on
+    // vision).
+    for node in
+        [nodes::RANGE_VISION_FUSION, nodes::IMM_UKF_PDA_TRACKER, nodes::NAIVE_MOTION_PREDICT]
+    {
+        let s = report.node_summary(node);
+        assert!(s.count >= 100, "{node} processed {} frames", s.count);
+    }
+}
+
+#[test]
+fn localization_stays_converged_for_all_detectors() {
+    for detector in DetectorKind::ALL {
+        let report = smoke(detector, 8.0);
+        assert!(
+            report.localization_error_m < 1.5,
+            "{detector}: localization error {} m",
+            report.localization_error_m
+        );
+    }
+}
+
+#[test]
+fn latency_ordering_matches_paper_shape() {
+    // Fig 5's coarse shape: vision detection is the most expensive node
+    // with SSD512; relays and prediction are cheap everywhere.
+    let ssd = smoke(DetectorKind::Ssd512, 8.0);
+    let vision = ssd.node_summary(nodes::VISION_DETECTION);
+    for node in [nodes::VOXEL_GRID_FILTER, nodes::NAIVE_MOTION_PREDICT, nodes::UKF_TRACK_RELAY] {
+        assert!(
+            vision.mean > ssd.node_summary(node).mean,
+            "vision must dominate {node}"
+        );
+    }
+    assert!(vision.mean > 60.0, "SSD512 mean {}", vision.mean);
+    // And the relay really is a relay.
+    assert!(ssd.node_summary(nodes::UKF_TRACK_RELAY).mean < 1.0);
+}
+
+#[test]
+fn ssd512_drops_camera_frames_others_do_not() {
+    let ssd = smoke(DetectorKind::Ssd512, 10.0);
+    let image_drops = |r: &av_core::stack::RunReport| {
+        r.drops
+            .iter()
+            .find(|d| d.topic == "/image_raw")
+            .map(|d| d.drop_rate())
+            .unwrap_or(0.0)
+    };
+    assert!(image_drops(&ssd) > 0.05, "SSD512 must drop camera frames (Table III)");
+    let yolo = smoke(DetectorKind::YoloV3, 10.0);
+    assert!(image_drops(&yolo) < 0.02, "YOLO must keep up with the camera");
+}
+
+#[test]
+fn gpu_usage_only_from_gpu_nodes() {
+    let report = smoke(DetectorKind::Ssd300, 8.0);
+    let gpu_nodes: Vec<&String> = report.gpu.busy_by_client.keys().collect();
+    for node in &gpu_nodes {
+        assert!(
+            node.as_str() == nodes::VISION_DETECTION || node.as_str() == nodes::EUCLIDEAN_CLUSTER,
+            "unexpected GPU client {node}"
+        );
+    }
+    assert!(report.gpu.busy_by_client.contains_key(nodes::VISION_DETECTION));
+    assert!(report.gpu.busy_by_client.contains_key(nodes::EUCLIDEAN_CLUSTER));
+}
+
+#[test]
+fn power_tracks_detector_choice() {
+    // Table VI's shape: SSD512 and YOLO burn far more GPU power than
+    // SSD300; CPU power varies much less.
+    let reports: Vec<_> = DetectorKind::ALL.iter().map(|&k| smoke(k, 8.0)).collect();
+    let (ssd512, ssd300, yolo) = (&reports[0], &reports[1], &reports[2]);
+    assert!(ssd512.power.gpu_w > ssd300.power.gpu_w + 20.0);
+    assert!(yolo.power.gpu_w > ssd300.power.gpu_w + 20.0);
+    let cpu_spread = reports
+        .iter()
+        .map(|r| r.power.cpu_w)
+        .fold(f64::NEG_INFINITY, f64::max)
+        - reports.iter().map(|r| r.power.cpu_w).fold(f64::INFINITY, f64::min);
+    assert!(cpu_spread < 10.0, "CPU power must vary little: spread {cpu_spread}");
+}
+
+#[test]
+fn actuation_layer_produces_commands() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.with_actuation = true;
+    let report = run_drive(&config, &RunConfig { duration_s: Some(8.0) });
+    // The planner chain emits paths and twist commands.
+    assert!(report.node_summary(nodes::OP_LOCAL_PLANNER).count > 0);
+    assert!(report.node_summary(nodes::PURE_PURSUIT).count > 0);
+    assert!(report.node_summary(nodes::TWIST_FILTER).count > 0, "no twist commands produced");
+}

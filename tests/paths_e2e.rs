@@ -1,0 +1,92 @@
+//! End-to-end path semantics: lineage-based path latency must be
+//! consistent with the node latencies composing each path (Table IV).
+
+use av_core::stack::{run_drive, RunConfig, StackConfig};
+use av_core::topics::nodes;
+use av_vision::DetectorKind;
+
+fn report(detector: DetectorKind) -> av_core::stack::RunReport {
+    run_drive(&StackConfig::smoke_test(detector), &RunConfig { duration_s: Some(10.0) })
+}
+
+#[test]
+fn localization_path_exceeds_its_components_individually() {
+    let r = report(DetectorKind::YoloV3);
+    let path = r.path_summary("localization");
+    // localization = voxel → ndt (plus queueing/communication): its mean
+    // must exceed each component's own mean, and roughly their sum.
+    let voxel = r.node_summary(nodes::VOXEL_GRID_FILTER);
+    let ndt = r.node_summary(nodes::NDT_MATCHING);
+    assert!(path.mean > voxel.mean.max(ndt.mean));
+    assert!(
+        path.mean >= 0.9 * (voxel.mean + ndt.mean),
+        "path {:.1} vs components {:.1}+{:.1}",
+        path.mean,
+        voxel.mean,
+        ndt.mean
+    );
+}
+
+#[test]
+fn vision_path_contains_detector_latency() {
+    let r = report(DetectorKind::Ssd512);
+    let path = r.path_summary("costmap_vision_obj");
+    let vision = r.node_summary(nodes::VISION_DETECTION);
+    assert!(
+        path.mean > vision.mean,
+        "camera-origin path ({:.1}) must contain the detector ({:.1})",
+        path.mean,
+        vision.mean
+    );
+}
+
+#[test]
+fn cluster_path_longer_than_points_path() {
+    // costmap_cluster_obj traverses five more nodes than costmap_points.
+    for detector in DetectorKind::ALL {
+        let r = report(detector);
+        let cluster = r.path_summary("costmap_cluster_obj");
+        let points = r.path_summary("costmap_points");
+        assert!(
+            cluster.mean > points.mean,
+            "{detector}: cluster path {:.1} ≤ points path {:.1}",
+            cluster.mean,
+            points.mean
+        );
+    }
+}
+
+#[test]
+fn worst_path_depends_on_detector() {
+    // Fig 6's crossover: with SSD512 the vision path dominates; with the
+    // faster detectors the cluster path does.
+    let ssd512 = report(DetectorKind::Ssd512);
+    let (worst_name, _) = ssd512.end_to_end().unwrap();
+    assert_eq!(worst_name, "costmap_vision_obj", "SSD512 worst path");
+
+    for detector in [DetectorKind::Ssd300, DetectorKind::YoloV3] {
+        let r = report(detector);
+        let (worst_name, _) = r.end_to_end().unwrap();
+        assert_eq!(worst_name, "costmap_cluster_obj", "{detector} worst path");
+    }
+}
+
+#[test]
+fn paths_sample_counts_track_sensor_rates() {
+    let r = report(DetectorKind::YoloV3);
+    // One localization sample per LiDAR sweep (10 Hz × 10 s).
+    let loc = r.path_summary("localization");
+    assert!((85..=100).contains(&loc.count), "localization samples {}", loc.count);
+    // Camera-origin path at camera rate (15 Hz), minus pipeline warmup.
+    let vis = r.path_summary("costmap_vision_obj");
+    assert!((120..=150).contains(&vis.count), "vision path samples {}", vis.count);
+}
+
+#[test]
+fn end_to_end_is_the_max_path() {
+    let r = report(DetectorKind::Ssd300);
+    let (_, e2e) = r.end_to_end().unwrap();
+    for path in ["localization", "costmap_points", "costmap_vision_obj", "costmap_cluster_obj"] {
+        assert!(e2e.mean >= r.path_summary(path).mean);
+    }
+}
