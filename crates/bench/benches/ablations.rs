@@ -8,11 +8,11 @@
 //! Each sweep prints a paper-style table; one configuration is also
 //! Criterion-timed so regressions in engine throughput show up.
 
+use av_bench::microbench::Bench;
 use av_core::stack::{run_drive, RunConfig, StackConfig};
 use av_core::topics::nodes;
 use av_profiling::Table;
 use av_vision::DetectorKind;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn run_cfg(mutate: impl FnOnce(&mut StackConfig)) -> av_core::stack::RunReport {
@@ -84,7 +84,7 @@ fn sweep_camera_rate() {
     println!("\nAblation: camera rate vs SSD512 drop rate (30 s):\n{table}");
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(c: &mut Bench) {
     sweep_cores();
     sweep_contention_exponent();
     sweep_camera_rate();
@@ -96,9 +96,7 @@ fn bench_ablations(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ablations
+fn main() {
+    let mut c = Bench::new().sample_size(10);
+    bench_ablations(&mut c);
 }
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion benchmarks of the real algorithm kernels — the substrate's
+//! Wall-clock benchmarks of the real algorithm kernels — the substrate's
 //! own performance (wall-clock), complementing the modeled latencies.
 
+use av_bench::microbench::Bench;
 use av_des::RngStreams;
 use av_geom::{Pose, Vec3};
-use av_perception::{ClusterParams, EuclideanCluster, NdtMatcher, NdtParams, RayGroundFilter,
-    RayGroundParams};
+use av_perception::{
+    ClusterParams, EuclideanCluster, NdtMatcher, NdtParams, RayGroundFilter, RayGroundParams,
+};
 use av_pointcloud::{KdTree, NdtGrid, PointCloud, VoxelGrid};
 use av_vision::{nms, rank_candidates, ScoredBox};
 use av_world::{LidarConfig, LidarModel, ScenarioConfig, World};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn realistic_sweep() -> PointCloud {
@@ -18,18 +19,23 @@ fn realistic_sweep() -> PointCloud {
     lidar.scan(&world, &world.snapshot(30.0), &mut rng)
 }
 
-fn bench_voxel_filter(c: &mut Criterion) {
+fn bench_voxel_filter(c: &mut Bench) {
     let sweep = realistic_sweep();
     let filter = VoxelGrid::new(1.0);
     c.bench_function("voxel_grid_filter/sweep", |b| {
         b.iter(|| black_box(filter.filter(black_box(&sweep))))
     });
+    c.bench_function("voxel_grid_filter/sweep_reference", |b| {
+        b.iter(|| black_box(filter.filter_reference(black_box(&sweep))))
+    });
 }
 
-fn bench_kdtree(c: &mut Criterion) {
+fn bench_kdtree(c: &mut Bench) {
     let sweep = realistic_sweep();
     let positions: Vec<Vec3> = sweep.positions().collect();
-    c.bench_function("kdtree/build", |b| b.iter(|| black_box(KdTree::build(black_box(&positions)))));
+    c.bench_function("kdtree/build", |b| {
+        b.iter(|| black_box(KdTree::build(black_box(&positions))))
+    });
     let tree = KdTree::build(&positions);
     c.bench_function("kdtree/radius_search", |b| {
         let mut buf = Vec::new();
@@ -40,7 +46,7 @@ fn bench_kdtree(c: &mut Criterion) {
     });
 }
 
-fn bench_ground_filter(c: &mut Criterion) {
+fn bench_ground_filter(c: &mut Bench) {
     let sweep = realistic_sweep();
     let filter = RayGroundFilter::new(RayGroundParams::default());
     c.bench_function("ray_ground_filter/sweep", |b| {
@@ -48,16 +54,19 @@ fn bench_ground_filter(c: &mut Criterion) {
     });
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering(c: &mut Bench) {
     let sweep = realistic_sweep();
     let split = RayGroundFilter::new(RayGroundParams::default()).split(&sweep);
     let clusterer = EuclideanCluster::new(ClusterParams::default());
     c.bench_function("euclidean_cluster/sweep", |b| {
         b.iter(|| black_box(clusterer.cluster(black_box(&split.no_ground))))
     });
+    c.bench_function("euclidean_cluster/sweep_reference", |b| {
+        b.iter(|| black_box(clusterer.cluster_reference(black_box(&split.no_ground))))
+    });
 }
 
-fn bench_ndt(c: &mut Criterion) {
+fn bench_ndt(c: &mut Bench) {
     let world = World::generate(&ScenarioConfig::urban_drive());
     let lidar = LidarModel::new(LidarConfig::default());
     let mut rng = RngStreams::new(7).stream("bench-ndt");
@@ -76,8 +85,10 @@ fn bench_ndt(c: &mut Criterion) {
     let scene = world.snapshot(5.0);
     let sweep = lidar.scan(&world, &scene, &mut rng);
     let filtered = VoxelGrid::new(1.0).filter(&sweep);
-    let lifted = filtered
-        .transformed(&Pose::new(Vec3::new(0.0, 0.0, lidar.config().mount_height), Default::default()));
+    let lifted = filtered.transformed(&Pose::new(
+        Vec3::new(0.0, 0.0, lidar.config().mount_height),
+        Default::default(),
+    ));
     let mut guess = scene.ego.pose;
     guess.translation.z = 0.0;
     c.bench_function("ndt_matching/align", |b| {
@@ -85,7 +96,7 @@ fn bench_ndt(c: &mut Criterion) {
     });
 }
 
-fn bench_nms(c: &mut Criterion) {
+fn bench_nms(c: &mut Bench) {
     // SSD512-scale candidate ranking: the hot CPU loop of §IV-C.
     let mut rng = RngStreams::new(9).stream("bench-nms");
     let candidates: Vec<ScoredBox> = (0..24_564)
@@ -112,10 +123,12 @@ fn bench_nms(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_voxel_filter, bench_kdtree, bench_ground_filter, bench_clustering,
-        bench_ndt, bench_nms
+fn main() {
+    let mut c = Bench::new().sample_size(20);
+    bench_voxel_filter(&mut c);
+    bench_kdtree(&mut c);
+    bench_ground_filter(&mut c);
+    bench_clustering(&mut c);
+    bench_ndt(&mut c);
+    bench_nms(&mut c);
 }
-criterion_main!(benches);

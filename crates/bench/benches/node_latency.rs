@@ -2,13 +2,13 @@
 //! benchmarks the simulation throughput, printing the per-node latency
 //! rows the figure plots.
 
+use av_bench::microbench::Bench;
 use av_core::experiments::fig5_table;
 use av_core::stack::{run_drive, RunConfig, StackConfig};
 use av_vision::DetectorKind;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_node_latency(c: &mut Criterion) {
+fn bench_node_latency(c: &mut Bench) {
     let run = RunConfig { duration_s: Some(20.0) };
     for kind in DetectorKind::ALL {
         // Print the Fig 5 rows once per detector (the artifact itself).
@@ -23,9 +23,7 @@ fn bench_node_latency(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_node_latency
+fn main() {
+    let mut c = Bench::new().sample_size(10);
+    bench_node_latency(&mut c);
 }
-criterion_main!(benches);

@@ -1,15 +1,15 @@
 //! Fig 6's regeneration bench: end-to-end computation-path latency, plus
 //! a throughput benchmark of the whole virtual-time engine.
 
+use av_bench::microbench::Bench;
 use av_core::experiments::fig6_table;
 use av_core::stack::{build_map, run_drive, RunConfig, StackConfig};
 use av_des::RngStreams;
 use av_vision::DetectorKind;
 use av_world::{LidarModel, World};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_e2e_paths(c: &mut Criterion) {
+fn bench_e2e_paths(c: &mut Bench) {
     let run = RunConfig { duration_s: Some(20.0) };
     for kind in DetectorKind::ALL {
         let report = run_drive(&StackConfig::paper_default(kind), &run);
@@ -37,9 +37,7 @@ fn bench_e2e_paths(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_e2e_paths
+fn main() {
+    let mut c = Bench::new().sample_size(10);
+    bench_e2e_paths(&mut c);
 }
-criterion_main!(benches);

@@ -2,12 +2,12 @@
 //! kernels, prints the paper-style rows, and benchmarks the simulators
 //! themselves.
 
+use av_bench::microbench::Bench;
 use av_core::experiments::{fig7, table7};
 use av_uarch::{run_kernel, Cache, CacheConfig, GsharePredictor, KernelKind, Predictor};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_uarch(c: &mut Criterion) {
+fn bench_uarch(c: &mut Bench) {
     println!("\nTable VII (scale 8):\n{}", table7(8, 2020));
     println!("\nFig 7 (scale 8):\n{}", fig7(8, 2020));
 
@@ -40,9 +40,7 @@ fn bench_uarch(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_uarch
+fn main() {
+    let mut c = Bench::new().sample_size(10);
+    bench_uarch(&mut c);
 }
-criterion_main!(benches);

@@ -1,27 +1,40 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick | --duration <seconds>] [ARTIFACT...] [--csv <dir>]
+//! repro [--quick | --duration <seconds>] [--jobs <N>] [ARTIFACT...]
+//!       [--results <dir>] [--csv <dir>]
 //!
 //! ARTIFACT: --fig5 --fig6 --fig7 --fig8 --table3 --table5 --table6
 //!           --table7 --findings   (default: all)
 //! ```
 //!
 //! The full (default) run replays the 8-minute drive once per detector
-//! plus two isolation runs — a few minutes of wall-clock time in release
-//! mode. `--quick` shortens the drive to 60 s.
+//! plus two isolation runs. Each drive is an independent deterministic
+//! simulation, so the matrix fans out over `--jobs` worker threads
+//! (default: all cores) without changing a single virtual-time result —
+//! the golden determinism hash printed at the end is byte-identical for
+//! any `--jobs` value. `--quick` shortens the drive to 60 s.
+//!
+//! Tables are written under `--results` (default `results/`) with stable
+//! ordering and no timestamps, so reruns diff clean; wall-clock timings
+//! go to `BENCH_repro.json` in the same directory.
 
 use av_bench::{paper_config, paper_run};
+use av_core::determinism;
 use av_core::experiments;
 use av_core::findings::FindingsReport;
+use av_core::parallel::effective_jobs;
 use av_core::stack::{RunConfig, RunReport};
 use av_profiling::Table;
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Options {
     run: RunConfig,
+    jobs: usize,
     artifacts: HashSet<String>,
+    results_dir: PathBuf,
     csv_dir: Option<PathBuf>,
 }
 
@@ -30,7 +43,9 @@ const ALL_ARTIFACTS: [&str; 9] =
 
 fn parse_args() -> Options {
     let mut run = paper_run();
+    let mut jobs = None;
     let mut artifacts = HashSet::new();
+    let mut results_dir = PathBuf::from("results");
     let mut csv_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,12 +55,20 @@ fn parse_args() -> Options {
                 let value = args.next().expect("--duration needs seconds");
                 run = RunConfig { duration_s: Some(value.parse().expect("invalid duration")) };
             }
+            "--jobs" | "-j" => {
+                let value = args.next().expect("--jobs needs a thread count");
+                jobs = Some(value.parse().expect("invalid --jobs value"));
+            }
+            "--results" => {
+                results_dir = PathBuf::from(args.next().expect("--results needs a directory"));
+            }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(args.next().expect("--csv needs a directory")));
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick | --duration <s>] [--csv <dir>] [--fig5 ... --findings]"
+                    "usage: repro [--quick | --duration <s>] [--jobs <N>] \
+                     [--results <dir>] [--csv <dir>] [--fig5 ... --findings]"
                 );
                 std::process::exit(0);
             }
@@ -63,12 +86,17 @@ fn parse_args() -> Options {
     if artifacts.is_empty() {
         artifacts = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
     }
-    Options { run, artifacts, csv_dir }
+    Options { run, jobs: effective_jobs(jobs), artifacts, results_dir, csv_dir }
 }
 
 fn emit(options: &Options, name: &str, title: &str, table: &Table) {
     println!("## {title}\n");
     println!("{table}");
+    std::fs::create_dir_all(&options.results_dir).expect("create results dir");
+    let txt_path = options.results_dir.join(format!("{name}.txt"));
+    // Content is fully determined by the run outputs — no timestamps, no
+    // host names — so the golden files diff clean between reruns.
+    std::fs::write(&txt_path, format!("## {title}\n\n{table}\n")).expect("write table");
     if let Some(dir) = &options.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let path = dir.join(format!("{name}.csv"));
@@ -77,32 +105,67 @@ fn emit(options: &Options, name: &str, title: &str, table: &Table) {
     }
 }
 
+/// Serializes `(key, value)` pairs as a JSON object, preserving the
+/// given key order (callers pass keys in a fixed order so the file is
+/// stable across reruns).
+fn json_object(fields: &[(&str, String)]) -> String {
+    let body =
+        fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect::<Vec<_>>().join(",\n");
+    format!("{{\n{body}\n}}\n")
+}
+
 fn main() {
     let options = parse_args();
     let wants = |a: &str| options.artifacts.contains(a);
-    let needs_full_runs =
-        wants("fig5") || wants("fig6") || wants("table3") || wants("table5") || wants("table6")
-            || wants("findings");
+    let needs_full_runs = wants("fig5")
+        || wants("fig6")
+        || wants("table3")
+        || wants("table5")
+        || wants("table6")
+        || wants("findings");
     let needs_isolation = wants("fig8") || wants("findings");
 
     let duration = options
         .run
         .duration_s
         .unwrap_or_else(|| paper_config(av_vision::DetectorKind::Ssd512).scenario.duration_s);
-    println!("# AV characterization reproduction (drive: {duration:.0} s per run)\n");
+    println!(
+        "# AV characterization reproduction (drive: {duration:.0} s per run, jobs: {})\n",
+        options.jobs
+    );
 
+    let total_start = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
     let mut reports: Vec<RunReport> = Vec::new();
-    if needs_full_runs {
+    let mut isolation = Vec::new();
+    let mut golden_hash: Option<u64> = None;
+
+    if needs_full_runs && needs_isolation {
+        // Fig 8's full-system halves are exactly the detector sweep, so
+        // one shared batch covers both: 5 unique drives instead of 7.
+        eprintln!("running experiment matrix (3 full + 2 isolated drives)...");
+        let start = Instant::now();
+        let matrix = experiments::run_matrix(paper_config, &options.run, options.jobs);
+        timings.push(("matrix_runs", start.elapsed().as_secs_f64()));
+        golden_hash = Some(determinism::matrix_hash(&matrix));
+        reports = matrix.reports;
+        isolation = matrix.isolation;
+    } else if needs_full_runs {
         eprintln!("running full-stack drives (3 detectors)...");
-        reports = experiments::run_all_detectors(paper_config, &options.run);
-        for r in &reports {
-            eprintln!(
-                "  {}: {} frames dropped stats ok, localization err {:.2} m",
-                r.detector,
-                r.cpu.tasks_completed,
-                r.localization_error_m
-            );
-        }
+        let start = Instant::now();
+        reports = experiments::run_all_detectors(paper_config, &options.run, options.jobs);
+        timings.push(("full_runs", start.elapsed().as_secs_f64()));
+    } else if needs_isolation {
+        eprintln!("running isolation drives (SSD512, YOLO standalone + full)...");
+        let start = Instant::now();
+        isolation = experiments::fig8(paper_config, &options.run, options.jobs);
+        timings.push(("isolation_runs", start.elapsed().as_secs_f64()));
+    }
+    for r in &reports {
+        eprintln!(
+            "  {}: {} tasks completed, localization err {:.2} m",
+            r.detector, r.cpu.tasks_completed, r.localization_error_m
+        );
     }
 
     if wants("fig5") {
@@ -144,12 +207,6 @@ fn main() {
         emit(&options, "table6", "Table VI — mean power", &experiments::table6(&reports));
     }
 
-    let mut isolation = Vec::new();
-    if needs_isolation {
-        eprintln!("running isolation drives (SSD512, YOLO standalone + full)...");
-        isolation = experiments::fig8(paper_config, &options.run);
-    }
-
     if wants("fig8") {
         emit(
             &options,
@@ -162,20 +219,43 @@ fn main() {
     // Microarchitecture artifacts are platform-independent of the drive.
     let uarch_scale = if options.run.duration_s.is_some() { 8 } else { 30 };
     if wants("table7") {
-        emit(
-            &options,
-            "table7",
-            "Table VII — microarchitecture profiling",
-            &experiments::table7(uarch_scale, 2020),
-        );
+        let start = Instant::now();
+        let table = experiments::table7(uarch_scale, 2020);
+        timings.push(("uarch_table7", start.elapsed().as_secs_f64()));
+        emit(&options, "table7", "Table VII — microarchitecture profiling", &table);
     }
 
     if wants("fig7") {
-        emit(&options, "fig7", "Fig 7 — instruction mix", &experiments::fig7(uarch_scale, 2020));
+        let start = Instant::now();
+        let table = experiments::fig7(uarch_scale, 2020);
+        timings.push(("uarch_fig7", start.elapsed().as_secs_f64()));
+        emit(&options, "fig7", "Fig 7 — instruction mix", &table);
     }
 
     if wants("findings") {
         let findings = FindingsReport::from_runs(&reports, isolation.clone());
         emit(&options, "findings", "Findings 1-5", &findings.to_table());
     }
+
+    if let Some(hash) = golden_hash {
+        println!("golden determinism hash: {hash:#018x}");
+    }
+
+    // Wall-clock benchmark record: per-experiment timings so the perf
+    // trajectory is tracked from run to run. This file is *about* wall
+    // time, so it is the one results/ artifact that legitimately varies
+    // between reruns; keys and their order stay fixed.
+    timings.push(("total", total_start.elapsed().as_secs_f64()));
+    let mut fields: Vec<(&str, String)> =
+        vec![("jobs", options.jobs.to_string()), ("drive_duration_s", format!("{duration:.1}"))];
+    if let Some(hash) = golden_hash {
+        fields.push(("golden_hash", format!("\"{hash:#018x}\"")));
+    }
+    let timing_body =
+        timings.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect::<Vec<_>>().join(",\n");
+    fields.push(("wall_clock_s", format!("{{\n{timing_body}\n  }}")));
+    std::fs::create_dir_all(&options.results_dir).expect("create results dir");
+    let bench_path = options.results_dir.join("BENCH_repro.json");
+    std::fs::write(&bench_path, json_object(&fields)).expect("write BENCH_repro.json");
+    eprintln!("wall-clock record: {}", bench_path.display());
 }

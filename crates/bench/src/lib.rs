@@ -1,7 +1,10 @@
-//! Benchmark support: shared configuration helpers for the Criterion
-//! benches and the `repro` binary.
+//! Benchmark support: shared configuration helpers for the bench
+//! targets and the `repro` binary, plus the in-house micro-benchmark
+//! harness in [`microbench`].
 
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use av_core::stack::{RunConfig, StackConfig};
 use av_vision::DetectorKind;

@@ -1,0 +1,133 @@
+//! Minimal wall-clock micro-benchmark harness — the in-house stand-in for
+//! Criterion, keeping bench targets hermetic (no registry access).
+//!
+//! The API mirrors the small slice of Criterion the benches use
+//! (`bench_function` + `b.iter(..)`), so a target reads the same either
+//! way: each sample invokes the closure once, the closure times the work
+//! it wraps with `iter`, and the harness prints median/min/max across
+//! samples.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A benchmark runner: collects `sample_size` timed samples per
+/// registered function and prints a summary line.
+pub struct Bench {
+    sample_size: u32,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// Creates a runner with the default sample count (20).
+    pub fn new() -> Bench {
+        Bench { sample_size: 20 }
+    }
+
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: u32) -> Bench {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up invocation, then `sample_size` timed
+    /// samples, then a `name ... median [min .. max]` report.
+    pub fn bench_function<F: FnMut(&mut Sampler)>(&mut self, name: &str, mut f: F) {
+        let mut warmup = Sampler::new();
+        f(&mut warmup);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size as usize);
+        for _ in 0..self.sample_size {
+            let mut sampler = Sampler::new();
+            f(&mut sampler);
+            if sampler.iters > 0 {
+                per_iter.push(sampler.total.as_secs_f64() / sampler.iters as f64);
+            }
+        }
+        per_iter.sort_by(f64::total_cmp);
+        if per_iter.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<40} {:>12} [{} .. {}]",
+            format_time(median),
+            format_time(min),
+            format_time(max),
+        );
+    }
+}
+
+/// Handed to each benchmark closure; [`Sampler::iter`] times one
+/// execution of the wrapped work.
+pub struct Sampler {
+    total: Duration,
+    iters: u64,
+}
+
+impl Sampler {
+    fn new() -> Sampler {
+        Sampler { total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Times one execution of `f`, keeping its result opaque to the
+    /// optimizer.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        let value = f();
+        self.total += start.elapsed();
+        self.iters += 1;
+        black_box(value);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_counts_iterations() {
+        let mut s = Sampler::new();
+        s.iter(|| 1 + 1);
+        s.iter(|| 2 + 2);
+        assert_eq!(s.iters, 2);
+    }
+
+    #[test]
+    fn bench_function_runs_all_samples() {
+        let mut calls = 0u32;
+        Bench::new().sample_size(5).bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| ());
+        });
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" µs"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -218,8 +218,7 @@ impl Calibration {
     /// with > 90% on the GPU).
     pub fn vision_cost(&self, kind: DetectorKind) -> VisionCost {
         let network = NetworkDescriptor::for_kind(kind);
-        let gpu_seconds =
-            network.gpu_kernel_seconds(self.gpu_peak_flops, self.gpu_mem_bandwidth);
+        let gpu_seconds = network.gpu_kernel_seconds(self.gpu_peak_flops, self.gpu_mem_bandwidth);
         let (pre_ms, post_per_kcand, jitter) = match kind {
             // SSD's Caffe-era pipeline does heavy CPU pre/post-processing.
             DetectorKind::Ssd512 => (3.0, 1.15, 0.013),
@@ -254,7 +253,8 @@ mod tests {
 
     #[test]
     fn demand_is_affine_in_units() {
-        let cost = NodeCost { base_ms: 2.0, per_unit_ms: 3.0, mem_intensity: 0.1, jitter_sigma: 0.0 };
+        let cost =
+            NodeCost { base_ms: 2.0, per_unit_ms: 3.0, mem_intensity: 0.1, jitter_sigma: 0.0 };
         let mut rng = RngStreams::new(1).stream("c");
         let d1 = cost.demand(1.0, &mut rng);
         let d4 = cost.demand(4.0, &mut rng);
@@ -264,7 +264,8 @@ mod tests {
 
     #[test]
     fn jitter_spreads_samples() {
-        let cost = NodeCost { base_ms: 10.0, per_unit_ms: 0.0, mem_intensity: 0.1, jitter_sigma: 0.3 };
+        let cost =
+            NodeCost { base_ms: 10.0, per_unit_ms: 0.0, mem_intensity: 0.1, jitter_sigma: 0.3 };
         let mut rng = RngStreams::new(2).stream("c");
         let samples: Vec<f64> =
             (0..500).map(|_| cost.demand(0.0, &mut rng).as_millis_f64()).collect();
@@ -294,10 +295,8 @@ mod tests {
 
         // SSD300 is the cheapest.
         let ssd300 = calib.vision_cost(DetectorKind::Ssd300);
-        let total300 = ssd300.preprocess.base_ms
-            + 0.2
-            + 1.15 * 8.732
-            + ssd300.gpu_kernel.as_millis_f64();
+        let total300 =
+            ssd300.preprocess.base_ms + 0.2 + 1.15 * 8.732 + ssd300.gpu_kernel.as_millis_f64();
         assert!(total300 < total, "SSD300 must beat YOLO's total");
     }
 

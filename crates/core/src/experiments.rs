@@ -1,6 +1,11 @@
 //! One function per paper artifact: the code that regenerates every table
 //! and figure of the evaluation (§IV).
+//!
+//! Drives are deterministic DES runs over virtual time, so the matrix
+//! fans out over the [`crate::parallel`] run pool: pass `jobs > 1` to run
+//! independent drives concurrently with bit-identical results.
 
+use crate::parallel::parallel_map;
 use crate::stack::{run_drive, NodeSelection, RunConfig, RunReport, StackConfig};
 use crate::topics::nodes as node_names;
 use av_profiling::Table;
@@ -8,12 +13,16 @@ use av_uarch::{run_kernel, KernelKind};
 use av_vision::DetectorKind;
 
 /// Runs the full stack once per detector (SSD512, SSD300, YOLO) — the
-/// three scenarios of Fig 5/6 and Tables III/V/VI.
+/// three scenarios of Fig 5/6 and Tables III/V/VI — on up to `jobs`
+/// threads.
 pub fn run_all_detectors(
     make_config: impl Fn(DetectorKind) -> StackConfig,
     run: &RunConfig,
+    jobs: usize,
 ) -> Vec<RunReport> {
-    DetectorKind::ALL.iter().map(|&kind| run_drive(&make_config(kind), run)).collect()
+    let configs: Vec<StackConfig> =
+        DetectorKind::ALL.iter().map(|&kind| make_config(kind)).collect();
+    parallel_map(configs, jobs, |config| run_drive(&config, run))
 }
 
 /// Fig 5: single-node latency distributions for one detector scenario.
@@ -24,7 +33,12 @@ pub fn fig5_table(report: &RunReport) -> Table {
 /// Table III: dropped messages per subscription, across detectors.
 pub fn table3(reports: &[RunReport]) -> Table {
     let mut table = Table::with_headers(&[
-        "Scenario", "Topic", "Subscribed by node", "Delivered", "Dropped", "Drop %",
+        "Scenario",
+        "Topic",
+        "Subscribed by node",
+        "Delivered",
+        "Dropped",
+        "Drop %",
     ]);
     for report in reports {
         for d in &report.drops {
@@ -140,8 +154,7 @@ pub fn table7(scale: u32, seed: u64) -> Table {
 
 /// Fig 7: instruction mix of the six profiled nodes.
 pub fn fig7(scale: u32, seed: u64) -> Table {
-    let mut table =
-        Table::with_headers(&["Node", "Loads", "Stores", "Branches", "Int", "FP"]);
+    let mut table = Table::with_headers(&["Node", "Loads", "Stores", "Branches", "Int", "FP"]);
     for kind in KernelKind::ALL {
         let r = run_kernel(kind, scale, seed);
         let (l, s, b, i, f) = r.mix.fractions();
@@ -175,38 +188,99 @@ pub struct IsolationResult {
     pub gpu_share: f64,
 }
 
-/// Fig 8: isolated-vs-full-system comparison for SSD512 and YOLO.
+/// The detectors Fig 8 isolates (vision dominates their latency).
+pub const ISOLATION_DETECTORS: [DetectorKind; 2] = [DetectorKind::Ssd512, DetectorKind::YoloV3];
+
+/// Computes one Fig 8 row from an already-run full-stack drive and its
+/// matching isolation drive — pure aggregation, no new runs.
+pub fn isolation_result(full: &RunReport, isolated: &RunReport) -> IsolationResult {
+    let full_s = full.node_summary(node_names::VISION_DETECTION);
+    let iso_s = isolated.node_summary(node_names::VISION_DETECTION);
+    let frames = isolated.gpu.jobs_completed.max(1);
+    let gpu_ms_per_frame = isolated
+        .gpu
+        .busy_by_client
+        .get(node_names::VISION_DETECTION)
+        .map(|d| d.as_millis_f64() / frames as f64)
+        .unwrap_or(0.0);
+    IsolationResult {
+        detector: full.detector,
+        isolated_mean: iso_s.mean,
+        isolated_std: iso_s.std_dev,
+        full_mean: full_s.mean,
+        full_std: full_s.std_dev,
+        gpu_share: if iso_s.mean > 0.0 { gpu_ms_per_frame / iso_s.mean } else { 0.0 },
+    }
+}
+
+/// The deduplicated experiment matrix: the three full-stack drives plus
+/// the two Fig 8 isolation drives, as one batch for the run pool.
+#[derive(Debug)]
+pub struct ExperimentMatrix {
+    /// Full-stack reports in [`DetectorKind::ALL`] order.
+    pub reports: Vec<RunReport>,
+    /// Fig 8 rows for [`ISOLATION_DETECTORS`], sharing the full-stack
+    /// runs above instead of re-driving them.
+    pub isolation: Vec<IsolationResult>,
+}
+
+/// Runs the whole matrix — 5 unique drives (3 full + 2 isolated) — on up
+/// to `jobs` threads. Fig 8 needs a full-system and a standalone
+/// measurement per detector; the full-system halves are exactly the
+/// matrix's own detector sweep, so they are run once and shared.
+pub fn run_matrix(
+    make_config: impl Fn(DetectorKind) -> StackConfig,
+    run: &RunConfig,
+    jobs: usize,
+) -> ExperimentMatrix {
+    let mut configs: Vec<StackConfig> =
+        DetectorKind::ALL.iter().map(|&kind| make_config(kind)).collect();
+    for kind in ISOLATION_DETECTORS {
+        let mut isolated = make_config(kind);
+        isolated.selection = NodeSelection::Isolated(node_names::VISION_DETECTION.to_string());
+        configs.push(isolated);
+    }
+    let mut results = parallel_map(configs, jobs, |config| run_drive(&config, run));
+    let isolated_reports = results.split_off(DetectorKind::ALL.len());
+    let reports = results;
+    let isolation = ISOLATION_DETECTORS
+        .iter()
+        .zip(&isolated_reports)
+        .map(|(&kind, isolated)| {
+            let full = reports
+                .iter()
+                .find(|r| r.detector == kind)
+                .expect("isolation detector missing from the full sweep");
+            isolation_result(full, isolated)
+        })
+        .collect();
+    ExperimentMatrix { reports, isolation }
+}
+
+/// Fig 8: isolated-vs-full-system comparison for SSD512 and YOLO, on up
+/// to `jobs` threads (4 drives: a full-system and a standalone run per
+/// detector).
+///
+/// Convenience for callers that only want Fig 8; when the detector sweep
+/// is also needed, use [`run_matrix`] so the full-stack drives are shared.
 pub fn fig8(
     make_config: impl Fn(DetectorKind) -> StackConfig,
     run: &RunConfig,
+    jobs: usize,
 ) -> Vec<IsolationResult> {
-    [DetectorKind::Ssd512, DetectorKind::YoloV3]
-        .into_iter()
-        .map(|kind| {
-            let full = run_drive(&make_config(kind), run);
-            let mut isolated_config = make_config(kind);
-            isolated_config.selection =
-                NodeSelection::Isolated(node_names::VISION_DETECTION.to_string());
-            let isolated = run_drive(&isolated_config, run);
-
-            let full_s = full.node_summary(node_names::VISION_DETECTION);
-            let iso_s = isolated.node_summary(node_names::VISION_DETECTION);
-            let frames = isolated.gpu.jobs_completed.max(1);
-            let gpu_ms_per_frame = isolated
-                .gpu
-                .busy_by_client
-                .get(node_names::VISION_DETECTION)
-                .map(|d| d.as_millis_f64() / frames as f64)
-                .unwrap_or(0.0);
-            IsolationResult {
-                detector: kind,
-                isolated_mean: iso_s.mean,
-                isolated_std: iso_s.std_dev,
-                full_mean: full_s.mean,
-                full_std: full_s.std_dev,
-                gpu_share: if iso_s.mean > 0.0 { gpu_ms_per_frame / iso_s.mean } else { 0.0 },
-            }
-        })
+    let mut configs: Vec<StackConfig> =
+        ISOLATION_DETECTORS.iter().map(|&kind| make_config(kind)).collect();
+    for kind in ISOLATION_DETECTORS {
+        let mut isolated = make_config(kind);
+        isolated.selection = NodeSelection::Isolated(node_names::VISION_DETECTION.to_string());
+        configs.push(isolated);
+    }
+    let mut results = parallel_map(configs, jobs, |config| run_drive(&config, run));
+    let isolated_reports = results.split_off(ISOLATION_DETECTORS.len());
+    results
+        .iter()
+        .zip(&isolated_reports)
+        .map(|(full, isolated)| isolation_result(full, isolated))
         .collect()
 }
 
@@ -251,7 +325,7 @@ mod tests {
     #[test]
     fn fig8_shows_isolation_effect() {
         let run = RunConfig { duration_s: Some(6.0) };
-        let results = fig8(StackConfig::smoke_test, &run);
+        let results = fig8(StackConfig::smoke_test, &run, 4);
         assert_eq!(results.len(), 2);
         for r in &results {
             assert!(r.isolated_mean > 0.0);
@@ -267,7 +341,7 @@ mod tests {
     #[test]
     fn detector_sweep_tables() {
         let run = RunConfig { duration_s: Some(5.0) };
-        let reports = run_all_detectors(StackConfig::smoke_test, &run);
+        let reports = run_all_detectors(StackConfig::smoke_test, &run, 3);
         assert_eq!(reports.len(), 3);
         let t5 = table5(&reports);
         let text = t5.to_string();

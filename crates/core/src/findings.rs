@@ -56,8 +56,9 @@ impl FindingsReport {
         let e2e_tail = reports
             .iter()
             .map(|r| {
-                let (name, _) = r.end_to_end().unwrap_or(("".into(), av_profiling::Summary::empty()));
-                let recorder = r.recorder.borrow();
+                let (name, _) =
+                    r.end_to_end().unwrap_or(("".into(), av_profiling::Summary::empty()));
+                let recorder = &r.recorder;
                 let dist = recorder.path_latencies(&name);
                 let p99 = dist.map(|d| d.percentile(99.0)).unwrap_or(0.0);
                 let over_deadline = dist.map(|d| d.fraction_above(100.0)).unwrap_or(0.0);
@@ -196,8 +197,8 @@ mod tests {
     #[test]
     fn findings_report_builds_and_renders() {
         let run = RunConfig { duration_s: Some(5.0) };
-        let reports = run_all_detectors(StackConfig::smoke_test, &run);
-        let isolation = fig8(StackConfig::smoke_test, &run);
+        let matrix = crate::experiments::run_matrix(StackConfig::smoke_test, &run, 4);
+        let (reports, isolation) = (matrix.reports, matrix.isolation);
         let findings = FindingsReport::from_runs(&reports, isolation);
         // On a 5-second smoke run the magnitudes are not paper-scale, but
         // the mechanisms must already show up.

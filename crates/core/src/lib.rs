@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod determinism;
 pub mod experiments;
 pub mod findings;
 pub mod msg;
 pub mod nodes;
+pub mod parallel;
 pub mod stack;
 pub mod topics;
 

@@ -6,8 +6,9 @@ use crate::msg::{unexpected, Msg, PoseEstimate};
 use crate::topics;
 use av_des::{SimTime, StreamRng};
 use av_geom::Pose;
-use av_perception::{ClusterParams, EuclideanCluster, NdtMatcher, NdtParams, RayGroundFilter,
-    RayGroundParams};
+use av_perception::{
+    ClusterParams, EuclideanCluster, NdtMatcher, NdtParams, RayGroundFilter, RayGroundParams,
+};
 use av_pointcloud::{NdtGrid, VoxelGrid};
 use av_ros::{Execution, Message, Node, Outbox};
 
@@ -89,6 +90,12 @@ impl NdtMatchingNode {
     /// The latest pose estimate.
     pub fn pose(&self) -> Pose {
         self.pose
+    }
+
+    /// Whether the filter currently holds an accepted scan match (false
+    /// before the first convergence and after a losing streak).
+    pub fn is_localized(&self) -> bool {
+        self.localized
     }
 
     fn predicted_guess(&self, stamp: SimTime) -> Pose {
@@ -240,11 +247,7 @@ pub struct EuclideanClusterNode {
 
 impl EuclideanClusterNode {
     /// Creates the node.
-    pub fn new(
-        params: ClusterParams,
-        calib: &Calibration,
-        rng: StreamRng,
-    ) -> EuclideanClusterNode {
+    pub fn new(params: ClusterParams, calib: &Calibration, rng: StreamRng) -> EuclideanClusterNode {
         EuclideanClusterNode {
             clusterer: EuclideanCluster::new(params),
             cost: calib.euclidean_cluster.clone(),
@@ -301,15 +304,12 @@ mod tests {
     fn voxel_node_downsamples_and_publishes() {
         let calib = Calibration::default();
         let mut node = VoxelGridFilterNode::new(1.0, &calib, rng("v"));
-        let cloud = PointCloud::from_positions((0..100).map(|i| {
-            Vec3::new((i % 10) as f64 * 0.05, (i / 10) as f64 * 0.05, 0.0)
-        }));
-        let mut out = Outbox::new(Lineage::empty());
-        let exec = node.on_message(
-            topics::POINTS_RAW,
-            &message(Msg::PointCloud(cloud), 100),
-            &mut out,
+        let cloud = PointCloud::from_positions(
+            (0..100).map(|i| Vec3::new((i % 10) as f64 * 0.05, (i / 10) as f64 * 0.05, 0.0)),
         );
+        let mut out = Outbox::new(Lineage::empty());
+        let exec =
+            node.on_message(topics::POINTS_RAW, &message(Msg::PointCloud(cloud), 100), &mut out);
         assert_eq!(out.len(), 1);
         assert!(!exec.cpu_demand().is_zero());
         assert!(exec.gpu_demand().is_zero());
@@ -331,9 +331,9 @@ mod tests {
     fn cluster_node_has_gpu_phase() {
         let calib = Calibration::default();
         let mut node = EuclideanClusterNode::new(ClusterParams::default(), &calib, rng("c"));
-        let cloud = PointCloud::from_positions((0..30).map(|i| {
-            Vec3::new(5.0 + (i % 6) as f64 * 0.2, (i / 6) as f64 * 0.2, 0.0)
-        }));
+        let cloud = PointCloud::from_positions(
+            (0..30).map(|i| Vec3::new(5.0 + (i % 6) as f64 * 0.2, (i / 6) as f64 * 0.2, 0.0)),
+        );
         let mut out = Outbox::new(Lineage::empty());
         let exec = node.on_message(
             topics::POINTS_NO_GROUND,

@@ -87,8 +87,7 @@ impl Node<Msg> for TrafficLightRecognitionNode {
                     .filter(|l| candidate_ids.contains(&l.id))
                     .map(|l| {
                         let correct = self.rng.chance(self.accuracy);
-                        let state =
-                            if correct { l.state } else { Self::misclassify(l.state) };
+                        let state = if correct { l.state } else { Self::misclassify(l.state) };
                         LightObservation {
                             id: l.id,
                             state,
@@ -175,8 +174,7 @@ mod tests {
     fn node_classifies_visible_lights() {
         let world = World::generate(&ScenarioConfig::smoke_test());
         let (t, frame) = frame_with_light(&world).expect("a frame with lights");
-        let truth: Vec<(u32, LightState)> =
-            frame.lights.iter().map(|l| (l.id, l.state)).collect();
+        let truth: Vec<(u32, LightState)> = frame.lights.iter().map(|l| (l.id, l.state)).collect();
 
         let calib = Calibration::default();
         let mut node = TrafficLightRecognitionNode::new(
@@ -209,10 +207,8 @@ mod tests {
         let Msg::LightColors(obs) = &items[0].1 else { panic!("wrong payload") };
         assert_eq!(obs.len(), truth.len());
         // With 97% accuracy and a handful of lights, expect agreement.
-        let correct = obs
-            .iter()
-            .filter(|o| truth.iter().any(|&(id, s)| id == o.id && s == o.state))
-            .count();
+        let correct =
+            obs.iter().filter(|o| truth.iter().any(|&(id, s)| id == o.id && s == o.state)).count();
         assert!(correct * 2 > obs.len(), "mostly correct classifications");
     }
 

@@ -7,8 +7,10 @@ use crate::topics;
 use av_des::StreamRng;
 use av_geom::{Pose, Vec3};
 use av_perception::OccupancyGrid;
-use av_planning::{LocalPlanner, LocalPlannerParams, PurePursuit, PurePursuitParams, TwistFilter,
-    TwistFilterParams, Waypoint};
+use av_planning::{
+    LocalPlanner, LocalPlannerParams, PurePursuit, PurePursuitParams, TwistFilter,
+    TwistFilterParams, Waypoint,
+};
 use av_ros::{Execution, Message, Node, Outbox};
 
 /// `op_local_planner`: picks the best rollout against the latest costmap
@@ -185,11 +187,19 @@ mod tests {
             fitness: 1.0,
             iterations: 5,
         });
-        planner.on_message(topics::NDT_POSE, &message(pose.clone(), 90), &mut Outbox::new(Lineage::empty()));
+        planner.on_message(
+            topics::NDT_POSE,
+            &message(pose.clone(), 90),
+            &mut Outbox::new(Lineage::empty()),
+        );
         let empty_grid =
             CostmapGenerator::new(CostmapParams::default()).from_points(&PointCloud::new());
         let mut out = Outbox::new(Lineage::empty());
-        planner.on_message(topics::COSTMAP_OBJECTS, &message(Msg::Costmap(empty_grid), 100), &mut out);
+        planner.on_message(
+            topics::COSTMAP_OBJECTS,
+            &message(Msg::Costmap(empty_grid), 100),
+            &mut out,
+        );
         let items = out.into_items();
         assert_eq!(items[0].0, topics::FINAL_WAYPOINTS);
         let Msg::Path(path) = items[0].1.clone() else { panic!() };
@@ -200,7 +210,11 @@ mod tests {
             &calib,
             RngStreams::new(1).stream("pp"),
         );
-        pursuit.on_message(topics::NDT_POSE, &message(pose, 100), &mut Outbox::new(Lineage::empty()));
+        pursuit.on_message(
+            topics::NDT_POSE,
+            &message(pose, 100),
+            &mut Outbox::new(Lineage::empty()),
+        );
         let mut out = Outbox::new(Lineage::empty());
         pursuit.on_message(topics::FINAL_WAYPOINTS, &message(Msg::Path(path), 105), &mut out);
         let items = out.into_items();

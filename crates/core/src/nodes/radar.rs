@@ -124,11 +124,7 @@ mod tests {
         let calib = Calibration::default();
         let mut node = RadarDetectionNode::new(&calib, RngStreams::new(1).stream("r2"));
         let mut out = Outbox::new(Lineage::empty());
-        node.on_message(
-            topics::RADAR_RAW,
-            &message(Msg::Radar(RadarScan::default())),
-            &mut out,
-        );
+        node.on_message(topics::RADAR_RAW, &message(Msg::Radar(RadarScan::default())), &mut out);
         let items = out.into_items();
         let Msg::DetectedObjects(objs) = &items[0].1 else { panic!() };
         assert!(objs.is_empty());

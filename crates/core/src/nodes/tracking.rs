@@ -84,7 +84,11 @@ pub struct NaiveMotionPredictNode {
 
 impl NaiveMotionPredictNode {
     /// Creates the node.
-    pub fn new(params: PredictParams, calib: &Calibration, rng: StreamRng) -> NaiveMotionPredictNode {
+    pub fn new(
+        params: PredictParams,
+        calib: &Calibration,
+        rng: StreamRng,
+    ) -> NaiveMotionPredictNode {
         NaiveMotionPredictNode { params, cost: calib.naive_motion_predict.clone(), rng }
     }
 }

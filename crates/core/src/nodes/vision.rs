@@ -85,7 +85,11 @@ impl RangeVisionFusionNode {
         }
     }
 
-    fn fuse(&mut self, vision: &[VisionDetection2d], vision_lineage: &Lineage) -> (Vec<DetectedObject>, Lineage) {
+    fn fuse(
+        &mut self,
+        vision: &[VisionDetection2d],
+        vision_lineage: &Lineage,
+    ) -> (Vec<DetectedObject>, Lineage) {
         let (lidar, lidar_lineage) = match &self.cached_lidar {
             Some((objs, lineage)) => (objs.as_slice(), lineage.clone()),
             None => (&[] as &[DetectedObject], Lineage::empty()),
@@ -153,11 +157,8 @@ mod tests {
     #[test]
     fn vision_node_three_phase_execution() {
         let calib = Calibration::default();
-        let mut node = VisionDetectionNode::new(
-            DetectorKind::Ssd512,
-            &calib,
-            RngStreams::new(1).stream("v"),
-        );
+        let mut node =
+            VisionDetectionNode::new(DetectorKind::Ssd512, &calib, RngStreams::new(1).stream("v"));
         assert_eq!(node.kind(), DetectorKind::Ssd512);
         let world = World::generate(&ScenarioConfig::smoke_test());
         let frame = CameraModel::new(CameraConfig::default()).capture(&world, &world.snapshot(0.0));
@@ -177,11 +178,8 @@ mod tests {
     #[test]
     fn yolo_is_gpu_dominated() {
         let calib = Calibration::default();
-        let mut node = VisionDetectionNode::new(
-            DetectorKind::YoloV3,
-            &calib,
-            RngStreams::new(1).stream("y"),
-        );
+        let mut node =
+            VisionDetectionNode::new(DetectorKind::YoloV3, &calib, RngStreams::new(1).stream("y"));
         let world = World::generate(&ScenarioConfig::smoke_test());
         let frame = CameraModel::new(CameraConfig::default()).capture(&world, &world.snapshot(0.0));
         let mut out = Outbox::new(Lineage::empty());

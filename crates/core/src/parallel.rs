@@ -1,0 +1,134 @@
+//! A scoped-thread run pool for the experiment matrix.
+//!
+//! Every characterization drive is a deterministic discrete-event
+//! simulation over virtual time — runs share no mutable state, so the
+//! matrix is embarrassingly parallel at the run level. This module fans
+//! independent tasks out over `std::thread::scope` workers (no external
+//! thread-pool dependency) while preserving input order, so parallel
+//! results are byte-identical to sequential ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `tasks` through `f` on up to `jobs` worker threads, returning
+/// results in input order.
+///
+/// `jobs <= 1` (or a single task) runs inline on the caller's thread —
+/// the sequential path spawns nothing, so `--jobs 1` is exactly the old
+/// behavior. Worker threads pull tasks from a shared atomic cursor, so
+/// uneven task durations load-balance automatically.
+///
+/// Determinism: `f` receives the same task values in either mode; as
+/// long as `f` itself is deterministic (every `run_drive` is), the
+/// output vector is identical for any `jobs`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker after the scope joins.
+pub fn parallel_map<T, R, F>(tasks: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if jobs <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(f).collect();
+    }
+    let workers = jobs.min(tasks.len());
+    let n = tasks.len();
+    // Hand out owned tasks through per-slot Options; the atomic cursor
+    // assigns each index to exactly one worker.
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        tasks.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i].lock().unwrap().take().expect("task taken twice");
+                if tx.send((i, f(task))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("worker died before finishing its task")).collect()
+}
+
+/// Resolves a `--jobs` request against the machine: `None` means "use
+/// every available core", clamped to at least 1.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let tasks: Vec<u64> = (0..50).collect();
+        let got = parallel_map(tasks.clone(), 8, |t| t * 3);
+        assert_eq!(got, tasks.iter().map(|t| t * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let tasks: Vec<u64> = (0..20).collect();
+        let seq = parallel_map(tasks.clone(), 1, |t| t.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let par = parallel_map(tasks, 7, |t| t.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_jobs_than_tasks() {
+        assert_eq!(parallel_map(vec![1, 2], 16, |t| t + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_and_single_task() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), 4, |t| t), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![9], 4, |t| t * 2), vec![18]);
+    }
+
+    #[test]
+    fn effective_jobs_clamps() {
+        assert_eq!(effective_jobs(Some(0)), 1);
+        assert_eq!(effective_jobs(Some(5)), 5);
+        assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn uneven_durations_load_balance() {
+        // Tasks of wildly different cost still come back in order.
+        let tasks: Vec<u32> = vec![200_000, 1, 1, 150_000, 1, 90_000, 1, 1];
+        let spin = |n: u32| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(u64::from(i)).rotate_left(7);
+            }
+            (n, acc)
+        };
+        let got = parallel_map(tasks.clone(), 4, spin);
+        let want: Vec<(u32, u64)> = tasks.into_iter().map(spin).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -5,9 +5,16 @@
 //! single master seed. Adding a new consumer of randomness therefore never
 //! perturbs the draws seen by existing consumers — runs stay comparable
 //! across code changes, the virtual-time analogue of replaying one ROSBAG.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-house PCG32 (PCG-XSH-RR 64/32, O'Neill 2014):
+//! 64-bit LCG state advanced per draw, output permuted by an
+//! xorshift-high + random rotate. No external crates — the build stays
+//! hermetic and the streams are stable across toolchains forever.
+//!
+//! Stream-stability note: replacing the previous `rand::SmallRng` wrapper
+//! changed every stream's draw sequence exactly once (at the swap). All
+//! golden values derived from run outputs were re-baselined then; from now
+//! on the sequences are frozen by this file alone.
 
 /// Factory for named random streams.
 ///
@@ -23,10 +30,11 @@ pub struct RngStreams {
     master_seed: u64,
 }
 
-/// A deterministic random stream (wrapper over a PCG-family generator).
+/// A deterministic random stream (in-house PCG32).
 #[derive(Debug, Clone)]
 pub struct StreamRng {
-    rng: SmallRng,
+    state: u64,
+    inc: u64,
     // State for the Box-Muller spare value.
     gauss_spare: Option<f64>,
 }
@@ -52,7 +60,7 @@ impl RngStreams {
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         let seed = splitmix64(self.master_seed ^ h);
-        StreamRng { rng: SmallRng::seed_from_u64(seed), gauss_spare: None }
+        StreamRng::seed_from_u64(seed)
     }
 }
 
@@ -63,10 +71,43 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+const PCG_MULT: u64 = 6364136223846793005;
+
 impl StreamRng {
+    /// Creates a stream from a 64-bit seed (state and increment both
+    /// derived through splitmix64 so correlated seeds decohere).
+    pub fn seed_from_u64(seed: u64) -> StreamRng {
+        let state_seed = splitmix64(seed);
+        // The increment must be odd for the LCG to have full period.
+        let inc = splitmix64(seed ^ 0xda3e_39cb_94b9_5bdb) | 1;
+        let mut rng = StreamRng { state: 0, inc, gauss_spare: None };
+        // Standard PCG init: advance once, add the seed, advance again.
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(state_seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next raw 32-bit output (PCG-XSH-RR).
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next raw 64-bit output (two PCG32 draws).
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
     /// Uniform draw in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.rng.random::<f64>()
+        // 53 random bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -79,14 +120,26 @@ impl StreamRng {
         lo + (hi - lo) * self.next_f64()
     }
 
-    /// Uniform integer draw in `[0, n)`.
+    /// Uniform integer draw in `[0, n)` (Lemire's unbiased multiply-shift
+    /// rejection method over 64-bit draws).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn uniform_usize(&mut self, n: usize) -> usize {
         assert!(n > 0, "uniform_usize requires n > 0");
-        self.rng.random_range(0..n)
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            // Reject the partial final stripe to stay exactly uniform.
+            if lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
     }
 
     /// Standard normal draw (Box-Muller).
@@ -158,6 +211,28 @@ mod tests {
     }
 
     #[test]
+    fn pcg_reference_vector() {
+        // PCG-XSH-RR 64/32 with the reference demo parameters:
+        // state = 0x185706b82c2e03f8, inc = (54 << 1) | 1 produces the
+        // published first outputs of the pcg32 global demo.
+        let mut rng = StreamRng { state: 0x185706b82c2e03f8, inc: 109, gauss_spare: None };
+        let expected: [u32; 6] =
+            [0xa15c02b7, 0x7b47f409, 0xba1d3330, 0x83d2f293, 0xbfa4784b, 0xcbed606e];
+        for want in expected {
+            assert_eq!(rng.next_u32(), want);
+        }
+    }
+
+    #[test]
+    fn next_f64_stays_in_unit_interval() {
+        let mut rng = RngStreams::new(5).stream("unit");
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
     fn uniform_respects_bounds() {
         let mut rng = RngStreams::new(3).stream("u");
         for _ in 0..1000 {
@@ -167,6 +242,16 @@ mod tests {
         for _ in 0..100 {
             assert!(rng.uniform_usize(10) < 10);
         }
+    }
+
+    #[test]
+    fn uniform_usize_covers_all_values() {
+        let mut rng = RngStreams::new(9).stream("cover");
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.uniform_usize(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

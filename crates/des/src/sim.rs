@@ -123,12 +123,21 @@ impl Sim {
         let seq = core.next_seq;
         core.next_seq += 1;
         let cancelled = Rc::new(Cell::new(false));
-        core.queue.push(Entry { time, seq, cancelled: Rc::clone(&cancelled), callback: Box::new(callback) });
+        core.queue.push(Entry {
+            time,
+            seq,
+            cancelled: Rc::clone(&cancelled),
+            callback: Box::new(callback),
+        });
         EventHandle { cancelled }
     }
 
     /// Schedules `callback` to run `delay` after the current virtual time.
-    pub fn schedule_in(&self, delay: SimDuration, callback: impl FnOnce() + 'static) -> EventHandle {
+    pub fn schedule_in(
+        &self,
+        delay: SimDuration,
+        callback: impl FnOnce() + 'static,
+    ) -> EventHandle {
         let now = self.now();
         self.schedule_at(now + delay, callback)
     }
@@ -234,9 +243,7 @@ mod tests {
             if count.get() < 5 {
                 count.set(count.get() + 1);
                 let s = sim.clone();
-                sim.schedule_in(SimDuration::from_millis(10), move || {
-                    tick(s.clone(), count)
-                });
+                sim.schedule_in(SimDuration::from_millis(10), move || tick(s.clone(), count));
             }
         }
         tick(sim.clone(), Rc::clone(&count));

@@ -44,9 +44,7 @@ impl Mat3 {
     pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
 
     /// The identity matrix.
-    pub const IDENTITY: Mat3 = Mat3 {
-        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Creates a matrix from row-major entries.
     #[inline]
@@ -237,12 +235,7 @@ impl IndexMut<(usize, usize)> for Mat3 {
 impl Mat4 {
     /// The identity matrix.
     pub const IDENTITY: Mat4 = Mat4 {
-        m: [
-            [1.0, 0.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0, 0.0],
-            [0.0, 0.0, 1.0, 0.0],
-            [0.0, 0.0, 0.0, 1.0],
-        ],
+        m: [[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 0.0], [0.0, 0.0, 0.0, 1.0]],
     };
 
     /// Creates a matrix from row-major entries.

@@ -118,8 +118,8 @@ impl Quat {
 
     /// Spherical linear interpolation from `self` (t = 0) to `other` (t = 1).
     pub fn slerp(self, other: Quat, t: f64) -> Quat {
-        let mut cos_half = self.w * other.w + self.x * other.x + self.y * other.y
-            + self.z * other.z;
+        let mut cos_half =
+            self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
         let mut other = other;
         if cos_half < 0.0 {
             // Take the short path.

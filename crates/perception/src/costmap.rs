@@ -212,7 +212,8 @@ impl CostmapGenerator {
     fn stamp(&self, grid: &mut OccupancyGrid, p: Vec3, inflate_cells: i64, cost: u8) {
         let Some(center) = grid.index_of(p) else { return };
         let side = grid.cells_per_side as i64;
-        let (row, col) = ((center / grid.cells_per_side) as i64, (center % grid.cells_per_side) as i64);
+        let (row, col) =
+            ((center / grid.cells_per_side) as i64, (center % grid.cells_per_side) as i64);
         for dr in -inflate_cells..=inflate_cells {
             for dc in -inflate_cells..=inflate_cells {
                 let (r, c) = (row + dr, col + dc);
@@ -235,11 +236,8 @@ impl CostmapGenerator {
         while x <= hx {
             let mut y = -hy;
             while y <= hy {
-                let world = Vec3::new(
-                    at.x + cos_y * x - sin_y * y,
-                    at.y + sin_y * x + cos_y * y,
-                    0.0,
-                );
+                let world =
+                    Vec3::new(at.x + cos_y * x - sin_y * y, at.y + sin_y * x + cos_y * y, 0.0);
                 if let Some(idx) = grid.index_of(world) {
                     grid.raise(idx, cost);
                 }
@@ -270,15 +268,15 @@ mod tests {
 
     #[test]
     fn low_points_ignored() {
-        let grid = generator()
-            .from_points(&PointCloud::from_positions([Vec3::new(5.0, 0.0, -1.85)]));
+        let grid =
+            generator().from_points(&PointCloud::from_positions([Vec3::new(5.0, 0.0, -1.85)]));
         assert_eq!(grid.occupied_cells(), 0);
     }
 
     #[test]
     fn out_of_grid_points_ignored() {
-        let grid = generator()
-            .from_points(&PointCloud::from_positions([Vec3::new(500.0, 0.0, 0.0)]));
+        let grid =
+            generator().from_points(&PointCloud::from_positions([Vec3::new(500.0, 0.0, 0.0)]));
         assert_eq!(grid.occupied_cells(), 0);
     }
 

@@ -190,11 +190,7 @@ mod tests {
         let split = filter().split(&cloud);
         assert!(split.no_ground.len() >= 6, "car returns must survive: {}", split.no_ground.len());
         // Ground beyond the car is still recognized (estimate not hijacked).
-        let far_ground = split
-            .ground
-            .positions()
-            .filter(|p| p.x > 14.0)
-            .count();
+        let far_ground = split.ground.positions().filter(|p| p.x > 14.0).count();
         assert!(far_ground > 0);
     }
 

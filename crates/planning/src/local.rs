@@ -168,10 +168,7 @@ mod tests {
 
     fn straight_path() -> Vec<Waypoint> {
         (0..40)
-            .map(|i| Waypoint {
-                position: Vec3::new(i as f64 * 2.0, 0.0, 0.0),
-                speed_limit: 10.0,
-            })
+            .map(|i| Waypoint { position: Vec3::new(i as f64 * 2.0, 0.0, 0.0), speed_limit: 10.0 })
             .collect()
     }
 

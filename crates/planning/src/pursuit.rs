@@ -117,10 +117,12 @@ mod tests {
     fn lookahead_scales_with_speed() {
         // At high speed the lookahead point is farther, so the same lateral
         // offset produces a gentler curvature.
-        let path: Vec<Vec3> = (0..200).map(|i| {
-            let x = i as f64 * 0.5;
-            Vec3::new(x, if x > 3.0 { 2.0 } else { 0.0 }, 0.0)
-        }).collect();
+        let path: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let x = i as f64 * 0.5;
+                Vec3::new(x, if x > 3.0 { 2.0 } else { 0.0 }, 0.0)
+            })
+            .collect();
         let slow = controller().control(&Pose::IDENTITY, 2.0, &path).unwrap();
         let fast = controller().control(&Pose::IDENTITY, 20.0, &path).unwrap();
         assert!(slow.yaw_rate().abs() / slow.speed() > fast.yaw_rate().abs() / fast.speed());

@@ -90,12 +90,11 @@ impl RoadGraph {
     /// Index of the waypoint nearest to `pos`, or `None` for an empty
     /// graph.
     pub fn nearest(&self, pos: Vec3) -> Option<usize> {
-        (0..self.waypoints.len())
-            .min_by(|&a, &b| {
-                let da = self.waypoints[a].position.distance_sq(pos);
-                let db = self.waypoints[b].position.distance_sq(pos);
-                da.total_cmp(&db)
-            })
+        (0..self.waypoints.len()).min_by(|&a, &b| {
+            let da = self.waypoints[a].position.distance_sq(pos);
+            let db = self.waypoints[b].position.distance_sq(pos);
+            da.total_cmp(&db)
+        })
     }
 
     /// Dijkstra shortest path from `start` to `goal` (inclusive), or

@@ -62,12 +62,11 @@ impl TwistFilter {
         let p = &self.params;
         // Low-pass toward the raw command.
         let target_v = self.state.speed() + p.alpha * (raw.speed() - self.state.speed());
-        let target_w =
-            self.state.yaw_rate() + p.alpha * (raw.yaw_rate() - self.state.yaw_rate());
+        let target_w = self.state.yaw_rate() + p.alpha * (raw.yaw_rate() - self.state.yaw_rate());
         // Rate limits.
         let dv = (target_v - self.state.speed()).clamp(-p.max_accel * dt, p.max_accel * dt);
-        let dw = (target_w - self.state.yaw_rate())
-            .clamp(-p.max_yaw_accel * dt, p.max_yaw_accel * dt);
+        let dw =
+            (target_w - self.state.yaw_rate()).clamp(-p.max_yaw_accel * dt, p.max_yaw_accel * dt);
         let v = self.state.speed() + dv;
         let w = (self.state.yaw_rate() + dw).clamp(-p.max_yaw_rate, p.max_yaw_rate);
         self.state = Twist::planar(v, w);

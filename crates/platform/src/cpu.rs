@@ -168,11 +168,7 @@ impl Cpu {
             inner.stats.total_busy += service;
             inner.stats.total_wait += wait;
             inner.stats.max_wait = inner.stats.max_wait.max(wait);
-            *inner
-                .stats
-                .busy_by_client
-                .entry(task.client)
-                .or_insert(SimDuration::ZERO) += service;
+            *inner.stats.busy_by_client.entry(task.client).or_insert(SimDuration::ZERO) += service;
 
             (inner.sim.clone(), end)
         };
@@ -234,9 +230,7 @@ mod tests {
         let done_at = Rc::new(Cell::new(SimTime::ZERO));
         let d = Rc::clone(&done_at);
         let s = sim.clone();
-        cpu.submit(CpuTask::new("a", SimDuration::from_millis(10), 0.0), move || {
-            d.set(s.now())
-        });
+        cpu.submit(CpuTask::new("a", SimDuration::from_millis(10), 0.0), move || d.set(s.now()));
         sim.run();
         assert_eq!(done_at.get(), SimTime::from_millis(10));
     }

@@ -18,10 +18,7 @@ pub struct GpuConfig {
 impl Default for GpuConfig {
     /// PCIe 3.0 x16-class copies and a ~20 µs launch path.
     fn default() -> GpuConfig {
-        GpuConfig {
-            copy_bandwidth: 12.0e9,
-            launch_overhead: SimDuration::from_micros(20),
-        }
+        GpuConfig { copy_bandwidth: 12.0e9, launch_overhead: SimDuration::from_micros(20) }
     }
 }
 
@@ -141,11 +138,7 @@ impl Gpu {
             inner.stats.total_energy_j += job.energy_j;
             inner.stats.total_wait += wait;
             inner.stats.max_wait = inner.stats.max_wait.max(wait);
-            *inner
-                .stats
-                .busy_by_client
-                .entry(job.client)
-                .or_insert(SimDuration::ZERO) += service;
+            *inner.stats.busy_by_client.entry(job.client).or_insert(SimDuration::ZERO) += service;
 
             (inner.sim.clone(), end)
         };

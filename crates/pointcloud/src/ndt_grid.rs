@@ -66,7 +66,8 @@ impl NdtGrid {
         let mut acc: HashMap<(i32, i32, i32), Acc> = HashMap::new();
         for p in map.positions() {
             let key = Self::key_for(p, cell_size);
-            let entry = acc.entry(key).or_insert_with(|| Acc { sum: Vec3::ZERO, points: Vec::new() });
+            let entry =
+                acc.entry(key).or_insert_with(|| Acc { sum: Vec3::ZERO, points: Vec::new() });
             entry.sum += p;
             entry.points.push(p);
         }
@@ -144,24 +145,32 @@ impl NdtGrid {
         self.cells.values()
     }
 
+    /// The integer cell coordinate containing `p` — the cache key for
+    /// [`cells_around_key`](Self::cells_around_key).
+    pub fn key_of(&self, p: Vec3) -> (i32, i32, i32) {
+        Self::key_for(p, self.cell_size)
+    }
+
     /// The populated cells in the DIRECT7 neighbourhood of `p`: the
     /// containing cell plus its six face neighbours. This is the lookup
     /// set PCL's NDT uses by default; scoring against the neighbourhood
     /// removes the quantization bias of a containing-cell-only match.
     pub fn cells_around(&self, p: Vec3) -> impl Iterator<Item = &NdtCell> {
-        const OFFSETS: [(i32, i32, i32); 7] = [
-            (0, 0, 0),
-            (1, 0, 0),
-            (-1, 0, 0),
-            (0, 1, 0),
-            (0, -1, 0),
-            (0, 0, 1),
-            (0, 0, -1),
-        ];
-        let (kx, ky, kz) = Self::key_for(p, self.cell_size);
-        OFFSETS
-            .iter()
-            .filter_map(move |&(dx, dy, dz)| self.cells.get(&(kx + dx, ky + dy, kz + dz)))
+        self.cells_around_key(self.key_of(p))
+    }
+
+    /// [`cells_around`](Self::cells_around) by integer cell coordinate,
+    /// so callers evaluating many points per cell (NDT's Newton loop)
+    /// can memoize the seven hash lookups per key. The iteration order
+    /// is the fixed DIRECT7 offset order — cached and uncached callers
+    /// accumulate scores in the same order.
+    pub fn cells_around_key(
+        &self,
+        (kx, ky, kz): (i32, i32, i32),
+    ) -> impl Iterator<Item = &NdtCell> {
+        const OFFSETS: [(i32, i32, i32); 7] =
+            [(0, 0, 0), (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)];
+        OFFSETS.iter().filter_map(move |&(dx, dy, dz)| self.cells.get(&(kx + dx, ky + dy, kz + dz)))
     }
 }
 

@@ -43,7 +43,7 @@ impl PathSpec {
 /// // ... run the simulation ...
 /// let summary = recorder.borrow().node_summary("ndt_matching");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     specs: Vec<PathSpec>,
     node_latency: HashMap<String, Distribution>,
@@ -178,6 +178,17 @@ impl SharedRecorder {
     pub fn observer(&self) -> Rc<RefCell<dyn BusObserver>> {
         Rc::clone(&self.inner) as Rc<RefCell<dyn BusObserver>>
     }
+
+    /// Clones the recorded state out of the shared handle, detaching it
+    /// from the (thread-local) bus so results can cross threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder is currently mutably borrowed (only possible
+    /// during observer callbacks).
+    pub fn snapshot(&self) -> LatencyRecorder {
+        self.inner.borrow().clone()
+    }
 }
 
 impl BusObserver for LatencyRecorder {
@@ -196,7 +207,13 @@ mod tests {
     use av_des::SimTime;
     use av_ros::Lineage;
 
-    fn event(node: &str, arrival_ms: u64, completed_ms: u64, lineage: Lineage, published: bool) -> ProcessedEvent {
+    fn event(
+        node: &str,
+        arrival_ms: u64,
+        completed_ms: u64,
+        lineage: Lineage,
+        published: bool,
+    ) -> ProcessedEvent {
         ProcessedEvent {
             node: node.to_string(),
             topic: "in".to_string(),

@@ -207,11 +207,7 @@ impl<M: 'static> Bus<M> {
             })
             .collect();
         for (sub_idx, sub) in subs.iter().enumerate() {
-            inner
-                .subs_by_topic
-                .entry(sub.topic.clone())
-                .or_default()
-                .push((node_idx, sub_idx));
+            inner.subs_by_topic.entry(sub.topic.clone()).or_default().push((node_idx, sub_idx));
         }
         inner.nodes.push(NodeSlot { name, node: Rc::new(RefCell::new(node)), subs, busy: false });
     }
@@ -607,7 +603,12 @@ mod tests {
     }
 
     impl Node<u64> for Fuser {
-        fn on_message(&mut self, topic: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+        fn on_message(
+            &mut self,
+            topic: &str,
+            msg: &Message<u64>,
+            out: &mut Outbox<u64>,
+        ) -> Execution {
             match topic {
                 "lidar_objs" => {
                     self.cached = Some(msg.header.lineage.clone());
@@ -695,7 +696,12 @@ mod tests {
             remaining: u32,
         }
         impl Node<u64> for SelfLoop {
-            fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+            fn on_message(
+                &mut self,
+                _t: &str,
+                msg: &Message<u64>,
+                out: &mut Outbox<u64>,
+            ) -> Execution {
                 if self.remaining > 0 {
                     self.remaining -= 1;
                     out.publish("loop", *msg.payload + 1);
@@ -727,7 +733,12 @@ mod tests {
     fn instant_nodes_relay_synchronously() {
         struct Instant0;
         impl Node<u64> for Instant0 {
-            fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+            fn on_message(
+                &mut self,
+                _t: &str,
+                msg: &Message<u64>,
+                out: &mut Outbox<u64>,
+            ) -> Execution {
                 out.publish("relayed", *msg.payload);
                 Execution::instant()
             }

@@ -90,61 +90,70 @@ impl Lineage {
 
 #[cfg(test)]
 mod proptests {
+    //! Seeded randomized property tests (fixed-seed PCG stream, so any
+    //! failure reproduces exactly).
     use super::*;
-    use proptest::prelude::*;
+    use av_des::{RngStreams, StreamRng};
 
-    fn arb_lineage() -> impl Strategy<Value = Lineage> {
-        prop::collection::vec((0u8..5, 0u64..10_000), 0..6).prop_map(|entries| {
-            let mut l = Lineage::empty();
-            for (s, t) in entries {
-                let source = match s {
-                    0 => Source::Lidar,
-                    1 => Source::Camera,
-                    2 => Source::Gnss,
-                    3 => Source::Imu,
-                    _ => Source::Radar,
-                };
-                l.merge(&Lineage::origin(source, SimTime::from_micros(t)));
-            }
-            l
-        })
+    fn random_lineage(rng: &mut StreamRng) -> Lineage {
+        let mut l = Lineage::empty();
+        for _ in 0..rng.uniform_usize(6) {
+            let source = match rng.uniform_usize(5) {
+                0 => Source::Lidar,
+                1 => Source::Camera,
+                2 => Source::Gnss,
+                3 => Source::Imu,
+                _ => Source::Radar,
+            };
+            let t = rng.uniform_usize(10_000) as u64;
+            l.merge(&Lineage::origin(source, SimTime::from_micros(t)));
+        }
+        l
     }
 
-    proptest! {
-        /// Merge is commutative, associative and idempotent on stamps.
-        #[test]
-        fn merge_semilattice(a in arb_lineage(), b in arb_lineage(), c in arb_lineage()) {
-            let sources =
-                [Source::Lidar, Source::Camera, Source::Gnss, Source::Imu, Source::Radar];
+    /// Merge is commutative, associative and idempotent on stamps.
+    #[test]
+    fn merge_semilattice() {
+        let mut rng = RngStreams::new(0x11a).stream("semilattice");
+        for _ in 0..256 {
+            let a = random_lineage(&mut rng);
+            let b = random_lineage(&mut rng);
+            let c = random_lineage(&mut rng);
+            let sources = [Source::Lidar, Source::Camera, Source::Gnss, Source::Imu, Source::Radar];
             // Commutativity.
             let ab = a.merged(&b);
             let ba = b.merged(&a);
             for s in sources {
-                prop_assert_eq!(ab.stamp_of(s), ba.stamp_of(s));
+                assert_eq!(ab.stamp_of(s), ba.stamp_of(s));
             }
             // Associativity.
             let left = a.merged(&b).merged(&c);
             let right = a.merged(&b.merged(&c));
             for s in sources {
-                prop_assert_eq!(left.stamp_of(s), right.stamp_of(s));
+                assert_eq!(left.stamp_of(s), right.stamp_of(s));
             }
             // Idempotence.
             let aa = a.merged(&a);
             for s in sources {
-                prop_assert_eq!(aa.stamp_of(s), a.stamp_of(s));
+                assert_eq!(aa.stamp_of(s), a.stamp_of(s));
             }
         }
+    }
 
-        /// Merging never loses a source and never increases a stamp.
-        #[test]
-        fn merge_monotone(a in arb_lineage(), b in arb_lineage()) {
+    /// Merging never loses a source and never increases a stamp.
+    #[test]
+    fn merge_monotone() {
+        let mut rng = RngStreams::new(0x11a).stream("monotone");
+        for _ in 0..256 {
+            let a = random_lineage(&mut rng);
+            let b = random_lineage(&mut rng);
             let m = a.merged(&b);
             for (source, stamp) in a.iter() {
                 let merged_stamp = m.stamp_of(source).unwrap();
-                prop_assert!(merged_stamp <= stamp);
+                assert!(merged_stamp <= stamp);
             }
             for (source, _) in b.iter() {
-                prop_assert!(m.stamp_of(source).is_some());
+                assert!(m.stamp_of(source).is_some());
             }
         }
     }

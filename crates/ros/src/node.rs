@@ -53,7 +53,12 @@ impl Execution {
     }
 
     /// Appends a GPU phase.
-    pub fn then_gpu(mut self, kernel_time: SimDuration, copy_bytes: u64, energy_j: f64) -> Execution {
+    pub fn then_gpu(
+        mut self,
+        kernel_time: SimDuration,
+        copy_bytes: u64,
+        energy_j: f64,
+    ) -> Execution {
         self.phases.push(Phase::Gpu { kernel_time, copy_bytes, energy_j });
         self
     }

@@ -22,11 +22,7 @@ pub struct ImmParams {
 impl Default for ImmParams {
     fn default() -> ImmParams {
         ImmParams {
-            transition: [
-                [0.90, 0.05, 0.05],
-                [0.05, 0.90, 0.05],
-                [0.10, 0.10, 0.80],
-            ],
+            transition: [[0.90, 0.05, 0.05], [0.05, 0.90, 0.05], [0.10, 0.10, 0.80]],
             initial_probs: [0.4, 0.4, 0.2],
             noise: NoiseParams::default(),
         }
@@ -63,11 +59,8 @@ pub struct ImmFilter {
     probs: [f64; N_MODELS],
 }
 
-const MODELS: [MotionModel; N_MODELS] = [
-    MotionModel::ConstantVelocity,
-    MotionModel::ConstantTurnRate,
-    MotionModel::RandomMotion,
-];
+const MODELS: [MotionModel; N_MODELS] =
+    [MotionModel::ConstantVelocity, MotionModel::ConstantTurnRate, MotionModel::RandomMotion];
 
 impl ImmFilter {
     /// Creates a filter bank initialized at a measured position.

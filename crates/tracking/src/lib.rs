@@ -23,6 +23,6 @@ pub mod ukf;
 
 pub use imm::{ImmEstimate, ImmFilter, ImmParams};
 pub use pda::{gate_measurements, PdaParams};
-pub use predict::{predict_objects, predict_path, PredictedObject, PredictParams};
-pub use tracker::{ImmUkfPdaTracker, TrackerParams, TrackedObject};
+pub use predict::{predict_objects, predict_path, PredictParams, PredictedObject};
+pub use tracker::{ImmUkfPdaTracker, TrackedObject, TrackerParams};
 pub use ukf::{MotionModel, NoiseParams, Ukf};

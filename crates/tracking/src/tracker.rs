@@ -2,7 +2,7 @@
 
 use crate::imm::{ImmFilter, ImmParams, N_MODELS};
 use crate::pda::{combine_innovations, gate_measurements, PdaParams};
-use av_geom::{VecN, Vec3};
+use av_geom::{Vec3, VecN};
 use av_perception::{DetectedObject, ObjectClass};
 
 /// Tracker configuration.
@@ -89,7 +89,12 @@ pub struct ImmUkfPdaTracker {
 impl ImmUkfPdaTracker {
     /// Creates an empty tracker.
     pub fn new(params: TrackerParams) -> ImmUkfPdaTracker {
-        ImmUkfPdaTracker { params, tracks: Vec::new(), next_id: 1, last_work: TrackerWork::default() }
+        ImmUkfPdaTracker {
+            params,
+            tracks: Vec::new(),
+            next_id: 1,
+            last_work: TrackerWork::default(),
+        }
     }
 
     /// Number of live (confirmed or tentative) tracks.
@@ -108,10 +113,8 @@ impl ImmUkfPdaTracker {
     /// time since the previous frame. Returns confirmed tracks.
     pub fn step(&mut self, detections: &[DetectedObject], dt: f64) -> Vec<TrackedObject> {
         let dt = dt.max(1e-3);
-        let measurements: Vec<VecN> = detections
-            .iter()
-            .map(|d| VecN::from_slice(&[d.position.x, d.position.y]))
-            .collect();
+        let measurements: Vec<VecN> =
+            detections.iter().map(|d| VecN::from_slice(&[d.position.x, d.position.y])).collect();
         let mut claimed = vec![false; measurements.len()];
         let mut gates_evaluated = 0usize;
 
@@ -129,9 +132,7 @@ impl ImmUkfPdaTracker {
             let mut best_idx: Option<usize> = None;
             let mut best_beta = 0.0;
             for (j, filter) in track.imm.filters().iter().enumerate() {
-                let (z_pred, s) = filter
-                    .predicted_measurement()
-                    .expect("predict ran above");
+                let (z_pred, s) = filter.predicted_measurement().expect("predict ran above");
                 let gated = gate_measurements(z_pred, s, &measurements, &self.params.pda);
                 gates_evaluated += measurements.len();
                 if !gated.is_empty() {
@@ -332,10 +333,7 @@ mod tests {
         for i in 0..30 {
             let x = 0.8 * i as f64;
             // Target plus a clutter detection far away each frame.
-            last = tracker.step(
-                &[detection(x, 0.0), detection(50.0, -30.0 + (i % 7) as f64)],
-                0.1,
-            );
+            last = tracker.step(&[detection(x, 0.0), detection(50.0, -30.0 + (i % 7) as f64)], 0.1);
         }
         let target = last.iter().find(|t| t.position.y.abs() < 2.0).unwrap();
         assert!((target.velocity.norm() - 8.0).abs() < 2.0);

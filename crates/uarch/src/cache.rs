@@ -141,9 +141,8 @@ impl Cache {
         } else {
             self.stats.load_misses += 1;
         }
-        let victim = (0..self.config.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
+        let victim =
+            (0..self.config.ways).min_by_key(|&w| self.stamps[base + w]).expect("ways > 0");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.clock;
         false

@@ -46,8 +46,9 @@ impl IpcModel {
         let base = self.alu_cpi * (1.0 - mem_frac) + self.mem_hit_cpi * mem_frac;
         let misses = (cache.load_misses + cache.store_misses) as f64;
         let mispredicts = branch.mispredictions as f64;
-        let cpi =
-            base + self.miss_penalty * misses / instr_f + self.branch_penalty * mispredicts / instr_f;
+        let cpi = base
+            + self.miss_penalty * misses / instr_f
+            + self.branch_penalty * mispredicts / instr_f;
         1.0 / cpi
     }
 }
@@ -72,11 +73,8 @@ mod tests {
     #[test]
     fn clean_alu_code_issues_wide() {
         let model = IpcModel::default();
-        let ipc = model.ipc(
-            &mix(0, 0, 0, 1000, 1000),
-            &CacheStats::default(),
-            &BranchStats::default(),
-        );
+        let ipc =
+            model.ipc(&mix(0, 0, 0, 1000, 1000), &CacheStats::default(), &BranchStats::default());
         assert!(ipc > 2.0, "pure ALU IPC {ipc}");
     }
 
@@ -110,8 +108,10 @@ mod tests {
     #[test]
     fn memory_heavy_mix_has_lower_base_ipc() {
         let model = IpcModel::default();
-        let alu = model.ipc(&mix(100, 0, 0, 900, 0), &CacheStats::default(), &BranchStats::default());
-        let memy = model.ipc(&mix(700, 200, 0, 100, 0), &CacheStats::default(), &BranchStats::default());
+        let alu =
+            model.ipc(&mix(100, 0, 0, 900, 0), &CacheStats::default(), &BranchStats::default());
+        let memy =
+            model.ipc(&mix(700, 200, 0, 100, 0), &CacheStats::default(), &BranchStats::default());
         assert!(memy < alu);
     }
 }

@@ -211,7 +211,7 @@ fn yolo_postprocess(probe: &mut impl Probe, scale: u32, seed: u64) {
     for _frame in 0..scale {
         for i in 0..CANDIDATES {
             probe.load(REGION_A + i as u64 * 16); // objectness + box words
-            // Sigmoid/exp via hot lookup tables (resident in L1).
+                                                  // Sigmoid/exp via hot lookup tables (resident in L1).
             for t in 0..6u64 {
                 probe.load(REGION_B + (t * 11 + (i as u64 % 64)) * 8 % 4096);
             }
@@ -220,7 +220,7 @@ fn yolo_postprocess(probe: &mut impl Probe, scale: u32, seed: u64) {
             let pass = rand_f32(&mut rng) > 0.999;
             probe.branch(0x300, pass);
             probe.branch(0x304, i != CANDIDATES - 1); // loop backedge
-            // Running best-score bookkeeping: hot line, always resident.
+                                                      // Running best-score bookkeeping: hot line, always resident.
             probe.store(REGION_C + (i as u64 % 8) * 8);
             if pass {
                 probe.store(REGION_C + 64 + (i as u64 % 16) * 8);
@@ -289,24 +289,24 @@ fn kdtree_cluster(probe: &mut impl Probe, scale: u32, seed: u64) {
                 };
             }
             for leaf_base in leaf_bases {
-            let cutoff = 4;
-            for p in 0..6u64 {
-                probe.load(leaf_base + p * 16);
-                probe.fp_ops(8); // distance computation
-                probe.int_ops(2);
-                let in_radius = p < cutoff;
-                probe.branch(0x40c, in_radius);
-                if in_radius {
-                    // Append the member to the output cloud (sequential),
-                    // with an occasional scattered visited-flag write.
-                    probe.store(REGION_B + 0x300_0000 + (members * 4) % 65_536);
-                    members += 1;
-                    if lcg(&mut rng) % 100 < 6 {
-                        probe.store(REGION_B + 0x380_0000 + (lcg(&mut rng) % 6_000) * 64);
+                let cutoff = 4;
+                for p in 0..6u64 {
+                    probe.load(leaf_base + p * 16);
+                    probe.fp_ops(8); // distance computation
+                    probe.int_ops(2);
+                    let in_radius = p < cutoff;
+                    probe.branch(0x40c, in_radius);
+                    if in_radius {
+                        // Append the member to the output cloud (sequential),
+                        // with an occasional scattered visited-flag write.
+                        probe.store(REGION_B + 0x300_0000 + (members * 4) % 65_536);
+                        members += 1;
+                        if lcg(&mut rng) % 100 < 6 {
+                            probe.store(REGION_B + 0x380_0000 + (lcg(&mut rng) % 6_000) * 64);
+                        }
                     }
+                    probe.branch(0x410, p != 5);
                 }
-                probe.branch(0x410, p != 5);
-            }
             }
             probe.branch(0x404, false); // search done
         }
@@ -454,8 +454,8 @@ fn costmap_raster(probe: &mut impl Probe, scale: u32, seed: u64) {
         }
         // Predicted-path stamping: short runs near the footprint pool.
         for _wp in 0..60u64 {
-            let base_cell = (pool[(lcg(&mut rng) % 8) as usize] + lcg(&mut rng) % 256)
-                % (SIDE * SIDE);
+            let base_cell =
+                (pool[(lcg(&mut rng) % 8) as usize] + lcg(&mut rng) % 256) % (SIDE * SIDE);
             for c in 0..80u64 {
                 let idx = (base_cell + c) % (SIDE * SIDE);
                 probe.load(REGION_A + idx);

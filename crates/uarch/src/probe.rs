@@ -1,7 +1,8 @@
 //! Instrumentation sinks: how kernels report their access streams.
 
-use crate::{BranchStats, Cache, CacheConfig, CacheStats, GsharePredictor, InstructionMix,
-    Predictor};
+use crate::{
+    BranchStats, Cache, CacheConfig, CacheStats, GsharePredictor, InstructionMix, Predictor,
+};
 
 /// Receiver of a kernel's dynamic events.
 ///

@@ -165,11 +165,7 @@ impl VisionDetector {
         let kept = nms(&candidates, self.params.score_threshold, self.params.iou_threshold);
         let detections = kept
             .into_iter()
-            .map(|b| VisionDetection2d {
-                bbox: b.bbox,
-                class: b.class,
-                confidence: b.score as f64,
-            })
+            .map(|b| VisionDetection2d { bbox: b.bbox, class: b.class, confidence: b.score as f64 })
             .collect();
         DetectionOutput {
             detections,
@@ -198,20 +194,15 @@ mod tests {
         let mut visible_total = 0usize;
         let mut detected_total = 0usize;
         for frame in frames() {
-            let clear = frame
-                .visible
-                .iter()
-                .filter(|v| v.occlusion < 0.2 && v.bbox.2 > 25.0)
-                .count();
+            let clear =
+                frame.visible.iter().filter(|v| v.occlusion < 0.2 && v.bbox.2 > 25.0).count();
             let out = detector.detect(&frame, &mut rng);
             visible_total += clear;
             // Count detections near ground-truth boxes.
             detected_total += frame
                 .visible
                 .iter()
-                .filter(|v| {
-                    out.detections.iter().any(|d| crate::iou(d.bbox, v.bbox) > 0.3)
-                })
+                .filter(|v| out.detections.iter().any(|d| crate::iou(d.bbox, v.bbox) > 0.3))
                 .count()
                 .min(clear);
         }
@@ -274,7 +265,8 @@ mod tests {
     #[test]
     fn empty_frame_yields_only_possible_false_positives() {
         let detector = VisionDetector::new(DetectorKind::YoloV3, DetectorParams::default());
-        let frame = ImageFrame { width: 1280, height: 960, visible: vec![], lights: vec![], clutter: 0.0 };
+        let frame =
+            ImageFrame { width: 1280, height: 960, visible: vec![], lights: vec![], clutter: 0.0 };
         let out = detector.detect(&frame, &mut RngStreams::new(1).stream("e"));
         assert!(out.detections.is_empty());
         assert_eq!(out.raw_candidates, 0);

@@ -16,7 +16,8 @@ pub enum DetectorKind {
 
 impl DetectorKind {
     /// All detector kinds, in the paper's presentation order.
-    pub const ALL: [DetectorKind; 3] = [DetectorKind::Ssd512, DetectorKind::Ssd300, DetectorKind::YoloV3];
+    pub const ALL: [DetectorKind; 3] =
+        [DetectorKind::Ssd512, DetectorKind::Ssd300, DetectorKind::YoloV3];
 
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
@@ -52,7 +53,10 @@ pub struct Layer {
 impl Layer {
     /// Multiply-accumulate FLOPs of the layer (2 × MACs).
     pub fn flops(&self) -> u64 {
-        2 * (self.out_size * self.out_size * self.in_channels * self.out_channels
+        2 * (self.out_size
+            * self.out_size
+            * self.in_channels
+            * self.out_channels
             * self.kernel
             * self.kernel) as u64
     }
@@ -124,10 +128,34 @@ fn vgg16(input: usize) -> Vec<Layer> {
 fn ssd_extras(input: usize) -> Vec<Layer> {
     // fc6/fc7 as dilated convs plus the extra feature layers.
     let mut layers = vec![
-        Layer { name: "fc6".into(), out_size: input / 16, in_channels: 512, out_channels: 1024, kernel: 3 },
-        Layer { name: "fc7".into(), out_size: input / 16, in_channels: 1024, out_channels: 1024, kernel: 1 },
-        Layer { name: "conv6_2".into(), out_size: input / 32, in_channels: 1024, out_channels: 512, kernel: 3 },
-        Layer { name: "conv7_2".into(), out_size: input / 64, in_channels: 512, out_channels: 256, kernel: 3 },
+        Layer {
+            name: "fc6".into(),
+            out_size: input / 16,
+            in_channels: 512,
+            out_channels: 1024,
+            kernel: 3,
+        },
+        Layer {
+            name: "fc7".into(),
+            out_size: input / 16,
+            in_channels: 1024,
+            out_channels: 1024,
+            kernel: 1,
+        },
+        Layer {
+            name: "conv6_2".into(),
+            out_size: input / 32,
+            in_channels: 1024,
+            out_channels: 512,
+            kernel: 3,
+        },
+        Layer {
+            name: "conv7_2".into(),
+            out_size: input / 64,
+            in_channels: 512,
+            out_channels: 256,
+            kernel: 3,
+        },
     ];
     // Detection heads over the main feature maps.
     for (name, div, in_c) in
@@ -201,7 +229,9 @@ fn darknet53(input: usize) -> Vec<Layer> {
         }
     }
     // Three YOLO heads.
-    for (name, div, in_c) in [("head32", 32usize, 1024usize), ("head16", 16, 512), ("head8", 8, 256)] {
+    for (name, div, in_c) in
+        [("head32", 32usize, 1024usize), ("head16", 16, 512), ("head8", 8, 256)]
+    {
         layers.push(Layer {
             name: name.to_string(),
             out_size: input / div,
@@ -348,7 +378,8 @@ mod tests {
 
     #[test]
     fn layer_flops_formula() {
-        let l = Layer { name: "t".into(), out_size: 10, in_channels: 4, out_channels: 8, kernel: 3 };
+        let l =
+            Layer { name: "t".into(), out_size: 10, in_channels: 4, out_channels: 8, kernel: 3 };
         assert_eq!(l.flops(), 2 * 10 * 10 * 4 * 8 * 9);
         assert_eq!(l.bytes(), 4 * (10 * 10 * 8 + 4 * 8 * 9));
     }

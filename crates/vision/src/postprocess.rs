@@ -53,11 +53,7 @@ pub fn rank_candidates(candidates: &mut [ScoredBox]) {
 /// `candidates` need not be sorted; ranking happens internally. Boxes
 /// with score below `score_threshold` are discarded; surviving boxes
 /// suppress same-class boxes overlapping more than `iou_threshold`.
-pub fn nms(
-    candidates: &[ScoredBox],
-    score_threshold: f32,
-    iou_threshold: f64,
-) -> Vec<ScoredBox> {
+pub fn nms(candidates: &[ScoredBox], score_threshold: f32, iou_threshold: f64) -> Vec<ScoredBox> {
     let mut sorted: Vec<ScoredBox> =
         candidates.iter().filter(|c| c.score >= score_threshold).copied().collect();
     rank_candidates(&mut sorted);
@@ -109,8 +105,11 @@ mod tests {
 
     #[test]
     fn ranking_sorts_descending() {
-        let mut boxes =
-            vec![boxed(0.0, 0.2, ObjectClass::Car), boxed(1.0, 0.9, ObjectClass::Car), boxed(2.0, 0.5, ObjectClass::Car)];
+        let mut boxes = vec![
+            boxed(0.0, 0.2, ObjectClass::Car),
+            boxed(1.0, 0.9, ObjectClass::Car),
+            boxed(2.0, 0.5, ObjectClass::Car),
+        ];
         rank_candidates(&mut boxes);
         let scores: Vec<f32> = boxes.iter().map(|b| b.score).collect();
         assert_eq!(scores, vec![0.9, 0.5, 0.2]);
@@ -131,16 +130,15 @@ mod tests {
 
     #[test]
     fn nms_keeps_overlapping_different_classes() {
-        let candidates = vec![
-            boxed(0.0, 0.9, ObjectClass::Car),
-            boxed(1.0, 0.8, ObjectClass::Pedestrian),
-        ];
+        let candidates =
+            vec![boxed(0.0, 0.9, ObjectClass::Car), boxed(1.0, 0.8, ObjectClass::Pedestrian)];
         assert_eq!(nms(&candidates, 0.1, 0.5).len(), 2);
     }
 
     #[test]
     fn nms_applies_score_threshold() {
-        let candidates = vec![boxed(0.0, 0.05, ObjectClass::Car), boxed(30.0, 0.9, ObjectClass::Car)];
+        let candidates =
+            vec![boxed(0.0, 0.05, ObjectClass::Car), boxed(30.0, 0.9, ObjectClass::Car)];
         let keep = nms(&candidates, 0.1, 0.5);
         assert_eq!(keep.len(), 1);
         assert_eq!(keep[0].score, 0.9);
@@ -167,62 +165,83 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Seeded randomized property tests (fixed-seed PCG stream, so any
+    //! failure reproduces exactly).
     use super::*;
-    use proptest::prelude::*;
+    use av_des::{RngStreams, StreamRng};
 
-    fn arb_box() -> impl Strategy<Value = ScoredBox> {
-        (0.0f64..500.0, 0.0f64..500.0, 1.0f64..100.0, 1.0f64..100.0, 0.0f32..1.0, 0u8..3)
-            .prop_map(|(x, y, w, h, score, class)| ScoredBox {
-                bbox: (x, y, w, h),
-                score,
-                class: match class {
-                    0 => ObjectClass::Car,
-                    1 => ObjectClass::Pedestrian,
-                    _ => ObjectClass::Cyclist,
-                },
-            })
+    fn random_box(rng: &mut StreamRng) -> ScoredBox {
+        ScoredBox {
+            bbox: (
+                rng.uniform(0.0, 500.0),
+                rng.uniform(0.0, 500.0),
+                rng.uniform(1.0, 100.0),
+                rng.uniform(1.0, 100.0),
+            ),
+            score: rng.next_f64() as f32,
+            class: match rng.uniform_usize(3) {
+                0 => ObjectClass::Car,
+                1 => ObjectClass::Pedestrian,
+                _ => ObjectClass::Cyclist,
+            },
+        }
     }
 
-    proptest! {
-        /// IoU is always in [0, 1] and symmetric.
-        #[test]
-        fn iou_bounded_and_symmetric(a in arb_box(), b in arb_box()) {
-            let v = iou(a.bbox, b.bbox);
-            prop_assert!((0.0..=1.0).contains(&v));
-            prop_assert!((v - iou(b.bbox, a.bbox)).abs() < 1e-12);
-        }
+    fn random_boxes(rng: &mut StreamRng, max: usize) -> Vec<ScoredBox> {
+        (0..rng.uniform_usize(max)).map(|_| random_box(rng)).collect()
+    }
 
-        /// NMS output: no same-class pair overlaps above the threshold, and
-        /// every kept box appears in the input.
-        #[test]
-        fn nms_postconditions(candidates in prop::collection::vec(arb_box(), 0..60)) {
+    /// IoU is always in [0, 1] and symmetric.
+    #[test]
+    fn iou_bounded_and_symmetric() {
+        let mut rng = RngStreams::new(0x10f).stream("iou");
+        for _ in 0..512 {
+            let a = random_box(&mut rng);
+            let b = random_box(&mut rng);
+            let v = iou(a.bbox, b.bbox);
+            assert!((0.0..=1.0).contains(&v));
+            assert!((v - iou(b.bbox, a.bbox)).abs() < 1e-12);
+        }
+    }
+
+    /// NMS output: no same-class pair overlaps above the threshold, and
+    /// every kept box appears in the input.
+    #[test]
+    fn nms_postconditions() {
+        let mut rng = RngStreams::new(0x10f).stream("nms");
+        for _ in 0..128 {
+            let candidates = random_boxes(&mut rng, 60);
             let keep = nms(&candidates, 0.1, 0.5);
             for (i, a) in keep.iter().enumerate() {
-                prop_assert!(candidates.contains(a));
+                assert!(candidates.contains(a));
                 for b in &keep[i + 1..] {
                     if a.class == b.class {
-                        prop_assert!(iou(a.bbox, b.bbox) <= 0.5 + 1e-12);
+                        assert!(iou(a.bbox, b.bbox) <= 0.5 + 1e-12);
                     }
                 }
             }
-            prop_assert!(keep.len() <= candidates.len());
+            assert!(keep.len() <= candidates.len());
             // Scores descending.
             for w in keep.windows(2) {
-                prop_assert!(w[0].score >= w[1].score);
+                assert!(w[0].score >= w[1].score);
             }
         }
+    }
 
-        /// Ranking is a permutation sorted by score.
-        #[test]
-        fn ranking_is_sorted_permutation(mut boxes in prop::collection::vec(arb_box(), 0..50)) {
+    /// Ranking is a permutation sorted by score.
+    #[test]
+    fn ranking_is_sorted_permutation() {
+        let mut rng = RngStreams::new(0x10f).stream("rank");
+        for _ in 0..128 {
+            let mut boxes = random_boxes(&mut rng, 50);
             let original = boxes.clone();
             rank_candidates(&mut boxes);
-            prop_assert_eq!(boxes.len(), original.len());
+            assert_eq!(boxes.len(), original.len());
             for w in boxes.windows(2) {
-                prop_assert!(w[0].score >= w[1].score);
+                assert!(w[0].score >= w[1].score);
             }
             for b in &boxes {
-                prop_assert!(original.contains(b));
+                assert!(original.contains(b));
             }
         }
     }

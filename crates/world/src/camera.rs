@@ -244,14 +244,25 @@ impl CameraModel {
                 let y = (cy - size / 2.0).clamp(0.0, self.config.height as f64);
                 Some(VisibleLight {
                     id: light.id,
-                    bbox: (x, y, size.min(self.config.width as f64 - x), size.min(self.config.height as f64 - y)),
+                    bbox: (
+                        x,
+                        y,
+                        size.min(self.config.width as f64 - x),
+                        size.min(self.config.height as f64 - y),
+                    ),
                     state: light.state_at(scene.time),
                     distance,
                 })
             })
             .collect();
 
-        ImageFrame { width: self.config.width, height: self.config.height, visible, lights, clutter }
+        ImageFrame {
+            width: self.config.width,
+            height: self.config.height,
+            visible,
+            lights,
+            clutter,
+        }
     }
 }
 

@@ -37,6 +37,6 @@ pub use nav::{GnssFix, ImuSample};
 pub use radar::{RadarConfig, RadarModel, RadarScan, RadarTarget};
 pub use route::Route;
 pub use scenario::{
-    AgentKind, EgoState, LightState, ObstacleBox, Scene, SceneObject, ScenarioConfig,
-    TrafficLight, World,
+    AgentKind, EgoState, LightState, ObstacleBox, ScenarioConfig, Scene, SceneObject, TrafficLight,
+    World,
 };

@@ -172,15 +172,13 @@ impl LidarModel {
                     if let Some(t) = c.obstacle.ray_intersect(origin, dir_world) {
                         if t > 0.1 && t < best_t && t <= self.config.max_range {
                             best_t = t;
-                            best_intensity =
-                                c.obstacle.intensity + c.ground_intensity_boost;
+                            best_intensity = c.obstacle.intensity + c.ground_intensity_boost;
                         }
                     }
                 }
 
                 if best_t.is_finite() {
-                    let t_noisy =
-                        (best_t + rng.normal(0.0, self.config.range_noise_std)).max(0.1);
+                    let t_noisy = (best_t + rng.normal(0.0, self.config.range_noise_std)).max(0.1);
                     cloud.push(Point {
                         position: dir_body * t_noisy,
                         intensity: best_intensity,
@@ -227,9 +225,7 @@ mod tests {
         let sweep = lidar.scan(&world, &world.snapshot(0.0), &mut rng);
         let ground_points = sweep
             .iter()
-            .filter(|p| {
-                (p.position.z + lidar.config().mount_height).abs() < 0.3
-            })
+            .filter(|p| (p.position.z + lidar.config().mount_height).abs() < 0.3)
             .count();
         assert!(ground_points > sweep.len() / 10, "expected many ground returns");
     }
@@ -252,9 +248,7 @@ mod tests {
         let mut found = false;
         for i in 0..20 {
             let scene = world.snapshot(i as f64);
-            let has_close_car = scene
-                .objects_within(25.0)
-                .any(|o| o.kind == crate::AgentKind::Car);
+            let has_close_car = scene.objects_within(25.0).any(|o| o.kind == crate::AgentKind::Car);
             if !has_close_car {
                 continue;
             }

@@ -6,8 +6,10 @@
 //! ```
 
 use av_des::{RngStreams, SimTime};
-use av_world::{Bag, CameraConfig, CameraModel, GnssFix, ImuSample, LidarConfig, LidarModel,
-    ScenarioConfig, SensorSample, World};
+use av_world::{
+    Bag, CameraConfig, CameraModel, GnssFix, ImuSample, LidarConfig, LidarModel, ScenarioConfig,
+    SensorSample, World,
+};
 
 fn main() {
     let seconds: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
@@ -31,7 +33,10 @@ fn main() {
         let t = ms as f64 / 1000.0;
         let stamp = SimTime::from_millis(ms);
         if ms % 10 == 0 {
-            bag.push(stamp, SensorSample::Imu(ImuSample::sample(&world.ego_state(t), &mut imu_rng)));
+            bag.push(
+                stamp,
+                SensorSample::Imu(ImuSample::sample(&world.ego_state(t), &mut imu_rng)),
+            );
         }
         if ms % 100 == 0 {
             let scene = world.snapshot(t);

@@ -2,22 +2,27 @@
 //! ablate the memory-bandwidth contention model (a DESIGN.md ablation).
 //!
 //! ```text
-//! cargo run --release --example contention_study [seconds]
+//! cargo run --release --example contention_study [seconds] [jobs]
 //! ```
+//!
+//! Every drive is an independent deterministic simulation, so the Fig 8
+//! runs and the three ablation configurations fan out over a worker pool
+//! (default: all cores) without changing any virtual-time result.
 
 use av_core::experiments::{fig8, fig8_table};
+use av_core::parallel::{effective_jobs, parallel_map};
 use av_core::stack::{run_drive, NodeSelection, RunConfig, StackConfig};
 use av_core::topics::nodes;
 use av_profiling::Table;
 use av_vision::DetectorKind;
 
 fn main() {
-    let seconds: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let seconds: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let jobs = effective_jobs(std::env::args().nth(2).and_then(|s| s.parse().ok()));
     let run = RunConfig { duration_s: Some(seconds) };
 
     // Part 1: Fig 8 — standalone vs full-system detector latency.
-    let results = fig8(StackConfig::paper_default, &run);
+    let results = fig8(StackConfig::paper_default, &run, jobs);
     println!("Fig 8 reproduction ({seconds:.0} s drives):\n{}", fig8_table(&results));
     for r in &results {
         println!(
@@ -30,22 +35,25 @@ fn main() {
 
     // Part 2: ablation — what happens to the co-runners' tails when the
     // bandwidth-contention mechanism is switched off?
+    let ablations = [
+        ("full (calibrated)", 1.7, 1.0),
+        ("linear", 1.0, 1.0),
+        ("disabled (infinite bandwidth)", 1.0, 1e9),
+    ];
+    let reports = parallel_map(ablations.to_vec(), jobs, |(label, exponent, bandwidth)| {
+        let mut config = StackConfig::paper_default(DetectorKind::Ssd512);
+        config.calib.cpu.contention_exponent = exponent;
+        config.calib.cpu.mem_bandwidth = bandwidth;
+        config.selection = NodeSelection::FullStack;
+        (label, run_drive(&config, &run))
+    });
     let mut table = Table::with_headers(&[
         "Contention model",
         "costmap_obj p99 (ms)",
         "ndt p99 (ms)",
         "cluster p99 (ms)",
     ]);
-    for (label, exponent, bandwidth) in [
-        ("full (calibrated)", 1.7, 1.0),
-        ("linear", 1.0, 1.0),
-        ("disabled (infinite bandwidth)", 1.0, 1e9),
-    ] {
-        let mut config = StackConfig::paper_default(DetectorKind::Ssd512);
-        config.calib.cpu.contention_exponent = exponent;
-        config.calib.cpu.mem_bandwidth = bandwidth;
-        config.selection = NodeSelection::FullStack;
-        let report = run_drive(&config, &run);
+    for (label, report) in &reports {
         table.add_row(vec![
             label.to_string(),
             format!("{:.1}", report.node_summary(nodes::COSTMAP_GENERATOR_OBJ).p99),

@@ -11,8 +11,7 @@ use av_core::topics::nodes;
 use av_vision::DetectorKind;
 
 fn main() {
-    let seconds: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20.0);
+    let seconds: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20.0);
 
     let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
     config.with_actuation = true;
@@ -24,10 +23,7 @@ fn main() {
 
     for node in [nodes::OP_LOCAL_PLANNER, nodes::PURE_PURSUIT, nodes::TWIST_FILTER] {
         let s = report.node_summary(node);
-        println!(
-            "{node:<18} {:>5} invocations, mean {:.2} ms",
-            s.count, s.mean
-        );
+        println!("{node:<18} {:>5} invocations, mean {:.2} ms", s.count, s.mean);
     }
     println!(
         "\nThe actuation chain (costmap → local planner → pure pursuit → twist \

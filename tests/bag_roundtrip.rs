@@ -3,8 +3,10 @@
 //! rests on).
 
 use av_des::{RngStreams, SimTime};
-use av_world::{Bag, CameraConfig, CameraModel, GnssFix, ImuSample, LidarConfig, LidarModel,
-    ScenarioConfig, SensorSample, World};
+use av_world::{
+    Bag, CameraConfig, CameraModel, GnssFix, ImuSample, LidarConfig, LidarModel, ScenarioConfig,
+    SensorSample, World,
+};
 
 /// Records a short drive's sensor streams into a bag.
 fn record_drive(seconds: f64) -> Bag {

@@ -16,8 +16,7 @@ fn run(config: &StackConfig, seconds: f64) -> av_core::stack::RunReport {
 #[test]
 fn lidar_blackout_suspends_the_lidar_pipeline_then_recovers() {
     let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
-    config.blackouts =
-        vec![Blackout { source: Source::Lidar, from_s: 4.0, to_s: 7.0 }];
+    config.blackouts = vec![Blackout { source: Source::Lidar, from_s: 4.0, to_s: 7.0 }];
     let report = run(&config, 20.0);
     let baseline = run(&StackConfig::smoke_test(DetectorKind::YoloV3), 20.0);
 
@@ -50,8 +49,7 @@ fn lidar_blackout_suspends_the_lidar_pipeline_then_recovers() {
 #[test]
 fn camera_blackout_starves_only_the_vision_chain() {
     let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
-    config.blackouts =
-        vec![Blackout { source: Source::Camera, from_s: 3.0, to_s: 8.0 }];
+    config.blackouts = vec![Blackout { source: Source::Camera, from_s: 3.0, to_s: 8.0 }];
     let report = run(&config, 12.0);
     let baseline = run(&StackConfig::smoke_test(DetectorKind::YoloV3), 12.0);
 
@@ -103,8 +101,7 @@ fn traffic_light_extension_recognizes_lights() {
 fn radar_blackout_only_silences_radar() {
     let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
     config.with_radar = true;
-    config.blackouts =
-        vec![Blackout { source: Source::Radar, from_s: 0.0, to_s: 100.0 }];
+    config.blackouts = vec![Blackout { source: Source::Radar, from_s: 0.0, to_s: 100.0 }];
     let report = run(&config, 8.0);
     assert_eq!(report.node_summary(nodes::RADAR_DETECTION).count, 0);
     assert!(report.node_summary(nodes::VISION_DETECTION).count > 80);

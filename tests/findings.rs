@@ -1,14 +1,14 @@
 //! The paper's five findings must already emerge mechanically on short
 //! drives (magnitudes grow with drive length; directions must hold).
 
-use av_core::experiments::{fig8, run_all_detectors};
+use av_core::experiments::{run_all_detectors, run_matrix};
 use av_core::findings::FindingsReport;
 use av_core::stack::{RunConfig, StackConfig};
 
 fn findings(seconds: f64) -> FindingsReport {
     let run = RunConfig { duration_s: Some(seconds) };
-    let reports = run_all_detectors(StackConfig::smoke_test, &run);
-    let isolation = fig8(StackConfig::smoke_test, &run);
+    let matrix = run_matrix(StackConfig::smoke_test, &run, 4);
+    let (reports, isolation) = (matrix.reports, matrix.isolation);
     FindingsReport::from_runs(&reports, isolation)
 }
 
@@ -17,11 +17,7 @@ fn finding1_detector_choice_moves_corunner_tails() {
     let f = findings(12.0);
     // Some co-running node's p99 must move by >20% between the SSD512 and
     // SSD300 scenarios (the paper reports 34–97% on its longer drive).
-    assert!(
-        f.finding1_contention(0.2),
-        "no co-runner tail moved >20%: {:?}",
-        f.tail_inflation
-    );
+    assert!(f.finding1_contention(0.2), "no co-runner tail moved >20%: {:?}", f.tail_inflation);
     // euclidean_cluster shares the GPU with the detector — it must be
     // slower in the SSD512 scenario specifically.
     let cluster = f
@@ -35,11 +31,7 @@ fn finding1_detector_choice_moves_corunner_tails() {
 #[test]
 fn finding3_resources_not_saturated() {
     let f = findings(10.0);
-    assert!(
-        f.finding3_not_saturated(0.7, 0.8),
-        "platform saturated: {:?}",
-        f.utilization
-    );
+    assert!(f.finding3_not_saturated(0.7, 0.8), "platform saturated: {:?}", f.utilization);
     // But not idle either: the stack really runs.
     for &(detector, cpu, gpu) in &f.utilization {
         assert!(cpu > 0.03, "{detector} CPU idle: {cpu}");
@@ -53,10 +45,7 @@ fn finding4_full_system_slower_than_isolated() {
     assert!(
         f.finding4_isolation_underestimates(),
         "isolation must underestimate: {:?}",
-        f.isolation
-            .iter()
-            .map(|r| (r.detector, r.isolated_mean, r.full_mean))
-            .collect::<Vec<_>>()
+        f.isolation.iter().map(|r| (r.detector, r.isolated_mean, r.full_mean)).collect::<Vec<_>>()
     );
 }
 
@@ -68,10 +57,7 @@ fn finding5_full_system_more_variable() {
     assert!(
         f.finding5_variability(1.3),
         "variability must grow: {:?}",
-        f.isolation
-            .iter()
-            .map(|r| (r.detector, r.isolated_std, r.full_std))
-            .collect::<Vec<_>>()
+        f.isolation.iter().map(|r| (r.detector, r.isolated_std, r.full_std)).collect::<Vec<_>>()
     );
 }
 
@@ -81,18 +67,13 @@ fn finding2_deadline_pressure_grows_with_detector_cost() {
     // the deadline pressure must order by detector cost for the vision
     // path.
     let run = RunConfig { duration_s: Some(12.0) };
-    let reports = run_all_detectors(StackConfig::smoke_test, &run);
+    let reports = run_all_detectors(StackConfig::smoke_test, &run, 3);
     let over = |r: &av_core::stack::RunReport| {
-        let rec = r.recorder.borrow();
-        rec.path_latencies("costmap_vision_obj")
-            .map(|d| d.fraction_above(100.0))
-            .unwrap_or(0.0)
+        let rec = &r.recorder;
+        rec.path_latencies("costmap_vision_obj").map(|d| d.fraction_above(100.0)).unwrap_or(0.0)
     };
     let ssd512 = over(&reports[0]);
     let ssd300 = over(&reports[1]);
-    assert!(
-        ssd512 > ssd300,
-        "SSD512 must break the deadline more often: {ssd512} vs {ssd300}"
-    );
+    assert!(ssd512 > ssd300, "SSD512 must break the deadline more often: {ssd512} vs {ssd300}");
     assert!(ssd512 > 0.5, "SSD512's vision path mostly misses 100 ms: {ssd512}");
 }

@@ -55,10 +55,7 @@ fn latency_ordering_matches_paper_shape() {
     let ssd = smoke(DetectorKind::Ssd512, 8.0);
     let vision = ssd.node_summary(nodes::VISION_DETECTION);
     for node in [nodes::VOXEL_GRID_FILTER, nodes::NAIVE_MOTION_PREDICT, nodes::UKF_TRACK_RELAY] {
-        assert!(
-            vision.mean > ssd.node_summary(node).mean,
-            "vision must dominate {node}"
-        );
+        assert!(vision.mean > ssd.node_summary(node).mean, "vision must dominate {node}");
     }
     assert!(vision.mean > 60.0, "SSD512 mean {}", vision.mean);
     // And the relay really is a relay.
@@ -69,11 +66,7 @@ fn latency_ordering_matches_paper_shape() {
 fn ssd512_drops_camera_frames_others_do_not() {
     let ssd = smoke(DetectorKind::Ssd512, 10.0);
     let image_drops = |r: &av_core::stack::RunReport| {
-        r.drops
-            .iter()
-            .find(|d| d.topic == "/image_raw")
-            .map(|d| d.drop_rate())
-            .unwrap_or(0.0)
+        r.drops.iter().find(|d| d.topic == "/image_raw").map(|d| d.drop_rate()).unwrap_or(0.0)
     };
     assert!(image_drops(&ssd) > 0.05, "SSD512 must drop camera frames (Table III)");
     let yolo = smoke(DetectorKind::YoloV3, 10.0);
@@ -102,10 +95,7 @@ fn power_tracks_detector_choice() {
     let (ssd512, ssd300, yolo) = (&reports[0], &reports[1], &reports[2]);
     assert!(ssd512.power.gpu_w > ssd300.power.gpu_w + 20.0);
     assert!(yolo.power.gpu_w > ssd300.power.gpu_w + 20.0);
-    let cpu_spread = reports
-        .iter()
-        .map(|r| r.power.cpu_w)
-        .fold(f64::NEG_INFINITY, f64::max)
+    let cpu_spread = reports.iter().map(|r| r.power.cpu_w).fold(f64::NEG_INFINITY, f64::max)
         - reports.iter().map(|r| r.power.cpu_w).fold(f64::INFINITY, f64::min);
     assert!(cpu_spread < 10.0, "CPU power must vary little: spread {cpu_spread}");
 }
