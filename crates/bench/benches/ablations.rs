@@ -18,7 +18,7 @@ use std::hint::black_box;
 fn run_cfg(mutate: impl FnOnce(&mut StackConfig)) -> av_core::stack::RunReport {
     let mut config = StackConfig::paper_default(DetectorKind::Ssd512);
     mutate(&mut config);
-    run_drive(&config, &RunConfig { duration_s: Some(30.0) })
+    run_drive(&config, &RunConfig::seconds(30.0))
 }
 
 fn sweep_cores() {
@@ -90,7 +90,7 @@ fn bench_ablations(c: &mut Bench) {
     sweep_camera_rate();
 
     let config = StackConfig::smoke_test(DetectorKind::Ssd512);
-    let quick = RunConfig { duration_s: Some(5.0) };
+    let quick = RunConfig::seconds(5.0);
     c.bench_function("ablation_baseline/5s_smoke_ssd512", |b| {
         b.iter(|| black_box(run_drive(black_box(&config), black_box(&quick))))
     });

@@ -9,14 +9,14 @@ use av_vision::DetectorKind;
 use std::hint::black_box;
 
 fn bench_node_latency(c: &mut Bench) {
-    let run = RunConfig { duration_s: Some(20.0) };
+    let run = RunConfig::seconds(20.0);
     for kind in DetectorKind::ALL {
         // Print the Fig 5 rows once per detector (the artifact itself).
         let report = run_drive(&StackConfig::paper_default(kind), &run);
         println!("\nFig 5 (with {kind}), 20 s drive:\n{}", fig5_table(&report));
 
         let config = StackConfig::smoke_test(kind);
-        let quick = RunConfig { duration_s: Some(5.0) };
+        let quick = RunConfig::seconds(5.0);
         c.bench_function(&format!("drive_5s_smoke/{kind}"), |b| {
             b.iter(|| black_box(run_drive(black_box(&config), black_box(&quick))))
         });

@@ -10,7 +10,7 @@ use av_world::{LidarModel, World};
 use std::hint::black_box;
 
 fn bench_e2e_paths(c: &mut Bench) {
-    let run = RunConfig { duration_s: Some(20.0) };
+    let run = RunConfig::seconds(20.0);
     for kind in DetectorKind::ALL {
         let report = run_drive(&StackConfig::paper_default(kind), &run);
         println!("\nFig 6 (with {kind}), 20 s drive:\n{}", fig6_table(&report));
@@ -21,7 +21,7 @@ fn bench_e2e_paths(c: &mut Bench) {
 
     // How fast does the engine replay a drive?
     let config = StackConfig::smoke_test(DetectorKind::YoloV3);
-    let quick = RunConfig { duration_s: Some(10.0) };
+    let quick = RunConfig::seconds(10.0);
     c.bench_function("engine/10s_smoke_drive", |b| {
         b.iter(|| black_box(run_drive(black_box(&config), black_box(&quick))))
     });

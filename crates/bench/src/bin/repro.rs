@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick | --duration <seconds>] [--jobs <N>] [ARTIFACT...]
-//!       [--results <dir>] [--csv <dir>]
+//!       [--results <dir>] [--csv <dir>] [--trace] [--check-jobs <N,M,...>]
 //!
 //! ARTIFACT: --fig5 --fig6 --fig7 --fig8 --table3 --table5 --table6
 //!           --table7 --findings   (default: all)
@@ -15,17 +15,26 @@
 //! the golden determinism hash printed at the end is byte-identical for
 //! any `--jobs` value. `--quick` shortens the drive to 60 s.
 //!
+//! `--trace` records the `av-trace` event timeline during every drive and
+//! writes `trace_<detector>.json` (Chrome trace-event format, loadable in
+//! Perfetto) plus `metrics_<detector>.csv` per full-stack run; their FNV
+//! hashes are recorded in `BENCH_repro.json`. `--check-jobs 1,8` reruns
+//! the whole matrix at each listed thread count and **exits nonzero** if
+//! the golden hash — or any rendered trace artifact byte — differs
+//! between levels.
+//!
 //! Tables are written under `--results` (default `results/`) with stable
 //! ordering and no timestamps, so reruns diff clean; wall-clock timings
 //! go to `BENCH_repro.json` in the same directory.
 
 use av_bench::{paper_config, paper_run};
-use av_core::determinism;
+use av_core::determinism::{self, Fnv64};
 use av_core::experiments;
 use av_core::findings::FindingsReport;
 use av_core::parallel::effective_jobs;
 use av_core::stack::{RunConfig, RunReport};
 use av_profiling::Table;
+use av_trace::export::{render_chrome_trace, render_metrics_csv};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,6 +42,7 @@ use std::time::Instant;
 struct Options {
     run: RunConfig,
     jobs: usize,
+    check_jobs: Vec<usize>,
     artifacts: HashSet<String>,
     results_dir: PathBuf,
     csv_dir: Option<PathBuf>,
@@ -43,7 +53,9 @@ const ALL_ARTIFACTS: [&str; 9] =
 
 fn parse_args() -> Options {
     let mut run = paper_run();
+    let mut trace = false;
     let mut jobs = None;
+    let mut check_jobs: Vec<usize> = Vec::new();
     let mut artifacts = HashSet::new();
     let mut results_dir = PathBuf::from("results");
     let mut csv_dir = None;
@@ -53,11 +65,20 @@ fn parse_args() -> Options {
             "--quick" => run = av_bench::quick_run(),
             "--duration" => {
                 let value = args.next().expect("--duration needs seconds");
-                run = RunConfig { duration_s: Some(value.parse().expect("invalid duration")) };
+                run.duration_s = Some(value.parse().expect("invalid duration"));
             }
+            "--trace" => trace = true,
             "--jobs" | "-j" => {
                 let value = args.next().expect("--jobs needs a thread count");
                 jobs = Some(value.parse().expect("invalid --jobs value"));
+            }
+            "--check-jobs" => {
+                let value = args.next().expect("--check-jobs needs a comma-separated list");
+                check_jobs = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("invalid --check-jobs value"))
+                    .collect();
+                assert!(!check_jobs.is_empty(), "--check-jobs needs at least one level");
             }
             "--results" => {
                 results_dir = PathBuf::from(args.next().expect("--results needs a directory"));
@@ -67,8 +88,9 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick | --duration <s>] [--jobs <N>] \
-                     [--results <dir>] [--csv <dir>] [--fig5 ... --findings]"
+                    "usage: repro [--quick | --duration <s>] [--jobs <N>] [--trace] \
+                     [--check-jobs <N,M,...>] [--results <dir>] [--csv <dir>] \
+                     [--fig5 ... --findings]"
                 );
                 std::process::exit(0);
             }
@@ -86,7 +108,23 @@ fn parse_args() -> Options {
     if artifacts.is_empty() {
         artifacts = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
     }
-    Options { run, jobs: effective_jobs(jobs), artifacts, results_dir, csv_dir }
+    if trace {
+        run = run.with_trace();
+    }
+    // With --check-jobs and no explicit --jobs, the primary run uses the
+    // first listed level so one of the checked levels comes for free.
+    if jobs.is_none() {
+        jobs = check_jobs.first().copied();
+    }
+    Options { run, jobs: effective_jobs(jobs), check_jobs, artifacts, results_dir, csv_dir }
+}
+
+/// FNV-1a 64 hash of rendered artifact bytes, formatted like the golden
+/// determinism hash.
+fn bytes_hash(text: &str) -> String {
+    let mut h = Fnv64::new();
+    h.write_bytes(text.as_bytes());
+    format!("{:#018x}", h.finish())
 }
 
 fn emit(options: &Options, name: &str, title: &str, table: &Table) {
@@ -134,8 +172,14 @@ fn main() {
         options.jobs
     );
 
+    let runs_full_matrix = needs_full_runs && needs_isolation;
+    if !options.check_jobs.is_empty() && !runs_full_matrix {
+        eprintln!("--check-jobs requires the full artifact set (it compares matrix hashes)");
+        std::process::exit(2);
+    }
+
     let total_start = Instant::now();
-    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     let mut reports: Vec<RunReport> = Vec::new();
     let mut isolation = Vec::new();
     let mut golden_hash: Option<u64> = None;
@@ -146,7 +190,7 @@ fn main() {
         eprintln!("running experiment matrix (3 full + 2 isolated drives)...");
         let start = Instant::now();
         let matrix = experiments::run_matrix(paper_config, &options.run, options.jobs);
-        timings.push(("matrix_runs", start.elapsed().as_secs_f64()));
+        timings.push(("matrix_runs".to_string(), start.elapsed().as_secs_f64()));
         golden_hash = Some(determinism::matrix_hash(&matrix));
         reports = matrix.reports;
         isolation = matrix.isolation;
@@ -154,12 +198,12 @@ fn main() {
         eprintln!("running full-stack drives (3 detectors)...");
         let start = Instant::now();
         reports = experiments::run_all_detectors(paper_config, &options.run, options.jobs);
-        timings.push(("full_runs", start.elapsed().as_secs_f64()));
+        timings.push(("full_runs".to_string(), start.elapsed().as_secs_f64()));
     } else if needs_isolation {
         eprintln!("running isolation drives (SSD512, YOLO standalone + full)...");
         let start = Instant::now();
         isolation = experiments::fig8(paper_config, &options.run, options.jobs);
-        timings.push(("isolation_runs", start.elapsed().as_secs_f64()));
+        timings.push(("isolation_runs".to_string(), start.elapsed().as_secs_f64()));
     }
     for r in &reports {
         eprintln!(
@@ -221,14 +265,14 @@ fn main() {
     if wants("table7") {
         let start = Instant::now();
         let table = experiments::table7(uarch_scale, 2020);
-        timings.push(("uarch_table7", start.elapsed().as_secs_f64()));
+        timings.push(("uarch_table7".to_string(), start.elapsed().as_secs_f64()));
         emit(&options, "table7", "Table VII — microarchitecture profiling", &table);
     }
 
     if wants("fig7") {
         let start = Instant::now();
         let table = experiments::fig7(uarch_scale, 2020);
-        timings.push(("uarch_fig7", start.elapsed().as_secs_f64()));
+        timings.push(("uarch_fig7".to_string(), start.elapsed().as_secs_f64()));
         emit(&options, "fig7", "Fig 7 — instruction mix", &table);
     }
 
@@ -241,15 +285,93 @@ fn main() {
         println!("golden determinism hash: {hash:#018x}");
     }
 
+    // Trace artifacts: one Chrome trace + metrics CSV per full-stack run,
+    // with byte hashes recorded so reruns can be compared without the
+    // (large) files themselves.
+    let mut rendered: Vec<(String, String, String)> = Vec::new();
+    let mut artifact_hashes: Vec<(String, String)> = Vec::new();
+    if options.run.trace.is_some() {
+        std::fs::create_dir_all(&options.results_dir).expect("create results dir");
+        for report in &reports {
+            let trace = report.trace.as_ref().expect("traced run without trace data");
+            let name = report.detector.name().to_lowercase();
+            let json = render_chrome_trace(&name, trace);
+            let csv = render_metrics_csv(trace);
+            let json_path = options.results_dir.join(format!("trace_{name}.json"));
+            let csv_path = options.results_dir.join(format!("metrics_{name}.csv"));
+            std::fs::write(&json_path, &json).expect("write trace json");
+            std::fs::write(&csv_path, &csv).expect("write metrics csv");
+            println!(
+                "trace: {} ({} callbacks, {} drops); metrics: {} ({} samples)",
+                json_path.display(),
+                trace.callback_count(),
+                trace.dropped_total(),
+                csv_path.display(),
+                trace.samples.len()
+            );
+            artifact_hashes.push((format!("trace_{name}.json"), bytes_hash(&json)));
+            artifact_hashes.push((format!("metrics_{name}.csv"), bytes_hash(&csv)));
+            rendered.push((name, json, csv));
+        }
+    }
+
+    // Cross-`--jobs` determinism check: rerun the matrix at every other
+    // requested level and demand an identical golden hash and (when
+    // tracing) byte-identical rendered artifacts.
+    let verify_levels: Vec<usize> =
+        options.check_jobs.iter().copied().filter(|&j| j != options.jobs).collect();
+    if !verify_levels.is_empty() {
+        let base_hash = golden_hash.expect("--check-jobs runs the full matrix");
+        for level in verify_levels {
+            eprintln!("determinism check: rerunning matrix with --jobs {level}...");
+            let start = Instant::now();
+            let matrix = experiments::run_matrix(paper_config, &options.run, level);
+            timings.push((format!("check_jobs_{level}"), start.elapsed().as_secs_f64()));
+            let hash = determinism::matrix_hash(&matrix);
+            if hash != base_hash {
+                eprintln!(
+                    "DETERMINISM VIOLATION: --jobs {} hash {:#018x} != --jobs {} hash {:#018x}",
+                    level, hash, options.jobs, base_hash
+                );
+                std::process::exit(1);
+            }
+            for (report, (name, base_json, base_csv)) in matrix.reports.iter().zip(&rendered) {
+                let trace = report.trace.as_ref().expect("traced run without trace data");
+                if &render_chrome_trace(name, trace) != base_json
+                    || &render_metrics_csv(trace) != base_csv
+                {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: trace artifacts for {name} differ between \
+                         --jobs {} and --jobs {level}",
+                        options.jobs
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "determinism check passed: jobs {:?} all reproduce hash {base_hash:#018x}",
+            options.check_jobs
+        );
+    }
+
     // Wall-clock benchmark record: per-experiment timings so the perf
     // trajectory is tracked from run to run. This file is *about* wall
     // time, so it is the one results/ artifact that legitimately varies
     // between reruns; keys and their order stay fixed.
-    timings.push(("total", total_start.elapsed().as_secs_f64()));
+    timings.push(("total".to_string(), total_start.elapsed().as_secs_f64()));
     let mut fields: Vec<(&str, String)> =
         vec![("jobs", options.jobs.to_string()), ("drive_duration_s", format!("{duration:.1}"))];
     if let Some(hash) = golden_hash {
         fields.push(("golden_hash", format!("\"{hash:#018x}\"")));
+    }
+    if !artifact_hashes.is_empty() {
+        let body = artifact_hashes
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": \"{v}\""))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        fields.push(("artifact_hashes", format!("{{\n{body}\n  }}")));
     }
     let timing_body =
         timings.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect::<Vec<_>>().join(",\n");

@@ -1,0 +1,232 @@
+//! `trace_report` — recomputes the paper's tables from a trace file alone.
+//!
+//! ```text
+//! trace_report <trace.json>                 # analyze an exported trace
+//! trace_report --verify [--duration <s>] [--detector <name>]
+//! ```
+//!
+//! File mode loads a Chrome trace written by `repro --trace` (or the
+//! `trace_capture` example) and reprints the Fig 6 path latencies, the
+//! Fig 5 per-node processing latencies, and the Table III drop counts —
+//! all derived purely from the trace events, without access to the run.
+//!
+//! `--verify` is the internal consistency oracle: it runs one traced
+//! drive, renders the trace to JSON, parses it back, recomputes the same
+//! quantities, and asserts **exact** (bit-level, not epsilon) agreement
+//! with what the live `LatencyRecorder` and the bus drop counters
+//! measured. Any disagreement exits nonzero.
+
+use av_bench::paper_config;
+use av_core::stack::{computation_paths, run_drive, RunConfig};
+use av_profiling::Table;
+use av_trace::analysis::{analyze_trace, TracePathSpec, TraceReport};
+use av_trace::export::render_chrome_trace;
+use av_trace::json;
+use av_vision::DetectorKind;
+
+fn trace_specs() -> Vec<TracePathSpec> {
+    computation_paths()
+        .into_iter()
+        .map(|p| TracePathSpec::new(p.name, p.sink_node, p.source.name()))
+        .collect()
+}
+
+fn path_table(report: &TraceReport) -> Table {
+    let mut table = Table::with_headers(&["Path", "Count", "Mean (ms)", "p99 (ms)", "Max (ms)"]);
+    for (name, dist) in &report.paths {
+        let s = dist.summary();
+        table.add_row(vec![
+            name.clone(),
+            s.count.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.p99),
+            format!("{:.2}", s.max),
+        ]);
+    }
+    table
+}
+
+fn node_table(report: &TraceReport) -> Table {
+    let mut table = Table::with_headers(&["Node", "Count", "Mean (ms)", "p99 (ms)", "Max (ms)"]);
+    for (name, dist) in &report.nodes {
+        let s = dist.summary();
+        table.add_row(vec![
+            name.clone(),
+            s.count.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.p99),
+            format!("{:.2}", s.max),
+        ]);
+    }
+    table
+}
+
+fn drop_table(report: &TraceReport) -> Table {
+    let mut table = Table::with_headers(&["Topic", "Node", "Dropped"]);
+    for ((topic, node), count) in &report.drops {
+        table.add_row(vec![topic.clone(), node.clone(), count.to_string()]);
+    }
+    table
+}
+
+fn print_report(title: &str, report: &TraceReport) {
+    println!("# Trace report — {title}\n");
+    println!("callback slices: {}\n", report.callbacks);
+    println!("## Fig 6 — end-to-end path latency (from trace)\n");
+    println!("{}", path_table(report));
+    println!("## Fig 5 — node processing latency (from trace)\n");
+    println!("{}", node_table(report));
+    println!("## Table III — dropped messages (from trace)\n");
+    if report.drops.is_empty() {
+        println!("(no drops recorded)\n");
+    } else {
+        println!("{}", drop_table(report));
+    }
+}
+
+fn analyze_file(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let report = analyze_trace(&doc, &trace_specs()).unwrap_or_else(|e| {
+        eprintln!("not a stack trace: {e}");
+        std::process::exit(2);
+    });
+    print_report(path, &report);
+}
+
+fn verify(duration_s: f64, detector: DetectorKind) {
+    eprintln!("verify: running a traced {duration_s:.0} s drive with {detector}...");
+    let config = paper_config(detector);
+    let run = RunConfig::seconds(duration_s).with_trace();
+    let live = run_drive(&config, &run);
+    let trace = live.trace.as_ref().expect("traced run without trace data");
+
+    // Round-trip through the exported bytes: the analysis must see exactly
+    // what an external tool would.
+    let rendered = render_chrome_trace(detector.name(), trace);
+    let doc = json::parse(&rendered).expect("exported trace must parse");
+    let recomputed = analyze_trace(&doc, &trace_specs()).expect("exported trace must analyze");
+
+    let mut failures = 0;
+    let mut check = |label: String, ok: bool| {
+        if ok {
+            println!("  ok: {label}");
+        } else {
+            println!("  MISMATCH: {label}");
+            failures += 1;
+        }
+    };
+
+    // Fig 6: every path's sample vector must match the live recorder
+    // bit-for-bit (hence so do mean, p99, ... — summaries are pure
+    // functions of the samples).
+    for (name, dist) in &recomputed.paths {
+        let live_samples =
+            live.recorder.path_latencies(name).map(|d| d.samples().to_vec()).unwrap_or_default();
+        check(
+            format!(
+                "path {name}: {} samples, mean {:.3} ms",
+                live_samples.len(),
+                dist.summary().mean
+            ),
+            dist.samples() == live_samples.as_slice(),
+        );
+    }
+
+    // Fig 5: per-node processing latencies.
+    for node in live.recorder.nodes() {
+        let live_samples =
+            live.recorder.node_latencies(&node).map(|d| d.samples().to_vec()).unwrap_or_default();
+        let from_trace =
+            recomputed.nodes.get(&node).map(|d| d.samples().to_vec()).unwrap_or_default();
+        check(format!("node {node}: {} samples", live_samples.len()), from_trace == live_samples);
+    }
+    check(
+        "node set matches".to_string(),
+        recomputed.nodes.keys().cloned().collect::<Vec<_>>() == {
+            let mut n = live.recorder.nodes();
+            n.sort();
+            n
+        },
+    );
+
+    // Table III: trace drop instants vs the recorder's observed drops and
+    // the bus's own subscription counters.
+    let observed: std::collections::BTreeMap<(String, String), u64> =
+        live.recorder.observed_drops().iter().map(|(k, &v)| (k.clone(), v)).collect();
+    check(
+        format!("drop counts per subscription ({} dropping subscriptions)", observed.len()),
+        recomputed.drops == observed,
+    );
+    let bus_dropped: u64 = live.drops.iter().map(|d| d.dropped).sum();
+    let trace_dropped: u64 = recomputed.drops.values().sum();
+    check(
+        format!("total drops: trace {trace_dropped} == bus counters {bus_dropped}"),
+        trace_dropped == bus_dropped,
+    );
+
+    println!();
+    print_report(&format!("{detector} ({duration_s:.0} s verify run)"), &recomputed);
+    if failures > 0 {
+        eprintln!("verify FAILED: {failures} mismatch(es)");
+        std::process::exit(1);
+    }
+    println!("verify passed: trace-derived tables match the live recorder exactly");
+}
+
+fn main() {
+    let mut file: Option<String> = None;
+    let mut do_verify = false;
+    let mut duration_s = 10.0;
+    let mut detector = DetectorKind::Ssd512;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--verify" => do_verify = true,
+            "--duration" => {
+                let value = args.next().expect("--duration needs seconds");
+                duration_s = value.parse().expect("invalid duration");
+            }
+            "--detector" => {
+                let value = args.next().expect("--detector needs a name");
+                detector = DetectorKind::ALL
+                    .into_iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(&value))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown detector: {value} (try ssd512, ssd300, yolov3)");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: trace_report <trace.json> | --verify [--duration <s>] \
+                     [--detector <name>]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match (file, do_verify) {
+        (Some(path), false) => analyze_file(&path),
+        (None, true) => verify(duration_s, detector),
+        (Some(_), true) => {
+            eprintln!("--verify runs its own drive; do not also pass a trace file");
+            std::process::exit(2);
+        }
+        (None, false) => {
+            eprintln!("usage: trace_report <trace.json> | --verify");
+            std::process::exit(2);
+        }
+    }
+}

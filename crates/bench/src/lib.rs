@@ -17,12 +17,12 @@ pub fn paper_config(detector: DetectorKind) -> StackConfig {
 /// A reduced configuration for quick runs (`repro --quick`): the same
 /// world and sensors, shorter drive.
 pub fn quick_run() -> RunConfig {
-    RunConfig { duration_s: Some(60.0) }
+    RunConfig::seconds(60.0)
 }
 
 /// The full paper-scale run config.
 pub fn paper_run() -> RunConfig {
-    RunConfig { duration_s: None }
+    RunConfig::default()
 }
 
 #[cfg(test)]

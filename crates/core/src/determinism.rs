@@ -16,6 +16,7 @@
 use crate::experiments::{ExperimentMatrix, IsolationResult};
 use crate::findings::FindingsReport;
 use crate::stack::RunReport;
+use av_trace::{TraceData, TraceEvent};
 
 /// Incremental FNV-1a 64-bit hasher (the classic offset basis / prime
 /// pair), used instead of `DefaultHasher` because its output is stable
@@ -155,6 +156,84 @@ fn fold_run(h: &mut Fnv64, report: &RunReport) {
     h.write_f64(report.power.gpu_w);
     h.write_f64(report.localization_error_m);
     h.write_f64(report.localization_error_final_m);
+
+    // The structured trace, when one was recorded. Folding the events and
+    // samples makes the golden hash cover the whole observability layer:
+    // a traced run must produce a bit-identical timeline at every `--jobs`
+    // level. Untraced runs skip this block, so pre-trace golden values
+    // stay valid.
+    if let Some(trace) = &report.trace {
+        fold_trace(h, trace);
+    }
+}
+
+fn fold_trace(h: &mut Fnv64, trace: &TraceData) {
+    h.write_u64(trace.sample_interval.as_nanos());
+    h.write_u64(trace.nodes.len() as u64);
+    for node in &trace.nodes {
+        h.write_str(node);
+    }
+    h.write_u64(trace.subscriptions.len() as u64);
+    for (topic, node) in &trace.subscriptions {
+        h.write_str(topic);
+        h.write_str(node);
+    }
+    h.write_u64(trace.events.len() as u64);
+    for event in &trace.events {
+        match event {
+            TraceEvent::Callback {
+                node,
+                topic,
+                arrival,
+                started,
+                completed,
+                lineage,
+                published,
+            } => {
+                h.write_u64(0);
+                h.write_str(node);
+                h.write_str(topic);
+                h.write_u64(arrival.as_nanos());
+                h.write_u64(started.as_nanos());
+                h.write_u64(completed.as_nanos());
+                h.write_u64(lineage.len() as u64);
+                for (source, stamp) in lineage {
+                    h.write_str(source.name());
+                    h.write_u64(stamp.as_nanos());
+                }
+                h.write_u64(published.len() as u64);
+                for topic in published {
+                    h.write_str(topic);
+                }
+            }
+            TraceEvent::Enqueued { topic, node, depth, time }
+            | TraceEvent::Dequeued { topic, node, depth, time }
+            | TraceEvent::Dropped { topic, node, depth, time } => {
+                h.write_u64(match event {
+                    TraceEvent::Enqueued { .. } => 1,
+                    TraceEvent::Dequeued { .. } => 2,
+                    _ => 3,
+                });
+                h.write_str(topic);
+                h.write_str(node);
+                h.write_u64(*depth as u64);
+                h.write_u64(time.as_nanos());
+            }
+        }
+    }
+    h.write_u64(trace.samples.len() as u64);
+    for s in &trace.samples {
+        h.write_u64(s.time.as_nanos());
+        h.write_u64(s.queue_depths.len() as u64);
+        for &d in &s.queue_depths {
+            h.write_u64(d);
+        }
+        h.write_f64_slice(&s.node_busy_frac);
+        h.write_f64(s.cpu_util);
+        h.write_f64(s.gpu_util);
+        h.write_f64(s.cpu_w);
+        h.write_f64(s.gpu_w);
+    }
 }
 
 /// Hashes Fig 8 isolation rows, preserving row order.
@@ -256,7 +335,7 @@ mod tests {
 
     #[test]
     fn same_run_same_hash_different_seed_different_hash() {
-        let run = RunConfig { duration_s: Some(3.0) };
+        let run = RunConfig::seconds(3.0);
         let config = StackConfig::smoke_test(DetectorKind::Ssd300);
         let h1 = run_hash(&run_drive(&config, &run));
         let h2 = run_hash(&run_drive(&config, &run));
@@ -266,5 +345,27 @@ mod tests {
         other.seed ^= 1;
         let h3 = run_hash(&run_drive(&other, &run));
         assert_ne!(h1, h3, "a different seed must change the golden hash");
+    }
+
+    #[test]
+    fn tracing_extends_the_hash_without_perturbing_other_outputs() {
+        let config = StackConfig::smoke_test(DetectorKind::Ssd300);
+        let untraced = run_drive(&config, &RunConfig::seconds(3.0));
+        let traced = run_drive(&config, &RunConfig::seconds(3.0).with_trace());
+        assert!(traced.trace.is_some());
+        assert_ne!(
+            run_hash(&untraced),
+            run_hash(&traced),
+            "the recorded trace must fold into the golden hash"
+        );
+        // Tracing is read-only: with the trace stripped, a traced run must
+        // hash identically to an untraced one.
+        let mut stripped = traced.clone();
+        stripped.trace = None;
+        assert_eq!(
+            run_hash(&untraced),
+            run_hash(&stripped),
+            "enabling the tracer must not perturb any non-trace output"
+        );
     }
 }

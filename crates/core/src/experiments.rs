@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn fig8_shows_isolation_effect() {
-        let run = RunConfig { duration_s: Some(6.0) };
+        let run = RunConfig::seconds(6.0);
         let results = fig8(StackConfig::smoke_test, &run, 4);
         assert_eq!(results.len(), 2);
         for r in &results {
@@ -340,7 +340,7 @@ mod tests {
 
     #[test]
     fn detector_sweep_tables() {
-        let run = RunConfig { duration_s: Some(5.0) };
+        let run = RunConfig::seconds(5.0);
         let reports = run_all_detectors(StackConfig::smoke_test, &run, 3);
         assert_eq!(reports.len(), 3);
         let t5 = table5(&reports);

@@ -191,12 +191,11 @@ impl fmt::Display for FindingsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::{fig8, run_all_detectors};
     use crate::stack::{RunConfig, StackConfig};
 
     #[test]
     fn findings_report_builds_and_renders() {
-        let run = RunConfig { duration_s: Some(5.0) };
+        let run = RunConfig::seconds(5.0);
         let matrix = crate::experiments::run_matrix(StackConfig::smoke_test, &run, 4);
         let (reports, isolation) = (matrix.reports, matrix.isolation);
         let findings = FindingsReport::from_runs(&reports, isolation);

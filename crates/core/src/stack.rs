@@ -17,7 +17,10 @@ use av_perception::{
 use av_planning::{LocalPlannerParams, PurePursuitParams, TwistFilterParams, Waypoint};
 use av_platform::{CpuStats, GpuStats, Platform, PowerReport};
 use av_profiling::{LatencyRecorder, PathSpec, SharedRecorder, Summary, Table};
-use av_ros::{Bus, DropStats, Lineage, Message, Node, Outbox, Source, SubscriptionSpec};
+use av_ros::{
+    Bus, DropStats, FanoutObserver, Lineage, Message, Node, Outbox, Source, SubscriptionSpec,
+};
+use av_trace::{MetricSample, SharedTracer, TraceConfig, TraceData};
 use av_tracking::{PredictParams, TrackerParams};
 use av_vision::DetectorKind;
 use av_world::{CameraConfig, CameraModel, LidarConfig, LidarModel, ScenarioConfig, World};
@@ -143,6 +146,23 @@ impl StackConfig {
 pub struct RunConfig {
     /// Overrides the scenario duration (seconds), e.g. for quick runs.
     pub duration_s: Option<f64>,
+    /// When set, record a structured event trace and metrics time series
+    /// (see `av-trace`). Tracing is read-only — enabling it does not
+    /// perturb any other run output.
+    pub trace: Option<TraceConfig>,
+}
+
+impl RunConfig {
+    /// A run capped at `secs` seconds, without tracing.
+    pub const fn seconds(secs: f64) -> RunConfig {
+        RunConfig { duration_s: Some(secs), trace: None }
+    }
+
+    /// Enables tracing at the default cadence.
+    pub fn with_trace(mut self) -> RunConfig {
+        self.trace = Some(TraceConfig::default());
+        self
+    }
 }
 
 /// Everything measured during a drive.
@@ -171,6 +191,9 @@ pub struct RunReport {
     /// distinguishes transient divergence (e.g. during an injected
     /// blackout) from a permanently lost filter.
     pub localization_error_final_m: f64,
+    /// The structured event trace, when [`RunConfig::trace`] was set.
+    /// Owned data, so the report stays `Send`.
+    pub trace: Option<TraceData>,
 }
 
 impl RunReport {
@@ -353,7 +376,22 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     let platform = Platform::new(&sim, config.calib.cpu.clone(), config.calib.gpu.clone());
     let bus: Bus<Msg> = Bus::new(&sim, &platform);
     let recorder = SharedRecorder::new(LatencyRecorder::new(computation_paths()));
-    bus.set_shared_observer(recorder.observer());
+    let tracer = match &run.trace {
+        Some(trace_config) => {
+            // Fan the bus events out to both observers; the recorder stays
+            // first so its measurements are untouched by tracing.
+            let tracer = SharedTracer::new(trace_config);
+            let mut fanout = FanoutObserver::new();
+            fanout.push(recorder.observer());
+            fanout.push(tracer.observer());
+            bus.set_observer(fanout);
+            Some(tracer)
+        }
+        None => {
+            bus.set_shared_observer(recorder.observer());
+            None
+        }
+    };
 
     let calib = &config.calib;
     let sel = &config.selection;
@@ -685,6 +723,76 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         );
     }
 
+    // Trace metrics sampler: a fixed-cadence, read-only probe of queue
+    // depths, per-node busy fractions and platform counters. The stream
+    // name is unique ("trace_clock") and the jitter zero, so scheduling it
+    // draws no randomness and perturbs nothing — a traced run produces
+    // bit-identical non-trace outputs to an untraced one.
+    if let Some(tracer) = &tracer {
+        tracer.set_topology(
+            bus.node_names(),
+            bus.queue_depths().into_iter().map(|(topic, node, _)| (topic, node)).collect(),
+        );
+        let interval = run.trace.as_ref().expect("tracer implies config").sample_interval;
+        assert!(!interval.is_zero(), "trace sample interval must be positive");
+        schedule_periodic(
+            &sim,
+            interval,
+            SimDuration::ZERO,
+            streams.stream("trace_clock"),
+            until,
+            {
+                let (sim, bus, platform) = (sim.clone(), bus.clone(), platform.clone());
+                let tracer = tracer.clone();
+                let power = config.calib.power.clone();
+                let cores = config.calib.cpu.cores;
+                let mut prev_node_busy: Vec<SimDuration> = Vec::new();
+                let mut prev_cpu_busy = SimDuration::ZERO;
+                let mut prev_gpu_busy = SimDuration::ZERO;
+                let mut prev_gpu_energy = 0.0f64;
+                move || {
+                    let now = sim.now();
+                    let node_busy = bus.node_busy_times();
+                    if prev_node_busy.is_empty() {
+                        prev_node_busy = vec![SimDuration::ZERO; node_busy.len()];
+                    }
+                    let interval_s = interval.as_secs_f64();
+                    let node_busy_frac: Vec<f64> = node_busy
+                        .iter()
+                        .zip(prev_node_busy.iter())
+                        .map(|((_, busy), prev)| {
+                            busy.saturating_sub(*prev).as_secs_f64() / interval_s
+                        })
+                        .collect();
+                    let cpu_busy = platform.cpu().busy_time_by_now();
+                    let gpu_busy = platform.gpu().busy_time_by_now();
+                    let gpu_energy = platform.gpu().stats().total_energy_j;
+                    let cpu_delta = cpu_busy.saturating_sub(prev_cpu_busy);
+                    let gpu_delta = gpu_busy.saturating_sub(prev_gpu_busy);
+                    let energy_delta = gpu_energy - prev_gpu_energy;
+                    let report = power.interval_power(cpu_delta, cores, energy_delta, interval);
+                    tracer.push_sample(MetricSample {
+                        time: now,
+                        queue_depths: bus
+                            .queue_depths()
+                            .into_iter()
+                            .map(|(_, _, depth)| depth as u64)
+                            .collect(),
+                        node_busy_frac,
+                        cpu_util: cpu_delta.as_secs_f64() / (cores as f64 * interval_s),
+                        gpu_util: gpu_delta.as_secs_f64() / interval_s,
+                        cpu_w: report.cpu_w,
+                        gpu_w: report.gpu_w,
+                    });
+                    prev_node_busy = node_busy.into_iter().map(|(_, busy)| busy).collect();
+                    prev_cpu_busy = cpu_busy;
+                    prev_gpu_busy = gpu_busy;
+                    prev_gpu_energy = gpu_energy;
+                }
+            },
+        );
+    }
+
     // --- Run ------------------------------------------------------------
     sim.run_until(until);
     // Let in-flight work complete so the last frames are counted.
@@ -714,6 +822,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         power,
         localization_error_m,
         localization_error_final_m,
+        trace: tracer.map(|t| t.snapshot()),
     }
 }
 
@@ -786,7 +895,7 @@ mod tests {
     use super::*;
 
     fn quick(detector: DetectorKind) -> RunReport {
-        run_drive(&StackConfig::smoke_test(detector), &RunConfig { duration_s: Some(6.0) })
+        run_drive(&StackConfig::smoke_test(detector), &RunConfig::seconds(6.0))
     }
 
     #[test]
@@ -850,7 +959,7 @@ mod tests {
     fn isolated_vision_runs_alone() {
         let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
         config.selection = NodeSelection::Isolated(node_names::VISION_DETECTION.to_string());
-        let report = run_drive(&config, &RunConfig { duration_s: Some(6.0) });
+        let report = run_drive(&config, &RunConfig::seconds(6.0));
         assert!(report.node_summary(node_names::VISION_DETECTION).count > 0);
         assert_eq!(report.node_summary(node_names::NDT_MATCHING).count, 0);
         assert_eq!(report.node_summary(node_names::EUCLIDEAN_CLUSTER).count, 0);

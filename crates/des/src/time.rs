@@ -137,6 +137,13 @@ impl SimDuration {
         self.0 == 0
     }
 
+    /// Difference to another duration, saturating at zero — for deltas of
+    /// monotone cumulative counters.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
     /// Scales the duration by a non-negative factor.
     ///
     /// # Panics

@@ -165,6 +165,83 @@ impl NdtMatcher {
         Objective { f, g, h, matched }
     }
 
+    /// Uncached reference evaluation: the same objective as [`evaluate`],
+    /// computed with a fresh DIRECT7 grid probe per point. Retained as the
+    /// oracle the memoized path is checked against (the property test
+    /// compares the two bit-for-bit), and as the implementation the cache
+    /// must keep matching through future grid refactors. Accumulation
+    /// order is identical to the cached path — `cells_around` order — so
+    /// agreement is exact, not approximate.
+    ///
+    /// [`evaluate`]: NdtMatcher::evaluate
+    fn evaluate_reference(
+        &self,
+        scan: &PointCloud,
+        x: f64,
+        y: f64,
+        yaw: f64,
+        with_derivs: bool,
+    ) -> Objective {
+        let (sin_t, cos_t) = yaw.sin_cos();
+        let mut f = 0.0;
+        let mut g = Vec3::ZERO;
+        let mut h = Mat3::ZERO;
+        let mut matched = 0usize;
+        for p in scan.positions() {
+            let rx = cos_t * p.x - sin_t * p.y;
+            let ry = sin_t * p.x + cos_t * p.y;
+            let q = Vec3::new(rx + x, ry + y, p.z);
+            let j_t = Vec3::new(-ry, rx, 0.0);
+            let d2 = Vec3::new(-rx, -ry, 0.0);
+            let mut any_cell = false;
+            for cell in self.grid.cells_around(q) {
+                any_cell = true;
+                let d = q - cell.mean;
+                let bd = cell.inv_cov * d;
+                let md = d.dot(bd);
+                let e = (-0.5 * md).exp();
+                f -= e;
+                if !with_derivs {
+                    continue;
+                }
+                let j_x = Vec3::X;
+                let j_y = Vec3::Y;
+                let dbj = Vec3::new(bd.dot(j_x), bd.dot(j_y), bd.dot(j_t));
+                g += dbj * e;
+                let js = [j_x, j_y, j_t];
+                for r in 0..3 {
+                    let bjr = cell.inv_cov * js[r];
+                    for c in 0..3 {
+                        let mut term = js[c].dot(bjr) - dbj[r] * dbj[c];
+                        if r == 2 && c == 2 {
+                            term += bd.dot(d2);
+                        }
+                        h.m[r][c] += e * term;
+                    }
+                }
+            }
+            if any_cell {
+                matched += 1;
+            }
+        }
+        Objective { f, g, h, matched }
+    }
+
+    /// The objective value (negative summed Gaussian score) and matched
+    /// point count of `scan` at `pose`, without running any optimization —
+    /// computed by the uncached reference path. Useful for scoring
+    /// candidate poses externally.
+    pub fn score_at(&self, scan: &PointCloud, pose: &Pose) -> (f64, usize) {
+        let obj = self.evaluate_reference(
+            scan,
+            pose.translation.x,
+            pose.translation.y,
+            pose.yaw(),
+            false,
+        );
+        (obj.f, obj.matched)
+    }
+
     /// Aligns `scan` (body frame) to the map starting from `initial_guess`.
     ///
     /// Sweeps that match no populated cell at all return the initial guess
@@ -346,8 +423,10 @@ mod tests {
     }
 
     /// A cache reused across many evaluations at drifting poses returns
-    /// bit-identical objectives to fresh lookups — cached entries never
-    /// go stale (they depend only on the integer cell key).
+    /// bit-identical objectives to fresh lookups *and* to the retained
+    /// uncached reference implementation — cached entries never go stale
+    /// (they depend only on the integer cell key), and the memoized path
+    /// accumulates in exactly the reference order.
     #[test]
     fn cached_direct7_matches_fresh_lookups() {
         let m = matcher();
@@ -357,10 +436,22 @@ mod tests {
             let (x, y, yaw) = (0.05 * step as f64, -0.03 * step as f64, 0.004 * step as f64);
             let a = m.evaluate(&scan, x, y, yaw, true, &mut persistent);
             let b = m.evaluate(&scan, x, y, yaw, true, &mut Direct7Cache::new());
+            let r = m.evaluate_reference(&scan, x, y, yaw, true);
             assert_eq!(a.f.to_bits(), b.f.to_bits(), "step {step}");
             assert_eq!(a.g, b.g);
             assert_eq!(a.h.m, b.h.m);
             assert_eq!(a.matched, b.matched);
+            assert_eq!(a.f.to_bits(), r.f.to_bits(), "reference f, step {step}");
+            assert_eq!(a.g, r.g, "reference gradient, step {step}");
+            assert_eq!(a.h.m, r.h.m, "reference Hessian, step {step}");
+            assert_eq!(a.matched, r.matched, "reference match count, step {step}");
+            // The score-only public wrapper agrees too.
+            let (f_only, matched_only) = m.score_at(&scan, &Pose::planar(x, y, yaw));
+            assert_eq!(f_only.to_bits(), a.f.to_bits(), "score_at f, step {step}");
+            assert_eq!(matched_only, a.matched, "score_at matched, step {step}");
+            // And disabling derivatives must not change the objective value.
+            let no_derivs = m.evaluate(&scan, x, y, yaw, false, &mut Direct7Cache::new());
+            assert_eq!(no_derivs.f.to_bits(), a.f.to_bits(), "with_derivs=false f, step {step}");
         }
     }
 

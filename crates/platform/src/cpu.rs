@@ -191,6 +191,22 @@ impl Cpu {
         self.inner.borrow_mut().stats = CpuStats::default();
     }
 
+    /// Core-busy time accrued up to the current simulated instant.
+    ///
+    /// Statistics charge a task's full service at submit; the portion
+    /// scheduled beyond `now` is, per core, a contiguous block ending at
+    /// `core_free_at` (any idle gap on a core lies strictly in the past),
+    /// so subtracting `max(0, core_free_at − now)` per core yields the
+    /// exact busy-time integral over `[0, now]` — the quantity the trace
+    /// sampler differentiates into a utilization series.
+    pub fn busy_time_by_now(&self) -> SimDuration {
+        let inner = self.inner.borrow();
+        let now = inner.sim.now();
+        let future: u64 =
+            inner.core_free_at.iter().map(|&free| free.saturating_since(now).as_nanos()).sum();
+        SimDuration::from_nanos(inner.stats.total_busy.as_nanos().saturating_sub(future))
+    }
+
     /// Number of tasks whose modeled execution overlaps the current instant.
     pub fn busy_cores_now(&self) -> usize {
         let inner = self.inner.borrow();
@@ -329,6 +345,23 @@ mod tests {
         let w = SimDuration::from_millis(100);
         assert!((stats.client_share("ndt", 4, w) - 0.075).abs() < 1e-9);
         assert!((stats.utilization(4, w) - 0.0875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_time_by_now_tracks_elapsed_work() {
+        let sim = Sim::new();
+        let cpu = Cpu::new(&sim, quiet_config(1));
+        cpu.submit(CpuTask::new("a", SimDuration::from_millis(10), 0.0), || {});
+        cpu.submit(CpuTask::new("b", SimDuration::from_millis(10), 0.0), || {});
+        // Both charged at submit, but none has executed yet.
+        assert_eq!(cpu.stats().total_busy, SimDuration::from_millis(20));
+        assert_eq!(cpu.busy_time_by_now(), SimDuration::ZERO);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(cpu.busy_time_by_now(), SimDuration::from_millis(5));
+        sim.run_until(SimTime::from_millis(15));
+        assert_eq!(cpu.busy_time_by_now(), SimDuration::from_millis(15));
+        sim.run();
+        assert_eq!(cpu.busy_time_by_now(), cpu.stats().total_busy);
     }
 
     #[test]

@@ -156,6 +156,19 @@ impl Gpu {
         self.inner.borrow_mut().stats = GpuStats::default();
     }
 
+    /// Device-busy time accrued up to the current simulated instant.
+    ///
+    /// Mirrors [`Cpu::busy_time_by_now`](crate::Cpu::busy_time_by_now): the
+    /// in-order queue's future work is one contiguous block ending at
+    /// `busy_until`, so subtracting `max(0, busy_until − now)` from the
+    /// submit-time-charged total gives the exact by-now integral.
+    pub fn busy_time_by_now(&self) -> SimDuration {
+        let inner = self.inner.borrow();
+        let now = inner.sim.now();
+        let future = inner.busy_until.saturating_since(now).as_nanos();
+        SimDuration::from_nanos(inner.stats.total_busy.as_nanos().saturating_sub(future))
+    }
+
     /// `true` while a job occupies the device at the current instant.
     pub fn is_busy_now(&self) -> bool {
         let inner = self.inner.borrow();
@@ -260,6 +273,19 @@ mod tests {
         });
         sim.run();
         assert_eq!(gpu.stats().total_busy, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn busy_time_by_now_tracks_elapsed_work() {
+        let sim = Sim::new();
+        let gpu = Gpu::new(&sim, quiet_config());
+        gpu.submit(GpuJob::new("a", SimDuration::from_millis(10), 0, 0.0), || {});
+        gpu.submit(GpuJob::new("b", SimDuration::from_millis(10), 0, 0.0), || {});
+        assert_eq!(gpu.busy_time_by_now(), SimDuration::ZERO);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(gpu.busy_time_by_now(), SimDuration::from_millis(5));
+        sim.run();
+        assert_eq!(gpu.busy_time_by_now(), gpu.stats().total_busy);
     }
 
     #[test]

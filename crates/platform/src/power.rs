@@ -72,6 +72,29 @@ impl PowerModel {
         let gpu_w = self.gpu_idle_w + gpu.total_energy_j / elapsed.as_secs_f64();
         PowerReport { cpu_w, gpu_w }
     }
+
+    /// Mean power over one sampling interval from raw busy-time / energy
+    /// deltas — the per-interval form of [`PowerModel::report`] used by the
+    /// trace sampler's power time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `cpu_cores` is zero.
+    pub fn interval_power(
+        &self,
+        cpu_busy: SimDuration,
+        cpu_cores: usize,
+        gpu_energy_j: f64,
+        interval: SimDuration,
+    ) -> PowerReport {
+        assert!(!interval.is_zero(), "power sample needs a non-empty interval");
+        assert!(cpu_cores > 0, "power sample needs at least one core");
+        let raw_util = cpu_busy.as_secs_f64() / (cpu_cores as f64 * interval.as_secs_f64());
+        let util = (raw_util + self.cpu_background_util).min(1.0);
+        let cpu_w = self.cpu_idle_w + (self.cpu_peak_w - self.cpu_idle_w) * util;
+        let gpu_w = self.gpu_idle_w + gpu_energy_j / interval.as_secs_f64();
+        PowerReport { cpu_w, gpu_w }
+    }
 }
 
 #[cfg(test)]

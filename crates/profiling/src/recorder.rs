@@ -196,7 +196,7 @@ impl BusObserver for LatencyRecorder {
         self.on_processed(event);
     }
 
-    fn message_dropped(&mut self, topic: &str, node: &str, _time: SimTime) {
+    fn message_dropped(&mut self, topic: &str, node: &str, _depth: usize, _time: SimTime) {
         *self.drops.entry((topic.to_string(), node.to_string())).or_insert(0) += 1;
     }
 }
@@ -302,8 +302,8 @@ mod tests {
     #[test]
     fn drops_accumulate() {
         let mut r = recorder();
-        r.message_dropped("/image_raw", "vision_detection", SimTime::ZERO);
-        r.message_dropped("/image_raw", "vision_detection", SimTime::ZERO);
+        r.message_dropped("/image_raw", "vision_detection", 0, SimTime::ZERO);
+        r.message_dropped("/image_raw", "vision_detection", 0, SimTime::ZERO);
         assert_eq!(
             r.observed_drops()[&("/image_raw".to_string(), "vision_detection".to_string())],
             2

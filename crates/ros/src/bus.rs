@@ -3,7 +3,7 @@
 use crate::node::{Execution, Node, Outbox, Phase};
 use crate::observer::{BusObserver, ProcessedEvent};
 use crate::{Header, Lineage, Message};
-use av_des::{Sim, SimTime};
+use av_des::{Sim, SimDuration, SimTime};
 use av_platform::{CpuTask, GpuJob, Platform};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -89,6 +89,10 @@ struct NodeSlot<M> {
     node: Rc<RefCell<dyn Node<M>>>,
     subs: Vec<Subscription<M>>,
     busy: bool,
+    /// When the current busy interval began (valid only while `busy`).
+    busy_since: SimTime,
+    /// Total completed busy time (excludes any in-flight interval).
+    busy_accum: SimDuration,
 }
 
 #[derive(Default)]
@@ -209,7 +213,14 @@ impl<M: 'static> Bus<M> {
         for (sub_idx, sub) in subs.iter().enumerate() {
             inner.subs_by_topic.entry(sub.topic.clone()).or_default().push((node_idx, sub_idx));
         }
-        inner.nodes.push(NodeSlot { name, node: Rc::new(RefCell::new(node)), subs, busy: false });
+        inner.nodes.push(NodeSlot {
+            name,
+            node: Rc::new(RefCell::new(node)),
+            subs,
+            busy: false,
+            busy_since: SimTime::ZERO,
+            busy_accum: SimDuration::ZERO,
+        });
     }
 
     /// Publishes a message from outside the graph (sensor drivers, tests).
@@ -235,8 +246,7 @@ impl<M: 'static> Bus<M> {
 
     fn deliver(&self, node_idx: usize, sub_idx: usize, msg: Message<M>) {
         enum Action<M> {
-            None,
-            Dropped { topic: String, node: String },
+            Enqueued { topic: String, node: String, depth: usize, dropped_to: Option<usize> },
             Start(PendingMsg<M>),
         }
         let (action, observer, now) = {
@@ -250,24 +260,29 @@ impl<M: 'static> Bus<M> {
                 let node_name = slot.name.clone();
                 let sub = &mut slot.subs[sub_idx];
                 sub.queue.push_back(PendingMsg { topic: topic.clone(), msg, arrival: now });
-                if sub.queue.len() > sub.capacity {
+                let depth = sub.queue.len();
+                let dropped_to = if depth > sub.capacity {
                     sub.queue.pop_front();
                     sub.dropped += 1;
-                    Action::Dropped { topic, node: node_name }
+                    Some(sub.queue.len())
                 } else {
-                    Action::None
-                }
+                    None
+                };
+                Action::Enqueued { topic, node: node_name, depth, dropped_to }
             } else {
                 slot.busy = true;
+                slot.busy_since = now;
                 Action::Start(PendingMsg { topic, msg, arrival: now })
             };
             (action, observer, now)
         };
         match action {
-            Action::None => {}
-            Action::Dropped { topic, node } => {
+            Action::Enqueued { topic, node, depth, dropped_to } => {
                 if let Some(obs) = &observer {
-                    obs.borrow_mut().message_dropped(&topic, &node, now);
+                    obs.borrow_mut().message_enqueued(&topic, &node, depth, now);
+                    if let Some(drop_depth) = dropped_to {
+                        obs.borrow_mut().message_dropped(&topic, &node, drop_depth, now);
+                    }
                 }
             }
             Action::Start(pending) => self.start_processing(node_idx, pending),
@@ -349,7 +364,7 @@ impl<M: 'static> Bus<M> {
         }
 
         // Pull the next pending message (earliest arrival wins) or go idle.
-        let next = {
+        let (next, dequeued) = {
             let mut inner = self.inner.borrow_mut();
             let slot = &mut inner.nodes[state.node_idx];
             let best = slot
@@ -360,13 +375,24 @@ impl<M: 'static> Bus<M> {
                 .min_by_key(|&(_, arrival)| arrival)
                 .map(|(i, _)| i);
             match best {
-                Some(sub_idx) => slot.subs[sub_idx].queue.pop_front(),
+                Some(sub_idx) => {
+                    let pending = slot.subs[sub_idx].queue.pop_front();
+                    let depth = slot.subs[sub_idx].queue.len();
+                    let topic = slot.subs[sub_idx].topic.clone();
+                    (pending, Some((topic, slot.name.clone(), depth)))
+                }
                 None => {
                     slot.busy = false;
-                    None
+                    slot.busy_accum += now.saturating_since(slot.busy_since);
+                    (None, None)
                 }
             }
         };
+        if let Some((topic, node, depth)) = dequeued {
+            if let Some(obs) = &observer {
+                obs.borrow_mut().message_dequeued(&topic, &node, depth, now);
+            }
+        }
         if let Some(pending) = next {
             self.start_processing(state.node_idx, pending);
         }
@@ -412,6 +438,41 @@ impl<M: 'static> Bus<M> {
     /// Names of registered nodes, in registration order.
     pub fn node_names(&self) -> Vec<String> {
         self.inner.borrow().nodes.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Current queue depth of every subscription as `(topic, node, depth)`,
+    /// in node-registration order (stable across runs — used by the trace
+    /// sampler).
+    pub fn queue_depths(&self) -> Vec<(String, String, usize)> {
+        let inner = self.inner.borrow();
+        inner
+            .nodes
+            .iter()
+            .flat_map(|slot| {
+                slot.subs
+                    .iter()
+                    .map(move |sub| (sub.topic.clone(), slot.name.clone(), sub.queue.len()))
+            })
+            .collect()
+    }
+
+    /// Cumulative busy (callback-executing) time per node as of the current
+    /// simulated instant, including any in-flight callback, in
+    /// node-registration order.
+    pub fn node_busy_times(&self) -> Vec<(String, SimDuration)> {
+        let inner = self.inner.borrow();
+        let now = inner.sim.now();
+        inner
+            .nodes
+            .iter()
+            .map(|slot| {
+                let mut busy = slot.busy_accum;
+                if slot.busy {
+                    busy += now.saturating_since(slot.busy_since);
+                }
+                (slot.name.clone(), busy)
+            })
+            .collect()
     }
 }
 
@@ -461,7 +522,9 @@ mod tests {
     #[derive(Default)]
     struct Recorder {
         events: Vec<ProcessedEvent>,
-        drops: Vec<(String, String)>,
+        drops: Vec<(String, String, usize)>,
+        enqueues: Vec<(String, String, usize)>,
+        dequeues: Vec<(String, String, usize)>,
         published: Vec<(String, u64)>,
     }
 
@@ -469,8 +532,14 @@ mod tests {
         fn node_processed(&mut self, event: &ProcessedEvent) {
             self.borrow_mut().events.push(event.clone());
         }
-        fn message_dropped(&mut self, topic: &str, node: &str, _time: SimTime) {
-            self.borrow_mut().drops.push((topic.to_string(), node.to_string()));
+        fn message_dropped(&mut self, topic: &str, node: &str, depth: usize, _time: SimTime) {
+            self.borrow_mut().drops.push((topic.to_string(), node.to_string(), depth));
+        }
+        fn message_enqueued(&mut self, topic: &str, node: &str, depth: usize, _time: SimTime) {
+            self.borrow_mut().enqueues.push((topic.to_string(), node.to_string(), depth));
+        }
+        fn message_dequeued(&mut self, topic: &str, node: &str, depth: usize, _time: SimTime) {
+            self.borrow_mut().dequeues.push((topic.to_string(), node.to_string(), depth));
         }
         fn message_published(&mut self, topic: &str, header: &Header, _time: SimTime) {
             self.borrow_mut().published.push((topic.to_string(), header.seq));
@@ -544,8 +613,23 @@ mod tests {
         assert_eq!(stats[0].delivered, 4);
         assert_eq!(stats[0].dropped, 2);
         assert!((stats[0].drop_rate() - 0.5).abs() < 1e-12);
-        assert_eq!(rec.borrow().events.len(), 2);
-        assert_eq!(rec.borrow().drops.len(), 2);
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.drops.len(), 2);
+        // msg1..msg3 queued behind the busy node; msg1 and msg2 were
+        // displaced, msg3 was pulled when msg0 completed.
+        assert_eq!(rec.enqueues.len(), 3);
+        assert_eq!(rec.dequeues.len(), 1);
+        // Conservation: every enqueue is resolved by a dequeue or a drop.
+        assert_eq!(rec.enqueues.len(), rec.dequeues.len() + rec.drops.len());
+        // Depths: enqueue reports depth after push, drop after displacement.
+        assert_eq!(rec.enqueues.iter().map(|e| e.2).collect::<Vec<_>>(), vec![1, 2, 2]);
+        assert_eq!(rec.drops.iter().map(|d| d.2).collect::<Vec<_>>(), vec![1, 1]);
+        assert_eq!(rec.dequeues[0].2, 0);
+        // Queues drained; the node was busy 0..30 and 30..60.
+        assert!(bus.queue_depths().iter().all(|&(_, _, depth)| depth == 0));
+        let busy = bus.node_busy_times();
+        assert_eq!(busy, vec![("slow".to_string(), SimDuration::from_millis(60))]);
     }
 
     #[test]

@@ -17,6 +17,30 @@ pub enum Source {
     Radar,
 }
 
+impl Source {
+    /// Stable lower-case name, used in trace/CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Lidar => "lidar",
+            Source::Camera => "camera",
+            Source::Gnss => "gnss",
+            Source::Imu => "imu",
+            Source::Radar => "radar",
+        }
+    }
+
+    /// Stable small integer code (< 8), used to pack flow-event ids.
+    pub fn code(self) -> u64 {
+        match self {
+            Source::Lidar => 0,
+            Source::Camera => 1,
+            Source::Gnss => 2,
+            Source::Imu => 3,
+            Source::Radar => 4,
+        }
+    }
+}
+
 /// The set of sensor acquisition timestamps a message derives from.
 ///
 /// Producers of raw sensor data create a lineage with [`Lineage::origin`];

@@ -38,7 +38,8 @@ impl ProcessedEvent {
     }
 }
 
-/// Receiver of middleware events; the profiling crate implements this.
+/// Receiver of middleware events; the profiling and trace crates
+/// implement this.
 ///
 /// All methods have empty default bodies so observers implement only what
 /// they need.
@@ -49,8 +50,23 @@ pub trait BusObserver {
     }
 
     /// A queued message was discarded because a newer one arrived.
-    fn message_dropped(&mut self, topic: &str, node: &str, time: SimTime) {
-        let _ = (topic, node, time);
+    /// `depth` is the subscription queue depth *after* the drop.
+    fn message_dropped(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        let _ = (topic, node, depth, time);
+    }
+
+    /// A message was queued behind a busy node. `depth` is the queue
+    /// depth *after* the enqueue (before any overflow drop). Messages
+    /// delivered to an idle node start immediately and are never
+    /// enqueued.
+    fn message_enqueued(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        let _ = (topic, node, depth, time);
+    }
+
+    /// A queued message was pulled for processing. `depth` is the queue
+    /// depth *after* the dequeue.
+    fn message_dequeued(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        let _ = (topic, node, depth, time);
     }
 
     /// A message was published on a topic.
@@ -64,3 +80,55 @@ pub trait BusObserver {
 pub struct NullObserver;
 
 impl BusObserver for NullObserver {}
+
+/// Broadcasts every middleware event to several observers, in
+/// registration order — lets the latency recorder and the trace recorder
+/// watch the same bus without knowing about each other.
+#[derive(Default)]
+pub struct FanoutObserver {
+    sinks: Vec<std::rc::Rc<std::cell::RefCell<dyn BusObserver>>>,
+}
+
+impl FanoutObserver {
+    /// An empty fan-out.
+    pub fn new() -> FanoutObserver {
+        FanoutObserver::default()
+    }
+
+    /// Adds a sink; events are delivered in insertion order.
+    pub fn push(&mut self, sink: std::rc::Rc<std::cell::RefCell<dyn BusObserver>>) {
+        self.sinks.push(sink);
+    }
+}
+
+impl BusObserver for FanoutObserver {
+    fn node_processed(&mut self, event: &ProcessedEvent) {
+        for sink in &self.sinks {
+            sink.borrow_mut().node_processed(event);
+        }
+    }
+
+    fn message_dropped(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        for sink in &self.sinks {
+            sink.borrow_mut().message_dropped(topic, node, depth, time);
+        }
+    }
+
+    fn message_enqueued(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        for sink in &self.sinks {
+            sink.borrow_mut().message_enqueued(topic, node, depth, time);
+        }
+    }
+
+    fn message_dequeued(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        for sink in &self.sinks {
+            sink.borrow_mut().message_dequeued(topic, node, depth, time);
+        }
+    }
+
+    fn message_published(&mut self, topic: &str, header: &Header, time: SimTime) {
+        for sink in &self.sinks {
+            sink.borrow_mut().message_published(topic, header, time);
+        }
+    }
+}

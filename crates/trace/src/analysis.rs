@@ -1,0 +1,233 @@
+//! Recomputing the paper's tables *from an exported trace alone*.
+//!
+//! This is the internal consistency oracle: `trace_report` loads the
+//! Chrome trace JSON back through [`crate::json`], reruns the Fig 6 path
+//! latency and Table III drop-count computations here, and asserts exact
+//! equality with what `av_profiling::LatencyRecorder` measured live. The
+//! arithmetic deliberately mirrors the recorder's — nanosecond stamps are
+//! reconstructed into `SimTime` and pushed through the identical
+//! `saturating_since(..).as_millis_f64()` chain into an
+//! `av_profiling::Distribution` — so agreement is bit-exact, not
+//! approximate.
+
+use crate::json::JsonValue;
+use av_des::SimTime;
+use av_profiling::Distribution;
+use std::collections::BTreeMap;
+
+/// A computation path to recompute from the trace, with the lineage source
+/// identified by its stable name (`av_ros::Source::name`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePathSpec {
+    /// Path name (e.g. `costmap_vision_obj`).
+    pub name: String,
+    /// Terminal node of the path.
+    pub sink_node: String,
+    /// Lineage source name anchoring the measurement (e.g. `lidar`).
+    pub source: String,
+}
+
+impl TracePathSpec {
+    /// Creates a spec.
+    pub fn new(
+        name: impl Into<String>,
+        sink_node: impl Into<String>,
+        source: impl Into<String>,
+    ) -> TracePathSpec {
+        TracePathSpec { name: name.into(), sink_node: sink_node.into(), source: source.into() }
+    }
+}
+
+/// Everything recomputed from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Callback slices seen (all, including non-publishing ones).
+    pub callbacks: usize,
+    /// Per-path latency distributions, in spec order (ms).
+    pub paths: Vec<(String, Distribution)>,
+    /// Per-node processing-latency distributions (ms), publishing
+    /// callbacks only — Fig 5's measurement.
+    pub nodes: BTreeMap<String, Distribution>,
+    /// Drop counts per `(topic, node)` — Table III's measurement.
+    pub drops: BTreeMap<(String, String), u64>,
+}
+
+fn str_field<'v>(event: &'v JsonValue, key: &str) -> Option<&'v str> {
+    event.get(key).and_then(JsonValue::as_str)
+}
+
+fn arg_u64(event: &JsonValue, key: &str) -> Option<u64> {
+    event.get("args")?.get(key)?.as_u64()
+}
+
+/// Recomputes path latencies, node latencies and drop counts from a parsed
+/// Chrome trace document.
+///
+/// Returns an error when the document is not a trace this crate exported.
+pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<TraceReport, String> {
+    let events = trace
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+
+    let mut report = TraceReport {
+        paths: specs.iter().map(|s| (s.name.clone(), Distribution::new())).collect(),
+        ..TraceReport::default()
+    };
+
+    for event in events {
+        let ph = str_field(event, "ph").ok_or("event without ph")?;
+        let cat = str_field(event, "cat").unwrap_or("");
+        match (ph, cat) {
+            ("X", "callback") => {
+                report.callbacks += 1;
+                let node = str_field(event.get("args").ok_or("callback without args")?, "node")
+                    .ok_or("callback without node arg")?
+                    .to_string();
+                let published = event
+                    .get("args")
+                    .and_then(|a| a.get("published"))
+                    .and_then(JsonValue::as_array)
+                    .ok_or("callback without published arg")?;
+                if published.is_empty() {
+                    // Auxiliary callbacks: the live recorder skips them for
+                    // both node and path statistics.
+                    continue;
+                }
+                let started = arg_u64(event, "started_ns").ok_or("callback without started_ns")?;
+                let completed =
+                    arg_u64(event, "completed_ns").ok_or("callback without completed_ns")?;
+                let completed = SimTime::from_nanos(completed);
+                report.nodes.entry(node.clone()).or_default().record(
+                    completed.saturating_since(SimTime::from_nanos(started)).as_millis_f64(),
+                );
+                for (spec, (_, dist)) in specs.iter().zip(report.paths.iter_mut()) {
+                    if spec.sink_node != node {
+                        continue;
+                    }
+                    let key = format!("lineage_{}_ns", spec.source);
+                    if let Some(origin) = arg_u64(event, &key) {
+                        dist.record(
+                            completed.saturating_since(SimTime::from_nanos(origin)).as_millis_f64(),
+                        );
+                    }
+                }
+            }
+            ("i", "drop") => {
+                let args = event.get("args").ok_or("drop without args")?;
+                let topic = str_field(args, "topic").ok_or("drop without topic")?.to_string();
+                let node = str_field(args, "node").ok_or("drop without node")?.to_string();
+                *report.drops.entry((topic, node)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::render_chrome_trace;
+    use crate::{TraceData, TraceEvent};
+    use av_des::SimDuration;
+    use av_ros::Source;
+
+    fn callback(
+        node: &str,
+        arrival_ms: u64,
+        started_ms: u64,
+        completed_ms: u64,
+        lineage: Vec<(Source, SimTime)>,
+        published: bool,
+    ) -> TraceEvent {
+        TraceEvent::Callback {
+            node: node.to_string(),
+            topic: "/in".to_string(),
+            arrival: SimTime::from_millis(arrival_ms),
+            started: SimTime::from_millis(started_ms),
+            completed: SimTime::from_millis(completed_ms),
+            lineage,
+            published: if published { vec!["/out".to_string()] } else { vec![] },
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_paths_and_drops() {
+        let data = TraceData {
+            sample_interval: SimDuration::from_millis(100),
+            nodes: vec!["ndt".to_string()],
+            subscriptions: vec![("/in".to_string(), "ndt".to_string())],
+            events: vec![
+                callback(
+                    "ndt",
+                    100,
+                    110,
+                    150,
+                    vec![(Source::Lidar, SimTime::from_millis(100))],
+                    true,
+                ),
+                callback(
+                    "ndt",
+                    200,
+                    200,
+                    260,
+                    vec![(Source::Lidar, SimTime::from_millis(200))],
+                    true,
+                ),
+                // Auxiliary callback: no outputs, must be skipped.
+                callback(
+                    "ndt",
+                    300,
+                    300,
+                    310,
+                    vec![(Source::Lidar, SimTime::from_millis(300))],
+                    false,
+                ),
+                TraceEvent::Dropped {
+                    topic: "/in".to_string(),
+                    node: "ndt".to_string(),
+                    depth: 0,
+                    time: SimTime::from_millis(250),
+                },
+            ],
+            samples: vec![],
+        };
+        let json = render_chrome_trace("t", &data);
+        let parsed = crate::json::parse(&json).unwrap();
+        let specs = vec![TracePathSpec::new("localization", "ndt", "lidar")];
+        let report = analyze_trace(&parsed, &specs).unwrap();
+
+        assert_eq!(report.callbacks, 3);
+        let (name, dist) = &report.paths[0];
+        assert_eq!(name, "localization");
+        // 150−100 = 50 ms, 260−200 = 60 ms; auxiliary callback excluded.
+        assert_eq!(dist.samples(), &[50.0, 60.0]);
+        assert_eq!(report.nodes["ndt"].samples(), &[40.0, 60.0]);
+        assert_eq!(report.drops[&("/in".to_string(), "ndt".to_string())], 1);
+    }
+
+    #[test]
+    fn wrong_sink_or_missing_source_not_recorded() {
+        let data = TraceData {
+            nodes: vec!["other".to_string()],
+            events: vec![callback("other", 0, 0, 10, vec![(Source::Camera, SimTime::ZERO)], true)],
+            ..TraceData::default()
+        };
+        let json = render_chrome_trace("t", &data);
+        let parsed = crate::json::parse(&json).unwrap();
+        let specs = vec![
+            TracePathSpec::new("localization", "ndt", "lidar"),
+            TracePathSpec::new("by_camera", "other", "lidar"),
+        ];
+        let report = analyze_trace(&parsed, &specs).unwrap();
+        assert!(report.paths[0].1.is_empty(), "wrong sink node");
+        assert!(report.paths[1].1.is_empty(), "missing lineage source");
+    }
+
+    #[test]
+    fn rejects_non_trace_documents() {
+        let parsed = crate::json::parse("{\"a\":1}").unwrap();
+        assert!(analyze_trace(&parsed, &[]).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Deterministic event trace and time-series metrics for the AV stack.
+//!
+//! The paper's method is *full-stack observability*: per-callback latency
+//! (Fig 5), end-to-end computation paths followed through message headers
+//! (Fig 6), queue drops (Table III), and device utilization/power over the
+//! drive (Tables V–VI). The aggregate tables built by `av-profiling` keep
+//! only end-of-run summaries; this crate keeps the underlying *timeline*.
+//!
+//! [`TraceRecorder`] hooks the same [`av_ros::BusObserver`] seam as the
+//! latency recorder and stores, **in virtual time only**:
+//!
+//! * one span per node callback (arrival / start / complete, so queue wait
+//!   and processing are separately visible),
+//! * the output lineage of every callback (rendered as Chrome *flow
+//!   events* — Fig 6's computation paths become arrows),
+//! * an instant event per queue drop and a counter per enqueue/dequeue,
+//! * fixed-cadence [`MetricSample`]s of per-subscription queue depth,
+//!   per-node busy fraction, and platform CPU/GPU utilization & power.
+//!
+//! Because nothing here reads a wall clock or draws randomness, the trace
+//! is a pure function of the simulated run: byte-identical across
+//! `--jobs` levels and foldable into the determinism golden hash. The
+//! [`export`] module renders Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`) and a metrics CSV; [`analysis`]
+//! recomputes the paper tables *from the trace alone*, giving the
+//! reproduction an internal consistency oracle.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod export;
+pub mod json;
+
+use av_des::{SimDuration, SimTime};
+use av_ros::{BusObserver, ProcessedEvent, Source};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Configuration of the trace layer.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Cadence of the metrics time series (queue depth, busy fraction,
+    /// utilization, power).
+    pub sample_interval: SimDuration,
+}
+
+impl Default for TraceConfig {
+    /// 100 ms sampling — 10 Hz, the cadence of the stack's LiDAR input.
+    fn default() -> TraceConfig {
+        TraceConfig { sample_interval: SimDuration::from_millis(100) }
+    }
+}
+
+/// One structured middleware event, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A completed node callback (becomes a wait + processing span pair).
+    Callback {
+        /// Node name.
+        node: String,
+        /// Input topic.
+        topic: String,
+        /// Message arrival (enqueue) time.
+        arrival: SimTime,
+        /// Callback start (dequeue) time.
+        started: SimTime,
+        /// Output-ready time.
+        completed: SimTime,
+        /// Output lineage `(source, acquisition stamp)` pairs.
+        lineage: Vec<(Source, SimTime)>,
+        /// Topics published by this invocation.
+        published: Vec<String>,
+    },
+    /// A message queued behind a busy node (`depth` after the push).
+    Enqueued {
+        /// Topic name.
+        topic: String,
+        /// Subscribing node.
+        node: String,
+        /// Queue depth after the enqueue.
+        depth: usize,
+        /// Event time.
+        time: SimTime,
+    },
+    /// A queued message pulled for processing (`depth` after the pop).
+    Dequeued {
+        /// Topic name.
+        topic: String,
+        /// Subscribing node.
+        node: String,
+        /// Queue depth after the dequeue.
+        depth: usize,
+        /// Event time.
+        time: SimTime,
+    },
+    /// A queued message displaced by a newer one (`depth` after the drop).
+    Dropped {
+        /// Topic name.
+        topic: String,
+        /// Subscribing node.
+        node: String,
+        /// Queue depth after the drop.
+        depth: usize,
+        /// Event time.
+        time: SimTime,
+    },
+}
+
+/// One fixed-cadence metrics sample, covering the interval ending at
+/// `time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// End of the sampled interval.
+    pub time: SimTime,
+    /// Queue depth per subscription, parallel to
+    /// [`TraceData::subscriptions`].
+    pub queue_depths: Vec<u64>,
+    /// Fraction of the interval each node spent executing callbacks,
+    /// parallel to [`TraceData::nodes`].
+    pub node_busy_frac: Vec<f64>,
+    /// CPU utilization over the interval (busy core-time / cores ×
+    /// interval).
+    pub cpu_util: f64,
+    /// GPU utilization over the interval.
+    pub gpu_util: f64,
+    /// Mean CPU power over the interval, watts.
+    pub cpu_w: f64,
+    /// Mean GPU power over the interval, watts.
+    pub gpu_w: f64,
+}
+
+/// The complete recorded trace of one run. Owned data only, so it can
+/// cross the run-pool thread boundary inside a `RunReport`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Metrics cadence the sampler used.
+    pub sample_interval: SimDuration,
+    /// Node names in bus-registration order.
+    pub nodes: Vec<String>,
+    /// `(topic, node)` per subscription, in bus-registration order.
+    pub subscriptions: Vec<(String, String)>,
+    /// Middleware events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Metrics time series.
+    pub samples: Vec<MetricSample>,
+}
+
+impl TraceData {
+    /// Drop counts per `(topic, node)`, derived purely from the recorded
+    /// drop events — the trace-side of Table III.
+    pub fn drop_counts(&self) -> BTreeMap<(String, String), u64> {
+        let mut counts = BTreeMap::new();
+        for event in &self.events {
+            if let TraceEvent::Dropped { topic, node, .. } = event {
+                *counts.entry((topic.clone(), node.clone())).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total number of drop events recorded.
+    pub fn dropped_total(&self) -> u64 {
+        self.drop_counts().values().sum()
+    }
+
+    /// Number of callback spans recorded.
+    pub fn callback_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Callback { .. })).count()
+    }
+}
+
+/// The bus observer that records [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    data: TraceData,
+}
+
+impl BusObserver for TraceRecorder {
+    fn node_processed(&mut self, event: &ProcessedEvent) {
+        self.data.events.push(TraceEvent::Callback {
+            node: event.node.clone(),
+            topic: event.topic.clone(),
+            arrival: event.arrival,
+            started: event.started,
+            completed: event.completed,
+            lineage: event.lineage.iter().collect(),
+            published: event.published.clone(),
+        });
+    }
+
+    fn message_dropped(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        self.data.events.push(TraceEvent::Dropped {
+            topic: topic.to_string(),
+            node: node.to_string(),
+            depth,
+            time,
+        });
+    }
+
+    fn message_enqueued(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        self.data.events.push(TraceEvent::Enqueued {
+            topic: topic.to_string(),
+            node: node.to_string(),
+            depth,
+            time,
+        });
+    }
+
+    fn message_dequeued(&mut self, topic: &str, node: &str, depth: usize, time: SimTime) {
+        self.data.events.push(TraceEvent::Dequeued {
+            topic: topic.to_string(),
+            node: node.to_string(),
+            depth,
+            time,
+        });
+    }
+}
+
+/// Shared handle installing a [`TraceRecorder`] as a bus observer while
+/// keeping the recorded data reachable by the run driver — the trace
+/// sibling of `av_profiling::SharedRecorder`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTracer {
+    inner: Rc<RefCell<TraceRecorder>>,
+}
+
+impl SharedTracer {
+    /// Creates a tracer with the given metrics cadence.
+    pub fn new(config: &TraceConfig) -> SharedTracer {
+        let tracer = SharedTracer::default();
+        tracer.inner.borrow_mut().data.sample_interval = config.sample_interval;
+        tracer
+    }
+
+    /// The observer handle, for [`av_ros::Bus::set_shared_observer`] or a
+    /// fan-out.
+    pub fn observer(&self) -> Rc<RefCell<dyn BusObserver>> {
+        Rc::clone(&self.inner) as Rc<RefCell<dyn BusObserver>>
+    }
+
+    /// Records the bus topology (node and subscription order) the metric
+    /// vectors index into.
+    pub fn set_topology(&self, nodes: Vec<String>, subscriptions: Vec<(String, String)>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.data.nodes = nodes;
+        inner.data.subscriptions = subscriptions;
+    }
+
+    /// Appends one metrics sample.
+    pub fn push_sample(&self, sample: MetricSample) {
+        self.inner.borrow_mut().data.samples.push(sample);
+    }
+
+    /// Clones the recorded trace out of the shared handle.
+    pub fn snapshot(&self) -> TraceData {
+        self.inner.borrow().data.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_event(topic: &str, node: &str) -> TraceEvent {
+        TraceEvent::Dropped {
+            topic: topic.to_string(),
+            node: node.to_string(),
+            depth: 0,
+            time: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn drop_counts_group_by_subscription() {
+        let mut data = TraceData::default();
+        data.events.push(drop_event("/image_raw", "vision"));
+        data.events.push(drop_event("/image_raw", "vision"));
+        data.events.push(drop_event("/points_raw", "ndt"));
+        let counts = data.drop_counts();
+        assert_eq!(counts[&("/image_raw".to_string(), "vision".to_string())], 2);
+        assert_eq!(counts[&("/points_raw".to_string(), "ndt".to_string())], 1);
+        assert_eq!(data.dropped_total(), 3);
+        assert_eq!(data.callback_count(), 0);
+    }
+
+    #[test]
+    fn recorder_stores_events_in_order() {
+        let tracer = SharedTracer::new(&TraceConfig::default());
+        let obs = tracer.observer();
+        obs.borrow_mut().message_enqueued("/t", "n", 1, SimTime::from_millis(1));
+        obs.borrow_mut().message_dropped("/t", "n", 0, SimTime::from_millis(2));
+        obs.borrow_mut().message_dequeued("/t", "n", 0, SimTime::from_millis(3));
+        let data = tracer.snapshot();
+        assert_eq!(data.events.len(), 3);
+        assert!(matches!(data.events[0], TraceEvent::Enqueued { depth: 1, .. }));
+        assert!(matches!(data.events[1], TraceEvent::Dropped { depth: 0, .. }));
+        assert!(matches!(data.events[2], TraceEvent::Dequeued { depth: 0, .. }));
+        assert_eq!(data.sample_interval, SimDuration::from_millis(100));
+    }
+}

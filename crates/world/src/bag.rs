@@ -695,7 +695,7 @@ mod proptests {
     /// Any bag of any sample mix round-trips losslessly.
     #[test]
     fn arbitrary_bags_roundtrip() {
-        let mut rng = RngStreams::new(0xbA6).stream("roundtrip");
+        let mut rng = RngStreams::new(0xba6).stream("roundtrip");
         for _ in 0..64 {
             let mut stamped: Vec<(u64, SensorSample)> = (0..rng.uniform_usize(25))
                 .map(|_| (rng.uniform_usize(1_000_000) as u64, random_sample(&mut rng)))
@@ -713,7 +713,7 @@ mod proptests {
     /// Arbitrary byte soup never panics the decoder — it errors.
     #[test]
     fn decoder_never_panics_on_garbage() {
-        let mut rng = RngStreams::new(0xbA6).stream("garbage");
+        let mut rng = RngStreams::new(0xba6).stream("garbage");
         for _ in 0..256 {
             let n = rng.uniform_usize(300);
             let soup: Vec<u8> = (0..n).map(|_| rng.uniform_usize(256) as u8).collect();

@@ -19,7 +19,7 @@ use av_vision::DetectorKind;
 fn main() {
     let seconds: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
     let jobs = effective_jobs(std::env::args().nth(2).and_then(|s| s.parse().ok()));
-    let run = RunConfig { duration_s: Some(seconds) };
+    let run = RunConfig::seconds(seconds);
 
     // Part 1: Fig 8 — standalone vs full-system detector latency.
     let results = fig8(StackConfig::paper_default, &run, jobs);

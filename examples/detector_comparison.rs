@@ -12,7 +12,7 @@ use av_vision::DetectorKind;
 
 fn main() {
     let seconds: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
-    let run = RunConfig { duration_s: Some(seconds) };
+    let run = RunConfig::seconds(seconds);
 
     let mut table = Table::with_headers(&[
         "Detector",

@@ -16,7 +16,7 @@ fn main() {
     let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
     config.with_actuation = true;
 
-    let report = run_drive(&config, &RunConfig { duration_s: Some(seconds) });
+    let report = run_drive(&config, &RunConfig::seconds(seconds));
 
     println!("Perception + actuation over a {seconds:.0} s drive:\n");
     println!("{}", report.node_table());

@@ -14,7 +14,7 @@ fn main() {
     let config = StackConfig::smoke_test(DetectorKind::YoloV3);
 
     // Drive for 20 virtual seconds.
-    let report = run_drive(&config, &RunConfig { duration_s: Some(20.0) });
+    let report = run_drive(&config, &RunConfig::seconds(20.0));
 
     println!("Per-node latency (Fig 5 style):\n{}", report.node_table());
     println!("Computation paths (Fig 6 style):\n{}", report.path_table());

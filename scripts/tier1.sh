@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a change must pass before merging.
 #
-#   scripts/tier1.sh            # build + tests + determinism + fmt
+#   scripts/tier1.sh            # build + tests + clippy + determinism + fmt
 #
 # Fully offline — no registry access, no network.
 
@@ -14,29 +14,23 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
-echo "== determinism: golden hash across --jobs 1 vs --jobs 8 =="
-# The integration test asserts jobs 1/2/8 agree on a smoke matrix; this
-# end-to-end check exercises the shipped binary the same way a user does.
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== determinism: traced matrix across --jobs 1 vs --jobs 8 =="
+# One shipped-binary invocation covers the whole check: repro itself
+# reruns the traced matrix at each --check-jobs level and exits nonzero
+# if the golden hash or any rendered trace/metrics byte differs.
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-./target/release/repro --duration 10 --jobs 1 --results "$tmp/j1" >"$tmp/j1.log" 2>/dev/null
-./target/release/repro --duration 10 --jobs 8 --results "$tmp/j8" >"$tmp/j8.log" 2>/dev/null
-h1=$(grep -o '0x[0-9a-f]*' <<<"$(grep 'golden determinism hash' "$tmp/j1.log")")
-h8=$(grep -o '0x[0-9a-f]*' <<<"$(grep 'golden determinism hash' "$tmp/j8.log")")
-if [[ -z "$h1" || "$h1" != "$h8" ]]; then
-    echo "FAIL: golden hash differs across --jobs (jobs=1: ${h1:-none}, jobs=8: ${h8:-none})" >&2
-    exit 1
-fi
-echo "golden hash $h1 identical across --jobs 1 / --jobs 8"
-# Table artifacts must also be byte-identical (BENCH_repro.json is the
-# one file allowed to differ — it records wall-clock).
-for f in "$tmp"/j1/*.txt; do
-    if ! cmp -s "$f" "$tmp/j8/$(basename "$f")"; then
-        echo "FAIL: results artifact $(basename "$f") differs across --jobs" >&2
-        exit 1
-    fi
-done
-echo "results/ tables byte-identical across --jobs 1 / --jobs 8"
+./target/release/repro --duration 10 --trace --check-jobs 1,8 --results "$tmp/res" \
+    >"$tmp/repro.log" 2>/dev/null
+grep 'golden determinism hash' "$tmp/repro.log"
+grep 'determinism check passed' "$tmp/repro.log"
+
+echo "== trace oracle: tables recomputed from the trace match the recorder =="
+./target/release/trace_report --verify --duration 8 >"$tmp/verify.log" 2>/dev/null
+grep 'verify passed' "$tmp/verify.log"
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check

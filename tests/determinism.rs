@@ -11,7 +11,7 @@ use av_core::experiments::{fig8, run_matrix};
 use av_core::stack::{run_drive, RunConfig, StackConfig};
 use av_vision::DetectorKind;
 
-const SMOKE: RunConfig = RunConfig { duration_s: Some(6.0) };
+const SMOKE: RunConfig = RunConfig::seconds(6.0);
 
 /// The tentpole guarantee: `--jobs 1`, `--jobs 2`, and `--jobs 8`
 /// produce the same golden hash — run-level parallelism reorders

@@ -10,7 +10,7 @@ use av_ros::Source;
 use av_vision::DetectorKind;
 
 fn run(config: &StackConfig, seconds: f64) -> av_core::stack::RunReport {
-    run_drive(config, &RunConfig { duration_s: Some(seconds) })
+    run_drive(config, &RunConfig::seconds(seconds))
 }
 
 #[test]

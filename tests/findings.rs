@@ -6,7 +6,7 @@ use av_core::findings::FindingsReport;
 use av_core::stack::{RunConfig, StackConfig};
 
 fn findings(seconds: f64) -> FindingsReport {
-    let run = RunConfig { duration_s: Some(seconds) };
+    let run = RunConfig::seconds(seconds);
     let matrix = run_matrix(StackConfig::smoke_test, &run, 4);
     let (reports, isolation) = (matrix.reports, matrix.isolation);
     FindingsReport::from_runs(&reports, isolation)
@@ -66,7 +66,7 @@ fn finding2_deadline_pressure_grows_with_detector_cost() {
     // On the smoke drive absolute tails are smaller than paper scale, but
     // the deadline pressure must order by detector cost for the vision
     // path.
-    let run = RunConfig { duration_s: Some(12.0) };
+    let run = RunConfig::seconds(12.0);
     let reports = run_all_detectors(StackConfig::smoke_test, &run, 3);
     let over = |r: &av_core::stack::RunReport| {
         let rec = &r.recorder;

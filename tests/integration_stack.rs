@@ -6,7 +6,7 @@ use av_core::topics::nodes;
 use av_vision::DetectorKind;
 
 fn smoke(detector: DetectorKind, seconds: f64) -> av_core::stack::RunReport {
-    run_drive(&StackConfig::smoke_test(detector), &RunConfig { duration_s: Some(seconds) })
+    run_drive(&StackConfig::smoke_test(detector), &RunConfig::seconds(seconds))
 }
 
 #[test]
@@ -104,7 +104,7 @@ fn power_tracks_detector_choice() {
 fn actuation_layer_produces_commands() {
     let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
     config.with_actuation = true;
-    let report = run_drive(&config, &RunConfig { duration_s: Some(8.0) });
+    let report = run_drive(&config, &RunConfig::seconds(8.0));
     // The planner chain emits paths and twist commands.
     assert!(report.node_summary(nodes::OP_LOCAL_PLANNER).count > 0);
     assert!(report.node_summary(nodes::PURE_PURSUIT).count > 0);

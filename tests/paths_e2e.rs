@@ -6,7 +6,7 @@ use av_core::topics::nodes;
 use av_vision::DetectorKind;
 
 fn report(detector: DetectorKind) -> av_core::stack::RunReport {
-    run_drive(&StackConfig::smoke_test(detector), &RunConfig { duration_s: Some(10.0) })
+    run_drive(&StackConfig::smoke_test(detector), &RunConfig::seconds(10.0))
 }
 
 #[test]
