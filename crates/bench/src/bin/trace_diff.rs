@@ -1,0 +1,57 @@
+//! `trace_diff` — regression hunting between two exported traces.
+//!
+//! ```text
+//! trace_diff <a.json> <b.json>
+//! ```
+//!
+//! Loads two Chrome-format traces exported by this repo (`repro --trace`,
+//! `sweep --trace`, or `trace_report`), aligns them by node name and by
+//! lineage-anchored computation path, and reports per-node and per-path
+//! latency-distribution shifts, drops that appeared or vanished, and
+//! queue-depth divergence.
+//!
+//! Exit status: `0` when the traces are behaviourally identical (the
+//! report says `traces identical: 0 differences`), `1` when differences
+//! were found, `2` on usage or parse errors — so the self-diff doubles
+//! as a determinism gate and a CI diff fails loudly.
+
+use av_core::stack::computation_paths;
+use av_trace::analysis::{analyze_trace, TracePathSpec, TraceReport};
+use av_trace::diff::{diff_reports, render_diff};
+use av_trace::json;
+
+fn trace_specs() -> Vec<TracePathSpec> {
+    computation_paths()
+        .into_iter()
+        .map(|p| TracePathSpec::new(p.name, p.sink_node, p.source.name()))
+        .collect()
+}
+
+fn load(path: &str) -> TraceReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    analyze_trace(&doc, &trace_specs()).unwrap_or_else(|e| {
+        eprintln!("{path} is not a stack trace: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (a, b) = match args.as_slice() {
+        [a, b] => (a, b),
+        _ => {
+            eprintln!("usage: trace_diff <a.json> <b.json>");
+            std::process::exit(2);
+        }
+    };
+    let diff = diff_reports(&load(a), &load(b));
+    print!("{}", render_diff(a, b, &diff));
+    std::process::exit(i32::from(!diff.is_identical()));
+}

@@ -107,16 +107,22 @@ pub fn table5(reports: &[RunReport]) -> Table {
     table
 }
 
+/// Table VI's power cells for one run — shared between [`table6`] and
+/// the sweep aggregator's per-point artifacts.
+pub fn power_cells(report: &RunReport) -> [String; 3] {
+    [
+        format!("{:.2}", report.power.cpu_w),
+        format!("{:.2}", report.power.gpu_w),
+        format!("{:.2}", report.power.total_w()),
+    ]
+}
+
 /// Table VI: mean CPU/GPU power per detector scenario.
 pub fn table6(reports: &[RunReport]) -> Table {
     let mut table = Table::with_headers(&["Scenario", "CPU (W)", "GPU (W)", "Total (W)"]);
     for r in reports {
-        table.add_row(vec![
-            format!("With {}", r.detector),
-            format!("{:.2}", r.power.cpu_w),
-            format!("{:.2}", r.power.gpu_w),
-            format!("{:.2}", r.power.total_w()),
-        ]);
+        let [cpu, gpu, total] = power_cells(r);
+        table.add_row(vec![format!("With {}", r.detector), cpu, gpu, total]);
     }
     table
 }

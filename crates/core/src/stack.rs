@@ -103,6 +103,11 @@ pub struct StackConfig {
     /// Sensor blackout windows for failure injection: during each window
     /// the named sensor's driver publishes nothing.
     pub blackouts: Vec<Blackout>,
+    /// Queue capacity of the single-depth data subscriptions (the paper's
+    /// Autoware launch files use depth 1 everywhere on the perception
+    /// chain; sweeps vary this to study head-of-line drops). The GNSS and
+    /// IMU side channels keep their own fixed depths.
+    pub queue_capacity: usize,
     /// Voxel leaf size for `voxel_grid_filter`, meters.
     pub voxel_leaf: f64,
     /// NDT map cell size, meters.
@@ -126,6 +131,7 @@ impl StackConfig {
             with_radar: false,
             radar: av_world::RadarConfig::default(),
             blackouts: Vec::new(),
+            queue_capacity: 1,
             voxel_leaf: 1.0,
             map_cell_size: 2.0,
         }
@@ -395,7 +401,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
 
     let calib = &config.calib;
     let sel = &config.selection;
-    let q1 = |topic: &str| SubscriptionSpec::new(topic, 1);
+    let q1 = |topic: &str| SubscriptionSpec::new(topic, config.queue_capacity);
 
     if wants(sel, node_names::VOXEL_GRID_FILTER) {
         bus.add_node(
@@ -629,10 +635,18 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         {
             let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
             let rng = Rc::new(RefCell::new(streams.stream("gnss_noise")));
+            let blackouts = config.blackouts.clone();
             move || {
                 let now = sim.now();
+                // A GNSS outage (urban canyon, tunnel) silences the fix
+                // stream; the blackout check comes after the noise draw so
+                // the RNG stream stays phase-aligned with an uninterrupted
+                // run — only the publication is suppressed.
                 let ego = world.ego_state(now.as_secs_f64());
                 let fix = av_world::GnssFix::sample(&ego, 1.5, &mut rng.borrow_mut());
+                if blacked_out(&blackouts, Source::Gnss, now.as_secs_f64()) {
+                    return;
+                }
                 bus.publish(topics::GNSS_POSE, Msg::Gnss(fix), Lineage::origin(Source::Gnss, now));
             }
         },
@@ -647,10 +661,14 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         {
             let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
             let rng = Rc::new(RefCell::new(streams.stream("imu_noise")));
+            let blackouts = config.blackouts.clone();
             move || {
                 let now = sim.now();
                 let ego = world.ego_state(now.as_secs_f64());
                 let sample = av_world::ImuSample::sample(&ego, &mut rng.borrow_mut());
+                if blacked_out(&blackouts, Source::Imu, now.as_secs_f64()) {
+                    return;
+                }
                 bus.publish(topics::IMU_RAW, Msg::Imu(sample), Lineage::origin(Source::Imu, now));
             }
         },
@@ -974,6 +992,33 @@ mod tests {
         assert!(report.power.gpu_w > 10.0);
         let util = report.cpu.utilization(report.cores, report.elapsed);
         assert!(util > 0.0 && util < 1.0, "CPU util {util}");
+    }
+
+    #[test]
+    fn deeper_queues_absorb_drops() {
+        let shallow = quick(DetectorKind::Ssd512);
+        let mut config = StackConfig::smoke_test(DetectorKind::Ssd512);
+        config.queue_capacity = 16;
+        let deep = run_drive(&config, &RunConfig::seconds(6.0));
+        let dropped = |r: &RunReport| r.drops.iter().map(|d| d.dropped).sum::<u64>();
+        assert!(
+            dropped(&deep) <= dropped(&shallow),
+            "capacity 16 must not drop more than capacity 1: {} vs {}",
+            dropped(&deep),
+            dropped(&shallow)
+        );
+    }
+
+    #[test]
+    fn gnss_blackout_silences_the_fix_stream() {
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.blackouts = vec![Blackout { source: Source::Gnss, from_s: 0.0, to_s: 100.0 }];
+        let report = run_drive(&config, &RunConfig::seconds(6.0));
+        let gnss_delivered: u64 =
+            report.drops.iter().filter(|d| d.topic == topics::GNSS_POSE).map(|d| d.delivered).sum();
+        assert_eq!(gnss_delivered, 0, "blacked-out GNSS must deliver nothing");
+        // The LiDAR pipeline is untouched.
+        assert!(report.node_summary(node_names::VOXEL_GRID_FILTER).count > 0);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Batched scenario sweeps over the AV stack.
+//!
+//! The paper's findings come from one 8-minute drive; its own method
+//! section stresses exercising the system on *varied* situations. This
+//! crate turns the single-run engine ([`av_core::stack::run_drive`])
+//! into a parameter-study harness:
+//!
+//! * [`spec`] — a declarative sweep specification: a grid over scenario
+//!   knobs (traffic density, sensor rates), stack knobs (detector, queue
+//!   capacity, blackout schedules) and seeds, plus explicit extra
+//!   points, loadable from dependency-free JSON.
+//! * [`runner`] — expands the grid and schedules it over
+//!   [`av_core::parallel::parallel_map`], stamping every run with its
+//!   golden determinism hash.
+//! * [`aggregate`] — folds the results into cross-point artifacts
+//!   (summary table + CSV, per-point paper tables, a knob-effect report,
+//!   a hash manifest) in a way that is provably independent of
+//!   completion order.
+//!
+//! Everything downstream of the spec is a pure function of it, so a
+//! sweep is as reproducible as a single run: same spec, same bytes, at
+//! any `--jobs` level.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod runner;
+pub mod spec;
+
+pub use aggregate::{aggregate, SweepArtifacts};
+pub use runner::{run_sweep, PointResult};
+pub use spec::{BlackoutSpec, SweepPoint, SweepSpec, WorldKind};

@@ -1,0 +1,80 @@
+//! The deterministic batch runner.
+//!
+//! Each sweep point is an independent simulation — a pure function of its
+//! `StackConfig` — so the cartesian product is embarrassingly parallel.
+//! The runner schedules it over [`av_core::parallel::parallel_map`],
+//! which preserves input order regardless of worker count, and stamps
+//! every finished run with its golden hash
+//! ([`av_core::determinism::run_hash`]). Results are therefore
+//! byte-identical across `--jobs` levels; the aggregator additionally
+//! sorts by ordinal so even a reordered result list cannot change the
+//! artifacts.
+
+use crate::spec::{SweepPoint, SweepSpec};
+use av_core::determinism::run_hash;
+use av_core::parallel::parallel_map;
+use av_core::stack::{run_drive, RunConfig, RunReport};
+
+/// One completed sweep point.
+#[derive(Debug)]
+pub struct PointResult {
+    /// The point that produced this run.
+    pub point: SweepPoint,
+    /// The full run report (tables, drops, power, optional trace).
+    pub report: RunReport,
+    /// Golden hash of the run ([`av_core::determinism::run_hash`]).
+    pub run_hash: u64,
+}
+
+/// The run configuration a sweep point effectively executes: the CLI
+/// duration wins, then the spec's `duration_s`, then the world default.
+pub fn effective_run(spec: &SweepSpec, run: &RunConfig) -> RunConfig {
+    RunConfig { duration_s: run.duration_s.or(spec.duration_s), trace: run.trace.clone() }
+}
+
+/// Runs every point of the sweep over `jobs` worker threads, in
+/// expansion order.
+pub fn run_sweep(spec: &SweepSpec, run: &RunConfig, jobs: usize) -> Vec<PointResult> {
+    let base = spec.base_config();
+    let run = effective_run(spec, run);
+    parallel_map(spec.points(), jobs, move |point| {
+        let config = point.apply(&base);
+        let report = run_drive(&config, &run);
+        let run_hash = run_hash(&report);
+        PointResult { point, report, run_hash }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorldKind;
+    use av_vision::DetectorKind;
+
+    #[test]
+    fn runner_is_jobs_invariant_and_order_preserving() {
+        let spec = SweepSpec {
+            duration_s: Some(4.0),
+            detectors: vec![DetectorKind::Ssd512, DetectorKind::YoloV3],
+            ..SweepSpec::new("t", WorldKind::Smoke)
+        };
+        let serial = run_sweep(&spec, &RunConfig::default(), 1);
+        let threaded = run_sweep(&spec, &RunConfig::default(), 4);
+        assert_eq!(serial.len(), 2);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.run_hash, b.run_hash, "point {} diverged across jobs", a.point.id());
+        }
+        assert_eq!(serial[0].report.detector, DetectorKind::Ssd512);
+        assert_eq!(serial[1].report.detector, DetectorKind::YoloV3);
+    }
+
+    #[test]
+    fn cli_duration_beats_spec_duration() {
+        let spec = SweepSpec { duration_s: Some(4.0), ..SweepSpec::new("t", WorldKind::Smoke) };
+        let run = effective_run(&spec, &RunConfig::seconds(2.0));
+        assert_eq!(run.duration_s, Some(2.0));
+        let run = effective_run(&spec, &RunConfig::default());
+        assert_eq!(run.duration_s, Some(4.0));
+    }
+}

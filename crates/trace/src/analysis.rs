@@ -38,6 +38,16 @@ impl TracePathSpec {
     }
 }
 
+/// Occupancy of one subscription queue, reconstructed from the exported
+/// queue counter events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStat {
+    /// Number of queue counter events (enqueues + dequeues + drops).
+    pub events: u64,
+    /// Highest depth the counter ever reported.
+    pub max_depth: u64,
+}
+
 /// Everything recomputed from one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
@@ -50,6 +60,9 @@ pub struct TraceReport {
     pub nodes: BTreeMap<String, Distribution>,
     /// Drop counts per `(topic, node)` — Table III's measurement.
     pub drops: BTreeMap<(String, String), u64>,
+    /// Queue occupancy per `(topic, node)` — the congestion signal
+    /// `trace_diff` compares between runs.
+    pub queues: BTreeMap<(String, String), QueueStat>,
 }
 
 fn str_field<'v>(event: &'v JsonValue, key: &str) -> Option<&'v str> {
@@ -118,6 +131,20 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
                 let topic = str_field(args, "topic").ok_or("drop without topic")?.to_string();
                 let node = str_field(args, "node").ok_or("drop without node")?.to_string();
                 *report.drops.entry((topic, node)).or_insert(0) += 1;
+            }
+            ("C", "queue") => {
+                // Exported as `q <topic>→<node>` counters by the exporter;
+                // the arrow is the field separator (topics and node names
+                // never contain it).
+                let name = str_field(event, "name").ok_or("queue counter without name")?;
+                let (topic, node) = name
+                    .strip_prefix("q ")
+                    .and_then(|rest| rest.split_once('→'))
+                    .ok_or("malformed queue counter name")?;
+                let depth = arg_u64(event, "depth").ok_or("queue counter without depth")?;
+                let stat = report.queues.entry((topic.to_string(), node.to_string())).or_default();
+                stat.events += 1;
+                stat.max_depth = stat.max_depth.max(depth);
             }
             _ => {}
         }
@@ -205,6 +232,45 @@ mod tests {
         assert_eq!(dist.samples(), &[50.0, 60.0]);
         assert_eq!(report.nodes["ndt"].samples(), &[40.0, 60.0]);
         assert_eq!(report.drops[&("/in".to_string(), "ndt".to_string())], 1);
+        // The drop's companion queue counter is recovered too.
+        let q = report.queues[&("/in".to_string(), "ndt".to_string())];
+        assert_eq!(q.events, 1);
+        assert_eq!(q.max_depth, 0);
+    }
+
+    #[test]
+    fn queue_counters_track_max_depth() {
+        let data = TraceData {
+            nodes: vec!["ndt".to_string()],
+            subscriptions: vec![("/in".to_string(), "ndt".to_string())],
+            events: vec![
+                TraceEvent::Enqueued {
+                    topic: "/in".to_string(),
+                    node: "ndt".to_string(),
+                    depth: 1,
+                    time: SimTime::from_millis(1),
+                },
+                TraceEvent::Enqueued {
+                    topic: "/in".to_string(),
+                    node: "ndt".to_string(),
+                    depth: 2,
+                    time: SimTime::from_millis(2),
+                },
+                TraceEvent::Dequeued {
+                    topic: "/in".to_string(),
+                    node: "ndt".to_string(),
+                    depth: 1,
+                    time: SimTime::from_millis(3),
+                },
+            ],
+            ..TraceData::default()
+        };
+        let json = render_chrome_trace("t", &data);
+        let parsed = crate::json::parse(&json).unwrap();
+        let report = analyze_trace(&parsed, &[]).unwrap();
+        let q = report.queues[&("/in".to_string(), "ndt".to_string())];
+        assert_eq!(q.events, 3);
+        assert_eq!(q.max_depth, 2);
     }
 
     #[test]

@@ -323,4 +323,67 @@ mod tests {
         assert!(parse("12 34").is_err());
         assert!(parse("\"open").is_err());
     }
+
+    #[test]
+    fn empty_trace_document() {
+        // The exporter's shape for a run with no events at all.
+        let v = parse("{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}").unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.is_empty());
+        // Empty containers on their own parse too.
+        assert_eq!(parse("[]").unwrap(), JsonValue::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Obj(vec![]));
+        assert_eq!(parse("  {  }  ").unwrap(), JsonValue::Obj(vec![]));
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip_every_escape() {
+        let v = parse(r#""quote:\" back:\\ slash:\/ tab:\t nl:\n cr:\r bs:\b ff:\f""#).unwrap();
+        assert_eq!(
+            v.as_str(),
+            Some("quote:\" back:\\ slash:/ tab:\t nl:\n cr:\r bs:\u{8} ff:\u{c}")
+        );
+        // Escapes inside object keys, as the exporter writes for topic
+        // names in counter events.
+        let v = parse(r#"{"q → n":1}"#).unwrap();
+        assert_eq!(v.get("q → n").and_then(JsonValue::as_u64), Some(1));
+        // Truncated and malformed escapes are rejected, not mangled.
+        assert!(parse(r#""\u12""#).is_err());
+        assert!(parse(r#""\x41""#).is_err());
+        assert!(parse("\"\\").is_err());
+    }
+
+    #[test]
+    fn deeply_nested_args_parse_and_index() {
+        // Build args nested 64 levels deep: {"a":{"a":...{"a":7}...}}.
+        let depth = 64;
+        let mut text = String::new();
+        for _ in 0..depth {
+            text.push_str("{\"a\":");
+        }
+        text.push('7');
+        text.push_str(&"}".repeat(depth));
+        let v = parse(&text).unwrap();
+        let mut cursor = &v;
+        for _ in 0..depth {
+            cursor = cursor.get("a").unwrap();
+        }
+        assert_eq!(cursor.as_u64(), Some(7));
+
+        // Same depth through arrays.
+        let text = format!("{}7{}", "[".repeat(depth), "]".repeat(depth));
+        let v = parse(&text).unwrap();
+        let mut cursor = &v;
+        for _ in 0..depth {
+            cursor = &cursor.as_array().unwrap()[0];
+        }
+        assert_eq!(cursor.as_u64(), Some(7));
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_first_match() {
+        // `get` documents first-match semantics; pin them down.
+        let v = parse("{\"k\":1,\"k\":2}").unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_u64), Some(1));
+    }
 }

@@ -32,6 +32,17 @@ echo "== trace oracle: tables recomputed from the trace match the recorder =="
 ./target/release/trace_report --verify --duration 8 >"$tmp/verify.log" 2>/dev/null
 grep 'verify passed' "$tmp/verify.log"
 
+echo "== sweep determinism: 4-point smoke sweep across --jobs 1 vs --jobs 8 =="
+./target/release/sweep --spec specs/smoke.json --trace --check-jobs 1,8 \
+    --results "$tmp/sweep" >"$tmp/sweep.log" 2>/dev/null
+grep 'sweep golden hash' "$tmp/sweep.log"
+grep 'sweep determinism check passed' "$tmp/sweep.log"
+
+echo "== trace_diff self-diff: a trace diffed against itself is empty =="
+./target/release/trace_diff "$tmp/sweep/trace_p00.json" "$tmp/sweep/trace_p00.json" \
+    >"$tmp/diff.log"
+grep 'traces identical: 0 differences' "$tmp/diff.log"
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -5,12 +5,17 @@
 //! outages and verify the stack degrades gracefully and recovers.
 
 use av_core::stack::{run_drive, Blackout, RunConfig, StackConfig};
-use av_core::topics::nodes;
+use av_core::topics::{self, nodes};
 use av_ros::Source;
+use av_sweep::{run_sweep, SweepSpec};
 use av_vision::DetectorKind;
 
 fn run(config: &StackConfig, seconds: f64) -> av_core::stack::RunReport {
     run_drive(config, &RunConfig::seconds(seconds))
+}
+
+fn delivered(report: &av_core::stack::RunReport, topic: &str, node: &str) -> u64 {
+    report.drops.iter().filter(|d| d.topic == topic && d.node == node).map(|d| d.delivered).sum()
 }
 
 #[test]
@@ -95,6 +100,72 @@ fn traffic_light_extension_recognizes_lights() {
     let report = run(&config, 15.0);
     let tlr = report.node_summary(nodes::TRAFFIC_LIGHT_RECOGNITION);
     assert!(tlr.count > 100, "recognition runs per camera frame: {}", tlr.count);
+}
+
+#[test]
+fn gnss_and_combined_blackouts_as_sweep_points() {
+    // The blackout schedules are sweep points through the av-sweep
+    // engine: one base point, one GNSS outage, one combined
+    // LiDAR+camera outage — a single 3-point batch.
+    let spec = SweepSpec::from_json(
+        r#"{
+            "name": "blackout_injection",
+            "world": "smoke",
+            "duration_s": 20.0,
+            "points": [
+                {},
+                {"blackouts": "gnss:2-18"},
+                {"blackouts": "lidar:4-8+camera:4-8"}
+            ]
+        }"#,
+    )
+    .expect("spec parses");
+    let results = run_sweep(&spec, &RunConfig::default(), 3);
+    assert_eq!(results.len(), 3);
+    let (base, gnss, combined) = (&results[0].report, &results[1].report, &results[2].report);
+
+    // GNSS outage: the fix stream goes quiet for 16 of 20 s, but NDT
+    // only uses GNSS to (re)seed its pose — once converged, scan
+    // matching carries on and localization stays tight.
+    let base_fixes = delivered(base, topics::GNSS_POSE, nodes::NDT_MATCHING);
+    let gnss_fixes = delivered(gnss, topics::GNSS_POSE, nodes::NDT_MATCHING);
+    assert!(
+        gnss_fixes * 3 < base_fixes,
+        "GNSS blackout must silence most fixes: {gnss_fixes} vs {base_fixes}"
+    );
+    assert_eq!(
+        gnss.node_summary(nodes::VOXEL_GRID_FILTER).count,
+        base.node_summary(nodes::VOXEL_GRID_FILTER).count,
+        "a GNSS outage must not disturb the LiDAR pipeline"
+    );
+    assert!(
+        gnss.localization_error_m < 1.0,
+        "converged NDT must ride out a GNSS outage: {} m",
+        gnss.localization_error_m
+    );
+
+    // Combined LiDAR+camera outage: both perception chains starve...
+    let voxel_lost = base.node_summary(nodes::VOXEL_GRID_FILTER).count
+        - combined.node_summary(nodes::VOXEL_GRID_FILTER).count;
+    let vision_lost = base.node_summary(nodes::VISION_DETECTION).count
+        - combined.node_summary(nodes::VISION_DETECTION).count;
+    assert!(voxel_lost >= 30, "4 s LiDAR outage at 10 Hz: lost {voxel_lost}");
+    assert!(vision_lost >= 40, "4 s camera outage at 15 Hz: lost {vision_lost}");
+    // ...and localization still recovers once both streams return.
+    assert!(
+        combined.localization_error_final_m < 1.0,
+        "localization must re-converge after the combined outage: {} m",
+        combined.localization_error_final_m
+    );
+    assert!(
+        combined.localization_error_m > base.localization_error_m,
+        "the combined outage must actually hurt"
+    );
+
+    // Every point carries its golden hash; the outage points diverge
+    // from the base run.
+    assert_ne!(results[0].run_hash, results[1].run_hash);
+    assert_ne!(results[0].run_hash, results[2].run_hash);
 }
 
 #[test]
