@@ -1,0 +1,190 @@
+//! `search` — runs a scenario-space search and writes its trajectory.
+//!
+//! ```text
+//! search [--spec <file.json> | --builtin <smoke>]
+//!        [--jobs <N>] [--check-jobs <N,M,...>]
+//!        [--resume <trajectory.json>] [--results <dir>] [--list]
+//! ```
+//!
+//! The spec (see `specs/search_*.json`) names an objective and a
+//! strategy — bisection boundary finding along one knob, or seeded
+//! worst-case successive halving over several. Each batch of
+//! evaluations is an independent set of simulated drives fanned out over
+//! `--jobs` worker threads; every batch decision is a pure function of
+//! prior run outputs. Artifacts land under `--results` (default
+//! `results/search/`):
+//!
+//! * `search_summary.txt` — the plan, the budget curve, the answer,
+//! * `search_trajectory.txt` — every batch and evaluation,
+//! * `search_trajectory.json` — the machine-readable trajectory; feed it
+//!   back with `--resume` to replay or continue a run without paying for
+//!   the already-evaluated batches,
+//! * `SEARCH_hashes.json` — the golden-hash manifest.
+//!
+//! `--check-jobs 1,8` reruns the whole search from scratch at each
+//! listed level and **exits nonzero** unless every artifact byte and
+//! golden hash is identical.
+
+use av_core::parallel::effective_jobs;
+use av_sweep::search::trajectory_from_json;
+use av_sweep::{run_search, search_artifacts, BatchRecord, SearchArtifacts, SearchSpec};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Options {
+    spec: SearchSpec,
+    jobs: usize,
+    check_jobs: Vec<usize>,
+    prior: Vec<BatchRecord>,
+    results_dir: PathBuf,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: search [--spec <file.json> | --builtin <smoke>] [--jobs <N>] \
+         [--check-jobs <N,M,...>] [--resume <trajectory.json>] [--results <dir>] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut spec = None;
+    let mut jobs = None;
+    let mut check_jobs: Vec<usize> = Vec::new();
+    let mut prior = Vec::new();
+    let mut results_dir = PathBuf::from("results/search");
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let path = args.next().expect("--spec needs a file");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                spec = Some(SearchSpec::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("invalid search spec {path}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--builtin" => {
+                let name = args.next().expect("--builtin needs a name");
+                spec = Some(SearchSpec::builtin(&name).unwrap_or_else(|| {
+                    eprintln!("unknown builtin search {name:?} (try smoke)");
+                    std::process::exit(2);
+                }));
+            }
+            "--resume" => {
+                let path = args.next().expect("--resume needs a trajectory.json");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                prior = trajectory_from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("invalid trajectory {path}: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--jobs" | "-j" => {
+                let value = args.next().expect("--jobs needs a thread count");
+                jobs = Some(value.parse().expect("invalid --jobs value"));
+            }
+            "--check-jobs" => {
+                let value = args.next().expect("--check-jobs needs a comma-separated list");
+                check_jobs = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("invalid --check-jobs value"))
+                    .collect();
+                assert!(!check_jobs.is_empty(), "--check-jobs needs at least one level");
+            }
+            "--results" => {
+                results_dir = PathBuf::from(args.next().expect("--results needs a directory"));
+            }
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if jobs.is_none() {
+        jobs = check_jobs.first().copied();
+    }
+    Options {
+        spec: spec.unwrap_or_else(SearchSpec::builtin_smoke),
+        jobs: effective_jobs(jobs),
+        check_jobs,
+        prior,
+        results_dir,
+        list,
+    }
+}
+
+fn write_artifacts(dir: &Path, artifacts: &SearchArtifacts) {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    std::fs::write(dir.join("search_summary.txt"), &artifacts.summary_txt).expect("write summary");
+    std::fs::write(dir.join("search_trajectory.txt"), &artifacts.trajectory_txt)
+        .expect("write trajectory");
+    std::fs::write(dir.join("search_trajectory.json"), &artifacts.trajectory_json)
+        .expect("write trajectory json");
+    std::fs::write(dir.join("SEARCH_hashes.json"), &artifacts.hashes_json).expect("write hashes");
+}
+
+fn main() {
+    let options = parse_args();
+    if options.list {
+        print!("{}", options.spec.describe());
+        return;
+    }
+    println!("# search {:?}: jobs {}\n", options.spec.name, options.jobs);
+
+    let start = Instant::now();
+    let outcome = run_search(&options.spec, options.jobs, &options.prior);
+    let search_s = start.elapsed().as_secs_f64();
+    let artifacts = search_artifacts(&options.spec, &outcome);
+
+    write_artifacts(&options.results_dir, &artifacts);
+    print!("{}", artifacts.summary_txt);
+    println!("search golden hash: {:#018x}", artifacts.search_hash);
+    println!(
+        "artifacts: {} ({} evaluation(s) took {search_s:.1} s)",
+        options.results_dir.display(),
+        outcome.evaluations()
+    );
+
+    // Cross-`--jobs` determinism check: rerun the whole search from
+    // scratch (no prior) at every other requested level; every artifact
+    // byte must match, which also proves any `--resume` prefix above was
+    // byte-faithful to a fresh run.
+    let verify_levels: Vec<usize> =
+        options.check_jobs.iter().copied().filter(|&j| j != options.jobs).collect();
+    if !verify_levels.is_empty() {
+        for level in verify_levels {
+            eprintln!("determinism check: rerunning search with --jobs {level}...");
+            let rerun = run_search(&options.spec, level, &[]);
+            let other = search_artifacts(&options.spec, &rerun);
+            let mut violations = Vec::new();
+            if other.search_hash != artifacts.search_hash {
+                violations.push(format!(
+                    "search hash {:#018x} != {:#018x}",
+                    other.search_hash, artifacts.search_hash
+                ));
+            }
+            if other != artifacts {
+                violations.push("search artifact bytes differ".to_string());
+            }
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!(
+                        "DETERMINISM VIOLATION between --jobs {} and --jobs {level}: {v}",
+                        options.jobs
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "search determinism check passed: jobs {:?} all reproduce hash {:#018x}",
+            options.check_jobs, artifacts.search_hash
+        );
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`experiments`] — one function per paper artifact (Fig 5–8,
 //!   Tables III–VII), each returning the paper-style rows.
 //! * [`findings`] — quantitative checks of the paper's Findings 1–5.
+//! * [`metrics`] — scalar per-run facts (tail latency, deadline factor,
+//!   drop rate) shared by the sweep aggregator and the search objective.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@ pub mod calib;
 pub mod determinism;
 pub mod experiments;
 pub mod findings;
+pub mod metrics;
 pub mod msg;
 pub mod nodes;
 pub mod parallel;

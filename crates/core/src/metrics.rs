@@ -1,0 +1,94 @@
+//! Scalar metrics extracted from a finished run.
+//!
+//! A [`RunReport`] carries full distributions; optimization loops (the
+//! scenario-space search in `av-sweep`) and cross-run tables need single
+//! numbers. This module is the one place those scalars are defined, so
+//! the sweep aggregator and the search objective agree byte-for-byte on
+//! what "p99 end-to-end latency" or "drop rate" means.
+
+use crate::stack::RunReport;
+
+/// The perception deadline the paper's Finding 2 is stated against:
+/// "the detection results... should be delivered within 100 ms".
+pub const DEADLINE_MS: f64 = 100.0;
+
+/// Scalar facts about one run, all derived deterministically from the
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Name of the worst computation path by mean (the paper's
+    /// end-to-end definition), `-` when no path completed.
+    pub worst_path: String,
+    /// Mean end-to-end latency over the worst path, ms.
+    pub e2e_mean_ms: f64,
+    /// p99 end-to-end latency over the worst path, ms.
+    pub e2e_p99_ms: f64,
+    /// Peak end-to-end latency over the worst path, ms.
+    pub e2e_max_ms: f64,
+    /// `e2e_p99_ms / DEADLINE_MS` — how many times over the 100 ms
+    /// deadline the tail is. Finding 2's "broken by more than 2×" is
+    /// `deadline_factor > 2`.
+    pub deadline_factor: f64,
+    /// Fraction of end-to-end frames over the 100 ms deadline.
+    pub deadline_miss_fraction: f64,
+    /// Dropped messages as a percentage of delivered messages, summed
+    /// over every subscription.
+    pub drop_pct: f64,
+    /// Mean CPU power, W.
+    pub cpu_w: f64,
+    /// Mean GPU power, W.
+    pub gpu_w: f64,
+    /// Mean localization error, m.
+    pub loc_err_m: f64,
+}
+
+/// Extracts the scalar metrics from a run report.
+pub fn run_metrics(report: &RunReport) -> RunMetrics {
+    let (worst_path, e2e) = report
+        .end_to_end()
+        .map(|(name, s)| (name, Some(s)))
+        .unwrap_or_else(|| ("-".to_string(), None));
+    let deadline_miss_fraction = report
+        .recorder
+        .path_latencies(&worst_path)
+        .map(|d| d.fraction_above(DEADLINE_MS))
+        .unwrap_or(0.0);
+    let delivered: u64 = report.drops.iter().map(|d| d.delivered).sum();
+    let dropped: u64 = report.drops.iter().map(|d| d.dropped).sum();
+    let drop_pct = if delivered == 0 { 0.0 } else { 100.0 * dropped as f64 / delivered as f64 };
+    let e2e_p99_ms = e2e.as_ref().map_or(0.0, |s| s.p99);
+    RunMetrics {
+        worst_path,
+        e2e_mean_ms: e2e.as_ref().map_or(0.0, |s| s.mean),
+        e2e_p99_ms,
+        e2e_max_ms: e2e.as_ref().map_or(0.0, |s| s.max),
+        deadline_factor: e2e_p99_ms / DEADLINE_MS,
+        deadline_miss_fraction,
+        drop_pct,
+        cpu_w: report.power.cpu_w,
+        gpu_w: report.power.gpu_w,
+        loc_err_m: report.localization_error_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::{run_drive, RunConfig, StackConfig};
+    use av_vision::DetectorKind;
+
+    #[test]
+    fn metrics_agree_with_the_report_distributions() {
+        let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let report = run_drive(&config, &RunConfig::seconds(5.0));
+        let m = run_metrics(&report);
+        let (name, e2e) = report.end_to_end().expect("paths completed");
+        assert_eq!(m.worst_path, name);
+        assert_eq!(m.e2e_p99_ms, e2e.p99);
+        assert_eq!(m.e2e_mean_ms, e2e.mean);
+        assert_eq!(m.deadline_factor, e2e.p99 / DEADLINE_MS);
+        assert!(m.deadline_miss_fraction >= 0.0 && m.deadline_miss_fraction <= 1.0);
+        assert!(m.drop_pct >= 0.0);
+        assert!(m.cpu_w > 0.0 && m.gpu_w > 0.0);
+    }
+}

@@ -13,6 +13,7 @@ use crate::runner::PointResult;
 use crate::spec::SweepSpec;
 use av_core::determinism::Fnv64;
 use av_core::experiments::power_cells;
+use av_core::metrics::run_metrics;
 use av_profiling::Table;
 use std::fmt::Write as _;
 
@@ -53,14 +54,7 @@ struct PointFacts {
 fn facts(spec: &SweepSpec, result: &PointResult) -> PointFacts {
     let base = spec.base_config();
     let config = result.point.apply(&base);
-    let report = &result.report;
-    let (worst_path, e2e) = report
-        .end_to_end()
-        .map(|(name, s)| (name, Some(s)))
-        .unwrap_or_else(|| ("-".to_string(), None));
-    let delivered: u64 = report.drops.iter().map(|d| d.delivered).sum();
-    let dropped: u64 = report.drops.iter().map(|d| d.dropped).sum();
-    let drop_pct = if delivered == 0 { 0.0 } else { 100.0 * dropped as f64 / delivered as f64 };
+    let m = run_metrics(&result.report);
     PointFacts {
         id: result.point.id(),
         label: result.point.label(),
@@ -85,13 +79,13 @@ fn facts(spec: &SweepSpec, result: &PointResult) -> PointFacts {
                 ),
             ),
         ],
-        e2e_mean_ms: e2e.as_ref().map_or(0.0, |s| s.mean),
-        e2e_p99_ms: e2e.as_ref().map_or(0.0, |s| s.p99),
-        worst_path,
-        drop_pct,
-        cpu_w: report.power.cpu_w,
-        gpu_w: report.power.gpu_w,
-        loc_err_m: report.localization_error_m,
+        e2e_mean_ms: m.e2e_mean_ms,
+        e2e_p99_ms: m.e2e_p99_ms,
+        worst_path: m.worst_path,
+        drop_pct: m.drop_pct,
+        cpu_w: m.cpu_w,
+        gpu_w: m.gpu_w,
+        loc_err_m: m.loc_err_m,
         run_hash: result.run_hash,
     }
 }

@@ -16,17 +16,31 @@
 //!   (summary table + CSV, per-point paper tables, a knob-effect report,
 //!   a hash manifest) in a way that is provably independent of
 //!   completion order.
+//! * [`objective`] — the scalar a search extracts from each run,
+//!   shared with the sweep aggregator through [`av_core::metrics`].
+//! * [`search`] — the optimizer layer: deterministic boundary finding
+//!   (where does the 100 ms deadline first break 2×?) and seeded
+//!   worst-case successive halving, both batch-iterative over the same
+//!   runner and replayable from their own trajectory artifacts.
 //!
 //! Everything downstream of the spec is a pure function of it, so a
-//! sweep is as reproducible as a single run: same spec, same bytes, at
-//! any `--jobs` level.
+//! sweep — or a whole search trajectory — is as reproducible as a
+//! single run: same spec, same bytes, at any `--jobs` level.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod objective;
 pub mod runner;
+pub mod search;
 pub mod spec;
 
 pub use aggregate::{aggregate, SweepArtifacts};
+pub use objective::Objective;
 pub use runner::{run_sweep, PointResult};
+pub use search::{
+    run_search, run_search_with, search_artifacts, BatchRecord, BisectSpec, EvalRecord,
+    HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer, SearchArtifacts, SearchOutcome,
+    SearchSpec, Strategy,
+};
 pub use spec::{BlackoutSpec, SweepPoint, SweepSpec, WorldKind};

@@ -1,0 +1,106 @@
+//! Search objectives: one scalar per run.
+//!
+//! The scenario-space search drives the sweep engine toward *some*
+//! quantity — p99 end-to-end latency, the deadline-violation factor, the
+//! drop rate. An [`Objective`] names that quantity and extracts it from
+//! a finished [`RunReport`] through [`av_core::metrics`], so the number
+//! the optimizer ranks by is byte-identical to the one the sweep
+//! aggregator prints.
+
+use av_core::metrics::run_metrics;
+use av_core::stack::RunReport;
+
+/// The scalar a search evaluates at every point. All objectives are
+/// oriented so that *larger means worse* — boundary searches look for
+/// the knob value where the objective first exceeds a threshold, and
+/// worst-case searches maximize it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// p99 end-to-end latency over the worst path, ms.
+    E2eP99Ms,
+    /// Mean end-to-end latency over the worst path, ms.
+    E2eMeanMs,
+    /// `e2e p99 / 100 ms` — Finding 2's "deadline broken by more than
+    /// 2×" is this factor exceeding 2.
+    DeadlineFactor,
+    /// Fraction of end-to-end frames over the 100 ms deadline.
+    DeadlineMissFraction,
+    /// Dropped messages as a percentage of delivered, all subscriptions.
+    DropPct,
+    /// Mean localization error, m.
+    LocErrM,
+}
+
+impl Objective {
+    /// Every objective, in spec-name order.
+    pub const ALL: [Objective; 6] = [
+        Objective::E2eP99Ms,
+        Objective::E2eMeanMs,
+        Objective::DeadlineFactor,
+        Objective::DeadlineMissFraction,
+        Objective::DropPct,
+        Objective::LocErrM,
+    ];
+
+    /// The spec spelling of this objective.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::E2eP99Ms => "e2e_p99_ms",
+            Objective::E2eMeanMs => "e2e_mean_ms",
+            Objective::DeadlineFactor => "deadline_factor",
+            Objective::DeadlineMissFraction => "deadline_miss_fraction",
+            Objective::DropPct => "drop_pct",
+            Objective::LocErrM => "loc_err_m",
+        }
+    }
+
+    /// Parses a spec spelling.
+    pub fn parse(s: &str) -> Result<Objective, String> {
+        Objective::ALL.into_iter().find(|o| o.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = Objective::ALL.iter().map(|o| o.name()).collect();
+            format!("unknown objective {s:?} (expected one of {})", names.join(", "))
+        })
+    }
+
+    /// Extracts the objective value from a finished run.
+    pub fn evaluate(self, report: &RunReport) -> f64 {
+        let m = run_metrics(report);
+        match self {
+            Objective::E2eP99Ms => m.e2e_p99_ms,
+            Objective::E2eMeanMs => m.e2e_mean_ms,
+            Objective::DeadlineFactor => m.deadline_factor,
+            Objective::DeadlineMissFraction => m.deadline_miss_fraction,
+            Objective::DropPct => m.drop_pct,
+            Objective::LocErrM => m.loc_err_m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::stack::{run_drive, RunConfig, StackConfig};
+    use av_vision::DetectorKind;
+
+    #[test]
+    fn names_round_trip() {
+        for o in Objective::ALL {
+            assert_eq!(Objective::parse(o.name()), Ok(o));
+        }
+        assert!(Objective::parse("p99").is_err());
+    }
+
+    #[test]
+    fn evaluation_matches_core_metrics() {
+        let config = StackConfig::smoke_test(DetectorKind::Ssd512);
+        let report = run_drive(&config, &RunConfig::seconds(4.0));
+        let m = run_metrics(&report);
+        assert_eq!(Objective::E2eP99Ms.evaluate(&report), m.e2e_p99_ms);
+        assert_eq!(Objective::DeadlineFactor.evaluate(&report), m.deadline_factor);
+        assert_eq!(Objective::DropPct.evaluate(&report), m.drop_pct);
+        assert_eq!(
+            Objective::DeadlineFactor.evaluate(&report),
+            Objective::E2eP99Ms.evaluate(&report) / av_core::metrics::DEADLINE_MS
+        );
+    }
+}

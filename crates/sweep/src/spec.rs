@@ -33,10 +33,21 @@ impl WorldKind {
         }
     }
 
-    fn name(self) -> &'static str {
+    /// The world's name as written in specs.
+    pub fn name(self) -> &'static str {
         match self {
             WorldKind::Paper => "paper",
             WorldKind::Smoke => "smoke",
+        }
+    }
+
+    /// The base configuration this world starts every point from.
+    /// SSD512 is the paper's headline detector; point overrides replace
+    /// it as needed.
+    pub fn base_config(self) -> StackConfig {
+        match self {
+            WorldKind::Paper => StackConfig::paper_default(DetectorKind::Ssd512),
+            WorldKind::Smoke => StackConfig::smoke_test(DetectorKind::Ssd512),
         }
     }
 }
@@ -72,6 +83,9 @@ impl BlackoutSpec {
             let from_s: f64 =
                 from.parse().map_err(|_| format!("blackout {part:?}: bad start {from:?}"))?;
             let to_s: f64 = to.parse().map_err(|_| format!("blackout {part:?}: bad end {to:?}"))?;
+            if !from_s.is_finite() || !to_s.is_finite() {
+                return Err(format!("blackout {part:?}: window must be finite"));
+            }
             if !(from_s >= 0.0 && to_s > from_s) {
                 return Err(format!("blackout {part:?}: window must satisfy 0 <= from < to"));
             }
@@ -158,6 +172,73 @@ impl SweepPoint {
         }
     }
 
+    /// Parses a point from a JSON object value (the `points` entries of a
+    /// sweep spec, or the `point` entries of a search trajectory).
+    pub fn from_json_value(value: &av_trace::json::JsonValue) -> Result<SweepPoint, String> {
+        use av_trace::json::JsonValue;
+        let members = match value {
+            JsonValue::Obj(members) => members,
+            _ => return Err("point must be a JSON object".to_string()),
+        };
+        let mut point = SweepPoint::default();
+        for (key, value) in members {
+            let num =
+                || value.as_f64().ok_or_else(|| format!("point key {key:?} must be a number"));
+            let text =
+                || value.as_str().ok_or_else(|| format!("point key {key:?} must be a string"));
+            match key.as_str() {
+                "detector" => point.detector = Some(parse_detector(text()?)?),
+                "traffic_density" => point.traffic_density = Some(num()?),
+                "camera_rate_hz" => point.camera_rate_hz = Some(num()?),
+                "lidar_rate_hz" => point.lidar_rate_hz = Some(num()?),
+                "queue_capacity" => {
+                    point.queue_capacity = Some(value.as_u64().ok_or_else(|| {
+                        "point key \"queue_capacity\" must be an integer".to_string()
+                    })? as usize);
+                }
+                "seed" => {
+                    point.seed = Some(
+                        value
+                            .as_u64()
+                            .ok_or_else(|| "point key \"seed\" must be an integer".to_string())?,
+                    );
+                }
+                "blackouts" => point.blackouts = Some(BlackoutSpec::parse(text()?)?),
+                other => return Err(format!("unknown point key {other:?}")),
+            }
+        }
+        Ok(point)
+    }
+
+    /// Renders the overrides as a JSON object, inverse of
+    /// [`SweepPoint::from_json_value`]. Floats print in shortest
+    /// round-trip form, so parse-back is bit-exact.
+    pub fn to_json(&self) -> String {
+        let mut fields = Vec::new();
+        if let Some(d) = self.detector {
+            fields.push(format!("\"detector\": \"{}\"", d.name()));
+        }
+        if let Some(v) = self.traffic_density {
+            fields.push(format!("\"traffic_density\": {v:?}"));
+        }
+        if let Some(v) = self.camera_rate_hz {
+            fields.push(format!("\"camera_rate_hz\": {v:?}"));
+        }
+        if let Some(v) = self.lidar_rate_hz {
+            fields.push(format!("\"lidar_rate_hz\": {v:?}"));
+        }
+        if let Some(v) = self.queue_capacity {
+            fields.push(format!("\"queue_capacity\": {v}"));
+        }
+        if let Some(v) = self.seed {
+            fields.push(format!("\"seed\": {v}"));
+        }
+        if let Some(b) = &self.blackouts {
+            fields.push(format!("\"blackouts\": \"{}\"", b.label));
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+
     /// Applies the overrides to a base configuration.
     pub fn apply(&self, base: &StackConfig) -> StackConfig {
         let mut config = base.clone();
@@ -235,12 +316,7 @@ impl SweepSpec {
 
     /// The base configuration every point starts from.
     pub fn base_config(&self) -> StackConfig {
-        // SSD512 is the paper's headline detector; the detector axis
-        // overrides it per point.
-        match self.world {
-            WorldKind::Paper => StackConfig::paper_default(DetectorKind::Ssd512),
-            WorldKind::Smoke => StackConfig::smoke_test(DetectorKind::Ssd512),
-        }
+        self.world.base_config()
     }
 
     /// Expands the grid (fixed axis order: detector, density, camera
@@ -333,15 +409,20 @@ impl SweepSpec {
             return Err("sweep name must not be empty".to_string());
         }
         if let Some(d) = self.duration_s {
-            if d <= 0.0 {
-                return Err(format!("duration_s must be positive, got {d}"));
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!("duration_s must be positive and finite, got {d}"));
             }
         }
         let points = self.points();
         for p in &points {
             for v in p.traffic_density.iter().chain(&p.camera_rate_hz).chain(&p.lidar_rate_hz) {
-                if *v <= 0.0 {
-                    return Err(format!("point {}: rates and density must be positive", p.id()));
+                // `1e999` in a spec parses to +inf — reject it along with
+                // zero and negatives rather than simulating forever.
+                if !v.is_finite() || *v <= 0.0 {
+                    return Err(format!(
+                        "point {}: rates and density must be positive and finite",
+                        p.id()
+                    ));
                 }
             }
             if p.queue_capacity == Some(0) {
@@ -423,37 +504,6 @@ mod from_json {
         Ok(())
     }
 
-    fn parse_point(value: &JsonValue) -> Result<SweepPoint, String> {
-        let mut point = SweepPoint::default();
-        for (key, value) in as_obj(value, "points[..]")? {
-            let num =
-                || value.as_f64().ok_or_else(|| format!("point key {key:?} must be a number"));
-            let text =
-                || value.as_str().ok_or_else(|| format!("point key {key:?} must be a string"));
-            match key.as_str() {
-                "detector" => point.detector = Some(parse_detector(text()?)?),
-                "traffic_density" => point.traffic_density = Some(num()?),
-                "camera_rate_hz" => point.camera_rate_hz = Some(num()?),
-                "lidar_rate_hz" => point.lidar_rate_hz = Some(num()?),
-                "queue_capacity" => {
-                    point.queue_capacity = Some(value.as_u64().ok_or_else(|| {
-                        "point key \"queue_capacity\" must be an integer".to_string()
-                    })? as usize);
-                }
-                "seed" => {
-                    point.seed = Some(
-                        value
-                            .as_u64()
-                            .ok_or_else(|| "point key \"seed\" must be an integer".to_string())?,
-                    );
-                }
-                "blackouts" => point.blackouts = Some(BlackoutSpec::parse(text()?)?),
-                other => return Err(format!("unknown point key {other:?}")),
-            }
-        }
-        Ok(point)
-    }
-
     /// Parses a sweep spec from its JSON text.
     pub fn parse_spec(text: &str) -> Result<SweepSpec, String> {
         let doc = json::parse(text).map_err(|e| format!("sweep spec is not valid JSON: {e}"))?;
@@ -485,7 +535,7 @@ mod from_json {
                         .as_array()
                         .ok_or_else(|| "points must be an array".to_string())?
                         .iter()
-                        .map(parse_point)
+                        .map(SweepPoint::from_json_value)
                         .collect::<Result<_, _>>()?;
                 }
                 other => return Err(format!("unknown sweep key {other:?}")),

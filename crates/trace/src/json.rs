@@ -85,9 +85,16 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth. The parser is recursive-descent, so
+/// without a cap an adversarial document (`[[[[…`) would overflow the
+/// stack — an abort, not a catchable error. 512 is far beyond anything
+/// the exporter writes (traces nest 4 deep) while keeping the recursion
+/// well inside any thread's stack.
+pub const MAX_DEPTH: usize = 512;
+
 /// Parses a complete JSON document.
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -100,6 +107,7 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -148,12 +156,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(members));
         }
         loop {
@@ -169,6 +187,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -178,10 +197,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -192,6 +213,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -378,6 +400,26 @@ mod tests {
             cursor = &cursor.as_array().unwrap()[0];
         }
         assert_eq!(cursor.as_u64(), Some(7));
+    }
+
+    #[test]
+    fn nesting_beyond_the_cap_is_an_error_not_an_overflow() {
+        // Exactly at the cap parses; one past it is a clean error; far
+        // past it (deep enough to smash the stack without the cap) is
+        // still a clean error.
+        for depth in [MAX_DEPTH, MAX_DEPTH + 1, 200_000] {
+            let text = format!("{}7{}", "[".repeat(depth), "]".repeat(depth));
+            let result = parse(&text);
+            if depth <= MAX_DEPTH {
+                assert!(result.is_ok(), "depth {depth} should parse");
+            } else {
+                let err = result.expect_err("over-deep document must be rejected");
+                assert!(err.message.contains("nesting"), "unexpected error: {err}");
+            }
+        }
+        // Mixed object/array nesting counts against the same cap.
+        let deep = format!("{}null{}", "{\"a\":[".repeat(300), "]}".repeat(300));
+        assert!(parse(&deep).is_err());
     }
 
     #[test]

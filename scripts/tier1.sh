@@ -38,6 +38,21 @@ echo "== sweep determinism: 4-point smoke sweep across --jobs 1 vs --jobs 8 =="
 grep 'sweep golden hash' "$tmp/sweep.log"
 grep 'sweep determinism check passed' "$tmp/sweep.log"
 
+echo "== search determinism: smoke boundary search across --jobs 1 vs --jobs 8 =="
+# The whole optimizer trajectory — every batch decision, every artifact
+# byte — must reproduce at any jobs level; search exits nonzero if not.
+./target/release/search --spec specs/search_smoke.json --check-jobs 1,8 \
+    --results "$tmp/search" >"$tmp/search.log" 2>/dev/null
+grep 'search golden hash' "$tmp/search.log"
+grep 'search determinism check passed' "$tmp/search.log"
+grep -q 'boundary: camera_rate_hz crosses' "$tmp/search.log"
+
+echo "== search resume: replaying the trajectory is byte-identical and free =="
+./target/release/search --spec specs/search_smoke.json \
+    --resume "$tmp/search/search_trajectory.json" \
+    --results "$tmp/search_resume" >"$tmp/resume.log" 2>/dev/null
+diff -r "$tmp/search" "$tmp/search_resume"
+
 echo "== trace_diff self-diff: a trace diffed against itself is empty =="
 ./target/release/trace_diff "$tmp/sweep/trace_p00.json" "$tmp/sweep/trace_p00.json" \
     >"$tmp/diff.log"

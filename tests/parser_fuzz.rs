@@ -1,0 +1,155 @@
+//! Adversarial-input suite for the hand-rolled parsers: the JSON lexer
+//! in `av_trace::json` and the spec/trajectory loaders layered on top of
+//! it. A deterministic PCG32-driven mutator derives thousands of broken
+//! documents from valid seeds — truncations, bit flips, random byte
+//! splices, duplicated slices and keys, NaN-ish numerics, deep nesting —
+//! and every parser must return `Err`, never panic and never abort.
+//! (The nesting cases are the regression test for the recursion-depth
+//! cap: before it, a few kilobytes of `[[[[…` were a stack-overflow
+//! abort that no test harness can catch.)
+
+use av_des::{RngStreams, StreamRng};
+use av_sweep::search::trajectory_from_json;
+use av_sweep::{SearchSpec, SweepSpec};
+
+/// Valid seed documents the mutator starts from: real spec files, a real
+/// trajectory shape, and hostile-but-valid corner documents (duplicate
+/// keys, unicode, escapes) that exercise the lexer's edges.
+const SEEDS: [&str; 7] = [
+    include_str!("../specs/search_smoke.json"),
+    include_str!("../specs/search_worst_case.json"),
+    include_str!("../specs/smoke.json"),
+    r#"{"search": "s", "search_hash": "0x0000000000000001",
+        "batches": [{"index": 0, "stage": "bracket", "evals": [
+          {"ordinal": 0, "duration_s": 6.0, "objective": 0.5,
+           "run_hash": "0x00000000000000aa", "point": {"camera_rate_hz": 8.0}}]}],
+        "answer": "x"}"#,
+    r#"{"name": "dup", "name": "dup2", "duration_s": 1, "duration_s": 2,
+        "bisect": {"knob": "camera_rate_hz", "knob": "lidar_rate_hz",
+                   "lo": 1, "hi": 2, "lo": 3, "threshold": 1, "tolerance": 0.5}}"#,
+    "{\"a\\tb\\n\\\\\": [1e308, -1e-308, 0.0, -0.0, \"\u{1F600} \u{2713}\"]}",
+    r#"[{"deeply": {"nested": {"but": {"valid": [[[[[[1]]]]]]}}}}, null, true, false]"#,
+];
+
+fn mutate(seed_doc: &str, rng: &mut StreamRng) -> String {
+    let mut bytes = seed_doc.as_bytes().to_vec();
+    for _ in 0..1 + rng.uniform_usize(3) {
+        match rng.uniform_usize(6) {
+            // Truncation: cut the document anywhere.
+            0 => {
+                if !bytes.is_empty() {
+                    bytes.truncate(rng.uniform_usize(bytes.len()));
+                }
+            }
+            // Bit flip: corrupt one byte (possibly into invalid UTF-8 —
+            // from_utf8_lossy below turns that into U+FFFD, which the
+            // parser must also survive).
+            1 => {
+                if !bytes.is_empty() {
+                    let at = rng.uniform_usize(bytes.len());
+                    bytes[at] ^= 1 << rng.uniform_usize(8);
+                }
+            }
+            // Random byte insertion.
+            2 => {
+                let at = rng.uniform_usize(bytes.len() + 1);
+                bytes.insert(at, rng.uniform_usize(256) as u8);
+            }
+            // NaN-ish / overflow numerics spliced in whole.
+            3 => {
+                const TOKENS: [&str; 9] = [
+                    "1e999",
+                    "-1e999",
+                    "NaN",
+                    "Infinity",
+                    "-Infinity",
+                    "1e-999",
+                    "18446744073709551616",
+                    "99999999999999999999999999999999999999",
+                    "-0.0000000000000000000000000000000001",
+                ];
+                let token = TOKENS[rng.uniform_usize(TOKENS.len())];
+                let at = rng.uniform_usize(bytes.len() + 1);
+                bytes.splice(at..at, token.bytes());
+            }
+            // Duplicate a random slice somewhere else (duplicates keys,
+            // braces, commas — whatever it happens to cover).
+            4 => {
+                if bytes.len() >= 2 {
+                    let a = rng.uniform_usize(bytes.len());
+                    let b = a + rng.uniform_usize(bytes.len() - a);
+                    let slice: Vec<u8> = bytes[a..b].to_vec();
+                    let at = rng.uniform_usize(bytes.len() + 1);
+                    bytes.splice(at..at, slice);
+                }
+            }
+            // Delete a random slice.
+            _ => {
+                if bytes.len() >= 2 {
+                    let a = rng.uniform_usize(bytes.len());
+                    let b = a + rng.uniform_usize(bytes.len() - a);
+                    bytes.drain(a..b);
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Every parser under test. They may accept or reject the document; the
+/// only forbidden outcomes are panics and aborts.
+fn feed_all_parsers(doc: &str) {
+    let _ = av_trace::json::parse(doc);
+    let _ = SweepSpec::from_json(doc);
+    let _ = SearchSpec::from_json(doc);
+    let _ = trajectory_from_json(doc);
+}
+
+#[test]
+fn seeds_are_valid_json_to_begin_with() {
+    for (i, seed_doc) in SEEDS.iter().enumerate() {
+        av_trace::json::parse(seed_doc).unwrap_or_else(|e| panic!("seed {i} must parse: {e}"));
+    }
+    assert!(SearchSpec::from_json(SEEDS[0]).is_ok());
+    assert!(SearchSpec::from_json(SEEDS[1]).is_ok());
+    assert!(SweepSpec::from_json(SEEDS[2]).is_ok());
+    assert!(trajectory_from_json(SEEDS[3]).is_ok());
+}
+
+#[test]
+fn ten_thousand_mutants_error_but_never_panic() {
+    let mut rng = RngStreams::new(0xF422).stream("parser-fuzz");
+    let mut rejected = 0usize;
+    let mut total = 0usize;
+    for seed_doc in SEEDS {
+        for _ in 0..1430 {
+            let mutant = mutate(seed_doc, &mut rng);
+            if av_trace::json::parse(&mutant).is_err() {
+                rejected += 1;
+            }
+            feed_all_parsers(&mutant);
+            total += 1;
+        }
+    }
+    assert!(total >= 10_000, "budget shrank: only {total} mutants");
+    // Sanity on the mutator itself: it must actually produce broken
+    // documents, not near-copies the parser waves through.
+    assert!(rejected * 2 > total, "mutator too tame: {rejected}/{total} rejected");
+}
+
+#[test]
+fn pathological_nesting_is_rejected_without_blowing_the_stack() {
+    for depth in [600usize, 3000] {
+        let arrays = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(av_trace::json::parse(&arrays).is_err(), "depth {depth} arrays must be rejected");
+        let objects = format!("{}1{}", "{\"k\":".repeat(depth), "}".repeat(depth));
+        assert!(av_trace::json::parse(&objects).is_err(), "depth {depth} objects must be rejected");
+        // Unclosed variants die on depth, not on EOF discovery order.
+        let unclosed = "[".repeat(depth);
+        assert!(av_trace::json::parse(&unclosed).is_err());
+        // The spec loaders sit on the same parser and inherit the cap.
+        assert!(SweepSpec::from_json(&arrays).is_err());
+        assert!(SearchSpec::from_json(&arrays).is_err());
+        assert!(trajectory_from_json(&arrays).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Regression suite pinning the bisection oracle against synthetic
+//! objectives, where the right answer is known in closed form: a
+//! monotone objective's crossing is located exactly within tolerance in
+//! the predicted number of evaluations, and a non-monotone objective is
+//! detected and reported with a witness pair — never silently bisected.
+
+use av_sweep::search::{answer_text, bisect_predicted_evals};
+use av_sweep::{
+    run_search_with, BisectSpec, Knob, Objective, PlannedEval, SearchAnswer, SearchSpec, Strategy,
+    SweepPoint, WorldKind,
+};
+
+/// Wraps a knob-value function into the search's evaluator signature
+/// (synthetic oracles have no simulated run, so run hashes are 0).
+fn oracle(f: impl Fn(f64) -> f64) -> impl Fn(&[PlannedEval]) -> Vec<(f64, u64)> {
+    move |planned| {
+        planned
+            .iter()
+            .map(|pe| (f(pe.point.camera_rate_hz.expect("bisected knob set")), 0))
+            .collect()
+    }
+}
+
+fn camera_bisect(b: BisectSpec) -> SearchSpec {
+    SearchSpec {
+        name: "oracle".to_string(),
+        world: WorldKind::Smoke,
+        base: SweepPoint::default(),
+        objective: Objective::E2eP99Ms,
+        duration_s: 1.0,
+        strategy: Strategy::Bisect(b),
+    }
+}
+
+#[test]
+fn monotone_crossing_is_located_within_tolerance_in_predicted_evals() {
+    // objective(v) = v: the predicate `objective >= 37.3` flips exactly
+    // at v = 37.3. Several bracket/section shapes, one exact contract.
+    let cases = [
+        (0.0, 81.0, 37.3, 0.5, 2),
+        (0.0, 81.0, 37.3, 0.5, 3),
+        (10.0, 90.0, 37.3, 0.25, 2),
+        (30.0, 50.0, 37.3, 1.0, 1),
+    ];
+    for (lo, hi, threshold, tolerance, sections) in cases {
+        let b = BisectSpec { knob: Knob::CameraRateHz, lo, hi, threshold, tolerance, sections };
+        let predicted = bisect_predicted_evals(&b);
+        let outcome = run_search_with(&camera_bisect(b), &[], oracle(|v| v));
+        match outcome.answer {
+            SearchAnswer::Boundary { lo: blo, hi: bhi, .. } => {
+                assert!(
+                    blo < threshold && threshold <= bhi,
+                    "bracket ({blo}, {bhi}] must contain the true crossing {threshold}"
+                );
+                assert!(
+                    bhi - blo <= tolerance,
+                    "bracket width {} exceeds tolerance {tolerance}",
+                    bhi - blo
+                );
+            }
+            other => panic!("expected a boundary, got: {}", answer_text(&other)),
+        }
+        let evals: usize = outcome.batches.iter().map(|b| b.evals.len()).sum();
+        assert_eq!(
+            evals, predicted,
+            "eval count must match the closed-form prediction \
+             (lo={lo}, hi={hi}, tol={tolerance}, sections={sections})"
+        );
+    }
+}
+
+#[test]
+fn non_monotone_objective_is_detected_and_reported_with_a_witness() {
+    // A latency curve that recovers: broken on [25, 55], unbroken again
+    // above (the drop-shedding shape the paper world really produces).
+    let hump = |v: f64| if (25.0..=55.0).contains(&v) { 100.0 } else { 0.0 };
+    let b = BisectSpec {
+        knob: Knob::CameraRateHz,
+        lo: 10.0,
+        hi: 100.0,
+        threshold: 50.0,
+        tolerance: 0.5,
+        sections: 2,
+    };
+    // The bracket itself looks valid (lo unbroken, hi... wait — hi must
+    // be broken for refinement to start, so aim the top of the range
+    // inside the hump).
+    let b = BisectSpec { hi: 40.0, ..b };
+    let outcome = run_search_with(&camera_bisect(b), &[], oracle(hump));
+    // Interior points of [10, 40] land at 20 (unbroken) and 30 (broken);
+    // a later round finds an unbroken value above a broken one.
+    match outcome.answer {
+        SearchAnswer::NonMonotone {
+            broken_at,
+            broken_objective,
+            unbroken_at,
+            unbroken_objective,
+            ..
+        } => {
+            assert!(broken_at < unbroken_at, "witness must invert the expected order");
+            assert!(broken_objective >= 50.0 && unbroken_objective < 50.0);
+            assert!(hump(broken_at) >= 50.0 && hump(unbroken_at) < 50.0, "witness is real");
+        }
+        SearchAnswer::Boundary { lo, hi, .. } => {
+            // A boundary is only acceptable if it genuinely brackets a
+            // predicate flip — which this hump does at 25 — AND the
+            // history never exposed the inversion. Reject silent wrong
+            // answers.
+            assert!(lo < 25.0 && 25.0 <= hi, "silently bisected a non-monotone objective");
+        }
+        other => panic!("unexpected answer: {}", answer_text(&other)),
+    }
+
+    // Force the inversion to be visible: unbroken valley *between* two
+    // broken regions inside the bracket.
+    let comb = |v: f64| if (20.0..=30.0).contains(&v) || v >= 60.0 { 100.0 } else { 0.0 };
+    let b = BisectSpec {
+        knob: Knob::CameraRateHz,
+        lo: 10.0,
+        hi: 70.0,
+        threshold: 50.0,
+        tolerance: 0.5,
+        sections: 2,
+    };
+    let outcome = run_search_with(&camera_bisect(b), &[], oracle(comb));
+    match outcome.answer {
+        SearchAnswer::NonMonotone { broken_at, unbroken_at, .. } => {
+            assert!(comb(broken_at) >= 50.0, "reported broken witness must be broken");
+            assert!(comb(unbroken_at) < 50.0, "reported unbroken witness must be unbroken");
+            assert!(broken_at < unbroken_at);
+        }
+        other => panic!("expected NonMonotone, got: {}", answer_text(&other)),
+    }
+    assert!(
+        answer_text(&outcome.answer).contains("no single boundary exists"),
+        "the report must say why bisection stopped"
+    );
+}
+
+#[test]
+fn degenerate_brackets_answer_without_spending_budget() {
+    let b = BisectSpec {
+        knob: Knob::CameraRateHz,
+        lo: 10.0,
+        hi: 90.0,
+        threshold: 50.0,
+        tolerance: 0.5,
+        sections: 2,
+    };
+    let never = run_search_with(&camera_bisect(b.clone()), &[], oracle(|_| 0.0));
+    assert!(matches!(never.answer, SearchAnswer::NeverCrosses { .. }));
+    assert_eq!(never.batches.len(), 1, "only the bracket batch runs");
+
+    let always = run_search_with(&camera_bisect(b), &[], oracle(|_| 100.0));
+    assert!(matches!(always.answer, SearchAnswer::AlwaysAbove { .. }));
+    assert_eq!(always.batches.len(), 1, "only the bracket batch runs");
+}
+
+#[test]
+fn integer_knob_finds_the_exact_unit_bracket() {
+    // objective(capacity) = 10 - capacity: the predicate `>= 6.5` holds
+    // for capacity <= 3... but larger capacity = smaller objective is
+    // *decreasing*, so flip it: objective = capacity, threshold 6.5,
+    // true boundary between 6 and 7.
+    let spec = SearchSpec {
+        strategy: Strategy::Bisect(BisectSpec {
+            knob: Knob::QueueCapacity,
+            lo: 1.0,
+            hi: 12.0,
+            threshold: 6.5,
+            tolerance: 0.5,
+            sections: 2,
+        }),
+        ..camera_bisect(BisectSpec {
+            knob: Knob::CameraRateHz,
+            lo: 1.0,
+            hi: 2.0,
+            threshold: 0.0,
+            tolerance: 1.0,
+            sections: 1,
+        })
+    };
+    let cap = |planned: &[PlannedEval]| -> Vec<(f64, u64)> {
+        planned
+            .iter()
+            .map(|pe| (pe.point.queue_capacity.expect("capacity set") as f64, 0))
+            .collect()
+    };
+    let outcome = run_search_with(&spec, &[], cap);
+    match outcome.answer {
+        SearchAnswer::Boundary { lo, hi, .. } => {
+            assert_eq!((lo, hi), (6.0, 7.0), "exact unit bracket around the integer crossing");
+        }
+        other => panic!("expected a boundary, got: {}", answer_text(&other)),
+    }
+    // Snapping dedupes proposals, so the integer search can stop early —
+    // but never exceed the continuous-knob prediction.
+    let evals: usize = outcome.batches.iter().map(|b| b.evals.len()).sum();
+    if let Strategy::Bisect(b) = &spec.strategy {
+        assert!(evals <= bisect_predicted_evals(b));
+    }
+}
