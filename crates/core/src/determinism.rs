@@ -165,6 +165,17 @@ fn fold_run(h: &mut Fnv64, report: &RunReport) {
     if let Some(trace) = &report.trace {
         fold_trace(h, trace);
     }
+    if let Some(fault) = &report.fault {
+        h.write_u64(fault.crashes);
+        h.write_u64(fault.heartbeat_misses);
+        h.write_u64(fault.restarts);
+        h.write_u64(fault.fallback_enters);
+        h.write_u64(fault.fallback_exits);
+        h.write_u64(fault.messages_lost);
+        h.write_u64(fault.messages_duplicated);
+        h.write_f64(fault.time_degraded_s);
+        h.write_f64(fault.recovery_latency_ms);
+    }
 }
 
 fn fold_trace(h: &mut Fnv64, trace: &TraceData) {
@@ -217,6 +228,13 @@ fn fold_trace(h: &mut Fnv64, trace: &TraceData) {
                 h.write_str(topic);
                 h.write_str(node);
                 h.write_u64(*depth as u64);
+                h.write_u64(time.as_nanos());
+            }
+            TraceEvent::Fault { kind, node, info, time } => {
+                h.write_u64(4);
+                h.write_u64(u64::from(kind.code()));
+                h.write_str(node);
+                h.write_str(info);
                 h.write_u64(time.as_nanos());
             }
         }

@@ -19,6 +19,13 @@
 //! * [`findings`] — quantitative checks of the paper's Findings 1–5.
 //! * [`metrics`] — scalar per-run facts (tail latency, deadline factor,
 //!   drop rate) shared by the sweep aggregator and the search objective.
+//! * [`fault`] — the deterministic fault plan: seeded crashes, stalls,
+//!   slowdowns, edge drops/duplicates and timer skews, parsed from a
+//!   compact DSL.
+//! * [`supervision`] — the layer that reacts: heartbeat/liveness
+//!   tracking, restart with exponential backoff, and graceful
+//!   degradation (dead-reckoning localization, cheapest-detector
+//!   fallback, planner safe-stop).
 //!
 //! # Quickstart
 //!
@@ -36,12 +43,14 @@
 pub mod calib;
 pub mod determinism;
 pub mod experiments;
+pub mod fault;
 pub mod findings;
 pub mod metrics;
 pub mod msg;
 pub mod nodes;
 pub mod parallel;
 pub mod stack;
+pub mod supervision;
 pub mod topics;
 
 pub use msg::Msg;

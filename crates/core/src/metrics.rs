@@ -40,6 +40,15 @@ pub struct RunMetrics {
     pub gpu_w: f64,
     /// Mean localization error, m.
     pub loc_err_m: f64,
+    /// Total wall-clock time spent degraded (node down or running on a
+    /// fallback), s. Zero for clean runs.
+    pub time_degraded_s: f64,
+    /// Worst crash-to-first-callback recovery latency, ms. Zero for
+    /// clean runs and runs with no crash.
+    pub recovery_latency_ms: f64,
+    /// Messages dropped by injected edge faults (distinct from
+    /// queue-capacity drops counted in `drop_pct`).
+    pub fault_lost_msgs: u64,
 }
 
 /// Extracts the scalar metrics from a run report.
@@ -68,6 +77,9 @@ pub fn run_metrics(report: &RunReport) -> RunMetrics {
         cpu_w: report.power.cpu_w,
         gpu_w: report.power.gpu_w,
         loc_err_m: report.localization_error_m,
+        time_degraded_s: report.fault.as_ref().map_or(0.0, |f| f.time_degraded_s),
+        recovery_latency_ms: report.fault.as_ref().map_or(0.0, |f| f.recovery_latency_ms),
+        fault_lost_msgs: report.fault.as_ref().map_or(0, |f| f.messages_lost),
     }
 }
 
@@ -90,5 +102,8 @@ mod tests {
         assert!(m.deadline_miss_fraction >= 0.0 && m.deadline_miss_fraction <= 1.0);
         assert!(m.drop_pct >= 0.0);
         assert!(m.cpu_w > 0.0 && m.gpu_w > 0.0);
+        assert_eq!(m.time_degraded_s, 0.0);
+        assert_eq!(m.recovery_latency_ms, 0.0);
+        assert_eq!(m.fault_lost_msgs, 0);
     }
 }

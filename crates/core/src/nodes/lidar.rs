@@ -59,6 +59,7 @@ pub struct NdtMatchingNode {
     sensor_height: f64,
     last_gnss: Option<av_geom::Vec3>,
     last_accept_stamp: Option<SimTime>,
+    awaiting_seed: bool,
 }
 
 impl NdtMatchingNode {
@@ -84,6 +85,7 @@ impl NdtMatchingNode {
             sensor_height,
             last_gnss: None,
             last_accept_stamp: None,
+            awaiting_seed: false,
         }
     }
 
@@ -117,6 +119,25 @@ impl NdtMatchingNode {
 }
 
 impl Node<Msg> for NdtMatchingNode {
+    /// A relaunched `ndt_matching` has lost its scan-to-scan state: it
+    /// keeps only the static map and the last published pose (the launch
+    /// file's `initial_pose`), and must re-converge — reseeded by GNSS —
+    /// before it reports itself localized again.
+    fn on_restart(&mut self) {
+        self.localized = false;
+        self.consecutive_rejects = 0;
+        self.last_match_stamp = None;
+        self.last_accept_stamp = None;
+        self.last_gnss = None;
+        self.speed = 0.0;
+        self.yaw_rate = 0.0;
+        // Like the real node after a relaunch: do not scan-match until a
+        // fresh pose seed arrives. The crash-time pose is stale (the
+        // vehicle kept moving), and matching from it can lock onto a
+        // false local optimum that then shuts out the GNSS reseed.
+        self.awaiting_seed = true;
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         match &*msg.payload {
             Msg::Imu(imu) => {
@@ -143,9 +164,19 @@ impl Node<Msg> for NdtMatchingNode {
                     self.pose = Pose::planar(fix.position.x, fix.position.y, yaw);
                 }
                 self.last_gnss = Some(fix.position);
+                self.awaiting_seed = false;
                 Execution::cpu(self.aux.demand(0.0, &mut self.rng), self.aux.mem_intensity)
             }
             Msg::PointCloud(filtered) => {
+                if self.awaiting_seed {
+                    // No pose seed yet after the relaunch: the real node
+                    // publishes nothing until /initialpose or a GNSS fix
+                    // arrives, so drop the scan on the floor (cheap).
+                    return Execution::cpu(
+                        self.aux.demand(0.0, &mut self.rng),
+                        self.aux.mem_intensity,
+                    );
+                }
                 // The sweep is in the sensor frame; the map was built with
                 // the sensor's mounting height, so lift the scan onto the
                 // same z before the planar alignment.

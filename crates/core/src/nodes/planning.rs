@@ -22,6 +22,9 @@ pub struct OpLocalPlannerNode {
     aux: NodeCost,
     rng: StreamRng,
     cached_pose: Option<Pose>,
+    last_pose_stamp: Option<av_des::SimTime>,
+    hold_after_stale_s: Option<f64>,
+    holds: u64,
 }
 
 impl OpLocalPlannerNode {
@@ -39,6 +42,34 @@ impl OpLocalPlannerNode {
             aux: calib.auxiliary.clone(),
             rng,
             cached_pose: None,
+            last_pose_stamp: None,
+            hold_after_stale_s: None,
+            holds: 0,
+        }
+    }
+
+    /// Enables the safe-stop degradation: when the latest pose is older
+    /// than `secs` at costmap time (stale perception — localization down
+    /// or stalled), the planner publishes a single-point hold path at the
+    /// last known position instead of a rollout, and the controller
+    /// downstream commands no forward motion.
+    pub fn hold_after_stale(mut self, secs: f64) -> OpLocalPlannerNode {
+        assert!(secs.is_finite() && secs > 0.0, "stale-pose hold threshold must be positive");
+        self.hold_after_stale_s = Some(secs);
+        self
+    }
+
+    /// How many planning cycles degraded to the hold path.
+    pub fn hold_count(&self) -> u64 {
+        self.holds
+    }
+
+    /// `true` when the hold gate is armed and the pose is stale at `now`.
+    fn pose_stale(&self, now: av_des::SimTime) -> bool {
+        let Some(limit) = self.hold_after_stale_s else { return false };
+        match self.last_pose_stamp {
+            Some(stamp) => now.saturating_since(stamp).as_secs_f64() > limit,
+            None => true,
         }
     }
 
@@ -55,10 +86,16 @@ impl Node<Msg> for OpLocalPlannerNode {
         match &*msg.payload {
             Msg::Pose(estimate) => {
                 self.cached_pose = Some(estimate.pose);
+                self.last_pose_stamp = Some(msg.header.stamp);
                 Execution::cpu(self.aux.demand(0.0, &mut self.rng), self.aux.mem_intensity)
             }
             Msg::Costmap(grid) => {
-                if let Some(path) = self.plan(grid) {
+                if self.pose_stale(msg.header.stamp) {
+                    self.holds += 1;
+                    if let Some(pose) = self.cached_pose {
+                        out.publish(topics::FINAL_WAYPOINTS, Msg::Path(vec![pose.translation]));
+                    }
+                } else if let Some(path) = self.plan(grid) {
                     out.publish(topics::FINAL_WAYPOINTS, Msg::Path(path));
                 }
                 Execution::cpu(self.cost.demand(7.0, &mut self.rng), self.cost.mem_intensity)

@@ -40,6 +40,15 @@ impl VisionDetectionNode {
     pub fn kind(&self) -> av_vision::DetectorKind {
         self.detector.kind()
     }
+
+    /// Hot-swaps the detector network (the supervision layer's detector
+    /// fallback: run the cheapest network while the primary reloads).
+    /// The node's RNG stream is untouched so the swap itself does not
+    /// perturb unrelated draws.
+    pub fn set_kind(&mut self, kind: av_vision::DetectorKind, cost: VisionCost) {
+        self.detector = VisionDetector::new(kind, DetectorParams::default());
+        self.cost = cost;
+    }
 }
 
 impl Node<Msg> for VisionDetectionNode {

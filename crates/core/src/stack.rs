@@ -7,8 +7,10 @@
 //! are derived from.
 
 use crate::calib::Calibration;
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::msg::Msg;
 use crate::nodes::*;
+use crate::supervision::{FallbackLocalizer, FaultReport, SupervisionPolicy, Supervisor};
 use crate::topics::{self, nodes as node_names};
 use av_des::{RngStreams, Sim, SimDuration, SimTime, StreamRng};
 use av_perception::{
@@ -18,7 +20,8 @@ use av_planning::{LocalPlannerParams, PurePursuitParams, TwistFilterParams, Wayp
 use av_platform::{CpuStats, GpuStats, Platform, PowerReport};
 use av_profiling::{LatencyRecorder, PathSpec, SharedRecorder, Summary, Table};
 use av_ros::{
-    Bus, DropStats, FanoutObserver, Lineage, Message, Node, Outbox, Source, SubscriptionSpec,
+    Bus, BusObserver, DropStats, FanoutObserver, FaultKind, Lineage, Message, Node, Outbox, Source,
+    SubscriptionSpec,
 };
 use av_trace::{MetricSample, SharedTracer, TraceConfig, TraceData};
 use av_tracking::{PredictParams, TrackerParams};
@@ -51,9 +54,35 @@ pub struct Blackout {
 }
 
 impl Blackout {
-    /// `true` while `t` (seconds) is inside the outage.
+    /// `true` while `t` (seconds) is inside the outage. The window is
+    /// half-open, `[from_s, to_s)`: a sensor tick exactly at `from_s` is
+    /// suppressed, a tick exactly at `to_s` publishes again — so
+    /// back-to-back windows `[a, b)` + `[b, c)` compose without double-
+    /// covering or leaking the boundary instant.
     pub fn covers(&self, t: f64) -> bool {
         t >= self.from_s && t < self.to_s
+    }
+
+    /// Validates the window: both endpoints finite, `from_s >= 0`, and
+    /// `from_s < to_s` (empty and inverted windows are configuration
+    /// bugs, not no-ops).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.from_s.is_finite() || !self.to_s.is_finite() {
+            return Err(format!(
+                "blackout window must be finite, got {}-{}",
+                self.from_s, self.to_s
+            ));
+        }
+        if self.from_s < 0.0 {
+            return Err(format!("blackout start must be >= 0, got {}", self.from_s));
+        }
+        if self.from_s >= self.to_s {
+            return Err(format!(
+                "blackout window must have from < to, got {}-{}",
+                self.from_s, self.to_s
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -103,6 +132,13 @@ pub struct StackConfig {
     /// Sensor blackout windows for failure injection: during each window
     /// the named sensor's driver publishes nothing.
     pub blackouts: Vec<Blackout>,
+    /// Node-fault plan (crashes, stalls, slowdowns, edge drops, timer
+    /// skews). An empty plan arms nothing: the run is bit-identical to
+    /// one built before the fault plane existed.
+    pub faults: FaultPlan,
+    /// Supervision-layer policy (liveness, restart backoff, fallbacks).
+    /// Only consulted when the fault plan is non-empty.
+    pub supervision: SupervisionPolicy,
     /// Queue capacity of the single-depth data subscriptions (the paper's
     /// Autoware launch files use depth 1 everywhere on the perception
     /// chain; sweeps vary this to study head-of-line drops). The GNSS and
@@ -131,6 +167,8 @@ impl StackConfig {
             with_radar: false,
             radar: av_world::RadarConfig::default(),
             blackouts: Vec::new(),
+            faults: FaultPlan::default(),
+            supervision: SupervisionPolicy::default(),
             queue_capacity: 1,
             voxel_leaf: 1.0,
             map_cell_size: 2.0,
@@ -200,6 +238,10 @@ pub struct RunReport {
     /// The structured event trace, when [`RunConfig::trace`] was set.
     /// Owned data, so the report stays `Send`.
     pub trace: Option<TraceData>,
+    /// Fault/supervision outcomes, when the fault plan was non-empty.
+    /// `None` for clean runs, so their reports (and golden hashes) are
+    /// untouched by the fault plane's existence.
+    pub fault: Option<FaultReport>,
 }
 
 impl RunReport {
@@ -314,6 +356,10 @@ impl<N: Node<Msg>> Node<Msg> for Shared<N> {
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         self.0.borrow_mut().on_message(topic, msg, out)
     }
+
+    fn on_restart(&mut self) {
+        self.0.borrow_mut().on_restart();
+    }
 }
 
 use av_ros::Execution;
@@ -382,25 +428,52 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     let platform = Platform::new(&sim, config.calib.cpu.clone(), config.calib.gpu.clone());
     let bus: Bus<Msg> = Bus::new(&sim, &platform);
     let recorder = SharedRecorder::new(LatencyRecorder::new(computation_paths()));
-    let tracer = match &run.trace {
-        Some(trace_config) => {
-            // Fan the bus events out to both observers; the recorder stays
-            // first so its measurements are untouched by tracing.
-            let tracer = SharedTracer::new(trace_config);
-            let mut fanout = FanoutObserver::new();
-            fanout.push(recorder.observer());
-            fanout.push(tracer.observer());
-            bus.set_observer(fanout);
-            Some(tracer)
+    let tracer = run.trace.as_ref().map(SharedTracer::new);
+
+    // The supervision layer exists only when the fault plan can do
+    // something; a clean run carries no supervisor, no extra observer
+    // and no extra RNG stream, keeping it bit-identical to a run built
+    // before the fault plane existed.
+    let faults_active = !config.faults.is_empty();
+    let supervisor: Option<Rc<Supervisor>> = if faults_active {
+        config.supervision.validate().expect("invalid supervision policy");
+        let mut watched: Vec<&str> = Vec::new();
+        for spec in &config.faults.faults {
+            if let Some(node) = spec.target_node() {
+                if !watched.contains(&node) {
+                    watched.push(node);
+                }
+            }
         }
-        None => {
-            bus.set_shared_observer(recorder.observer());
-            None
-        }
+        Some(Rc::new(Supervisor::new(config.supervision.clone(), &watched)))
+    } else {
+        None
     };
+
+    // Observer wiring: the recorder stays first so its measurements are
+    // untouched by tracing or supervision; the supervisor comes last so
+    // it reacts to events both other sinks have already recorded.
+    let mut extra_sinks: Vec<Rc<RefCell<dyn BusObserver>>> = Vec::new();
+    if let Some(tracer) = &tracer {
+        extra_sinks.push(tracer.observer());
+    }
+    if let Some(sup) = &supervisor {
+        extra_sinks.push(sup.observer());
+    }
+    if extra_sinks.is_empty() {
+        bus.set_shared_observer(recorder.observer());
+    } else {
+        let mut fanout = FanoutObserver::new();
+        fanout.push(recorder.observer());
+        for sink in extra_sinks {
+            fanout.push(sink);
+        }
+        bus.set_observer(fanout);
+    }
 
     let calib = &config.calib;
     let sel = &config.selection;
+    let crashed = config.faults.crashed_nodes();
     let q1 = |topic: &str| SubscriptionSpec::new(topic, config.queue_capacity);
 
     if wants(sel, node_names::VOXEL_GRID_FILTER) {
@@ -454,13 +527,45 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         );
     }
 
+    let mut vision_shared: Option<Rc<RefCell<VisionDetectionNode>>> = None;
     if wants(sel, node_names::VISION_DETECTION) {
-        bus.add_node(
-            node_names::VISION_DETECTION,
-            VisionDetectionNode::new(config.detector, calib, streams.stream("vision")),
-            &[q1(topics::IMAGE_RAW)],
-        );
+        let node = VisionDetectionNode::new(config.detector, calib, streams.stream("vision"));
+        if faults_active && crashed.contains(&node_names::VISION_DETECTION) {
+            // The supervisor needs a handle for the detector fallback
+            // (hot-swap to the cheapest network during post-restart
+            // warmup); sharing changes nothing about the node's behavior.
+            let shared = Rc::new(RefCell::new(node));
+            vision_shared = Some(Rc::clone(&shared));
+            bus.add_node(node_names::VISION_DETECTION, Shared(shared), &[q1(topics::IMAGE_RAW)]);
+        } else {
+            bus.add_node(node_names::VISION_DETECTION, node, &[q1(topics::IMAGE_RAW)]);
+        }
     }
+
+    // The dead-reckoning fallback localizer rides along only when the
+    // plan can take the primary down; it listens continuously (warm
+    // state) but publishes nothing until the supervisor activates it.
+    let fallback_loc: Option<Rc<RefCell<FallbackLocalizer>>> = if faults_active
+        && crashed.contains(&node_names::NDT_MATCHING)
+        && wants(sel, node_names::NDT_MATCHING)
+    {
+        let node = Rc::new(RefCell::new(FallbackLocalizer::new(
+            initial_pose,
+            calib,
+            streams.stream("fallback_loc"),
+        )));
+        bus.add_node(
+            node_names::FALLBACK_LOCALIZER,
+            Shared(Rc::clone(&node)),
+            &[
+                SubscriptionSpec::new(topics::GNSS_POSE, 4),
+                SubscriptionSpec::new(topics::IMU_RAW, 16),
+            ],
+        );
+        Some(node)
+    } else {
+        None
+    };
 
     if wants(sel, node_names::RANGE_VISION_FUSION) {
         bus.add_node(
@@ -547,14 +652,21 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     }
 
     if config.with_actuation {
+        let mut planner = OpLocalPlannerNode::new(
+            LocalPlannerParams::default(),
+            global_waypoints(&world),
+            calib,
+            streams.stream("local_planner"),
+        );
+        if faults_active {
+            // Safe-stop degradation: with perception stale beyond the
+            // liveness timeout, hold position instead of extrapolating a
+            // rollout from a dead pose.
+            planner = planner.hold_after_stale(config.supervision.liveness_timeout_s);
+        }
         bus.add_node(
             node_names::OP_LOCAL_PLANNER,
-            OpLocalPlannerNode::new(
-                LocalPlannerParams::default(),
-                global_waypoints(&world),
-                calib,
-                streams.stream("local_planner"),
-            ),
+            planner,
             &[q1(topics::COSTMAP_OBJECTS), q1(topics::NDT_POSE)],
         );
         bus.add_node(
@@ -569,6 +681,100 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         );
     }
 
+    // --- Fault plane -----------------------------------------------------
+    // Arm every planned fault up front. Each fault announces itself with
+    // an `inject` event at t=0 (so traces carry the plan), then acts at
+    // its own schedule. Edge faults draw from dedicated per-fault RNG
+    // streams, so arming them perturbs no other stream.
+    if faults_active {
+        let t = SimTime::from_secs_f64_round;
+        let registered = bus.node_names();
+        let node_known = |name: &str| registered.iter().any(|n| n == name);
+        for spec in &config.faults.faults {
+            let label = spec.label();
+            let marker = spec.target_node().map(str::to_string).unwrap_or_else(|| match spec {
+                FaultSpec::TimerSkew { source, .. } => source.name().to_string(),
+                _ => unreachable!("every non-skew fault targets a node"),
+            });
+            {
+                let bus = bus.clone();
+                let label = label.clone();
+                sim.schedule_at(SimTime::ZERO, move || {
+                    bus.emit_fault(FaultKind::Inject, &marker, &label);
+                });
+            }
+            match spec {
+                FaultSpec::Crash { node, at_s } => {
+                    if node_known(node) {
+                        let bus = bus.clone();
+                        let node = node.clone();
+                        sim.schedule_at(t(*at_s), move || bus.crash_node(&node));
+                    }
+                }
+                FaultSpec::Stall { node, from_s, to_s } => {
+                    if node_known(node) {
+                        bus.set_stall(node, t(*from_s), t(*to_s));
+                    }
+                }
+                FaultSpec::Slow { node, factor, from_s, to_s } => {
+                    if node_known(node) {
+                        bus.set_slow(node, *factor, t(*from_s), t(*to_s));
+                    }
+                }
+                FaultSpec::Drop { topic, node, rate, from_s, to_s } => {
+                    bus.set_edge_drop(
+                        topic,
+                        node,
+                        *rate,
+                        t(*from_s),
+                        t(*to_s),
+                        streams.stream(&format!("fault-{label}")),
+                    );
+                }
+                FaultSpec::Duplicate { topic, node, rate, from_s, to_s } => {
+                    bus.set_edge_duplicate(
+                        topic,
+                        node,
+                        *rate,
+                        t(*from_s),
+                        t(*to_s),
+                        streams.stream(&format!("fault-{label}")),
+                    );
+                }
+                FaultSpec::TimerSkew { .. } => {} // applied to the sensor clocks below
+            }
+        }
+    }
+
+    // Fallback wiring + the supervision heartbeat.
+    if let Some(sup) = &supervisor {
+        if let Some(fb) = &fallback_loc {
+            sup.set_localization_fallback(node_names::NDT_MATCHING, Rc::clone(fb));
+        }
+        if let Some(vs) = &vision_shared {
+            let cheap = DetectorKind::cheapest();
+            sup.set_detector_fallback(
+                node_names::VISION_DETECTION,
+                Rc::clone(vs),
+                (config.detector, calib.vision_cost(config.detector)),
+                (cheap, calib.vision_cost(cheap)),
+            );
+        }
+    }
+
+    // A publisher timer-skew fault dilates one sensor clock's periods
+    // inside its window; every other clock runs unskewed.
+    let timer_skew = |source: Source| -> Option<(f64, SimTime, SimTime)> {
+        config.faults.faults.iter().find_map(|spec| match spec {
+            FaultSpec::TimerSkew { source: s, factor, from_s, to_s } if *s == source => Some((
+                *factor,
+                SimTime::from_secs_f64_round(*from_s),
+                SimTime::from_secs_f64_round(*to_s),
+            )),
+            _ => None,
+        })
+    };
+
     // --- Sensor drivers -------------------------------------------------
     let duration_s = run.duration_s.unwrap_or(config.scenario.duration_s);
     let until = SimTime::from_secs_f64_round(duration_s);
@@ -579,6 +785,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         SimDuration::from_millis(2),
         streams.stream("lidar_clock"),
         until,
+        timer_skew(Source::Lidar),
         {
             let (sim, bus, world, lidar) =
                 (sim.clone(), bus.clone(), Rc::clone(&world), Rc::clone(&lidar));
@@ -606,6 +813,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         SimDuration::from_millis(3),
         streams.stream("camera_clock"),
         until,
+        timer_skew(Source::Camera),
         {
             let (sim, bus, world, camera) =
                 (sim.clone(), bus.clone(), Rc::clone(&world), Rc::clone(&camera));
@@ -632,6 +840,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         SimDuration::ZERO,
         streams.stream("gnss_clock"),
         until,
+        timer_skew(Source::Gnss),
         {
             let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
             let rng = Rc::new(RefCell::new(streams.stream("gnss_noise")));
@@ -658,6 +867,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         SimDuration::ZERO,
         streams.stream("imu_clock"),
         until,
+        timer_skew(Source::Imu),
         {
             let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
             let rng = Rc::new(RefCell::new(streams.stream("imu_noise")));
@@ -682,6 +892,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
             SimDuration::from_millis(1),
             streams.stream("radar_clock"),
             until,
+            timer_skew(Source::Radar),
             {
                 let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
                 let rng = Rc::new(RefCell::new(streams.stream("radar_noise")));
@@ -720,9 +931,11 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
             SimDuration::ZERO,
             streams.stream("loc_clock"),
             until,
+            None,
             {
                 let (sim, world) = (sim.clone(), Rc::clone(&world));
                 let ndt = Rc::clone(&ndt_shared);
+                let fallback = fallback_loc.clone();
                 let errors = Rc::clone(&loc_errors);
                 let mut tracking_started = false;
                 move || {
@@ -732,7 +945,12 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                         return;
                     }
                     let truth = world.ego_state(now.as_secs_f64()).pose;
-                    let estimate = ndt.borrow().pose();
+                    // While the dead-reckoning fallback holds the pose
+                    // stream, its estimate is the one the stack consumes.
+                    let estimate = match &fallback {
+                        Some(fb) if fb.borrow().is_active() => fb.borrow().pose(),
+                        _ => ndt.borrow().pose(),
+                    };
                     errors.borrow_mut().push(
                         truth.translation.truncate().distance(estimate.translation.truncate()),
                     );
@@ -759,6 +977,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
             SimDuration::ZERO,
             streams.stream("trace_clock"),
             until,
+            None,
             {
                 let (sim, bus, platform) = (sim.clone(), bus.clone(), platform.clone());
                 let tracer = tracer.clone();
@@ -811,6 +1030,25 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         );
     }
 
+    // The supervision heartbeat: the liveness check runs on the same
+    // virtual clock, with no jitter, so every supervisor decision is a
+    // pure function of the configuration.
+    if let Some(sup) = &supervisor {
+        schedule_periodic(
+            &sim,
+            SimDuration::from_secs_f64(config.supervision.heartbeat_interval_s),
+            SimDuration::ZERO,
+            streams.stream("supervisor_clock"),
+            until,
+            None,
+            {
+                let (sim, bus) = (sim.clone(), bus.clone());
+                let sup = Rc::clone(sup);
+                move || sup.tick(&bus, sim.now())
+            },
+        );
+    }
+
     // --- Run ------------------------------------------------------------
     sim.run_until(until);
     // Let in-flight work complete so the last frames are counted.
@@ -841,6 +1079,8 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         localization_error_m,
         localization_error_final_m,
         trace: tracer.map(|t| t.snapshot()),
+        fault: supervisor
+            .map(|sup| sup.report(sim.now(), bus.fault_lost_count(), bus.fault_duplicated_count())),
     }
 }
 
@@ -848,12 +1088,19 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
 /// jitter, as real sensor clocks drift — without it the perfectly
 /// periodic virtual clocks phase-lock and contention patterns repeat
 /// unrealistically) until `until`. First firing after one period.
+///
+/// `skew` is the fault plane's publisher-timer skew: while the current
+/// time is inside `[from, to)`, the whole period (base + jitter draw) is
+/// dilated by the factor. The jitter RNG is drawn identically either
+/// way, so a skew window shifts phase without desynchronizing the
+/// stream from an unskewed run's draw sequence.
 fn schedule_periodic(
     sim: &Sim,
     period: SimDuration,
     jitter: SimDuration,
     rng: StreamRng,
     until: SimTime,
+    skew: Option<(f64, SimTime, SimTime)>,
     tick: impl FnMut() + 'static,
 ) {
     struct State {
@@ -862,6 +1109,7 @@ fn schedule_periodic(
         jitter: SimDuration,
         rng: StreamRng,
         until: SimTime,
+        skew: Option<(f64, SimTime, SimTime)>,
         tick: Box<dyn FnMut()>,
     }
     fn arm(state: Rc<RefCell<State>>) {
@@ -873,7 +1121,14 @@ fn schedule_periodic(
             } else {
                 s.jitter.mul_f64(s.rng.next_f64())
             };
-            (s.sim.clone(), base + extra)
+            let mut delay = base + extra;
+            if let Some((factor, from, to)) = s.skew {
+                let now = s.sim.now();
+                if now >= from && now < to {
+                    delay = delay.mul_f64(factor);
+                }
+            }
+            (s.sim.clone(), delay)
         };
         sim.schedule_in(delay, move || {
             {
@@ -892,6 +1147,7 @@ fn schedule_periodic(
         jitter,
         rng,
         until,
+        skew,
         tick: Box::new(tick),
     })))
 }
@@ -1019,6 +1275,79 @@ mod tests {
         assert_eq!(gnss_delivered, 0, "blacked-out GNSS must deliver nothing");
         // The LiDAR pipeline is untouched.
         assert!(report.node_summary(node_names::VOXEL_GRID_FILTER).count > 0);
+    }
+
+    #[test]
+    fn crash_fault_is_supervised_and_recovers() {
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.faults = FaultPlan::parse("crash:ndt_matching@3").unwrap();
+        let report = run_drive(&config, &RunConfig::seconds(10.0));
+        let fault = report.fault.as_ref().expect("faulted run reports fault stats");
+        assert_eq!(fault.crashes, 1);
+        assert!(fault.restarts >= 1, "supervisor must restart the node: {fault:?}");
+        assert!(fault.heartbeat_misses >= 1);
+        assert!(fault.recovery_latency_ms > 0.0, "recovery must be measured: {fault:?}");
+        assert!(fault.time_degraded_s > 0.0);
+        // The fallback localizer keeps the pose stream alive during the
+        // outage, then hands back to NDT.
+        assert!(fault.fallback_enters >= 1, "loc fallback must engage: {fault:?}");
+        assert!(fault.fallback_exits >= 1, "loc fallback must disengage: {fault:?}");
+        // NDT keeps matching after the restart: it sees more frames than
+        // the outage alone would allow.
+        assert!(report.node_summary(node_names::NDT_MATCHING).count > 0);
+        assert!(
+            report.localization_error_m < 5.0,
+            "post-restart localization must re-converge: {} m",
+            report.localization_error_m
+        );
+    }
+
+    #[test]
+    fn disabled_supervision_leaves_the_crash_unrecovered() {
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.faults = FaultPlan::parse("crash:ndt_matching@3").unwrap();
+        config.supervision.restarts_enabled = false;
+        let report = run_drive(&config, &RunConfig::seconds(10.0));
+        let fault = report.fault.as_ref().unwrap();
+        assert_eq!(fault.crashes, 1);
+        assert_eq!(fault.restarts, 0);
+        // Degraded until the end of the run: crash at 3 s, run is 10 s.
+        assert!(fault.time_degraded_s > 6.0, "censored outage: {fault:?}");
+    }
+
+    #[test]
+    fn edge_drop_fault_loses_messages_deterministically() {
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.faults = FaultPlan::parse("drop:/filtered_points>ndt_matching:0.5:1-5").unwrap();
+        let a = run_drive(&config, &RunConfig::seconds(6.0));
+        let b = run_drive(&config, &RunConfig::seconds(6.0));
+        let fa = a.fault.as_ref().unwrap();
+        let fb = b.fault.as_ref().unwrap();
+        assert!(fa.messages_lost > 0, "50% drop over 4 s must lose messages");
+        assert_eq!(fa.messages_lost, fb.messages_lost, "edge-drop RNG must be seeded");
+        assert_eq!(
+            a.node_summary(node_names::NDT_MATCHING).count,
+            b.node_summary(node_names::NDT_MATCHING).count
+        );
+    }
+
+    #[test]
+    fn stall_and_slow_faults_inflate_the_target_node_only() {
+        let clean = quick(DetectorKind::YoloV3);
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.faults = FaultPlan::parse("slow:euclidean_cluster:x4:0-100").unwrap();
+        let slowed = run_drive(&config, &RunConfig::seconds(6.0));
+        let node = node_names::EUCLIDEAN_CLUSTER;
+        assert!(
+            slowed.node_summary(node).mean > 1.5 * clean.node_summary(node).mean,
+            "x4 service inflation must show up in {node} latency"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_reports_no_fault_stats() {
+        let report = quick(DetectorKind::YoloV3);
+        assert!(report.fault.is_none(), "clean runs must not carry fault stats");
     }
 
     #[test]

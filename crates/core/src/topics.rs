@@ -76,6 +76,11 @@ pub mod nodes {
     /// Radar detection (extension: the sensor Autoware had "under
     /// development").
     pub const RADAR_DETECTION: &str = "radar_detection";
+    /// Dead-reckoning localization fallback (supervision layer): holds
+    /// the pose stream alive while `ndt_matching` is down. Registered
+    /// only when a fault plan can crash the primary, so it never appears
+    /// in clean runs (and is deliberately not in [`PERCEPTION`]).
+    pub const FALLBACK_LOCALIZER: &str = "fallback_localizer";
     /// Local rollout planning (actuation layer).
     pub const OP_LOCAL_PLANNER: &str = "op_local_planner";
     /// Pure-pursuit path tracking (actuation layer).

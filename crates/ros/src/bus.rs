@@ -1,9 +1,9 @@
 //! The topic bus and node executor.
 
 use crate::node::{Execution, Node, Outbox, Phase};
-use crate::observer::{BusObserver, ProcessedEvent};
+use crate::observer::{BusObserver, FaultKind, ProcessedEvent};
 use crate::{Header, Lineage, Message};
-use av_des::{Sim, SimDuration, SimTime};
+use av_des::{Sim, SimDuration, SimTime, StreamRng};
 use av_platform::{CpuTask, GpuJob, Platform};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -93,6 +93,29 @@ struct NodeSlot<M> {
     busy_since: SimTime,
     /// Total completed busy time (excludes any in-flight interval).
     busy_accum: SimDuration,
+    /// Fault plane: the node process is crashed (callback never fires).
+    down: bool,
+    /// Process-instance counter, bumped on crash. A callback that was
+    /// in flight when its process died carries the old epoch and its
+    /// completion is discarded — even if the node restarted meanwhile.
+    epoch: u64,
+    /// Fault plane: callbacks starting in `[from, to)` block until `to`.
+    stall: Option<(SimTime, SimTime)>,
+    /// Fault plane: service demand multiplied by `factor` in `[from, to)`.
+    slow: Option<(f64, SimTime, SimTime)>,
+}
+
+/// A message-level fault on one (topic → subscriber) bus edge: within
+/// `[from, to)` each delivery draws from a dedicated RNG stream and is
+/// dropped (or duplicated) with probability `rate`.
+struct EdgeFault {
+    topic: String,
+    node: String,
+    rate: f64,
+    from: SimTime,
+    to: SimTime,
+    duplicate: bool,
+    rng: StreamRng,
 }
 
 #[derive(Default)]
@@ -108,6 +131,38 @@ struct BusInner<M> {
     nodes: Vec<NodeSlot<M>>,
     subs_by_topic: HashMap<String, Vec<(usize, usize)>>,
     observer: Option<Rc<RefCell<dyn BusObserver>>>,
+    /// `true` once any fault API has been used; the delivery hot path
+    /// skips all fault checks while this is false, so a run with an
+    /// empty fault plan is bit-identical to one built before the fault
+    /// plane existed.
+    faults_armed: bool,
+    edge_faults: Vec<EdgeFault>,
+    lost_to_fault: u64,
+    duplicated_by_fault: u64,
+}
+
+impl<M> BusInner<M> {
+    fn node_index(&self, name: &str) -> usize {
+        self.nodes
+            .iter()
+            .position(|slot| slot.name == name)
+            .unwrap_or_else(|| panic!("unknown node {name:?}"))
+    }
+
+    /// Active slow-down factor for a node at the current instant.
+    fn dilation(&self, node_idx: usize) -> f64 {
+        match self.nodes[node_idx].slow {
+            Some((factor, from, to)) => {
+                let now = self.sim.now();
+                if now >= from && now < to {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        }
+    }
 }
 
 struct ExecState<M> {
@@ -119,6 +174,9 @@ struct ExecState<M> {
     phases: VecDeque<Phase>,
     outbox_items: Vec<(String, M, Lineage)>,
     input_lineage: Lineage,
+    /// Process-instance epoch at callback start; a crash bumps the
+    /// slot's epoch, orphaning this in-flight execution.
+    epoch: u64,
 }
 
 /// The publish/subscribe bus. Clonable handle; all clones share state.
@@ -168,6 +226,10 @@ impl<M: 'static> Bus<M> {
                 nodes: Vec::new(),
                 subs_by_topic: HashMap::new(),
                 observer: None,
+                faults_armed: false,
+                edge_faults: Vec::new(),
+                lost_to_fault: 0,
+                duplicated_by_fault: 0,
             })),
         }
     }
@@ -220,6 +282,10 @@ impl<M: 'static> Bus<M> {
             busy: false,
             busy_since: SimTime::ZERO,
             busy_accum: SimDuration::ZERO,
+            down: false,
+            epoch: 0,
+            stall: None,
+            slow: None,
         });
     }
 
@@ -245,6 +311,74 @@ impl<M: 'static> Bus<M> {
     }
 
     fn deliver(&self, node_idx: usize, sub_idx: usize, msg: Message<M>) {
+        // The fault plane intercepts deliveries only once armed; an
+        // empty plan takes the single-branch fast path below.
+        if self.inner.borrow().faults_armed {
+            enum Intercept {
+                Pass,
+                Lost { node: String, topic: String },
+                Duplicate { node: String, topic: String },
+            }
+            let (intercept, observer, now) = {
+                let mut inner = self.inner.borrow_mut();
+                let now = inner.sim.now();
+                let observer = inner.observer.clone();
+                let (node_name, topic, down) = {
+                    let slot = &inner.nodes[node_idx];
+                    (slot.name.clone(), slot.subs[sub_idx].topic.clone(), slot.down)
+                };
+                let intercept = if down {
+                    inner.lost_to_fault += 1;
+                    Intercept::Lost { node: node_name, topic }
+                } else {
+                    let hit = inner
+                        .edge_faults
+                        .iter_mut()
+                        .find(|f| {
+                            f.topic == topic && f.node == node_name && now >= f.from && now < f.to
+                        })
+                        .map(|f| (f.rng.next_f64() < f.rate, f.duplicate));
+                    match hit {
+                        Some((true, false)) => {
+                            inner.lost_to_fault += 1;
+                            Intercept::Lost { node: node_name, topic }
+                        }
+                        Some((true, true)) => {
+                            inner.duplicated_by_fault += 1;
+                            Intercept::Duplicate { node: node_name, topic }
+                        }
+                        _ => Intercept::Pass,
+                    }
+                };
+                (intercept, observer, now)
+            };
+            match intercept {
+                Intercept::Lost { node, topic } => {
+                    if let Some(obs) = &observer {
+                        obs.borrow_mut().fault_event(FaultKind::MessageLost, &node, &topic, now);
+                    }
+                    return;
+                }
+                Intercept::Duplicate { node, topic } => {
+                    if let Some(obs) = &observer {
+                        obs.borrow_mut().fault_event(
+                            FaultKind::MessageDuplicated,
+                            &node,
+                            &topic,
+                            now,
+                        );
+                    }
+                    self.deliver_to_sub(node_idx, sub_idx, msg.clone());
+                    self.deliver_to_sub(node_idx, sub_idx, msg);
+                    return;
+                }
+                Intercept::Pass => {}
+            }
+        }
+        self.deliver_to_sub(node_idx, sub_idx, msg);
+    }
+
+    fn deliver_to_sub(&self, node_idx: usize, sub_idx: usize, msg: Message<M>) {
         enum Action<M> {
             Enqueued { topic: String, node: String, depth: usize, dropped_to: Option<usize> },
             Start(PendingMsg<M>),
@@ -290,25 +424,34 @@ impl<M: 'static> Bus<M> {
     }
 
     fn start_processing(&self, node_idx: usize, pending: PendingMsg<M>) {
-        let (node_rc, node_name, started) = {
+        let (node_rc, node_name, started, stall, epoch) = {
             let inner = self.inner.borrow();
             let slot = &inner.nodes[node_idx];
             debug_assert!(slot.busy, "node must be marked busy before processing");
-            (Rc::clone(&slot.node), slot.name.clone(), inner.sim.now())
+            (Rc::clone(&slot.node), slot.name.clone(), inner.sim.now(), slot.stall, slot.epoch)
         };
         let input_lineage = pending.msg.header.lineage.clone();
         let mut outbox = Outbox::new(input_lineage.clone());
         let execution: Execution =
             node_rc.borrow_mut().on_message(&pending.topic, &pending.msg, &mut outbox);
+        let mut phases = VecDeque::from(execution.phases);
+        // Stall fault: a callback starting inside the window blocks
+        // until the window closes before doing its real work.
+        if let Some((from, to)) = stall {
+            if started >= from && started < to {
+                phases.push_front(Phase::Wait { duration: to.saturating_since(started) });
+            }
+        }
         let state = ExecState {
             node_idx,
             node_name,
             topic: pending.topic,
             arrival: pending.arrival,
             started,
-            phases: VecDeque::from(execution.phases),
+            phases,
             outbox_items: outbox.into_items(),
             input_lineage,
+            epoch,
         };
         self.advance(state);
     }
@@ -317,21 +460,44 @@ impl<M: 'static> Bus<M> {
         match state.phases.pop_front() {
             Some(Phase::Cpu { demand, mem_intensity }) => {
                 let bus = self.clone();
+                let (cpu, demand) = {
+                    let inner = self.inner.borrow();
+                    let factor = inner.dilation(state.node_idx);
+                    let demand = if factor == 1.0 { demand } else { demand.mul_f64(factor) };
+                    (inner.platform.cpu().clone(), demand)
+                };
                 let task = CpuTask::new(state.node_name.clone(), demand, mem_intensity);
-                let cpu = self.inner.borrow().platform.cpu().clone();
                 cpu.submit(task, move || bus.advance(state));
             }
             Some(Phase::Gpu { kernel_time, copy_bytes, energy_j }) => {
                 let bus = self.clone();
+                let (gpu, kernel_time) = {
+                    let inner = self.inner.borrow();
+                    let factor = inner.dilation(state.node_idx);
+                    let kernel_time =
+                        if factor == 1.0 { kernel_time } else { kernel_time.mul_f64(factor) };
+                    (inner.platform.gpu().clone(), kernel_time)
+                };
                 let job = GpuJob::new(state.node_name.clone(), kernel_time, copy_bytes, energy_j);
-                let gpu = self.inner.borrow().platform.gpu().clone();
                 gpu.submit(job, move || bus.advance(state));
+            }
+            Some(Phase::Wait { duration }) => {
+                let bus = self.clone();
+                let sim = self.inner.borrow().sim.clone();
+                sim.schedule_in(duration, move || bus.advance(state));
             }
             None => self.complete(state),
         }
     }
 
     fn complete(&self, state: ExecState<M>) {
+        // A callback whose process crashed mid-flight (epoch bumped)
+        // belongs to a dead instance: its outputs are never published
+        // and its completion is not observed. The crash already
+        // finalized the slot's busy accounting and cleared its queues.
+        if self.inner.borrow().nodes[state.node_idx].epoch != state.epoch {
+            return;
+        }
         let (observer, now) = {
             let inner = self.inner.borrow();
             (inner.observer.clone(), inner.sim.now())
@@ -456,6 +622,171 @@ impl<M: 'static> Bus<M> {
             .collect()
     }
 
+    // --- Fault plane ----------------------------------------------------
+
+    /// Crashes `name`: its callback stops firing, any in-flight callback
+    /// is orphaned (outputs suppressed), queued input is discarded, and
+    /// every message delivered while down is lost. Reversed by
+    /// [`Bus::restart_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node called `name` is registered.
+    pub fn crash_node(&self, name: &str) {
+        let (observer, now, lost) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = inner.sim.now();
+            inner.faults_armed = true;
+            let idx = inner.node_index(name);
+            let slot = &mut inner.nodes[idx];
+            slot.down = true;
+            slot.epoch += 1;
+            if slot.busy {
+                slot.busy = false;
+                slot.busy_accum += now.saturating_since(slot.busy_since);
+            }
+            let mut lost = 0u64;
+            for sub in &mut slot.subs {
+                lost += sub.queue.len() as u64;
+                sub.queue.clear();
+            }
+            inner.lost_to_fault += lost;
+            (inner.observer.clone(), now, lost)
+        };
+        if let Some(obs) = &observer {
+            obs.borrow_mut().fault_event(FaultKind::Crash, name, &format!("lost={lost}"), now);
+        }
+    }
+
+    /// Restarts a crashed node: deliveries resume and the node's
+    /// [`Node::on_restart`] hook runs so it can shed the in-memory
+    /// state a fresh process would not have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node called `name` is registered.
+    pub fn restart_node(&self, name: &str) {
+        let (observer, now, node_rc) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = inner.sim.now();
+            let idx = inner.node_index(name);
+            let slot = &mut inner.nodes[idx];
+            slot.down = false;
+            let node_rc = Rc::clone(&slot.node);
+            (inner.observer.clone(), now, node_rc)
+        };
+        node_rc.borrow_mut().on_restart();
+        if let Some(obs) = &observer {
+            obs.borrow_mut().fault_event(FaultKind::Restart, name, "", now);
+        }
+    }
+
+    /// `true` while `name` is crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node called `name` is registered.
+    pub fn is_down(&self, name: &str) -> bool {
+        let inner = self.inner.borrow();
+        inner.nodes[inner.node_index(name)].down
+    }
+
+    /// Stalls `name`: callbacks starting in `[from, to)` block until
+    /// `to` before doing their work (the node stays busy, queues back
+    /// up, no CPU/GPU demand accrues).
+    pub fn set_stall(&self, name: &str, from: SimTime, to: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        inner.faults_armed = true;
+        let idx = inner.node_index(name);
+        inner.nodes[idx].stall = Some((from, to));
+    }
+
+    /// Inflates `name`'s service time by `factor` for phases dispatched
+    /// in `[from, to)`.
+    pub fn set_slow(&self, name: &str, factor: f64, from: SimTime, to: SimTime) {
+        assert!(factor.is_finite() && factor > 0.0, "slow factor must be finite and positive");
+        let mut inner = self.inner.borrow_mut();
+        inner.faults_armed = true;
+        let idx = inner.node_index(name);
+        inner.nodes[idx].slow = Some((factor, from, to));
+    }
+
+    /// Drops each message delivered on `topic` to `node` in `[from, to)`
+    /// with probability `rate`, drawing from `rng` (a dedicated stream,
+    /// so other consumers stay phase-aligned).
+    pub fn set_edge_drop(
+        &self,
+        topic: &str,
+        node: &str,
+        rate: f64,
+        from: SimTime,
+        to: SimTime,
+        rng: StreamRng,
+    ) {
+        self.add_edge_fault(EdgeFault {
+            topic: topic.to_string(),
+            node: node.to_string(),
+            rate,
+            from,
+            to,
+            duplicate: false,
+            rng,
+        });
+    }
+
+    /// Duplicates each message delivered on `topic` to `node` in
+    /// `[from, to)` with probability `rate`.
+    pub fn set_edge_duplicate(
+        &self,
+        topic: &str,
+        node: &str,
+        rate: f64,
+        from: SimTime,
+        to: SimTime,
+        rng: StreamRng,
+    ) {
+        self.add_edge_fault(EdgeFault {
+            topic: topic.to_string(),
+            node: node.to_string(),
+            rate,
+            from,
+            to,
+            duplicate: true,
+            rng,
+        });
+    }
+
+    fn add_edge_fault(&self, fault: EdgeFault) {
+        assert!((0.0..=1.0).contains(&fault.rate), "edge fault rate must be in [0, 1]");
+        let mut inner = self.inner.borrow_mut();
+        inner.faults_armed = true;
+        inner.edge_faults.push(fault);
+    }
+
+    /// Forwards a fault/supervision event to the observer at the current
+    /// instant — the seam the supervision layer announces heartbeat
+    /// misses, fallback transitions and plan activations through.
+    pub fn emit_fault(&self, kind: FaultKind, node: &str, info: &str) {
+        let (observer, now) = {
+            let inner = self.inner.borrow();
+            (inner.observer.clone(), inner.sim.now())
+        };
+        if let Some(obs) = &observer {
+            obs.borrow_mut().fault_event(kind, node, info, now);
+        }
+    }
+
+    /// Messages lost to faults (down-node deliveries, edge drops, and
+    /// queue contents discarded by crashes).
+    pub fn fault_lost_count(&self) -> u64 {
+        self.inner.borrow().lost_to_fault
+    }
+
+    /// Messages duplicated by edge faults.
+    pub fn fault_duplicated_count(&self) -> u64 {
+        self.inner.borrow().duplicated_by_fault
+    }
+
     /// Cumulative busy (callback-executing) time per node as of the current
     /// simulated instant, including any in-flight callback, in
     /// node-registration order.
@@ -526,6 +857,7 @@ mod tests {
         enqueues: Vec<(String, String, usize)>,
         dequeues: Vec<(String, String, usize)>,
         published: Vec<(String, u64)>,
+        faults: Vec<(FaultKind, String, String)>,
     }
 
     impl BusObserver for Rc<RefCell<Recorder>> {
@@ -543,6 +875,9 @@ mod tests {
         }
         fn message_published(&mut self, topic: &str, header: &Header, _time: SimTime) {
             self.borrow_mut().published.push((topic.to_string(), header.seq));
+        }
+        fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, _time: SimTime) {
+            self.borrow_mut().faults.push((kind, node.to_string(), info.to_string()));
         }
     }
 
@@ -811,6 +1146,193 @@ mod tests {
         let bus: Bus<u64> = Bus::new(&sim, &platform);
         bus.add_node("n", Relay { out_topic: "o", cost: SimDuration::ZERO }, &[]);
         bus.add_node("n", Relay { out_topic: "o", cost: SimDuration::ZERO }, &[]);
+    }
+
+    /// A relay that counts restarts (stateful-node shape).
+    struct RestartProbe {
+        out_topic: &'static str,
+        cost: SimDuration,
+        restarts: Rc<RefCell<u32>>,
+    }
+
+    impl Node<u64> for RestartProbe {
+        fn on_message(&mut self, _t: &str, msg: &Message<u64>, out: &mut Outbox<u64>) -> Execution {
+            out.publish(self.out_topic, *msg.payload);
+            Execution::cpu(self.cost, 0.0)
+        }
+        fn on_restart(&mut self) {
+            *self.restarts.borrow_mut() += 1;
+        }
+    }
+
+    #[test]
+    fn crash_orphans_in_flight_work_and_restart_recovers() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+        let restarts = Rc::new(RefCell::new(0u32));
+        bus.add_node(
+            "victim",
+            RestartProbe {
+                out_topic: "out",
+                cost: SimDuration::from_millis(30),
+                restarts: Rc::clone(&restarts),
+            },
+            &[SubscriptionSpec::new("in", 4)],
+        );
+
+        // t=0: starts a 30 ms callback. t=5: queued behind it. t=10:
+        // crash — the in-flight callback is orphaned and the queued
+        // message discarded. t=15: delivery to a down node is lost.
+        // t=20: restart. t=25: processed normally.
+        for (t, v) in [(0u64, 0u64), (5, 1), (15, 2), (25, 3)] {
+            let bus = bus.clone();
+            sim.schedule_at(SimTime::from_millis(t), move || {
+                bus.publish("in", v, Lineage::empty());
+            });
+        }
+        {
+            let bus = bus.clone();
+            sim.schedule_at(SimTime::from_millis(10), move || bus.crash_node("victim"));
+        }
+        {
+            let bus = bus.clone();
+            sim.schedule_at(SimTime::from_millis(20), move || bus.restart_node("victim"));
+        }
+        sim.run();
+
+        // Only the post-restart callback published.
+        assert_eq!(bus.published_count("out"), 1);
+        assert_eq!(bus.fault_lost_count(), 2);
+        assert_eq!(*restarts.borrow(), 1);
+        assert!(!bus.is_down("victim"));
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.events[0].completed, SimTime::from_millis(55));
+        let kinds: Vec<FaultKind> = rec.faults.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(kinds, vec![FaultKind::Crash, FaultKind::MessageLost, FaultKind::Restart]);
+        assert_eq!(rec.faults[0].2, "lost=1");
+        // Busy accounting: 0..10 (finalized at crash) + 25..55.
+        assert_eq!(
+            bus.node_busy_times(),
+            vec![("victim".to_string(), SimDuration::from_millis(40))]
+        );
+    }
+
+    #[test]
+    fn stall_window_blocks_callbacks_until_it_closes() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+        bus.add_node(
+            "n",
+            Relay { out_topic: "out", cost: SimDuration::from_millis(5) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+        bus.set_stall("n", SimTime::ZERO, SimTime::from_millis(20));
+
+        bus.publish("in", 0, Lineage::empty());
+        let b = bus.clone();
+        sim.schedule_at(SimTime::from_millis(40), move || b.publish("in", 1, Lineage::empty()));
+        sim.run();
+
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 2);
+        // In-window callback waits out the stall, then does its 5 ms.
+        assert_eq!(rec.events[0].completed, SimTime::from_millis(25));
+        // Post-window callback is unaffected.
+        assert_eq!(rec.events[1].completed, SimTime::from_millis(45));
+        // The stall occupied no CPU: only 2 × 5 ms of real demand ran.
+        assert_eq!(platform.cpu().stats().total_busy, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn slow_fault_inflates_service_time_inside_its_window() {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+        bus.add_node(
+            "n",
+            Relay { out_topic: "out", cost: SimDuration::from_millis(10) },
+            &[SubscriptionSpec::new("in", 1)],
+        );
+        bus.set_slow("n", 3.0, SimTime::ZERO, SimTime::from_millis(15));
+
+        bus.publish("in", 0, Lineage::empty());
+        let b = bus.clone();
+        sim.schedule_at(SimTime::from_millis(50), move || b.publish("in", 1, Lineage::empty()));
+        sim.run();
+
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].completed, SimTime::from_millis(30));
+        assert_eq!(rec.events[1].completed, SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn edge_faults_drop_and_duplicate_deterministically() {
+        use av_des::RngStreams;
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+        let streams = RngStreams::new(1);
+        bus.add_node(
+            "a",
+            Relay { out_topic: "outa", cost: SimDuration::from_millis(1) },
+            &[SubscriptionSpec::new("ina", 4)],
+        );
+        bus.add_node(
+            "b",
+            Relay { out_topic: "outb", cost: SimDuration::from_millis(1) },
+            &[SubscriptionSpec::new("inb", 4)],
+        );
+        bus.set_edge_drop(
+            "ina",
+            "a",
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            streams.stream("fault-drop"),
+        );
+        bus.set_edge_duplicate(
+            "inb",
+            "b",
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            streams.stream("fault-dup"),
+        );
+
+        bus.publish("ina", 0, Lineage::empty());
+        bus.publish("inb", 0, Lineage::empty());
+        let b = bus.clone();
+        sim.schedule_at(SimTime::from_millis(15), move || {
+            // Outside the windows: no interception.
+            b.publish("ina", 1, Lineage::empty());
+            b.publish("inb", 1, Lineage::empty());
+        });
+        sim.run();
+
+        assert_eq!(bus.published_count("outa"), 1);
+        assert_eq!(bus.published_count("outb"), 3);
+        assert_eq!(bus.fault_lost_count(), 1);
+        assert_eq!(bus.fault_duplicated_count(), 1);
+        let rec = rec.borrow();
+        let kinds: Vec<FaultKind> = rec.faults.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(kinds, vec![FaultKind::MessageLost, FaultKind::MessageDuplicated]);
+        // Drop stats are untouched by fault losses: the lost message
+        // never reached the subscription.
+        let ina = bus.drop_stats().into_iter().find(|s| s.topic == "ina").unwrap();
+        assert_eq!(ina.delivered, 1);
+        assert_eq!(ina.dropped, 0);
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub use bus::{Bus, DropStats, SubscriptionSpec, TopicStats};
 pub use lineage::{Lineage, Source};
 pub use msg::{Header, Message};
 pub use node::{Execution, Node, Outbox, Phase};
-pub use observer::{BusObserver, FanoutObserver, NullObserver, ProcessedEvent};
+pub use observer::{BusObserver, FanoutObserver, FaultKind, NullObserver, ProcessedEvent};

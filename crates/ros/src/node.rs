@@ -26,6 +26,13 @@ pub enum Phase {
         /// Dynamic energy dissipated, joules.
         energy_j: f64,
     },
+    /// A pure wall-clock wait occupying no device (used by the fault
+    /// plane to stall a callback: the node stays busy, its queue backs
+    /// up, but neither CPU nor GPU accrues demand).
+    Wait {
+        /// How long the callback blocks.
+        duration: SimDuration,
+    },
 }
 
 /// The modeled execution of one callback invocation.
@@ -67,14 +74,14 @@ impl Execution {
     pub fn cpu_demand(&self) -> SimDuration {
         self.phases.iter().fold(SimDuration::ZERO, |acc, p| match p {
             Phase::Cpu { demand, .. } => acc + *demand,
-            Phase::Gpu { .. } => acc,
+            Phase::Gpu { .. } | Phase::Wait { .. } => acc,
         })
     }
 
     /// Sum of GPU kernel time across phases.
     pub fn gpu_demand(&self) -> SimDuration {
         self.phases.iter().fold(SimDuration::ZERO, |acc, p| match p {
-            Phase::Cpu { .. } => acc,
+            Phase::Cpu { .. } | Phase::Wait { .. } => acc,
             Phase::Gpu { kernel_time, .. } => acc + *kernel_time,
         })
     }
@@ -139,6 +146,12 @@ impl<M> Outbox<M> {
 pub trait Node<M> {
     /// Handles one message from one of the node's subscribed topics.
     fn on_message(&mut self, topic: &str, msg: &Message<M>, out: &mut Outbox<M>) -> Execution;
+
+    /// Called when the supervisor restarts this node after a crash.
+    /// A restarted process loses its in-memory state; implementations
+    /// reset whatever a fresh launch would not have (filters, locks,
+    /// caches). Default: nothing to reset.
+    fn on_restart(&mut self) {}
 }
 
 #[cfg(test)]

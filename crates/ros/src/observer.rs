@@ -38,6 +38,75 @@ impl ProcessedEvent {
     }
 }
 
+/// Kind of a fault-plane or supervision event, as reported to the
+/// observer. Injection events come from the fault plan itself; crash /
+/// heartbeat-miss / restart / fallback events come from the bus and the
+/// supervision layer reacting to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A planned fault activated (any kind).
+    Inject,
+    /// A node crashed: its callback stops firing and queued input is lost.
+    Crash,
+    /// The supervisor's liveness check found a watched node silent.
+    HeartbeatMiss,
+    /// The supervisor restarted a crashed node.
+    Restart,
+    /// A graceful-degradation fallback engaged.
+    FallbackEnter,
+    /// A fallback disengaged (primary healthy again).
+    FallbackExit,
+    /// A message was lost to a fault (down node or edge drop).
+    MessageLost,
+    /// A message was duplicated by an edge fault.
+    MessageDuplicated,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (used in trace exports and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Inject => "inject",
+            FaultKind::Crash => "crash",
+            FaultKind::HeartbeatMiss => "heartbeat_miss",
+            FaultKind::Restart => "restart",
+            FaultKind::FallbackEnter => "fallback_enter",
+            FaultKind::FallbackExit => "fallback_exit",
+            FaultKind::MessageLost => "message_lost",
+            FaultKind::MessageDuplicated => "message_duplicated",
+        }
+    }
+
+    /// Stable small integer for hash folding.
+    pub fn code(self) -> u8 {
+        match self {
+            FaultKind::Inject => 0,
+            FaultKind::Crash => 1,
+            FaultKind::HeartbeatMiss => 2,
+            FaultKind::Restart => 3,
+            FaultKind::FallbackEnter => 4,
+            FaultKind::FallbackExit => 5,
+            FaultKind::MessageLost => 6,
+            FaultKind::MessageDuplicated => 7,
+        }
+    }
+
+    /// Parses the stable name back into a kind.
+    pub fn parse(name: &str) -> Option<FaultKind> {
+        Some(match name {
+            "inject" => FaultKind::Inject,
+            "crash" => FaultKind::Crash,
+            "heartbeat_miss" => FaultKind::HeartbeatMiss,
+            "restart" => FaultKind::Restart,
+            "fallback_enter" => FaultKind::FallbackEnter,
+            "fallback_exit" => FaultKind::FallbackExit,
+            "message_lost" => FaultKind::MessageLost,
+            "message_duplicated" => FaultKind::MessageDuplicated,
+            _ => return None,
+        })
+    }
+}
+
 /// Receiver of middleware events; the profiling and trace crates
 /// implement this.
 ///
@@ -72,6 +141,13 @@ pub trait BusObserver {
     /// A message was published on a topic.
     fn message_published(&mut self, topic: &str, header: &Header, time: SimTime) {
         let _ = (topic, header, time);
+    }
+
+    /// A fault-plane or supervision event. `node` is the affected node
+    /// (or sensor source for timer skews); `info` carries kind-specific
+    /// detail (topic, factor, backoff) as a short stable string.
+    fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, time: SimTime) {
+        let _ = (kind, node, info, time);
     }
 }
 
@@ -129,6 +205,12 @@ impl BusObserver for FanoutObserver {
     fn message_published(&mut self, topic: &str, header: &Header, time: SimTime) {
         for sink in &self.sinks {
             sink.borrow_mut().message_published(topic, header, time);
+        }
+    }
+
+    fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, time: SimTime) {
+        for sink in &self.sinks {
+            sink.borrow_mut().fault_event(kind, node, info, time);
         }
     }
 }

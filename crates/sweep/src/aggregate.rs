@@ -48,6 +48,8 @@ struct PointFacts {
     cpu_w: f64,
     gpu_w: f64,
     loc_err_m: f64,
+    time_degraded_s: f64,
+    recovery_latency_ms: f64,
     run_hash: u64,
 }
 
@@ -78,6 +80,20 @@ fn facts(spec: &SweepSpec, result: &PointResult) -> PointFacts {
                     |b| b.label.clone(),
                 ),
             ),
+            (
+                "faults",
+                result.point.faults.as_ref().map_or_else(
+                    || {
+                        if config.faults.is_empty() {
+                            "none".to_string()
+                        } else {
+                            "base".to_string()
+                        }
+                    },
+                    |f| f.label.clone(),
+                ),
+            ),
+            ("restart_backoff_s", format!("{}", config.supervision.restart_initial_backoff_s)),
         ],
         e2e_mean_ms: m.e2e_mean_ms,
         e2e_p99_ms: m.e2e_p99_ms,
@@ -86,6 +102,8 @@ fn facts(spec: &SweepSpec, result: &PointResult) -> PointFacts {
         cpu_w: m.cpu_w,
         gpu_w: m.gpu_w,
         loc_err_m: m.loc_err_m,
+        time_degraded_s: m.time_degraded_s,
+        recovery_latency_ms: m.recovery_latency_ms,
         run_hash: result.run_hash,
     }
 }
@@ -100,6 +118,8 @@ fn summary_table(all: &[PointFacts]) -> Table {
         "Qcap",
         "Seed",
         "Blackouts",
+        "Faults",
+        "Backoff s",
         "Worst path",
         "E2E mean ms",
         "E2E p99 ms",
@@ -107,6 +127,8 @@ fn summary_table(all: &[PointFacts]) -> Table {
         "CPU W",
         "GPU W",
         "Loc err m",
+        "Degraded s",
+        "Rec ms",
         "Run hash",
     ]);
     for f in all {
@@ -122,6 +144,8 @@ fn summary_table(all: &[PointFacts]) -> Table {
             axis("queue_capacity"),
             axis("seed"),
             axis("blackouts"),
+            axis("faults"),
+            axis("restart_backoff_s"),
             f.worst_path.clone(),
             format!("{:.2}", f.e2e_mean_ms),
             format!("{:.2}", f.e2e_p99_ms),
@@ -129,6 +153,8 @@ fn summary_table(all: &[PointFacts]) -> Table {
             format!("{:.2}", f.cpu_w),
             format!("{:.2}", f.gpu_w),
             format!("{:.3}", f.loc_err_m),
+            format!("{:.3}", f.time_degraded_s),
+            format!("{:.1}", f.recovery_latency_ms),
             format!("{:#018x}", f.run_hash),
         ]);
     }
@@ -242,6 +268,26 @@ fn point_report(spec_name: &str, facts: &PointFacts, result: &PointResult) -> St
         "localization error: {:.3} m mean, {:.3} m final",
         report.localization_error_m, report.localization_error_final_m
     );
+    if let Some(fault) = &report.fault {
+        let _ = writeln!(out, "\n## fault plane (E-fault)\n");
+        let _ = writeln!(
+            out,
+            "crashes {} | heartbeat misses {} | restarts {} | fallback enters/exits {}/{}",
+            fault.crashes,
+            fault.heartbeat_misses,
+            fault.restarts,
+            fault.fallback_enters,
+            fault.fallback_exits
+        );
+        let _ = writeln!(
+            out,
+            "messages lost {} | duplicated {} | time degraded {:.3} s | recovery latency {:.1} ms",
+            fault.messages_lost,
+            fault.messages_duplicated,
+            fault.time_degraded_s,
+            fault.recovery_latency_ms
+        );
+    }
     out
 }
 

@@ -43,4 +43,4 @@ pub use search::{
     HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer, SearchArtifacts, SearchOutcome,
     SearchSpec, Strategy,
 };
-pub use spec::{BlackoutSpec, SweepPoint, SweepSpec, WorldKind};
+pub use spec::{BlackoutSpec, FaultPlanSpec, SweepPoint, SweepSpec, WorldKind};

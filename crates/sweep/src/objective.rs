@@ -29,17 +29,23 @@ pub enum Objective {
     DropPct,
     /// Mean localization error, m.
     LocErrM,
+    /// Worst crash-to-recovery latency under the fault plan, ms.
+    RecoveryLatencyMs,
+    /// Total time spent degraded (node down or on a fallback), s.
+    TimeDegradedS,
 }
 
 impl Objective {
     /// Every objective, in spec-name order.
-    pub const ALL: [Objective; 6] = [
+    pub const ALL: [Objective; 8] = [
         Objective::E2eP99Ms,
         Objective::E2eMeanMs,
         Objective::DeadlineFactor,
         Objective::DeadlineMissFraction,
         Objective::DropPct,
         Objective::LocErrM,
+        Objective::RecoveryLatencyMs,
+        Objective::TimeDegradedS,
     ];
 
     /// The spec spelling of this objective.
@@ -51,6 +57,8 @@ impl Objective {
             Objective::DeadlineMissFraction => "deadline_miss_fraction",
             Objective::DropPct => "drop_pct",
             Objective::LocErrM => "loc_err_m",
+            Objective::RecoveryLatencyMs => "recovery_latency_ms",
+            Objective::TimeDegradedS => "time_degraded_s",
         }
     }
 
@@ -72,6 +80,8 @@ impl Objective {
             Objective::DeadlineMissFraction => m.deadline_miss_fraction,
             Objective::DropPct => m.drop_pct,
             Objective::LocErrM => m.loc_err_m,
+            Objective::RecoveryLatencyMs => m.recovery_latency_ms,
+            Objective::TimeDegradedS => m.time_degraded_s,
         }
     }
 }

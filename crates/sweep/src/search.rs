@@ -52,12 +52,20 @@ pub enum Knob {
     TrafficDensity,
     /// Subscription queue capacity (integer-valued).
     QueueCapacity,
+    /// Supervision restart initial backoff, seconds (the fault plan in
+    /// the base point supplies the crash being recovered from).
+    RestartBackoffS,
 }
 
 impl Knob {
     /// Every knob, in spec-name order.
-    pub const ALL: [Knob; 4] =
-        [Knob::CameraRateHz, Knob::LidarRateHz, Knob::TrafficDensity, Knob::QueueCapacity];
+    pub const ALL: [Knob; 5] = [
+        Knob::CameraRateHz,
+        Knob::LidarRateHz,
+        Knob::TrafficDensity,
+        Knob::QueueCapacity,
+        Knob::RestartBackoffS,
+    ];
 
     /// The spec spelling of this knob.
     pub fn name(self) -> &'static str {
@@ -66,6 +74,7 @@ impl Knob {
             Knob::LidarRateHz => "lidar_rate_hz",
             Knob::TrafficDensity => "traffic_density",
             Knob::QueueCapacity => "queue_capacity",
+            Knob::RestartBackoffS => "restart_backoff_s",
         }
     }
 
@@ -99,6 +108,7 @@ impl Knob {
             Knob::LidarRateHz => point.lidar_rate_hz = Some(v),
             Knob::TrafficDensity => point.traffic_density = Some(v),
             Knob::QueueCapacity => point.queue_capacity = Some(v as usize),
+            Knob::RestartBackoffS => point.restart_backoff_s = Some(v),
         }
     }
 }

@@ -10,6 +10,7 @@
 //! tools, so a sweep file, like everything else in the build, needs no
 //! external dependency.
 
+use av_core::fault::FaultPlan;
 use av_core::stack::{Blackout, StackConfig};
 use av_ros::Source;
 use av_vision::DetectorKind;
@@ -83,15 +84,30 @@ impl BlackoutSpec {
             let from_s: f64 =
                 from.parse().map_err(|_| format!("blackout {part:?}: bad start {from:?}"))?;
             let to_s: f64 = to.parse().map_err(|_| format!("blackout {part:?}: bad end {to:?}"))?;
-            if !from_s.is_finite() || !to_s.is_finite() {
-                return Err(format!("blackout {part:?}: window must be finite"));
-            }
-            if !(from_s >= 0.0 && to_s > from_s) {
-                return Err(format!("blackout {part:?}: window must satisfy 0 <= from < to"));
-            }
-            windows.push(Blackout { source, from_s, to_s });
+            let blackout = Blackout { source, from_s, to_s };
+            blackout.validate().map_err(|e| format!("blackout {part:?}: {e}"))?;
+            windows.push(blackout);
         }
         Ok(BlackoutSpec { label, windows })
+    }
+}
+
+/// A named fault plan: the fault DSL string plus its parsed form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanSpec {
+    /// The plan as written in the spec (e.g. `crash:ndt_matching@4`, or
+    /// `none`). Used in labels and artifact names.
+    pub label: String,
+    /// The parsed plan.
+    pub plan: FaultPlan,
+}
+
+impl FaultPlanSpec {
+    /// Parses a fault plan string (see [`FaultPlan::parse`] for the
+    /// DSL): `none`, or `+`-separated faults like
+    /// `crash:ndt_matching@4+drop:/image_raw>vision_detection:0.3:2-6`.
+    pub fn parse(s: &str) -> Result<FaultPlanSpec, String> {
+        Ok(FaultPlanSpec { label: s.to_string(), plan: FaultPlan::parse(s)? })
     }
 }
 
@@ -131,6 +147,10 @@ pub struct SweepPoint {
     pub seed: Option<u64>,
     /// Blackout schedule override.
     pub blackouts: Option<BlackoutSpec>,
+    /// Fault plan override.
+    pub faults: Option<FaultPlanSpec>,
+    /// Supervision restart initial-backoff override, seconds.
+    pub restart_backoff_s: Option<f64>,
 }
 
 impl SweepPoint {
@@ -164,6 +184,12 @@ impl SweepPoint {
         }
         if let Some(b) = &self.blackouts {
             parts.push(format!("blackouts={}", b.label));
+        }
+        if let Some(f) = &self.faults {
+            parts.push(format!("faults={}", f.label));
+        }
+        if let Some(v) = self.restart_backoff_s {
+            parts.push(format!("backoff={v}"));
         }
         if parts.is_empty() {
             "base".to_string()
@@ -204,6 +230,8 @@ impl SweepPoint {
                     );
                 }
                 "blackouts" => point.blackouts = Some(BlackoutSpec::parse(text()?)?),
+                "faults" => point.faults = Some(FaultPlanSpec::parse(text()?)?),
+                "restart_backoff_s" => point.restart_backoff_s = Some(num()?),
                 other => return Err(format!("unknown point key {other:?}")),
             }
         }
@@ -236,6 +264,12 @@ impl SweepPoint {
         if let Some(b) = &self.blackouts {
             fields.push(format!("\"blackouts\": \"{}\"", b.label));
         }
+        if let Some(f) = &self.faults {
+            fields.push(format!("\"faults\": \"{}\"", f.label));
+        }
+        if let Some(v) = self.restart_backoff_s {
+            fields.push(format!("\"restart_backoff_s\": {v:?}"));
+        }
         format!("{{{}}}", fields.join(", "))
     }
 
@@ -262,6 +296,12 @@ impl SweepPoint {
         }
         if let Some(b) = &self.blackouts {
             config.blackouts = b.windows.clone();
+        }
+        if let Some(f) = &self.faults {
+            config.faults = f.plan.clone();
+        }
+        if let Some(v) = self.restart_backoff_s {
+            config.supervision.restart_initial_backoff_s = v;
         }
         config
     }
@@ -292,6 +332,10 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Blackout-schedule axis.
     pub blackouts: Vec<BlackoutSpec>,
+    /// Fault-plan axis.
+    pub faults: Vec<FaultPlanSpec>,
+    /// Restart initial-backoff axis, seconds.
+    pub restart_backoff_s: Vec<f64>,
     /// Explicit extra points, appended after the grid.
     pub extra_points: Vec<SweepPoint>,
 }
@@ -310,6 +354,8 @@ impl SweepSpec {
             queue_capacity: Vec::new(),
             seeds: Vec::new(),
             blackouts: Vec::new(),
+            faults: Vec::new(),
+            restart_backoff_s: Vec::new(),
             extra_points: Vec::new(),
         }
     }
@@ -320,8 +366,9 @@ impl SweepSpec {
     }
 
     /// Expands the grid (fixed axis order: detector, density, camera
-    /// rate, lidar rate, queue capacity, seed, blackouts — outermost
-    /// first) and appends the explicit points. Ordinals number the
+    /// rate, lidar rate, queue capacity, seed, blackouts, faults,
+    /// restart backoff — outermost first) and appends the explicit
+    /// points. Ordinals number the
     /// result sequentially, so the expansion is deterministic and
     /// independent of how the runner later schedules it.
     ///
@@ -342,7 +389,9 @@ impl SweepSpec {
             && self.lidar_rate_hz.is_empty()
             && self.queue_capacity.is_empty()
             && self.seeds.is_empty()
-            && self.blackouts.is_empty();
+            && self.blackouts.is_empty()
+            && self.faults.is_empty()
+            && self.restart_backoff_s.is_empty();
         let mut points = Vec::new();
         if grid_empty && !self.extra_points.is_empty() {
             for extra in &self.extra_points {
@@ -359,16 +408,22 @@ impl SweepSpec {
                         for queue_capacity in axis(&self.queue_capacity) {
                             for seed in axis(&self.seeds) {
                                 for blackouts in axis(&self.blackouts) {
-                                    points.push(SweepPoint {
-                                        ordinal: points.len(),
-                                        detector,
-                                        traffic_density,
-                                        camera_rate_hz,
-                                        lidar_rate_hz,
-                                        queue_capacity,
-                                        seed,
-                                        blackouts: blackouts.clone(),
-                                    });
+                                    for faults in axis(&self.faults) {
+                                        for restart_backoff_s in axis(&self.restart_backoff_s) {
+                                            points.push(SweepPoint {
+                                                ordinal: points.len(),
+                                                detector,
+                                                traffic_density,
+                                                camera_rate_hz,
+                                                lidar_rate_hz,
+                                                queue_capacity,
+                                                seed,
+                                                blackouts: blackouts.clone(),
+                                                faults: faults.clone(),
+                                                restart_backoff_s,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -427,6 +482,14 @@ impl SweepSpec {
             }
             if p.queue_capacity == Some(0) {
                 return Err(format!("point {}: queue_capacity must be >= 1", p.id()));
+            }
+            if let Some(v) = p.restart_backoff_s {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "point {}: restart_backoff_s must be positive and finite",
+                        p.id()
+                    ));
+                }
             }
         }
         Ok(())
@@ -497,6 +560,15 @@ mod from_json {
                         .into_iter()
                         .map(BlackoutSpec::parse)
                         .collect::<Result<_, _>>()?;
+                }
+                "faults" => {
+                    spec.faults = str_list(&value, "grid.faults")?
+                        .into_iter()
+                        .map(FaultPlanSpec::parse)
+                        .collect::<Result<_, _>>()?;
+                }
+                "restart_backoff_s" => {
+                    spec.restart_backoff_s = f64_list(&value, "grid.restart_backoff_s")?;
                 }
                 other => return Err(format!("unknown grid axis {other:?}")),
             }
@@ -638,6 +710,52 @@ mod tests {
         assert!(BlackoutSpec::parse("none").unwrap().windows.is_empty());
         assert!(BlackoutSpec::parse("lidar:7-4").is_err());
         assert!(BlackoutSpec::parse("sonar:1-2").is_err());
+    }
+
+    #[test]
+    fn fault_axes_expand_apply_and_validate() {
+        let spec = SweepSpec {
+            faults: vec![
+                FaultPlanSpec::parse("none").unwrap(),
+                FaultPlanSpec::parse("crash:ndt_matching@4").unwrap(),
+            ],
+            restart_backoff_s: vec![0.25, 1.0],
+            ..SweepSpec::new("t", WorldKind::Smoke)
+        };
+        let points = spec.points();
+        assert_eq!(points.len(), 4);
+        // Backoff is the innermost axis.
+        assert_eq!(points[0].faults.as_ref().unwrap().label, "none");
+        assert_eq!(points[0].restart_backoff_s, Some(0.25));
+        assert_eq!(points[1].restart_backoff_s, Some(1.0));
+        assert_eq!(points[2].faults.as_ref().unwrap().label, "crash:ndt_matching@4");
+        assert_eq!(points[3].label(), "faults=crash:ndt_matching@4 backoff=1");
+
+        let config = points[3].apply(&spec.base_config());
+        assert_eq!(config.faults.label(), "crash:ndt_matching@4");
+        assert_eq!(config.supervision.restart_initial_backoff_s, 1.0);
+        let clean = points[0].apply(&spec.base_config());
+        assert!(clean.faults.is_empty());
+
+        assert!(FaultPlanSpec::parse("crash:ndt_matching").is_err());
+        let bad =
+            SweepSpec { restart_backoff_s: vec![-1.0], ..SweepSpec::new("t", WorldKind::Smoke) };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fault_point_json_round_trips() {
+        let point = SweepPoint {
+            faults: Some(
+                FaultPlanSpec::parse("crash:ndt_matching@4+slow:euclidean_cluster:x2:1-5").unwrap(),
+            ),
+            restart_backoff_s: Some(0.75),
+            ..SweepPoint::default()
+        };
+        let json = point.to_json();
+        let parsed = SweepPoint::from_json_value(&av_trace::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed.faults, point.faults);
+        assert_eq!(parsed.restart_backoff_s, point.restart_backoff_s);
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub struct TraceReport {
     /// Queue occupancy per `(topic, node)` — the congestion signal
     /// `trace_diff` compares between runs.
     pub queues: BTreeMap<(String, String), QueueStat>,
+    /// Fault/supervision event counts per `(kind name, node)` — empty for
+    /// clean runs, so `trace_diff` flags faulted-vs-clean pairs.
+    pub faults: BTreeMap<(String, String), u64>,
 }
 
 fn str_field<'v>(event: &'v JsonValue, key: &str) -> Option<&'v str> {
@@ -131,6 +134,12 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
                 let topic = str_field(args, "topic").ok_or("drop without topic")?.to_string();
                 let node = str_field(args, "node").ok_or("drop without node")?.to_string();
                 *report.drops.entry((topic, node)).or_insert(0) += 1;
+            }
+            ("i", "fault") => {
+                let args = event.get("args").ok_or("fault without args")?;
+                let kind = str_field(args, "kind").ok_or("fault without kind")?.to_string();
+                let node = str_field(args, "node").ok_or("fault without node")?.to_string();
+                *report.faults.entry((kind, node)).or_insert(0) += 1;
             }
             ("C", "queue") => {
                 // Exported as `q <topic>→<node>` counters by the exporter;
@@ -271,6 +280,41 @@ mod tests {
         let q = report.queues[&("/in".to_string(), "ndt".to_string())];
         assert_eq!(q.events, 3);
         assert_eq!(q.max_depth, 2);
+    }
+
+    #[test]
+    fn fault_instants_roundtrip_through_export() {
+        use av_ros::FaultKind;
+        let data = TraceData {
+            nodes: vec!["ndt".to_string()],
+            events: vec![
+                TraceEvent::Fault {
+                    kind: FaultKind::Crash,
+                    node: "ndt".to_string(),
+                    info: "lost=1".to_string(),
+                    time: SimTime::from_millis(100),
+                },
+                TraceEvent::Fault {
+                    kind: FaultKind::Restart,
+                    node: "ndt".to_string(),
+                    info: String::new(),
+                    time: SimTime::from_millis(600),
+                },
+                TraceEvent::Fault {
+                    kind: FaultKind::Restart,
+                    node: "ndt".to_string(),
+                    info: String::new(),
+                    time: SimTime::from_millis(900),
+                },
+            ],
+            ..TraceData::default()
+        };
+        let json = render_chrome_trace("t", &data);
+        assert!(json.contains("\"fault:crash\""));
+        let parsed = crate::json::parse(&json).unwrap();
+        let report = analyze_trace(&parsed, &[]).unwrap();
+        assert_eq!(report.faults[&("crash".to_string(), "ndt".to_string())], 1);
+        assert_eq!(report.faults[&("restart".to_string(), "ndt".to_string())], 2);
     }
 
     #[test]

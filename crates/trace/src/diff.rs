@@ -92,6 +92,19 @@ pub struct QueueChange {
     pub stat: (QueueStat, QueueStat),
 }
 
+/// A `(fault kind, node)` pair whose event count differs — a faulted run
+/// diffed against a clean one shows every injection/supervision event as
+/// a change here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultChange {
+    /// Fault kind name (`crash`, `restart`, …).
+    pub kind: String,
+    /// Affected node.
+    pub node: String,
+    /// Event counts on each side.
+    pub count: (u64, u64),
+}
+
 /// The full comparison of two trace reports.
 #[derive(Debug, Clone, Default)]
 pub struct TraceDiff {
@@ -105,17 +118,21 @@ pub struct TraceDiff {
     pub drop_changes: Vec<DropChange>,
     /// Subscriptions whose queue occupancy differs (only differing ones).
     pub queue_changes: Vec<QueueChange>,
+    /// Fault/supervision event counts that differ (only differing ones).
+    pub fault_changes: Vec<FaultChange>,
 }
 
 impl TraceDiff {
     /// Number of differing findings: shifted nodes + shifted paths +
-    /// drop changes + queue changes + a callback-count mismatch.
+    /// drop changes + queue changes + fault changes + a callback-count
+    /// mismatch.
     pub fn difference_count(&self) -> usize {
         usize::from(self.callbacks.0 != self.callbacks.1)
             + self.nodes.iter().filter(|s| !s.identical).count()
             + self.paths.iter().filter(|s| !s.identical).count()
             + self.drop_changes.len()
             + self.queue_changes.len()
+            + self.fault_changes.len()
     }
 
     /// `true` when the two traces are behaviourally identical.
@@ -180,7 +197,28 @@ pub fn diff_reports(a: &TraceReport, b: &TraceReport) -> TraceDiff {
         })
         .collect();
 
-    TraceDiff { callbacks: (a.callbacks, b.callbacks), nodes, paths, drop_changes, queue_changes }
+    let fault_keys: BTreeSet<&(String, String)> = a.faults.keys().chain(b.faults.keys()).collect();
+    let fault_changes = fault_keys
+        .into_iter()
+        .filter_map(|key| {
+            let (fa, fb) =
+                (a.faults.get(key).copied().unwrap_or(0), b.faults.get(key).copied().unwrap_or(0));
+            (fa != fb).then(|| FaultChange {
+                kind: key.0.clone(),
+                node: key.1.clone(),
+                count: (fa, fb),
+            })
+        })
+        .collect();
+
+    TraceDiff {
+        callbacks: (a.callbacks, b.callbacks),
+        nodes,
+        paths,
+        drop_changes,
+        queue_changes,
+        fault_changes,
+    }
 }
 
 fn shift_table(shifts: &[DistShift]) -> Table {
@@ -267,6 +305,18 @@ pub fn render_diff(label_a: &str, label_b: &str, diff: &TraceDiff) -> String {
     }
     push_section(&mut out, "Queue divergence", &queues);
 
+    let mut faults = Table::with_headers(&["Kind", "Node", "Events A", "Events B", "Δ"]);
+    for f in &diff.fault_changes {
+        faults.add_row(vec![
+            f.kind.clone(),
+            f.node.clone(),
+            f.count.0.to_string(),
+            f.count.1.to_string(),
+            format!("{:+}", f.count.1 as i64 - f.count.0 as i64),
+        ]);
+    }
+    push_section(&mut out, "Fault-event changes", &faults);
+
     if diff.is_identical() {
         out.push_str("traces identical: 0 differences\n");
     } else {
@@ -336,6 +386,29 @@ mod tests {
         let text = render_diff("a", "b", &diff);
         assert!(text.contains("NEW"));
         assert!(text.contains("difference(s) found"));
+    }
+
+    #[test]
+    fn fault_events_flag_faulted_vs_clean() {
+        use av_ros::FaultKind;
+        let clean = analyze(&small_trace(40, false));
+        let mut faulted_data = small_trace(40, false);
+        faulted_data.events.push(TraceEvent::Fault {
+            kind: FaultKind::Crash,
+            node: "ndt".to_string(),
+            info: "lost=0".to_string(),
+            time: SimTime::from_millis(120),
+        });
+        let faulted = analyze(&faulted_data);
+        let diff = diff_reports(&clean, &faulted);
+        assert!(!diff.is_identical());
+        assert_eq!(diff.fault_changes.len(), 1);
+        assert_eq!(diff.fault_changes[0].kind, "crash");
+        assert_eq!(diff.fault_changes[0].count, (0, 1));
+        let text = render_diff("clean", "faulted", &diff);
+        assert!(text.contains("Fault-event changes"), "{text}");
+        // Symmetric self-diff of the faulted trace stays clean.
+        assert!(diff_reports(&faulted, &faulted).is_identical());
     }
 
     #[test]

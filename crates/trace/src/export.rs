@@ -172,6 +172,17 @@ pub fn render_chrome_trace(run: &str, data: &TraceData) -> String {
                     depth
                 ));
             }
+            TraceEvent::Fault { kind, node, info, time } => {
+                events.push(format!(
+                    "{{\"name\":\"fault:{}\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{\"kind\":\"{}\",\"node\":\"{}\",\"info\":\"{}\"}}}}",
+                    kind.name(),
+                    ts_us(*time),
+                    tid(node),
+                    kind.name(),
+                    escape(node),
+                    escape(info)
+                ));
+            }
         }
     }
 

@@ -33,7 +33,7 @@ pub mod export;
 pub mod json;
 
 use av_des::{SimDuration, SimTime};
-use av_ros::{BusObserver, ProcessedEvent, Source};
+use av_ros::{BusObserver, FaultKind, ProcessedEvent, Source};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -106,6 +106,18 @@ pub enum TraceEvent {
         /// Event time.
         time: SimTime,
     },
+    /// A fault-plane or supervision event (injection, crash, heartbeat
+    /// miss, restart, fallback transition, message lost/duplicated).
+    Fault {
+        /// Kind of the event.
+        kind: FaultKind,
+        /// Affected node (or sensor source for timer skews).
+        node: String,
+        /// Kind-specific detail (topic, factor, backoff).
+        info: String,
+        /// Event time.
+        time: SimTime,
+    },
 }
 
 /// One fixed-cadence metrics sample, covering the interval ending at
@@ -169,6 +181,17 @@ impl TraceData {
     pub fn callback_count(&self) -> usize {
         self.events.iter().filter(|e| matches!(e, TraceEvent::Callback { .. })).count()
     }
+
+    /// Fault/supervision event counts per `(kind name, node)`.
+    pub fn fault_counts(&self) -> BTreeMap<(String, String), u64> {
+        let mut counts = BTreeMap::new();
+        for event in &self.events {
+            if let TraceEvent::Fault { kind, node, .. } = event {
+                *counts.entry((kind.name().to_string(), node.clone())).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
 }
 
 /// The bus observer that records [`TraceEvent`]s.
@@ -213,6 +236,15 @@ impl BusObserver for TraceRecorder {
             topic: topic.to_string(),
             node: node.to_string(),
             depth,
+            time,
+        });
+    }
+
+    fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, time: SimTime) {
+        self.data.events.push(TraceEvent::Fault {
+            kind,
+            node: node.to_string(),
+            info: info.to_string(),
             time,
         });
     }

@@ -27,6 +27,13 @@ impl DetectorKind {
             DetectorKind::YoloV3 => "YOLOv3",
         }
     }
+
+    /// The cheapest detector (Fig 5: SSD300 has the lowest per-frame
+    /// latency of the three) — the graceful-degradation fallback while
+    /// a crashed primary detector restarts.
+    pub fn cheapest() -> DetectorKind {
+        DetectorKind::Ssd300
+    }
 }
 
 impl fmt::Display for DetectorKind {

@@ -38,6 +38,30 @@ echo "== sweep determinism: 4-point smoke sweep across --jobs 1 vs --jobs 8 =="
 grep 'sweep golden hash' "$tmp/sweep.log"
 grep 'sweep determinism check passed' "$tmp/sweep.log"
 
+echo "== fault determinism: clean + crash point across --jobs 1 vs --jobs 8 =="
+# One clean point and one supervised ndt_matching crash: the faulted
+# run's golden hash and trace bytes must reproduce at any jobs level.
+./target/release/sweep --spec specs/fault_smoke.json --trace --check-jobs 1,8 \
+    --results "$tmp/fault" >"$tmp/fault.log" 2>/dev/null
+grep 'sweep golden hash' "$tmp/fault.log"
+grep 'sweep determinism check passed' "$tmp/fault.log"
+# Fault and restart events are first-class citizens of the exported
+# trace on the faulted point, and absent from the clean one.
+grep -q '"fault:crash"' "$tmp/fault/trace_p01.json"
+grep -q '"fault:restart"' "$tmp/fault/trace_p01.json"
+grep -q '"fault:fallback_enter"' "$tmp/fault/trace_p01.json"
+if grep -q '"fault:' "$tmp/fault/trace_p00.json"; then
+    echo "clean trace must carry no fault events" >&2; exit 1
+fi
+echo "fault/restart events present in the faulted trace only"
+
+echo "== trace_diff: faulted-vs-clean traces must be flagged as different =="
+if ./target/release/trace_diff "$tmp/fault/trace_p00.json" "$tmp/fault/trace_p01.json" \
+    >"$tmp/fault_diff.log"; then
+    echo "trace_diff failed to flag a faulted trace" >&2; exit 1
+fi
+grep -m1 -v 'traces identical' "$tmp/fault_diff.log"
+
 echo "== search determinism: smoke boundary search across --jobs 1 vs --jobs 8 =="
 # The whole optimizer trajectory — every batch decision, every artifact
 # byte — must reproduce at any jobs level; search exits nonzero if not.

@@ -177,3 +177,125 @@ fn radar_blackout_only_silences_radar() {
     assert_eq!(report.node_summary(nodes::RADAR_DETECTION).count, 0);
     assert!(report.node_summary(nodes::VISION_DETECTION).count > 80);
 }
+
+#[test]
+fn windowed_radar_blackout_recovers_the_radar_stream() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.with_radar = true;
+    config.blackouts = vec![Blackout { source: Source::Radar, from_s: 3.0, to_s: 6.0 }];
+    let report = run(&config, 10.0);
+    let mut baseline = StackConfig::smoke_test(DetectorKind::YoloV3);
+    baseline.with_radar = true;
+    let baseline = run(&baseline, 10.0);
+    // ~60 scans lost out of ~200 (20 Hz radar, 3 s window) — and scans
+    // resume after the window, so the node is far from silent.
+    let got = report.node_summary(nodes::RADAR_DETECTION).count;
+    let want = baseline.node_summary(nodes::RADAR_DETECTION).count;
+    assert!(
+        got + 50 <= want && got + 75 >= want,
+        "3 s radar outage at 20 Hz should cost ~60 scans: {got} vs {want}"
+    );
+    assert!(got > 100, "radar must resume after the window: {got}");
+}
+
+#[test]
+fn imu_blackout_starves_motion_prediction_only() {
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.blackouts = vec![Blackout { source: Source::Imu, from_s: 3.0, to_s: 6.0 }];
+    let report = run(&config, 12.0);
+    let baseline = run(&StackConfig::smoke_test(DetectorKind::YoloV3), 12.0);
+    // ~300 samples (100 Hz × 3 s) never reach NDT's motion predictor...
+    let got = delivered(&report, topics::IMU_RAW, nodes::NDT_MATCHING);
+    let want = delivered(&baseline, topics::IMU_RAW, nodes::NDT_MATCHING);
+    assert!(
+        got + 280 <= want && got + 330 >= want,
+        "3 s IMU outage at 100 Hz should cost ~300 samples: {got} vs {want}"
+    );
+    // ...but the LiDAR pipeline itself is untouched, and with the last
+    // known motion carried through the window, scan matching re-anchors
+    // every sweep: localization coasts through and re-converges.
+    assert_eq!(
+        report.node_summary(nodes::VOXEL_GRID_FILTER).count,
+        baseline.node_summary(nodes::VOXEL_GRID_FILTER).count,
+    );
+    assert!(
+        report.localization_error_m < 3.0,
+        "a windowed IMU loss must degrade, not destroy, localization: {} m",
+        report.localization_error_m
+    );
+    assert!(
+        report.localization_error_final_m < 1.0,
+        "localization must re-converge once IMU returns: {} m",
+        report.localization_error_final_m
+    );
+}
+
+#[test]
+fn blackout_windows_are_half_open_at_both_ends() {
+    let window = Blackout { source: Source::Lidar, from_s: 4.0, to_s: 7.0 };
+    assert!(!window.covers(3.999_999));
+    assert!(window.covers(4.0), "the start instant is inside");
+    assert!(window.covers(6.999_999));
+    assert!(!window.covers(7.0), "the end instant is outside");
+    // Back-to-back windows compose without double-covering the seam.
+    let next = Blackout { source: Source::Lidar, from_s: 7.0, to_s: 9.0 };
+    assert!(next.covers(7.0));
+
+    assert!(window.validate().is_ok());
+    for bad in [
+        Blackout { source: Source::Lidar, from_s: 7.0, to_s: 4.0 },
+        Blackout { source: Source::Lidar, from_s: 4.0, to_s: 4.0 },
+        Blackout { source: Source::Lidar, from_s: -1.0, to_s: 4.0 },
+        Blackout { source: Source::Lidar, from_s: f64::NAN, to_s: 4.0 },
+        Blackout { source: Source::Lidar, from_s: 0.0, to_s: f64::INFINITY },
+    ] {
+        assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+    }
+}
+
+#[test]
+fn combined_blackout_and_fault_compound_the_outage() {
+    // A GNSS blackout alone is benign (NDT only reseeds from it); an
+    // ndt_matching crash alone recovers in ~2 s (supervised restart +
+    // GNSS reseed). Together they compound: the restarted node waits
+    // for the first post-blackout fix before it can relocalize.
+    let spec = SweepSpec::from_json(
+        r#"{
+            "name": "blackout_plus_fault",
+            "world": "smoke",
+            "duration_s": 18.0,
+            "points": [
+                {"faults": "crash:ndt_matching@5"},
+                {"faults": "crash:ndt_matching@5", "blackouts": "gnss:5-10"}
+            ]
+        }"#,
+    )
+    .expect("spec parses");
+    let results = run_sweep(&spec, &RunConfig::default(), 2);
+    let (crash_only, compounded) = (&results[0].report, &results[1].report);
+    let fault_a = crash_only.fault.as_ref().expect("fault stats");
+    let fault_b = compounded.fault.as_ref().expect("fault stats");
+    assert_eq!(fault_a.crashes, 1);
+    assert_eq!(fault_b.crashes, 1);
+    assert!(fault_a.restarts >= 1 && fault_b.restarts >= 1);
+    // Both eventually re-converge...
+    assert!(
+        crash_only.localization_error_final_m < 1.5,
+        "crash-only must re-converge: {} m",
+        crash_only.localization_error_final_m
+    );
+    assert!(
+        compounded.localization_error_final_m < 1.5,
+        "compounded outage must still re-converge: {} m",
+        compounded.localization_error_final_m
+    );
+    // ...but the compounded run pays more: the blackout delays the
+    // post-restart reseed, so localization suffers longer.
+    assert!(
+        compounded.localization_error_m > crash_only.localization_error_m,
+        "blackout on top of the crash must hurt more: {} vs {} m",
+        compounded.localization_error_m,
+        crash_only.localization_error_m
+    );
+    assert_ne!(results[0].run_hash, results[1].run_hash);
+}

@@ -15,10 +15,26 @@ use av_sweep::{SearchSpec, SweepSpec};
 /// Valid seed documents the mutator starts from: real spec files, a real
 /// trajectory shape, and hostile-but-valid corner documents (duplicate
 /// keys, unicode, escapes) that exercise the lexer's edges.
-const SEEDS: [&str; 7] = [
+const SEEDS: [&str; 10] = [
     include_str!("../specs/search_smoke.json"),
     include_str!("../specs/search_worst_case.json"),
     include_str!("../specs/smoke.json"),
+    include_str!("../specs/fault_recovery.json"),
+    include_str!("../specs/search_fault_backoff.json"),
+    // A fault-plan heavy spec: every DSL form in one grid plus point
+    // overrides, so mutations land inside the fault strings themselves
+    // (truncated windows, mangled rates, bogus node names...).
+    r#"{"name": "faulty", "world": "smoke", "duration_s": 9.0,
+        "grid": {"faults": ["none",
+                            "crash:ndt_matching@4",
+                            "stall:range_vision_fusion:4-6",
+                            "slow:euclidean_cluster:x2.5:1-5",
+                            "drop:/image_raw>vision_detection:0.25:2-8",
+                            "dup:/filtered_points>ndt_matching:0.1:2-8",
+                            "skew:camera:x1.5:0-9"],
+                 "restart_backoff_s": [0.125, 0.5, 2.0]},
+        "points": [{"faults": "crash:ndt_matching@4+crash:vision_detection@5",
+                    "restart_backoff_s": 0.75}]}"#,
     r#"{"search": "s", "search_hash": "0x0000000000000001",
         "batches": [{"index": 0, "stage": "bracket", "evals": [
           {"ordinal": 0, "duration_s": 6.0, "objective": 0.5,
@@ -113,7 +129,10 @@ fn seeds_are_valid_json_to_begin_with() {
     assert!(SearchSpec::from_json(SEEDS[0]).is_ok());
     assert!(SearchSpec::from_json(SEEDS[1]).is_ok());
     assert!(SweepSpec::from_json(SEEDS[2]).is_ok());
-    assert!(trajectory_from_json(SEEDS[3]).is_ok());
+    assert!(SweepSpec::from_json(SEEDS[3]).is_ok());
+    assert!(SearchSpec::from_json(SEEDS[4]).is_ok());
+    assert!(SweepSpec::from_json(SEEDS[5]).is_ok());
+    assert!(trajectory_from_json(SEEDS[6]).is_ok());
 }
 
 #[test]
@@ -122,7 +141,7 @@ fn ten_thousand_mutants_error_but_never_panic() {
     let mut rejected = 0usize;
     let mut total = 0usize;
     for seed_doc in SEEDS {
-        for _ in 0..1430 {
+        for _ in 0..1100 {
             let mutant = mutate(seed_doc, &mut rng);
             if av_trace::json::parse(&mutant).is_err() {
                 rejected += 1;

@@ -30,7 +30,7 @@ fn residual_depths(trace: &TraceData) -> BTreeMap<(String, String), u64> {
             | TraceEvent::Dropped { topic, node, depth, .. } => {
                 depths.insert((topic.clone(), node.clone()), *depth as u64);
             }
-            TraceEvent::Callback { .. } => {}
+            TraceEvent::Callback { .. } | TraceEvent::Fault { .. } => {}
         }
     }
     depths
@@ -70,7 +70,7 @@ fn trace_agrees_with_live_recorder_and_bus_counters() {
             TraceEvent::Enqueued { .. } => enq += 1,
             TraceEvent::Dequeued { .. } => deq += 1,
             TraceEvent::Dropped { .. } => dropped += 1,
-            TraceEvent::Callback { .. } => {}
+            TraceEvent::Callback { .. } | TraceEvent::Fault { .. } => {}
         }
     }
     let residual: u64 = residual_depths(trace).values().sum();
