@@ -1,0 +1,91 @@
+//! `resume_check` — the tier-1 checkpoint/resume gate.
+//!
+//! ```text
+//! resume_check [--duration <seconds>] [--barrier <seconds>]
+//! ```
+//!
+//! Runs one short traced smoke drive (with a planned node crash, so the
+//! supervisor is active across the barrier) twice: straight through,
+//! and checkpointed at the barrier then resumed. The two runs must be
+//! byte-identical — same golden determinism hash (which folds the full
+//! structured trace and the fault statistics) and same rendered Chrome
+//! trace and metrics CSV bytes. Any divergence prints a diagnosis and
+//! **exits nonzero**; `scripts/tier1.sh` treats that as a failed gate.
+
+use av_core::determinism::run_hash;
+use av_core::fault::FaultPlan;
+use av_core::stack::{checkpoint_drive, resume_drive, run_drive, RunConfig, StackConfig};
+use av_trace::export::{render_chrome_trace, render_metrics_csv};
+use av_vision::DetectorKind;
+
+fn main() {
+    let mut duration_s = 8.0;
+    let mut barrier_s = 4.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration" => {
+                let value = args.next().expect("--duration needs seconds");
+                duration_s = value.parse().expect("invalid duration");
+            }
+            "--barrier" => {
+                let value = args.next().expect("--barrier needs seconds");
+                barrier_s = value.parse().expect("invalid barrier");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: resume_check [--duration <s>] [--barrier <s>]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(barrier_s < duration_s, "barrier must land inside the drive");
+
+    // Crash at 3 s: the default 4 s barrier checkpoints mid-recovery,
+    // with the fallback localizer active and the restart timer pending —
+    // the hardest state the snapshot has to carry.
+    let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+    config.faults = FaultPlan::parse("crash:ndt_matching@3").expect("builtin fault plan");
+    let run = RunConfig::seconds(duration_s).with_trace();
+
+    eprintln!("resume check: {duration_s} s smoke drive, checkpoint at {barrier_s} s...");
+    let straight = run_drive(&config, &run);
+    let (_, checkpoint) = checkpoint_drive(&config, &run, barrier_s);
+    let resumed = resume_drive(&config, &run, &checkpoint);
+
+    let mut failures = 0;
+    let straight_hash = run_hash(&straight);
+    let resumed_hash = run_hash(&resumed);
+    if straight_hash != resumed_hash {
+        eprintln!(
+            "CHECKPOINT VIOLATION: golden hash {straight_hash:#018x} (straight) != \
+             {resumed_hash:#018x} (resumed)"
+        );
+        failures += 1;
+    }
+    let straight_trace = straight.trace.as_ref().expect("traced run without trace data");
+    let resumed_trace = resumed.trace.as_ref().expect("traced run without trace data");
+    if render_chrome_trace("gate", straight_trace) != render_chrome_trace("gate", resumed_trace) {
+        eprintln!("CHECKPOINT VIOLATION: Chrome trace bytes differ between straight and resumed");
+        failures += 1;
+    }
+    if render_metrics_csv(straight_trace) != render_metrics_csv(resumed_trace) {
+        eprintln!("CHECKPOINT VIOLATION: metrics CSV bytes differ between straight and resumed");
+        failures += 1;
+    }
+    if straight.fault != resumed.fault {
+        eprintln!("CHECKPOINT VIOLATION: fault statistics differ between straight and resumed");
+        failures += 1;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "resume check passed: straight and checkpointed runs reproduce hash \
+         {straight_hash:#018x} ({} checkpoint bytes at {barrier_s} s)",
+        checkpoint.size_bytes()
+    );
+}

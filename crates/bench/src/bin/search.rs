@@ -24,10 +24,21 @@
 //! `--check-jobs 1,8` reruns the whole search from scratch at each
 //! listed level and **exits nonzero** unless every artifact byte and
 //! golden hash is identical.
+//!
+//! `--bench-resume <file>` runs the search twice — cold (every
+//! evaluation simulates its full horizon from virtual time zero) and
+//! warm (halving rungs resume their survivors from the previous rung's
+//! checkpoints, with the evaluation cache on) — **exits nonzero**
+//! unless both produce the identical search hash, and writes the
+//! measured counts (evaluations, simulated virtual seconds, wall
+//! clock, warm resumes, cache hits) to the given JSON file. This is
+//! the E-resume experiment of `EXPERIMENTS.md`.
 
 use av_core::parallel::effective_jobs;
 use av_sweep::search::trajectory_from_json;
-use av_sweep::{run_search, search_artifacts, BatchRecord, SearchArtifacts, SearchSpec};
+use av_sweep::{
+    run_search, run_search_instrumented, search_artifacts, BatchRecord, SearchArtifacts, SearchSpec,
+};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -38,12 +49,14 @@ struct Options {
     prior: Vec<BatchRecord>,
     results_dir: PathBuf,
     list: bool,
+    bench_resume: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: search [--spec <file.json> | --builtin <smoke>] [--jobs <N>] \
-         [--check-jobs <N,M,...>] [--resume <trajectory.json>] [--results <dir>] [--list]"
+         [--check-jobs <N,M,...>] [--resume <trajectory.json>] [--results <dir>] [--list] \
+         [--bench-resume <file.json>]"
     );
     std::process::exit(2);
 }
@@ -55,6 +68,7 @@ fn parse_args() -> Options {
     let mut prior = Vec::new();
     let mut results_dir = PathBuf::from("results/search");
     let mut list = false;
+    let mut bench_resume = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -99,6 +113,10 @@ fn parse_args() -> Options {
                 results_dir = PathBuf::from(args.next().expect("--results needs a directory"));
             }
             "--list" => list = true,
+            "--bench-resume" => {
+                bench_resume =
+                    Some(PathBuf::from(args.next().expect("--bench-resume needs a file")));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -116,6 +134,7 @@ fn parse_args() -> Options {
         prior,
         results_dir,
         list,
+        bench_resume,
     }
 }
 
@@ -129,10 +148,86 @@ fn write_artifacts(dir: &Path, artifacts: &SearchArtifacts) {
     std::fs::write(dir.join("SEARCH_hashes.json"), &artifacts.hashes_json).expect("write hashes");
 }
 
+/// The E-resume experiment: one cold search, one warm search, identical
+/// outcome demanded, measured costs written to `path`.
+fn bench_resume(options: &Options, path: &Path) {
+    println!("# search bench-resume {:?}: jobs {}\n", options.spec.name, options.jobs);
+    eprintln!("cold search (no checkpoints, no cache)...");
+    let start = Instant::now();
+    let (cold, cold_stats) = run_search_instrumented(&options.spec, options.jobs, &[], false);
+    let cold_wall_s = start.elapsed().as_secs_f64();
+    eprintln!("warm search (checkpointed rungs + evaluation cache)...");
+    let start = Instant::now();
+    let (warm, warm_stats) = run_search_instrumented(&options.spec, options.jobs, &[], true);
+    let warm_wall_s = start.elapsed().as_secs_f64();
+
+    if cold.search_hash != warm.search_hash {
+        eprintln!(
+            "CHECKPOINT VIOLATION: warm search hash {:#018x} != cold search hash {:#018x}",
+            warm.search_hash, cold.search_hash
+        );
+        std::process::exit(1);
+    }
+    // Warm artifacts are the canonical ones — they are byte-identical to
+    // cold's, which the hash equality above just proved.
+    let artifacts = search_artifacts(&options.spec, &warm);
+    write_artifacts(&options.results_dir, &artifacts);
+
+    let saved_s = cold_stats.simulated_s - warm_stats.simulated_s;
+    let fields = [
+        ("spec", format!("\"{}\"", options.spec.name)),
+        ("jobs", options.jobs.to_string()),
+        ("search_hash", format!("\"{:#018x}\"", warm.search_hash)),
+        ("cold_evaluations", cold_stats.evaluations.to_string()),
+        ("cold_simulated_s", format!("{:.3}", cold_stats.simulated_s)),
+        ("cold_wall_s", format!("{cold_wall_s:.3}")),
+        ("warm_evaluations", warm_stats.evaluations.to_string()),
+        ("warm_simulated_s", format!("{:.3}", warm_stats.simulated_s)),
+        ("warm_wall_s", format!("{warm_wall_s:.3}")),
+        ("warm_resumes", warm_stats.warm_resumes.to_string()),
+        ("resumed_prefix_s", format!("{:.3}", warm_stats.resumed_prefix_s)),
+        ("cache_hits", warm_stats.cache_hits.to_string()),
+        ("virtual_seconds_saved", format!("{saved_s:.3}")),
+    ];
+    let body =
+        fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect::<Vec<_>>().join(",\n");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench dir");
+        }
+    }
+    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write bench-resume json");
+
+    println!(
+        "cold: {} evaluation(s), {:.1} virtual s simulated, {cold_wall_s:.1} s wall",
+        cold_stats.evaluations, cold_stats.simulated_s
+    );
+    println!(
+        "warm: {} evaluation(s), {:.1} virtual s simulated, {warm_wall_s:.1} s wall \
+         ({} warm resume(s) skipping {:.1} virtual s, {} cache hit(s))",
+        warm_stats.evaluations,
+        warm_stats.simulated_s,
+        warm_stats.warm_resumes,
+        warm_stats.resumed_prefix_s,
+        warm_stats.cache_hits
+    );
+    println!(
+        "identical search hash {:#018x}; warm saved {saved_s:.1} virtual s \
+         ({:.0}% of cold); record: {}",
+        warm.search_hash,
+        100.0 * saved_s / cold_stats.simulated_s.max(f64::MIN_POSITIVE),
+        path.display()
+    );
+}
+
 fn main() {
     let options = parse_args();
     if options.list {
         print!("{}", options.spec.describe());
+        return;
+    }
+    if let Some(path) = options.bench_resume.clone() {
+        bench_resume(&options, &path);
         return;
     }
     println!("# search {:?}: jobs {}\n", options.spec.name, options.jobs);

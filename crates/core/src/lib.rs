@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod msg;
 pub mod nodes;
 pub mod parallel;
+pub mod snapshot;
 pub mod stack;
 pub mod supervision;
 pub mod topics;

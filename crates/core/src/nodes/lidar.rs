@@ -31,6 +31,14 @@ impl VoxelGridFilterNode {
 }
 
 impl Node<Msg> for VoxelGridFilterNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::PointCloud(cloud) = &*msg.payload else {
             unexpected(topics::nodes::VOXEL_GRID_FILTER, topic, &msg.payload)
@@ -136,6 +144,32 @@ impl Node<Msg> for NdtMatchingNode {
         // vehicle kept moving), and matching from it can lock onto a
         // false local optimum that then shuts out the GNSS reseed.
         self.awaiting_seed = true;
+    }
+
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+        crate::snapshot::put_pose(w, &self.pose);
+        w.put_bool(self.localized);
+        w.put_u32(self.consecutive_rejects);
+        crate::snapshot::put_opt_time(w, self.last_match_stamp);
+        w.put_f64(self.speed);
+        w.put_f64(self.yaw_rate);
+        crate::snapshot::put_opt_vec3(w, self.last_gnss);
+        crate::snapshot::put_opt_time(w, self.last_accept_stamp);
+        w.put_bool(self.awaiting_seed);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+        self.pose = crate::snapshot::get_pose(r);
+        self.localized = r.get_bool();
+        self.consecutive_rejects = r.get_u32();
+        self.last_match_stamp = crate::snapshot::get_opt_time(r);
+        self.speed = r.get_f64();
+        self.yaw_rate = r.get_f64();
+        self.last_gnss = crate::snapshot::get_opt_vec3(r);
+        self.last_accept_stamp = crate::snapshot::get_opt_time(r);
+        self.awaiting_seed = r.get_bool();
     }
 
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
@@ -252,6 +286,14 @@ impl RayGroundFilterNode {
 }
 
 impl Node<Msg> for RayGroundFilterNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::PointCloud(cloud) = &*msg.payload else {
             unexpected(topics::nodes::RAY_GROUND_FILTER, topic, &msg.payload)
@@ -290,6 +332,14 @@ impl EuclideanClusterNode {
 }
 
 impl Node<Msg> for EuclideanClusterNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::PointCloud(no_ground) = &*msg.payload else {
             unexpected(topics::nodes::EUCLIDEAN_CLUSTER, topic, &msg.payload)

@@ -61,6 +61,22 @@ impl TrafficLightRecognitionNode {
 }
 
 impl Node<Msg> for TrafficLightRecognitionNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+        match self.cached_pose {
+            Some(pose) => {
+                w.put_bool(true);
+                crate::snapshot::put_pose(w, &pose);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+        self.cached_pose = if r.get_bool() { Some(crate::snapshot::get_pose(r)) } else { None };
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         match &*msg.payload {
             Msg::Pose(estimate) => {

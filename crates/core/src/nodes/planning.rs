@@ -82,6 +82,26 @@ impl OpLocalPlannerNode {
 }
 
 impl Node<Msg> for OpLocalPlannerNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+        match self.cached_pose {
+            Some(pose) => {
+                w.put_bool(true);
+                crate::snapshot::put_pose(w, &pose);
+            }
+            None => w.put_bool(false),
+        }
+        crate::snapshot::put_opt_time(w, self.last_pose_stamp);
+        w.put_u64(self.holds);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+        self.cached_pose = if r.get_bool() { Some(crate::snapshot::get_pose(r)) } else { None };
+        self.last_pose_stamp = crate::snapshot::get_opt_time(r);
+        self.holds = r.get_u64();
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         match &*msg.payload {
             Msg::Pose(estimate) => {
@@ -128,6 +148,22 @@ impl PurePursuitNode {
 }
 
 impl Node<Msg> for PurePursuitNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+        match self.cached_pose {
+            Some(pose) => {
+                w.put_bool(true);
+                crate::snapshot::put_pose(w, &pose);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+        self.cached_pose = if r.get_bool() { Some(crate::snapshot::get_pose(r)) } else { None };
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         match &*msg.payload {
             Msg::Pose(estimate) => {
@@ -169,6 +205,18 @@ impl TwistFilterNode {
 }
 
 impl Node<Msg> for TwistFilterNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.filter.save_state(w);
+        crate::snapshot::put_opt_time(w, self.last_stamp);
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.filter.load_state(r);
+        self.last_stamp = crate::snapshot::get_opt_time(r);
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::Twist(raw) = &*msg.payload else {
             unexpected(topics::nodes::TWIST_FILTER, topic, &msg.payload)

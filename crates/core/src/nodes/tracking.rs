@@ -33,6 +33,18 @@ impl ImmUkfPdaTrackerNode {
 }
 
 impl Node<Msg> for ImmUkfPdaTrackerNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.tracker.save_state(w);
+        crate::snapshot::put_opt_time(w, self.last_stamp);
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.tracker.load_state(r);
+        self.last_stamp = crate::snapshot::get_opt_time(r);
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::DetectedObjects(detections) = &*msg.payload else {
             unexpected(topics::nodes::IMM_UKF_PDA_TRACKER, topic, &msg.payload)
@@ -65,6 +77,14 @@ impl UkfTrackRelayNode {
 }
 
 impl Node<Msg> for UkfTrackRelayNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::TrackedObjects(tracks) = &*msg.payload else {
             unexpected(topics::nodes::UKF_TRACK_RELAY, topic, &msg.payload)
@@ -94,6 +114,14 @@ impl NaiveMotionPredictNode {
 }
 
 impl Node<Msg> for NaiveMotionPredictNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::TrackedObjects(tracks) = &*msg.payload else {
             unexpected(topics::nodes::NAIVE_MOTION_PREDICT, topic, &msg.payload)

@@ -52,6 +52,22 @@ impl VisionDetectionNode {
 }
 
 impl Node<Msg> for VisionDetectionNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        // The detector may have been hot-swapped by the supervision
+        // layer's fallback, so the active kind and its cost model are
+        // dynamic state.
+        crate::snapshot::put_detector_kind(w, self.detector.kind());
+        crate::snapshot::put_vision_cost(w, &self.cost);
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        let kind = crate::snapshot::get_detector_kind(r);
+        let cost = crate::snapshot::get_vision_cost(r);
+        self.set_kind(kind, cost);
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         let Msg::Image(frame) = &*msg.payload else {
             unexpected(topics::nodes::VISION_DETECTION, topic, &msg.payload)
@@ -116,6 +132,38 @@ impl RangeVisionFusionNode {
 }
 
 impl Node<Msg> for RangeVisionFusionNode {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        self.rng.save(w);
+        match &self.cached_lidar {
+            Some((objs, lineage)) => {
+                w.put_bool(true);
+                crate::snapshot::encode_msg(&Msg::DetectedObjects(objs.clone()), w);
+                crate::snapshot::put_lineage(w, lineage);
+            }
+            None => w.put_bool(false),
+        }
+        match self.cached_pose {
+            Some(pose) => {
+                w.put_bool(true);
+                crate::snapshot::put_pose(w, &pose);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.rng.restore(r);
+        self.cached_lidar = if r.get_bool() {
+            let Msg::DetectedObjects(objs) = crate::snapshot::decode_msg(r) else {
+                panic!("checkpoint corrupt: cached lidar is not DetectedObjects")
+            };
+            Some((objs, crate::snapshot::get_lineage(r)))
+        } else {
+            None
+        };
+        self.cached_pose = if r.get_bool() { Some(crate::snapshot::get_pose(r)) } else { None };
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         match &*msg.payload {
             Msg::DetectedObjects(objs) => {

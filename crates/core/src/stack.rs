@@ -12,7 +12,7 @@ use crate::msg::Msg;
 use crate::nodes::*;
 use crate::supervision::{FallbackLocalizer, FaultReport, SupervisionPolicy, Supervisor};
 use crate::topics::{self, nodes as node_names};
-use av_des::{RngStreams, Sim, SimDuration, SimTime, StreamRng};
+use av_des::{RngStreams, Sim, SimDuration, SimTime, SnapReader, SnapWriter, StreamRng};
 use av_perception::{
     ClusterParams, CostmapParams, FusionParams, NdtMappingBuilder, RayGroundParams,
 };
@@ -20,14 +20,14 @@ use av_planning::{LocalPlannerParams, PurePursuitParams, TwistFilterParams, Wayp
 use av_platform::{CpuStats, GpuStats, Platform, PowerReport};
 use av_profiling::{LatencyRecorder, PathSpec, SharedRecorder, Summary, Table};
 use av_ros::{
-    Bus, BusObserver, DropStats, FanoutObserver, FaultKind, Lineage, Message, Node, Outbox, Source,
-    SubscriptionSpec,
+    Bus, BusObserver, DropStats, FanoutObserver, FaultKind, Lineage, Message, Node, Outbox,
+    RestoredContinuation, Source, SubscriptionSpec,
 };
 use av_trace::{MetricSample, SharedTracer, TraceConfig, TraceData};
 use av_tracking::{PredictParams, TrackerParams};
 use av_vision::DetectorKind;
 use av_world::{CameraConfig, CameraModel, LidarConfig, LidarModel, ScenarioConfig, World};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// The computation paths of Table IV, as [`PathSpec`]s.
@@ -360,6 +360,14 @@ impl<N: Node<Msg>> Node<Msg> for Shared<N> {
     fn on_restart(&mut self) {
         self.0.borrow_mut().on_restart();
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.0.borrow().save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) {
+        self.0.borrow_mut().load_state(r);
+    }
 }
 
 use av_ros::Execution;
@@ -416,6 +424,104 @@ fn wants(selection: &NodeSelection, node: &str) -> bool {
 ///
 /// Deterministic: identical configs produce identical reports.
 pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
+    drive(config, run, None, None).0
+}
+
+/// Runs a drive like [`run_drive`] and additionally captures a
+/// [`Checkpoint`] of the complete simulation state at virtual time
+/// `barrier_s`, taken before the end-of-run drain.
+///
+/// The returned report is identical to the one [`run_drive`] produces
+/// for the same inputs — capturing a checkpoint is a pure read.
+///
+/// # Panics
+///
+/// Panics unless `0 < barrier_s <= duration`.
+pub fn checkpoint_drive(
+    config: &StackConfig,
+    run: &RunConfig,
+    barrier_s: f64,
+) -> (RunReport, Checkpoint) {
+    let (report, checkpoint) = drive(config, run, None, Some(barrier_s));
+    (report, checkpoint.expect("drive captures when a barrier is supplied"))
+}
+
+/// Resumes a drive from `checkpoint` and runs it to `run`'s duration.
+///
+/// The resumed run is byte-identical to a straight-through
+/// [`run_drive`] of the same configuration: same report, same trace,
+/// same golden hash. Only the virtual seconds before the checkpoint's
+/// barrier are skipped — they were simulated once, when the checkpoint
+/// was captured.
+///
+/// The configuration must match the one the checkpoint was captured
+/// under, except for blackout windows, which may differ when every
+/// window of both configurations starts strictly after the barrier
+/// (the prefix-sharing contract: such runs are indistinguishable up to
+/// the barrier).
+///
+/// # Panics
+///
+/// Panics when the configuration does not match the checkpoint, or the
+/// run duration lies before the checkpoint's barrier.
+pub fn resume_drive(config: &StackConfig, run: &RunConfig, checkpoint: &Checkpoint) -> RunReport {
+    drive(config, run, Some(checkpoint), None).0
+}
+
+/// [`resume_drive`], additionally capturing a new [`Checkpoint`] at
+/// `barrier_s` — the chaining primitive successive halving uses to
+/// extend survivors rung by rung without re-simulating their past.
+///
+/// # Panics
+///
+/// Panics unless `checkpoint barrier < barrier_s <= duration`.
+pub fn resume_drive_checkpointed(
+    config: &StackConfig,
+    run: &RunConfig,
+    checkpoint: &Checkpoint,
+    barrier_s: f64,
+) -> (RunReport, Checkpoint) {
+    let (report, next) = drive(config, run, Some(checkpoint), Some(barrier_s));
+    (report, next.expect("drive captures when a barrier is supplied"))
+}
+
+/// The one engine behind all four public drive entry points: build the
+/// session (pure construction, nothing on the event queue), start it
+/// fresh or from a checkpoint, optionally pause at a barrier to capture,
+/// then run to the end and drain.
+fn drive(
+    config: &StackConfig,
+    run: &RunConfig,
+    from: Option<&Checkpoint>,
+    capture_at_s: Option<f64>,
+) -> (RunReport, Option<Checkpoint>) {
+    let session = build_session(config, run);
+    match from {
+        None => session.start_fresh(),
+        Some(checkpoint) => session.resume_from(checkpoint, config),
+    }
+    let checkpoint = capture_at_s.map(|secs| {
+        let barrier = SimTime::from_secs_f64_round(secs);
+        assert!(
+            barrier > session.sim.now(),
+            "checkpoint barrier must lie ahead of the run's start point"
+        );
+        assert!(barrier <= session.until, "checkpoint barrier must not exceed the run duration");
+        session.sim.run_until(barrier);
+        session.capture(config, barrier)
+    });
+    session.sim.run_until(session.until);
+    // Let in-flight work complete so the last frames are counted.
+    session.sim.run();
+    (session.report(config), checkpoint)
+}
+
+/// Constructs the whole session — world, map, platform, bus, nodes,
+/// supervision, timers — without scheduling a single event. Both a
+/// fresh start and a checkpoint resume share this phase; the only
+/// randomness consumed is the (stateless) per-name stream derivation
+/// plus the map build, identical in both cases.
+fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
     let sim = Sim::new();
     let streams = RngStreams::new(config.seed);
     let world = Rc::new(World::generate(&config.scenario));
@@ -685,7 +791,11 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     // Arm every planned fault up front. Each fault announces itself with
     // an `inject` event at t=0 (so traces carry the plan), then acts at
     // its own schedule. Edge faults draw from dedicated per-fault RNG
-    // streams, so arming them perturbs no other stream.
+    // streams, so arming them perturbs no other stream. Timed fault
+    // events (inject markers, crashes) are *recorded* here and scheduled
+    // by `start_fresh` — or re-inserted by `resume_from` with their
+    // original event identity — so construction itself queues nothing.
+    let mut fault_events: Vec<FaultEventRec> = Vec::new();
     if faults_active {
         let t = SimTime::from_secs_f64_round;
         let registered = bus.node_names();
@@ -696,19 +806,19 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                 FaultSpec::TimerSkew { source, .. } => source.name().to_string(),
                 _ => unreachable!("every non-skew fault targets a node"),
             });
-            {
-                let bus = bus.clone();
-                let label = label.clone();
-                sim.schedule_at(SimTime::ZERO, move || {
-                    bus.emit_fault(FaultKind::Inject, &marker, &label);
-                });
-            }
+            fault_events.push(FaultEventRec {
+                time: SimTime::ZERO,
+                seq: Cell::new(0),
+                action: FaultAction::Inject { marker, label: label.clone() },
+            });
             match spec {
                 FaultSpec::Crash { node, at_s } => {
                     if node_known(node) {
-                        let bus = bus.clone();
-                        let node = node.clone();
-                        sim.schedule_at(t(*at_s), move || bus.crash_node(&node));
+                        fault_events.push(FaultEventRec {
+                            time: t(*at_s),
+                            seq: Cell::new(0),
+                            action: FaultAction::Crash { node: node.clone() },
+                        });
                     }
                 }
                 FaultSpec::Stall { node, from_s, to_s } => {
@@ -776,22 +886,43 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     };
 
     // --- Sensor drivers -------------------------------------------------
+    // Timers are registered (closure built, RNG derived) but not armed;
+    // arming is the start phase's job. Sensor-noise RNG cells go into the
+    // session's registry so checkpoints can carry their positions.
     let duration_s = run.duration_s.unwrap_or(config.scenario.duration_s);
     let until = SimTime::from_secs_f64_round(duration_s);
 
-    schedule_periodic(
-        &sim,
+    let mut timers: Vec<Rc<RefCell<TimerState>>> = Vec::new();
+    let mut noise_rngs: Vec<(&'static str, Rc<RefCell<StreamRng>>)> = Vec::new();
+    let mut register = |period: SimDuration,
+                        jitter: SimDuration,
+                        rng: StreamRng,
+                        skew: Option<(f64, SimTime, SimTime)>,
+                        tick: Box<dyn FnMut()>| {
+        timers.push(Rc::new(RefCell::new(TimerState {
+            sim: sim.clone(),
+            period,
+            jitter,
+            rng,
+            until,
+            skew,
+            tick,
+            pending: None,
+        })));
+    };
+
+    register(
         SimDuration::from_secs_f64(1.0 / config.lidar.rate_hz),
         SimDuration::from_millis(2),
         streams.stream("lidar_clock"),
-        until,
         timer_skew(Source::Lidar),
         {
             let (sim, bus, world, lidar) =
                 (sim.clone(), bus.clone(), Rc::clone(&world), Rc::clone(&lidar));
             let rng = Rc::new(RefCell::new(streams.stream("lidar_noise")));
+            noise_rngs.push(("lidar_noise", Rc::clone(&rng)));
             let blackouts = config.blackouts.clone();
-            move || {
+            Box::new(move || {
                 let now = sim.now();
                 if blacked_out(&blackouts, Source::Lidar, now.as_secs_f64()) {
                     return;
@@ -803,22 +934,20 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                     Msg::PointCloud(sweep),
                     Lineage::origin(Source::Lidar, now),
                 );
-            }
+            })
         },
     );
 
-    schedule_periodic(
-        &sim,
+    register(
         SimDuration::from_secs_f64(1.0 / config.camera.rate_hz),
         SimDuration::from_millis(3),
         streams.stream("camera_clock"),
-        until,
         timer_skew(Source::Camera),
         {
             let (sim, bus, world, camera) =
                 (sim.clone(), bus.clone(), Rc::clone(&world), Rc::clone(&camera));
             let blackouts = config.blackouts.clone();
-            move || {
+            Box::new(move || {
                 let now = sim.now();
                 if blacked_out(&blackouts, Source::Camera, now.as_secs_f64()) {
                     return;
@@ -830,22 +959,21 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                     Msg::Image(frame),
                     Lineage::origin(Source::Camera, now),
                 );
-            }
+            })
         },
     );
 
-    schedule_periodic(
-        &sim,
+    register(
         SimDuration::from_secs(1),
         SimDuration::ZERO,
         streams.stream("gnss_clock"),
-        until,
         timer_skew(Source::Gnss),
         {
             let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
             let rng = Rc::new(RefCell::new(streams.stream("gnss_noise")));
+            noise_rngs.push(("gnss_noise", Rc::clone(&rng)));
             let blackouts = config.blackouts.clone();
-            move || {
+            Box::new(move || {
                 let now = sim.now();
                 // A GNSS outage (urban canyon, tunnel) silences the fix
                 // stream; the blackout check comes after the noise draw so
@@ -857,22 +985,21 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                     return;
                 }
                 bus.publish(topics::GNSS_POSE, Msg::Gnss(fix), Lineage::origin(Source::Gnss, now));
-            }
+            })
         },
     );
 
-    schedule_periodic(
-        &sim,
+    register(
         SimDuration::from_millis(10),
         SimDuration::ZERO,
         streams.stream("imu_clock"),
-        until,
         timer_skew(Source::Imu),
         {
             let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
             let rng = Rc::new(RefCell::new(streams.stream("imu_noise")));
+            noise_rngs.push(("imu_noise", Rc::clone(&rng)));
             let blackouts = config.blackouts.clone();
-            move || {
+            Box::new(move || {
                 let now = sim.now();
                 let ego = world.ego_state(now.as_secs_f64());
                 let sample = av_world::ImuSample::sample(&ego, &mut rng.borrow_mut());
@@ -880,24 +1007,23 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                     return;
                 }
                 bus.publish(topics::IMU_RAW, Msg::Imu(sample), Lineage::origin(Source::Imu, now));
-            }
+            })
         },
     );
 
     if config.with_radar {
         let radar_model = Rc::new(av_world::RadarModel::new(config.radar.clone()));
-        schedule_periodic(
-            &sim,
+        register(
             SimDuration::from_secs_f64(1.0 / config.radar.rate_hz),
             SimDuration::from_millis(1),
             streams.stream("radar_clock"),
-            until,
             timer_skew(Source::Radar),
             {
                 let (sim, bus, world) = (sim.clone(), bus.clone(), Rc::clone(&world));
                 let rng = Rc::new(RefCell::new(streams.stream("radar_noise")));
+                noise_rngs.push(("radar_noise", Rc::clone(&rng)));
                 let blackouts = config.blackouts.clone();
-                move || {
+                Box::new(move || {
                     let now = sim.now();
                     if blacked_out(&blackouts, Source::Radar, now.as_secs_f64()) {
                         return;
@@ -909,7 +1035,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                         Msg::Radar(scan),
                         Lineage::origin(Source::Radar, now),
                     );
-                }
+                })
             },
         );
     }
@@ -924,24 +1050,28 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     // that show up as divergence.
     const LOC_WARMUP_S: f64 = 4.0;
     let loc_errors = Rc::new(RefCell::new(Vec::<f64>::new()));
+    let mut loc_tracking_started: Option<Rc<Cell<bool>>> = None;
     if wants(sel, node_names::NDT_MATCHING) {
-        schedule_periodic(
-            &sim,
+        // The lock latch lives in a session-held cell (not a closure
+        // local) so checkpoints can carry it across a resume.
+        let started = Rc::new(Cell::new(false));
+        loc_tracking_started = Some(Rc::clone(&started));
+        register(
             SimDuration::from_secs(1),
             SimDuration::ZERO,
             streams.stream("loc_clock"),
-            until,
             None,
             {
                 let (sim, world) = (sim.clone(), Rc::clone(&world));
                 let ndt = Rc::clone(&ndt_shared);
                 let fallback = fallback_loc.clone();
                 let errors = Rc::clone(&loc_errors);
-                let mut tracking_started = false;
-                move || {
+                Box::new(move || {
                     let now = sim.now();
-                    tracking_started = tracking_started || ndt.borrow().is_localized();
-                    if !tracking_started || now.as_secs_f64() < LOC_WARMUP_S {
+                    if !started.get() && ndt.borrow().is_localized() {
+                        started.set(true);
+                    }
+                    if !started.get() || now.as_secs_f64() < LOC_WARMUP_S {
                         return;
                     }
                     let truth = world.ego_state(now.as_secs_f64()).pose;
@@ -954,7 +1084,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
                     errors.borrow_mut().push(
                         truth.translation.truncate().distance(estimate.translation.truncate()),
                     );
-                }
+                })
             },
         );
     }
@@ -964,6 +1094,7 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
     // name is unique ("trace_clock") and the jitter zero, so scheduling it
     // draws no randomness and perturbs nothing — a traced run produces
     // bit-identical non-trace outputs to an untraced one.
+    let mut trace_prev: Option<Rc<RefCell<TracePrev>>> = None;
     if let Some(tracer) = &tracer {
         tracer.set_topology(
             bus.node_names(),
@@ -971,185 +1102,587 @@ pub fn run_drive(config: &StackConfig, run: &RunConfig) -> RunReport {
         );
         let interval = run.trace.as_ref().expect("tracer implies config").sample_interval;
         assert!(!interval.is_zero(), "trace sample interval must be positive");
-        schedule_periodic(
-            &sim,
-            interval,
-            SimDuration::ZERO,
-            streams.stream("trace_clock"),
-            until,
-            None,
-            {
-                let (sim, bus, platform) = (sim.clone(), bus.clone(), platform.clone());
-                let tracer = tracer.clone();
-                let power = config.calib.power.clone();
-                let cores = config.calib.cpu.cores;
-                let mut prev_node_busy: Vec<SimDuration> = Vec::new();
-                let mut prev_cpu_busy = SimDuration::ZERO;
-                let mut prev_gpu_busy = SimDuration::ZERO;
-                let mut prev_gpu_energy = 0.0f64;
-                move || {
-                    let now = sim.now();
-                    let node_busy = bus.node_busy_times();
-                    if prev_node_busy.is_empty() {
-                        prev_node_busy = vec![SimDuration::ZERO; node_busy.len()];
-                    }
-                    let interval_s = interval.as_secs_f64();
-                    let node_busy_frac: Vec<f64> = node_busy
-                        .iter()
-                        .zip(prev_node_busy.iter())
-                        .map(|((_, busy), prev)| {
-                            busy.saturating_sub(*prev).as_secs_f64() / interval_s
-                        })
-                        .collect();
-                    let cpu_busy = platform.cpu().busy_time_by_now();
-                    let gpu_busy = platform.gpu().busy_time_by_now();
-                    let gpu_energy = platform.gpu().stats().total_energy_j;
-                    let cpu_delta = cpu_busy.saturating_sub(prev_cpu_busy);
-                    let gpu_delta = gpu_busy.saturating_sub(prev_gpu_busy);
-                    let energy_delta = gpu_energy - prev_gpu_energy;
-                    let report = power.interval_power(cpu_delta, cores, energy_delta, interval);
-                    tracer.push_sample(MetricSample {
-                        time: now,
-                        queue_depths: bus
-                            .queue_depths()
-                            .into_iter()
-                            .map(|(_, _, depth)| depth as u64)
-                            .collect(),
-                        node_busy_frac,
-                        cpu_util: cpu_delta.as_secs_f64() / (cores as f64 * interval_s),
-                        gpu_util: gpu_delta.as_secs_f64() / interval_s,
-                        cpu_w: report.cpu_w,
-                        gpu_w: report.gpu_w,
-                    });
-                    prev_node_busy = node_busy.into_iter().map(|(_, busy)| busy).collect();
-                    prev_cpu_busy = cpu_busy;
-                    prev_gpu_busy = gpu_busy;
-                    prev_gpu_energy = gpu_energy;
+        // The sampler's delta baselines live in a session-held cell (not
+        // closure locals) so checkpoints can carry the phase.
+        let prev = Rc::new(RefCell::new(TracePrev::new()));
+        trace_prev = Some(Rc::clone(&prev));
+        register(interval, SimDuration::ZERO, streams.stream("trace_clock"), None, {
+            let (sim, bus, platform) = (sim.clone(), bus.clone(), platform.clone());
+            let tracer = tracer.clone();
+            let power = config.calib.power.clone();
+            let cores = config.calib.cpu.cores;
+            Box::new(move || {
+                let now = sim.now();
+                let mut prev = prev.borrow_mut();
+                let node_busy = bus.node_busy_times();
+                if prev.node_busy.is_empty() {
+                    prev.node_busy = vec![SimDuration::ZERO; node_busy.len()];
                 }
-            },
-        );
+                let interval_s = interval.as_secs_f64();
+                let node_busy_frac: Vec<f64> = node_busy
+                    .iter()
+                    .zip(prev.node_busy.iter())
+                    .map(|((_, busy), prev)| busy.saturating_sub(*prev).as_secs_f64() / interval_s)
+                    .collect();
+                let cpu_busy = platform.cpu().busy_time_by_now();
+                let gpu_busy = platform.gpu().busy_time_by_now();
+                let gpu_energy = platform.gpu().stats().total_energy_j;
+                let cpu_delta = cpu_busy.saturating_sub(prev.cpu_busy);
+                let gpu_delta = gpu_busy.saturating_sub(prev.gpu_busy);
+                let energy_delta = gpu_energy - prev.gpu_energy;
+                let report = power.interval_power(cpu_delta, cores, energy_delta, interval);
+                tracer.push_sample(MetricSample {
+                    time: now,
+                    queue_depths: bus
+                        .queue_depths()
+                        .into_iter()
+                        .map(|(_, _, depth)| depth as u64)
+                        .collect(),
+                    node_busy_frac,
+                    cpu_util: cpu_delta.as_secs_f64() / (cores as f64 * interval_s),
+                    gpu_util: gpu_delta.as_secs_f64() / interval_s,
+                    cpu_w: report.cpu_w,
+                    gpu_w: report.gpu_w,
+                });
+                prev.node_busy = node_busy.into_iter().map(|(_, busy)| busy).collect();
+                prev.cpu_busy = cpu_busy;
+                prev.gpu_busy = gpu_busy;
+                prev.gpu_energy = gpu_energy;
+            })
+        });
     }
 
     // The supervision heartbeat: the liveness check runs on the same
     // virtual clock, with no jitter, so every supervisor decision is a
     // pure function of the configuration.
     if let Some(sup) = &supervisor {
-        schedule_periodic(
-            &sim,
+        register(
             SimDuration::from_secs_f64(config.supervision.heartbeat_interval_s),
             SimDuration::ZERO,
             streams.stream("supervisor_clock"),
-            until,
             None,
             {
                 let (sim, bus) = (sim.clone(), bus.clone());
                 let sup = Rc::clone(sup);
-                move || sup.tick(&bus, sim.now())
+                Box::new(move || sup.tick(&bus, sim.now()))
             },
         );
     }
 
-    // --- Run ------------------------------------------------------------
-    sim.run_until(until);
-    // Let in-flight work complete so the last frames are counted.
-    sim.run();
-
-    let elapsed = sim.now().saturating_since(SimTime::ZERO);
-    let cpu = platform.cpu().stats();
-    let gpu = platform.gpu().stats();
-    let power = config.calib.power.report(&cpu, config.calib.cpu.cores, &gpu, elapsed);
-    let errors = loc_errors.borrow();
-    let localization_error_m =
-        if errors.is_empty() { f64::NAN } else { errors.iter().sum::<f64>() / errors.len() as f64 };
-    let localization_error_final_m = if errors.len() >= 3 {
-        errors[errors.len() - 3..].iter().sum::<f64>() / 3.0
-    } else {
-        localization_error_m
-    };
-
-    RunReport {
-        detector: config.detector,
-        elapsed,
-        recorder: recorder.snapshot(),
-        drops: bus.drop_stats(),
-        cpu,
-        cores: config.calib.cpu.cores,
-        gpu,
-        power,
-        localization_error_m,
-        localization_error_final_m,
-        trace: tracer.map(|t| t.snapshot()),
-        fault: supervisor
-            .map(|sup| sup.report(sim.now(), bus.fault_lost_count(), bus.fault_duplicated_count())),
+    DriveSession {
+        sim,
+        bus,
+        platform,
+        recorder,
+        tracer,
+        supervisor,
+        timers,
+        noise_rngs,
+        fault_events,
+        loc_errors,
+        loc_tracking_started,
+        trace_prev,
+        until,
     }
 }
 
-/// Schedules `tick` every `period` (± a small deterministic timing
-/// jitter, as real sensor clocks drift — without it the perfectly
-/// periodic virtual clocks phase-lock and contention patterns repeat
-/// unrealistically) until `until`. First firing after one period.
+// --- Periodic timers --------------------------------------------------
+
+/// One registered periodic timer: fires `tick` every `period` (± a small
+/// deterministic timing jitter, as real sensor clocks drift — without it
+/// the perfectly periodic virtual clocks phase-lock and contention
+/// patterns repeat unrealistically) until `until`. First firing after
+/// one period.
 ///
 /// `skew` is the fault plane's publisher-timer skew: while the current
 /// time is inside `[from, to)`, the whole period (base + jitter draw) is
 /// dilated by the factor. The jitter RNG is drawn identically either
 /// way, so a skew window shifts phase without desynchronizing the
 /// stream from an unskewed run's draw sequence.
-fn schedule_periodic(
-    sim: &Sim,
+///
+/// `pending` records the (fire time, event sequence) of the scheduled
+/// next tick — the event identity a checkpoint needs to re-insert it on
+/// resume in the exact original order among equal-time events.
+struct TimerState {
+    sim: Sim,
     period: SimDuration,
     jitter: SimDuration,
     rng: StreamRng,
     until: SimTime,
     skew: Option<(f64, SimTime, SimTime)>,
-    tick: impl FnMut() + 'static,
-) {
-    struct State {
-        sim: Sim,
-        period: SimDuration,
-        jitter: SimDuration,
-        rng: StreamRng,
-        until: SimTime,
-        skew: Option<(f64, SimTime, SimTime)>,
-        tick: Box<dyn FnMut()>,
-    }
-    fn arm(state: Rc<RefCell<State>>) {
-        let (sim, delay) = {
+    tick: Box<dyn FnMut()>,
+    pending: Option<(SimTime, u64)>,
+}
+
+/// Draws the next period and schedules the tick.
+fn arm_timer(state: &Rc<RefCell<TimerState>>) {
+    let at = {
+        let mut s = state.borrow_mut();
+        let base = s.period - s.jitter / 2;
+        let extra =
+            if s.jitter.is_zero() { SimDuration::ZERO } else { s.jitter.mul_f64(s.rng.next_f64()) };
+        let mut delay = base + extra;
+        if let Some((factor, from, to)) = s.skew {
+            let now = s.sim.now();
+            if now >= from && now < to {
+                delay = delay.mul_f64(factor);
+            }
+        }
+        s.sim.now() + delay
+    };
+    schedule_tick(state, at);
+}
+
+/// Schedules the timer's tick at absolute time `at`, recording the event
+/// identity in `pending`. Used both by [`arm_timer`] (fresh arms, drawn
+/// delay) and by checkpoint resume (re-inserting a saved pending tick at
+/// its original time, without consuming a jitter draw).
+fn schedule_tick(state: &Rc<RefCell<TimerState>>, at: SimTime) {
+    let sim = state.borrow().sim.clone();
+    state.borrow_mut().pending = Some((at, sim.next_seq()));
+    let state = Rc::clone(state);
+    sim.schedule_at(at, move || {
+        {
             let mut s = state.borrow_mut();
-            let base = s.period - s.jitter / 2;
-            let extra = if s.jitter.is_zero() {
-                SimDuration::ZERO
-            } else {
-                s.jitter.mul_f64(s.rng.next_f64())
-            };
-            let mut delay = base + extra;
-            if let Some((factor, from, to)) = s.skew {
-                let now = s.sim.now();
-                if now >= from && now < to {
-                    delay = delay.mul_f64(factor);
-                }
+            s.pending = None;
+            if s.sim.now() > s.until {
+                return;
             }
-            (s.sim.clone(), delay)
-        };
-        sim.schedule_in(delay, move || {
-            {
-                let mut s = state.borrow_mut();
-                if s.sim.now() > s.until {
-                    return;
-                }
-                (s.tick)();
-            }
-            arm(state);
-        });
+            (s.tick)();
+        }
+        arm_timer(&state);
+    });
+}
+
+// --- Timed fault events -----------------------------------------------
+
+/// What a deferred fault event does when it fires.
+#[derive(Clone)]
+enum FaultAction {
+    /// The t=0 plan announcement (`inject` marker in traces).
+    Inject { marker: String, label: String },
+    /// A node crash at its planned instant.
+    Crash { node: String },
+}
+
+/// A timed fault event: recorded at build, scheduled at start, with the
+/// live event sequence stamped at scheduling so checkpoints can save it.
+struct FaultEventRec {
+    time: SimTime,
+    seq: Cell<u64>,
+    action: FaultAction,
+}
+
+fn schedule_fault_event(sim: &Sim, bus: &Bus<Msg>, ev: &FaultEventRec) {
+    ev.seq.set(sim.next_seq());
+    let bus = bus.clone();
+    let action = ev.action.clone();
+    sim.schedule_at(ev.time, move || match action {
+        FaultAction::Inject { marker, label } => bus.emit_fault(FaultKind::Inject, &marker, &label),
+        FaultAction::Crash { node } => bus.crash_node(&node),
+    });
+}
+
+// --- Checkpointing ----------------------------------------------------
+
+/// The trace-metrics sampler's delta baselines (previous busy counters),
+/// session-held so a checkpoint carries the sampler's phase.
+struct TracePrev {
+    node_busy: Vec<SimDuration>,
+    cpu_busy: SimDuration,
+    gpu_busy: SimDuration,
+    gpu_energy: f64,
+}
+
+impl TracePrev {
+    fn new() -> TracePrev {
+        TracePrev {
+            node_busy: Vec::new(),
+            cpu_busy: SimDuration::ZERO,
+            gpu_busy: SimDuration::ZERO,
+            gpu_energy: 0.0,
+        }
     }
-    arm(Rc::new(RefCell::new(State {
-        sim: sim.clone(),
-        period,
-        jitter,
-        rng,
-        until,
-        skew,
-        tick: Box::new(tick),
-    })))
+}
+
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// A serialized mid-drive snapshot of the complete simulation state:
+/// event-queue identities, every RNG stream position, bus queues and
+/// in-flight executions, per-node internal state, supervision
+/// bookkeeping, recorder/tracer contents and sampler phases.
+///
+/// Captured by [`checkpoint_drive`] / [`resume_drive_checkpointed`] and
+/// consumed by [`resume_drive`]. The encoding is byte-deterministic:
+/// identical runs checkpointed at the same barrier produce identical
+/// bytes. `Checkpoint` is plain owned data (`Send + Sync`), so sweep
+/// workers can share one prefix checkpoint across threads.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    barrier: SimTime,
+    bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// The virtual time the checkpoint was captured at, seconds.
+    pub fn barrier_s(&self) -> f64 {
+        self.barrier.as_secs_f64()
+    }
+
+    /// Size of the serialized state, bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the run configuration, over the canonical debug
+/// rendering (stable: every field is plain data). With
+/// `strip_blackouts`, outage windows are excluded — the prefix-sharing
+/// identity, under which runs differing only in post-barrier blackouts
+/// compare equal.
+fn config_fingerprint(config: &StackConfig, strip_blackouts: bool) -> u64 {
+    if strip_blackouts {
+        let mut stripped = config.clone();
+        stripped.blackouts.clear();
+        fnv64(format!("{stripped:?}").as_bytes())
+    } else {
+        fnv64(format!("{config:?}").as_bytes())
+    }
+}
+
+fn earliest_blackout_start(config: &StackConfig) -> Option<f64> {
+    config.blackouts.iter().map(|b| b.from_s).min_by(f64::total_cmp)
+}
+
+/// A fully constructed drive: simulator, bus, platform, observers, and
+/// the registries (timers, noise RNGs, timed fault events, sampler
+/// cells) that make the session's complete dynamic state reachable for
+/// checkpointing. Built by [`build_session`]; nothing is on the event
+/// queue until [`DriveSession::start_fresh`] or
+/// [`DriveSession::resume_from`] runs.
+struct DriveSession {
+    sim: Sim,
+    bus: Bus<Msg>,
+    platform: Platform,
+    recorder: SharedRecorder,
+    tracer: Option<SharedTracer>,
+    supervisor: Option<Rc<Supervisor>>,
+    timers: Vec<Rc<RefCell<TimerState>>>,
+    noise_rngs: Vec<(&'static str, Rc<RefCell<StreamRng>>)>,
+    fault_events: Vec<FaultEventRec>,
+    loc_errors: Rc<RefCell<Vec<f64>>>,
+    loc_tracking_started: Option<Rc<Cell<bool>>>,
+    trace_prev: Option<Rc<RefCell<TracePrev>>>,
+    until: SimTime,
+}
+
+impl DriveSession {
+    /// Starts a fresh run: schedules the timed fault events, then arms
+    /// every timer — in registration order, so equal-time events (the
+    /// t=0 inject markers, first sensor ticks) get the same sequence
+    /// numbers as they always have.
+    fn start_fresh(&self) {
+        for ev in &self.fault_events {
+            schedule_fault_event(&self.sim, &self.bus, ev);
+        }
+        for timer in &self.timers {
+            arm_timer(timer);
+        }
+    }
+
+    /// Serializes the session's complete dynamic state at `barrier`
+    /// (which must be the current virtual time, with every event up to
+    /// the barrier already executed and all pending events strictly
+    /// beyond it).
+    fn capture(&self, config: &StackConfig, barrier: SimTime) -> Checkpoint {
+        debug_assert_eq!(self.sim.now(), barrier);
+        let mut w = SnapWriter::new();
+        w.put_tag("av-checkpoint");
+        w.put_u32(CHECKPOINT_VERSION);
+        w.put_u64(barrier.as_nanos());
+        w.put_u64(config_fingerprint(config, false));
+        w.put_u64(config_fingerprint(config, true));
+        w.put_opt_f64(earliest_blackout_start(config));
+        w.put_bool(self.tracer.is_some());
+
+        w.put_tag("sim");
+        w.put_u64(self.sim.now().as_nanos());
+        w.put_u64(self.sim.events_executed());
+
+        w.put_tag("noise");
+        w.put_usize(self.noise_rngs.len());
+        for (name, rng) in &self.noise_rngs {
+            w.put_str(name);
+            rng.borrow().save(&mut w);
+        }
+
+        w.put_tag("timers");
+        w.put_usize(self.timers.len());
+        for timer in &self.timers {
+            let s = timer.borrow();
+            s.rng.save(&mut w);
+            match s.pending {
+                Some((at, seq)) => {
+                    w.put_bool(true);
+                    w.put_u64(at.as_nanos());
+                    w.put_u64(seq);
+                }
+                None => w.put_bool(false),
+            }
+        }
+
+        w.put_tag("fault-events");
+        w.put_usize(self.fault_events.len());
+        for ev in &self.fault_events {
+            w.put_u64(ev.time.as_nanos());
+            w.put_u64(ev.seq.get());
+        }
+
+        w.put_tag("samplers");
+        match &self.loc_tracking_started {
+            Some(cell) => {
+                w.put_bool(true);
+                w.put_bool(cell.get());
+            }
+            None => w.put_bool(false),
+        }
+        match &self.trace_prev {
+            Some(prev) => {
+                w.put_bool(true);
+                let prev = prev.borrow();
+                w.put_usize(prev.node_busy.len());
+                for d in &prev.node_busy {
+                    w.put_u64(d.as_nanos());
+                }
+                w.put_u64(prev.cpu_busy.as_nanos());
+                w.put_u64(prev.gpu_busy.as_nanos());
+                w.put_f64(prev.gpu_energy);
+            }
+            None => w.put_bool(false),
+        }
+
+        w.put_tag("loc-errors");
+        {
+            let errors = self.loc_errors.borrow();
+            w.put_usize(errors.len());
+            for &e in errors.iter() {
+                w.put_f64(e);
+            }
+        }
+
+        self.platform.cpu().save_state(&mut w);
+        self.platform.gpu().save_state(&mut w);
+        self.bus.save_state(&mut w, &mut crate::snapshot::encode_msg);
+        match &self.supervisor {
+            Some(sup) => {
+                w.put_bool(true);
+                sup.save_state(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        self.recorder.save_state(&mut w);
+        if let Some(tracer) = &self.tracer {
+            tracer.save_state(&mut w);
+        }
+
+        Checkpoint { barrier, bytes: w.into_bytes() }
+    }
+
+    /// Restores `checkpoint` onto this freshly built session: overlays
+    /// all dynamic state, then re-inserts every pending event — timer
+    /// ticks, in-flight bus continuations, not-yet-fired fault events —
+    /// in their original global `(time, sequence)` order, so equal-time
+    /// FIFO ties replay exactly as a straight-through run would.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint does not match this session's
+    /// configuration (see [`resume_drive`]) or the bytes are corrupt.
+    fn resume_from(&self, checkpoint: &Checkpoint, config: &StackConfig) {
+        let mut r = SnapReader::new(&checkpoint.bytes);
+        r.expect_tag("av-checkpoint");
+        let version = r.get_u32();
+        assert_eq!(version, CHECKPOINT_VERSION, "unsupported checkpoint version {version}");
+        let barrier = SimTime::from_nanos(r.get_u64());
+        assert!(
+            barrier <= self.until,
+            "run duration {} s lies before the checkpoint barrier {} s",
+            self.until.as_secs_f64(),
+            barrier.as_secs_f64()
+        );
+        let full = r.get_u64();
+        let stripped = r.get_u64();
+        let original_first_blackout = r.get_opt_f64();
+        if config_fingerprint(config, false) != full {
+            assert_eq!(
+                config_fingerprint(config, true),
+                stripped,
+                "checkpoint was taken under a different configuration"
+            );
+            let b = barrier.as_secs_f64();
+            let clean = |first: Option<f64>| first.is_none_or(|s| s > b);
+            assert!(
+                clean(original_first_blackout) && clean(earliest_blackout_start(config)),
+                "blackout-divergent resume requires every outage window \
+                 (of both configurations) to start strictly after the barrier"
+            );
+        }
+        let has_tracer = r.get_bool();
+        assert_eq!(has_tracer, self.tracer.is_some(), "checkpoint tracing mode mismatch");
+
+        r.expect_tag("sim");
+        let now = SimTime::from_nanos(r.get_u64());
+        let executed = r.get_u64();
+        self.sim.restore_counters(now, executed);
+
+        r.expect_tag("noise");
+        assert_eq!(r.get_usize(), self.noise_rngs.len(), "checkpoint noise-stream count mismatch");
+        for (name, rng) in &self.noise_rngs {
+            let saved = r.get_str();
+            assert_eq!(saved, *name, "checkpoint noise-stream order mismatch");
+            rng.borrow_mut().restore(&mut r);
+        }
+
+        enum Restored {
+            Timer(usize),
+            Fault(usize),
+            Bus(RestoredContinuation),
+        }
+        let mut events: Vec<(SimTime, u64, Restored)> = Vec::new();
+
+        r.expect_tag("timers");
+        assert_eq!(r.get_usize(), self.timers.len(), "checkpoint timer count mismatch");
+        for (i, timer) in self.timers.iter().enumerate() {
+            timer.borrow_mut().rng.restore(&mut r);
+            if r.get_bool() {
+                let at = SimTime::from_nanos(r.get_u64());
+                let seq = r.get_u64();
+                events.push((at, seq, Restored::Timer(i)));
+            }
+        }
+
+        r.expect_tag("fault-events");
+        assert_eq!(r.get_usize(), self.fault_events.len(), "checkpoint fault-event count mismatch");
+        for (i, ev) in self.fault_events.iter().enumerate() {
+            let at = SimTime::from_nanos(r.get_u64());
+            let seq = r.get_u64();
+            debug_assert_eq!(at, ev.time, "fault-event schedule mismatch");
+            // Events at or before the barrier already fired inside the
+            // checkpointed prefix; their effects are in the saved state.
+            if at > barrier {
+                events.push((at, seq, Restored::Fault(i)));
+            }
+        }
+
+        r.expect_tag("samplers");
+        let has_loc = r.get_bool();
+        assert_eq!(
+            has_loc,
+            self.loc_tracking_started.is_some(),
+            "checkpoint localization-sampler mismatch"
+        );
+        if let Some(cell) = &self.loc_tracking_started {
+            cell.set(r.get_bool());
+        }
+        let has_trace_prev = r.get_bool();
+        assert_eq!(
+            has_trace_prev,
+            self.trace_prev.is_some(),
+            "checkpoint metrics-sampler mismatch"
+        );
+        if let Some(prev) = &self.trace_prev {
+            let mut prev = prev.borrow_mut();
+            prev.node_busy =
+                (0..r.get_usize()).map(|_| SimDuration::from_nanos(r.get_u64())).collect();
+            prev.cpu_busy = SimDuration::from_nanos(r.get_u64());
+            prev.gpu_busy = SimDuration::from_nanos(r.get_u64());
+            prev.gpu_energy = r.get_f64();
+        }
+
+        r.expect_tag("loc-errors");
+        *self.loc_errors.borrow_mut() = (0..r.get_usize()).map(|_| r.get_f64()).collect();
+
+        self.platform.cpu().load_state(&mut r);
+        self.platform.gpu().load_state(&mut r);
+        for c in self.bus.load_state(&mut r, &mut crate::snapshot::decode_msg) {
+            events.push((c.time, c.seq, Restored::Bus(c)));
+        }
+        let has_supervisor = r.get_bool();
+        assert_eq!(has_supervisor, self.supervisor.is_some(), "checkpoint supervision mismatch");
+        if let Some(sup) = &self.supervisor {
+            sup.load_state(&mut r);
+        }
+        self.recorder.load_state(&mut r);
+        if let Some(tracer) = &self.tracer {
+            tracer.load_state(&mut r);
+        }
+        assert!(r.is_exhausted(), "checkpoint has trailing bytes");
+
+        // Re-insert every pending event in the original global order.
+        // Sequence numbers only increase, so events re-stamped in this
+        // order keep their relative order among themselves *and* precede
+        // everything scheduled after the barrier — exactly the FIFO
+        // relation the original run had.
+        events.sort_by_key(|&(time, seq, _)| (time, seq));
+        for (time, _, event) in events {
+            match event {
+                Restored::Timer(i) => schedule_tick(&self.timers[i], time),
+                Restored::Fault(i) => {
+                    schedule_fault_event(&self.sim, &self.bus, &self.fault_events[i]);
+                }
+                Restored::Bus(c) => self.bus.schedule_restored(c),
+            }
+        }
+    }
+
+    /// Assembles the run report from the session's final state.
+    fn report(&self, config: &StackConfig) -> RunReport {
+        let elapsed = self.sim.now().saturating_since(SimTime::ZERO);
+        let cpu = self.platform.cpu().stats();
+        let gpu = self.platform.gpu().stats();
+        let power = config.calib.power.report(&cpu, config.calib.cpu.cores, &gpu, elapsed);
+        let errors = self.loc_errors.borrow();
+        let localization_error_m = if errors.is_empty() {
+            f64::NAN
+        } else {
+            errors.iter().sum::<f64>() / errors.len() as f64
+        };
+        let localization_error_final_m = if errors.len() >= 3 {
+            errors[errors.len() - 3..].iter().sum::<f64>() / 3.0
+        } else {
+            localization_error_m
+        };
+
+        RunReport {
+            detector: config.detector,
+            elapsed,
+            recorder: self.recorder.snapshot(),
+            drops: self.bus.drop_stats(),
+            cpu,
+            cores: config.calib.cpu.cores,
+            gpu,
+            power,
+            localization_error_m,
+            localization_error_final_m,
+            trace: self.tracer.as_ref().map(|t| t.snapshot()),
+            fault: self.supervisor.as_ref().map(|sup| {
+                sup.report(
+                    self.sim.now(),
+                    self.bus.fault_lost_count(),
+                    self.bus.fault_duplicated_count(),
+                )
+            }),
+        }
+    }
 }
 
 /// Extension trait avoiding an `as u64` sprinkle for fractional-second
@@ -1359,5 +1892,112 @@ mod tests {
         assert!(paths.contains("costmap_cluster_obj"));
         // Drop table may be empty for a short quiet run; just render it.
         let _ = report.drop_table().to_string();
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_straight_run() {
+        let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let run = RunConfig::seconds(6.0);
+        let straight = run_drive(&config, &run);
+        let (through, checkpoint) = checkpoint_drive(&config, &run, 2.5);
+        let resumed = resume_drive(&config, &run, &checkpoint);
+        assert!(checkpoint.size_bytes() > 0);
+        assert!((checkpoint.barrier_s() - 2.5).abs() < 1e-12);
+        let h = crate::determinism::run_hash;
+        assert_eq!(h(&straight), h(&through), "capturing must not perturb the run");
+        assert_eq!(h(&straight), h(&resumed), "resume must replay bit-identically");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_under_tracing() {
+        let config = StackConfig::smoke_test(DetectorKind::Ssd300);
+        let run = RunConfig::seconds(6.0).with_trace();
+        let straight = run_drive(&config, &run);
+        let (_, checkpoint) = checkpoint_drive(&config, &run, 3.0);
+        let resumed = resume_drive(&config, &run, &checkpoint);
+        // run_hash folds the full structured trace, so this covers the
+        // event timeline and metrics time series byte-for-byte.
+        assert!(straight.trace.is_some());
+        assert_eq!(crate::determinism::run_hash(&straight), crate::determinism::run_hash(&resumed));
+    }
+
+    #[test]
+    fn checkpoint_mid_outage_resumes_identically() {
+        // Crash at 3 s; barrier at 4 s lands inside the degraded window
+        // with the fallback localizer active and the restart pending.
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.faults = FaultPlan::parse("crash:ndt_matching@3").unwrap();
+        let run = RunConfig::seconds(10.0);
+        let straight = run_drive(&config, &run);
+        let (_, checkpoint) = checkpoint_drive(&config, &run, 4.0);
+        let resumed = resume_drive(&config, &run, &checkpoint);
+        assert_eq!(crate::determinism::run_hash(&straight), crate::determinism::run_hash(&resumed));
+        let fault = resumed.fault.as_ref().expect("fault stats survive the resume");
+        assert_eq!(fault.crashes, 1);
+        assert!(fault.restarts >= 1);
+    }
+
+    #[test]
+    fn checkpoint_before_a_planned_crash_still_fires_it() {
+        // Barrier at 2 s, crash planned for 3 s: the not-yet-fired fault
+        // event must be carried across the checkpoint and fire on resume.
+        let mut config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        config.faults = FaultPlan::parse("crash:ndt_matching@3").unwrap();
+        let run = RunConfig::seconds(10.0);
+        let straight = run_drive(&config, &run);
+        let (_, checkpoint) = checkpoint_drive(&config, &run, 2.0);
+        let resumed = resume_drive(&config, &run, &checkpoint);
+        assert_eq!(crate::determinism::run_hash(&straight), crate::determinism::run_hash(&resumed));
+        assert_eq!(resumed.fault.as_ref().unwrap().crashes, 1);
+    }
+
+    #[test]
+    fn chained_checkpoints_reproduce_the_straight_run() {
+        let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let run = RunConfig::seconds(6.0);
+        let straight = run_drive(&config, &run);
+        let (_, first) = checkpoint_drive(&config, &run, 2.0);
+        let (resumed, second) = resume_drive_checkpointed(&config, &run, &first, 4.0);
+        let rejoined = resume_drive(&config, &run, &second);
+        let h = crate::determinism::run_hash;
+        assert_eq!(h(&straight), h(&resumed));
+        assert_eq!(h(&straight), h(&rejoined));
+    }
+
+    #[test]
+    fn blackout_divergent_resume_matches_its_own_cold_run() {
+        // The prefix-sharing contract: a checkpoint of the clean config
+        // may seed any member whose outage windows all start after the
+        // barrier, and the resumed run must equal that member's cold run.
+        let clean = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let run = RunConfig::seconds(6.0);
+        let (_, checkpoint) = checkpoint_drive(&clean, &run, 2.0);
+        let mut member = clean.clone();
+        member.blackouts = vec![Blackout { source: Source::Gnss, from_s: 3.0, to_s: 5.0 }];
+        let cold = run_drive(&member, &run);
+        let warm = resume_drive(&member, &run, &checkpoint);
+        assert_eq!(crate::determinism::run_hash(&cold), crate::determinism::run_hash(&warm));
+    }
+
+    #[test]
+    #[should_panic(expected = "different configuration")]
+    fn resume_rejects_a_foreign_config() {
+        let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let run = RunConfig::seconds(6.0);
+        let (_, checkpoint) = checkpoint_drive(&config, &run, 2.0);
+        let mut other = config.clone();
+        other.seed = 999;
+        let _ = resume_drive(&other, &run, &checkpoint);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after the barrier")]
+    fn resume_rejects_a_blackout_straddling_the_barrier() {
+        let clean = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let run = RunConfig::seconds(6.0);
+        let (_, checkpoint) = checkpoint_drive(&clean, &run, 2.0);
+        let mut member = clean.clone();
+        member.blackouts = vec![Blackout { source: Source::Gnss, from_s: 1.0, to_s: 3.0 }];
+        let _ = resume_drive(&member, &run, &checkpoint);
     }
 }

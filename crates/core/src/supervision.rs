@@ -472,6 +472,89 @@ impl Supervisor {
         }
     }
 
+    /// Serializes the supervisor's dynamic bookkeeping for a checkpoint.
+    /// The policy, watch list and fallback wiring are configuration and
+    /// are rebuilt from the run config on resume.
+    pub fn save_state(&self, w: &mut av_des::SnapWriter) {
+        let s = self.state.borrow();
+        w.put_tag("supervisor");
+        w.put_usize(s.watched.len());
+        for watch in &s.watched {
+            w.put_str(&watch.name);
+            crate::snapshot::put_opt_time(w, watch.last_seen);
+            crate::snapshot::put_opt_time(w, watch.down_since);
+            crate::snapshot::put_opt_time(w, watch.restart_at);
+            crate::snapshot::put_opt_time(w, watch.restarted_at);
+            crate::snapshot::put_opt_time(w, watch.recover_from);
+            w.put_u32(watch.attempts);
+            w.put_bool(watch.miss_reported);
+        }
+        w.put_u64(s.crashes);
+        w.put_u64(s.heartbeat_misses);
+        w.put_u64(s.restarts);
+        w.put_u64(s.fallback_enters);
+        w.put_u64(s.fallback_exits);
+        w.put_usize(s.recovery_latencies_s.len());
+        for &v in &s.recovery_latencies_s {
+            w.put_f64(v);
+        }
+        w.put_f64(s.degraded_s);
+        w.put_bool(s.loc_fallback_active);
+        match &s.detector {
+            Some(det) => {
+                w.put_bool(true);
+                w.put_bool(det.pending);
+                crate::snapshot::put_opt_time(w, det.active_since);
+                crate::snapshot::put_opt_time(w, det.revert_at);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Restores the bookkeeping written by [`Supervisor::save_state`]
+    /// onto a freshly built supervisor with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's watch list or fallback wiring does
+    /// not match this supervisor's configuration.
+    pub fn load_state(&self, r: &mut av_des::SnapReader<'_>) {
+        let mut s = self.state.borrow_mut();
+        r.expect_tag("supervisor");
+        let n = r.get_usize();
+        assert_eq!(n, s.watched.len(), "checkpoint watch-list size mismatch");
+        for watch in &mut s.watched {
+            let name = r.get_str();
+            assert_eq!(name, watch.name, "checkpoint watch-list order mismatch");
+            watch.last_seen = crate::snapshot::get_opt_time(r);
+            watch.down_since = crate::snapshot::get_opt_time(r);
+            watch.restart_at = crate::snapshot::get_opt_time(r);
+            watch.restarted_at = crate::snapshot::get_opt_time(r);
+            watch.recover_from = crate::snapshot::get_opt_time(r);
+            watch.attempts = r.get_u32();
+            watch.miss_reported = r.get_bool();
+        }
+        s.crashes = r.get_u64();
+        s.heartbeat_misses = r.get_u64();
+        s.restarts = r.get_u64();
+        s.fallback_enters = r.get_u64();
+        s.fallback_exits = r.get_u64();
+        s.recovery_latencies_s = (0..r.get_usize()).map(|_| r.get_f64()).collect();
+        s.degraded_s = r.get_f64();
+        s.loc_fallback_active = r.get_bool();
+        let has_detector = r.get_bool();
+        assert_eq!(
+            has_detector,
+            s.detector.is_some(),
+            "checkpoint detector-fallback wiring mismatch"
+        );
+        if let Some(det) = &mut s.detector {
+            det.pending = r.get_bool();
+            det.active_since = crate::snapshot::get_opt_time(r);
+            det.revert_at = crate::snapshot::get_opt_time(r);
+        }
+    }
+
     /// Folds the supervisor's bookkeeping into the per-run report.
     /// Open outage / fallback episodes are censored at `end`.
     pub fn report(&self, end: SimTime, lost: u64, duplicated: u64) -> FaultReport {
@@ -558,6 +641,28 @@ impl FallbackLocalizer {
 }
 
 impl Node<Msg> for FallbackLocalizer {
+    fn save_state(&self, w: &mut av_des::SnapWriter) {
+        w.put_bool(self.active);
+        crate::snapshot::put_pose(w, &self.pose);
+        w.put_f64(self.speed);
+        w.put_f64(self.yaw_rate);
+        crate::snapshot::put_opt_time(w, self.last_imu_stamp);
+        crate::snapshot::put_opt_vec3(w, self.last_gnss);
+        w.put_u64(self.imu_count);
+        self.rng.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
+        self.active = r.get_bool();
+        self.pose = crate::snapshot::get_pose(r);
+        self.speed = r.get_f64();
+        self.yaw_rate = r.get_f64();
+        self.last_imu_stamp = crate::snapshot::get_opt_time(r);
+        self.last_gnss = crate::snapshot::get_opt_vec3(r);
+        self.imu_count = r.get_u64();
+        self.rng.restore(r);
+    }
+
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
         match &*msg.payload {
             Msg::Imu(imu) => {

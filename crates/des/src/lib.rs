@@ -39,8 +39,10 @@
 
 mod rng;
 mod sim;
+mod snap;
 mod time;
 
 pub use rng::{RngStreams, StreamRng};
 pub use sim::{EventHandle, Sim};
+pub use snap::{SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -178,6 +178,28 @@ impl StreamRng {
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
+
+    /// Serializes the complete generator state (LCG state, stream
+    /// increment, Box-Muller spare) for checkpointing.
+    pub fn save(&self, w: &mut crate::SnapWriter) {
+        w.put_u64(self.state);
+        w.put_u64(self.inc);
+        w.put_opt_f64(self.gauss_spare);
+    }
+
+    /// Reconstructs a generator from [`StreamRng::save`] bytes. The
+    /// restored stream continues the exact draw sequence of the original.
+    pub fn load(r: &mut crate::SnapReader<'_>) -> StreamRng {
+        let state = r.get_u64();
+        let inc = r.get_u64();
+        let gauss_spare = r.get_opt_f64();
+        StreamRng { state, inc, gauss_spare }
+    }
+
+    /// Overwrites this generator's state from [`StreamRng::save`] bytes.
+    pub fn restore(&mut self, r: &mut crate::SnapReader<'_>) {
+        *self = StreamRng::load(r);
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,31 @@ impl Sim {
         self.core.borrow().queue.len()
     }
 
+    /// The sequence number the *next* scheduled event will receive.
+    ///
+    /// Checkpointing uses this to record, just before a `schedule_at`
+    /// call, the identity of the event about to be created — equal-time
+    /// events replay in sequence order, so recording sequences lets a
+    /// resumed run re-insert pending events in the exact original order.
+    pub fn next_seq(&self) -> u64 {
+        self.core.borrow().next_seq
+    }
+
+    /// Restores the clock and the executed-event counter on a fresh
+    /// simulator during checkpoint resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any events are already pending: restore must happen
+    /// before the resumed session re-schedules its saved events, so that
+    /// none of them are clamped to a stale *now*.
+    pub fn restore_counters(&self, now: SimTime, executed: u64) {
+        let mut core = self.core.borrow_mut();
+        assert!(core.queue.is_empty(), "restore_counters requires an empty event queue");
+        core.now = now;
+        core.executed = executed;
+    }
+
     /// Schedules `callback` to run at absolute virtual time `time`.
     ///
     /// Scheduling in the past is clamped to *now* (the event still runs,

@@ -1,0 +1,266 @@
+//! Byte-deterministic snapshot encoding for checkpoint/resume.
+//!
+//! A hand-rolled little-endian writer/reader pair — no external crates, no
+//! reflection, no versioned schema language. Every component that
+//! participates in a checkpoint encodes its state field by field in a fixed
+//! order; the reader consumes the same fields in the same order. Floats are
+//! encoded via their IEEE-754 bit patterns so the byte stream is exactly
+//! reproducible (including NaN payloads and signed zeros), which is what
+//! makes checkpoints content-addressable and resume byte-identical.
+//!
+//! Malformed input is a programming error (a checkpoint only ever meets the
+//! code revision that wrote it), so the reader panics with a clear message
+//! instead of threading `Result` through every snapshot site.
+
+/// Append-only encoder for checkpoint bytes.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> SnapWriter {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` via its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes an `Option<f64>` as a presence byte plus the bit pattern.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_f64(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// Writes a short ASCII tag used to catch section misalignment early.
+    pub fn put_tag(&mut self, tag: &str) {
+        self.put_str(tag);
+    }
+}
+
+/// Sequential decoder over checkpoint bytes.
+///
+/// # Panics
+///
+/// Every read panics if the buffer is truncated or (for strings/tags) the
+/// content is malformed — a checkpoint is an internal artifact, so a
+/// mismatch is a bug, not an input error.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over the full byte slice.
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// `true` once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.pos + n <= self.buf.len(),
+            "checkpoint truncated: need {n} bytes at offset {}, have {}",
+            self.pos,
+            self.buf.len() - self.pos
+        );
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a `usize` encoded as `u64`.
+    pub fn get_usize(&mut self) -> usize {
+        self.get_u64() as usize
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Reads a bool byte.
+    pub fn get_bool(&mut self) -> bool {
+        match self.get_u8() {
+            0 => false,
+            1 => true,
+            b => panic!("checkpoint corrupt: bool byte {b}"),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> String {
+        let len = self.get_u32() as usize;
+        let bytes = self.take(len);
+        String::from_utf8(bytes.to_vec()).expect("checkpoint corrupt: non-UTF-8 string")
+    }
+
+    /// Reads an `Option<f64>` written by [`SnapWriter::put_opt_f64`].
+    pub fn get_opt_f64(&mut self) -> Option<f64> {
+        if self.get_bool() {
+            Some(self.get_f64())
+        } else {
+            None
+        }
+    }
+
+    /// Reads and checks a section tag written by [`SnapWriter::put_tag`].
+    pub fn expect_tag(&mut self, tag: &str) {
+        let got = self.get_str();
+        assert_eq!(got, tag, "checkpoint section mismatch: expected {tag:?}, found {got:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = SnapWriter::new();
+        w.put_tag("t");
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_usize(12345);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("hello köln");
+        w.put_opt_f64(Some(2.5));
+        w.put_opt_f64(None);
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        r.expect_tag("t");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), u64::MAX - 3);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_usize(), 12345);
+        assert_eq!(r.get_f64().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().is_nan());
+        assert!(r.get_bool());
+        assert_eq!(r.get_str(), "hello köln");
+        assert_eq!(r.get_opt_f64(), Some(2.5));
+        assert_eq!(r.get_opt_f64(), None);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn encoding_is_byte_deterministic() {
+        let encode = || {
+            let mut w = SnapWriter::new();
+            w.put_f64(1.0 / 3.0);
+            w.put_str("stream");
+            w.put_u64(99);
+            w.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint truncated")]
+    fn truncated_read_panics() {
+        let mut w = SnapWriter::new();
+        w.put_u32(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let _ = r.get_u64();
+    }
+
+    #[test]
+    #[should_panic(expected = "section mismatch")]
+    fn tag_mismatch_panics() {
+        let mut w = SnapWriter::new();
+        w.put_tag("rng");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.expect_tag("bus");
+    }
+}

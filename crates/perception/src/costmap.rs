@@ -65,6 +65,29 @@ impl OccupancyGrid {
         }
     }
 
+    /// Rebuilds a grid from its parts, as produced by [`OccupancyGrid::resolution`],
+    /// [`OccupancyGrid::half_size`] and [`OccupancyGrid::data`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not hold a whole square grid matching the
+    /// geometry implied by `resolution` and `half_size`.
+    pub fn from_parts(resolution: f64, half_size: f64, data: Vec<u8>) -> OccupancyGrid {
+        let cells_per_side = ((2.0 * half_size) / resolution).ceil() as usize;
+        assert_eq!(data.len(), cells_per_side * cells_per_side, "grid data length mismatch");
+        OccupancyGrid { resolution, half_size, cells_per_side, data }
+    }
+
+    /// Cell edge length, meters.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Grid half-extent, meters.
+    pub fn half_size(&self) -> f64 {
+        self.half_size
+    }
+
     /// Cells per side (the grid is square).
     pub fn cells_per_side(&self) -> usize {
         self.cells_per_side

@@ -2,7 +2,7 @@
 //! latency measurements.
 
 use crate::Distribution;
-use av_des::SimTime;
+use av_des::{SimTime, SnapReader, SnapWriter};
 use av_ros::{BusObserver, ProcessedEvent, Source};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -112,6 +112,66 @@ impl LatencyRecorder {
             .max_by(|a, b| a.1.mean.total_cmp(&b.1.mean))
     }
 
+    /// Serializes the recorded distributions into a checkpoint section.
+    ///
+    /// Path specs are *not* saved — they are rebuilt from the run
+    /// configuration at resume, and only the accumulated samples are
+    /// state. Maps are emitted in sorted key order so the encoding is
+    /// byte-deterministic.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_tag("latency");
+        for map in [&self.node_latency, &self.node_queue_wait, &self.path_latency] {
+            let mut keys: Vec<&String> = map.keys().collect();
+            keys.sort();
+            w.put_usize(keys.len());
+            for key in keys {
+                w.put_str(key);
+                let samples = map[key].samples();
+                w.put_usize(samples.len());
+                for &s in samples {
+                    w.put_f64(s);
+                }
+            }
+        }
+        let mut drops: Vec<(&(String, String), &u64)> = self.drops.iter().collect();
+        drops.sort();
+        w.put_usize(drops.len());
+        for ((topic, node), count) in drops {
+            w.put_str(topic);
+            w.put_str(node);
+            w.put_u64(*count);
+        }
+    }
+
+    /// Restores the distributions saved by [`LatencyRecorder::save_state`],
+    /// replacing current contents. Path specs are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed checkpoint bytes.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) {
+        r.expect_tag("latency");
+        let mut maps: [HashMap<String, Distribution>; 3] = Default::default();
+        for map in &mut maps {
+            for _ in 0..r.get_usize() {
+                let key = r.get_str();
+                let n = r.get_usize();
+                let dist: Distribution = (0..n).map(|_| r.get_f64()).collect();
+                map.insert(key, dist);
+            }
+        }
+        let [node_latency, node_queue_wait, path_latency] = maps;
+        self.node_latency = node_latency;
+        self.node_queue_wait = node_queue_wait;
+        self.path_latency = path_latency;
+        self.drops.clear();
+        for _ in 0..r.get_usize() {
+            let topic = r.get_str();
+            let node = r.get_str();
+            self.drops.insert((topic, node), r.get_u64());
+        }
+    }
+
     fn on_processed(&mut self, event: &ProcessedEvent) {
         if event.published.is_empty() {
             // Auxiliary callbacks (pose caches, IMU intake) publish
@@ -188,6 +248,16 @@ impl SharedRecorder {
     /// during observer callbacks).
     pub fn snapshot(&self) -> LatencyRecorder {
         self.inner.borrow().clone()
+    }
+
+    /// Serializes the wrapped recorder (see [`LatencyRecorder::save_state`]).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.inner.borrow().save_state(w);
+    }
+
+    /// Restores the wrapped recorder (see [`LatencyRecorder::load_state`]).
+    pub fn load_state(&self, r: &mut SnapReader<'_>) {
+        self.inner.borrow_mut().load_state(r);
     }
 }
 
@@ -308,6 +378,31 @@ mod tests {
             r.observed_drops()[&("/image_raw".to_string(), "vision_detection".to_string())],
             2
         );
+    }
+
+    #[test]
+    fn recorder_state_round_trips() {
+        let mut r = recorder();
+        let lineage = Lineage::origin(Source::Lidar, SimTime::from_millis(80));
+        r.node_processed(&event("ndt_matching", 100, 130, lineage, true));
+        r.node_processed(&event("voxel_grid_filter", 10, 14, Lineage::empty(), true));
+        r.message_dropped("/image_raw", "vision_detection", 0, SimTime::ZERO);
+
+        let mut w = SnapWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = recorder();
+        restored.load_state(&mut SnapReader::new(&bytes));
+        assert_eq!(restored.node_summary("ndt_matching"), r.node_summary("ndt_matching"));
+        assert_eq!(restored.path_summary("localization"), r.path_summary("localization"));
+        assert_eq!(restored.observed_drops(), r.observed_drops());
+        assert_eq!(restored.nodes(), r.nodes());
+
+        // Re-serializing the restored state is byte-identical.
+        let mut w2 = SnapWriter::new();
+        restored.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

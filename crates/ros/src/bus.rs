@@ -2,11 +2,11 @@
 
 use crate::node::{Execution, Node, Outbox, Phase};
 use crate::observer::{BusObserver, FaultKind, ProcessedEvent};
-use crate::{Header, Lineage, Message};
-use av_des::{Sim, SimDuration, SimTime, StreamRng};
+use crate::{Header, Lineage, Message, Source};
+use av_des::{Sim, SimDuration, SimTime, SnapReader, SnapWriter, StreamRng};
 use av_platform::{CpuTask, GpuJob, Platform};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -139,6 +139,12 @@ struct BusInner<M> {
     edge_faults: Vec<EdgeFault>,
     lost_to_fault: u64,
     duplicated_by_fault: u64,
+    /// Callback executions whose current phase is waiting on a scheduled
+    /// completion event. Keyed by token so the scheduled closure captures
+    /// only the token — the execution state itself stays serializable
+    /// data, which is what makes mid-callback checkpoints possible.
+    in_flight: BTreeMap<u64, InFlight<M>>,
+    next_token: u64,
 }
 
 impl<M> BusInner<M> {
@@ -177,6 +183,31 @@ struct ExecState<M> {
     /// Process-instance epoch at callback start; a crash bumps the
     /// slot's epoch, orphaning this in-flight execution.
     epoch: u64,
+}
+
+/// An execution parked on a scheduled completion event.
+struct InFlight<M> {
+    state: ExecState<M>,
+    /// Absolute virtual time of the scheduled continuation.
+    resume_at: SimTime,
+    /// DES sequence number of the continuation event — equal-time events
+    /// fire in sequence order, so a checkpoint records it to re-insert
+    /// pending continuations in the exact original order.
+    seq: u64,
+}
+
+/// One pending continuation reconstructed by [`Bus::load_state`].
+///
+/// The caller merges these with its own restored events (timer ticks,
+/// scheduled faults), sorts the union by `(time, seq)`, and schedules them
+/// in that order so equal-time ties replay exactly as in the original run.
+#[derive(Debug)]
+pub struct RestoredContinuation {
+    /// Absolute virtual time the continuation fires at.
+    pub time: SimTime,
+    /// Sequence number the continuation's event had in the original run.
+    pub seq: u64,
+    token: u64,
 }
 
 /// The publish/subscribe bus. Clonable handle; all clones share state.
@@ -230,6 +261,8 @@ impl<M: 'static> Bus<M> {
                 edge_faults: Vec::new(),
                 lost_to_fault: 0,
                 duplicated_by_fault: 0,
+                in_flight: BTreeMap::new(),
+                next_token: 0,
             })),
         }
     }
@@ -457,37 +490,69 @@ impl<M: 'static> Bus<M> {
     }
 
     fn advance(&self, mut state: ExecState<M>) {
+        // Every device/wait phase parks the execution state in the
+        // in-flight slab and schedules a continuation that captures only
+        // the slab token. `submit`/`schedule_in` each create exactly one
+        // DES event, so peeking `next_seq` just before the call records
+        // that event's identity for checkpointing.
         match state.phases.pop_front() {
             Some(Phase::Cpu { demand, mem_intensity }) => {
                 let bus = self.clone();
-                let (cpu, demand) = {
-                    let inner = self.inner.borrow();
+                let (cpu, demand, sim, token) = {
+                    let mut inner = self.inner.borrow_mut();
                     let factor = inner.dilation(state.node_idx);
                     let demand = if factor == 1.0 { demand } else { demand.mul_f64(factor) };
-                    (inner.platform.cpu().clone(), demand)
+                    let token = inner.next_token;
+                    inner.next_token += 1;
+                    (inner.platform.cpu().clone(), demand, inner.sim.clone(), token)
                 };
                 let task = CpuTask::new(state.node_name.clone(), demand, mem_intensity);
-                cpu.submit(task, move || bus.advance(state));
+                let seq = sim.next_seq();
+                let resume_at = cpu.submit(task, move || bus.resume_token(token));
+                self.inner.borrow_mut().in_flight.insert(token, InFlight { state, resume_at, seq });
             }
             Some(Phase::Gpu { kernel_time, copy_bytes, energy_j }) => {
                 let bus = self.clone();
-                let (gpu, kernel_time) = {
-                    let inner = self.inner.borrow();
+                let (gpu, kernel_time, sim, token) = {
+                    let mut inner = self.inner.borrow_mut();
                     let factor = inner.dilation(state.node_idx);
                     let kernel_time =
                         if factor == 1.0 { kernel_time } else { kernel_time.mul_f64(factor) };
-                    (inner.platform.gpu().clone(), kernel_time)
+                    let token = inner.next_token;
+                    inner.next_token += 1;
+                    (inner.platform.gpu().clone(), kernel_time, inner.sim.clone(), token)
                 };
                 let job = GpuJob::new(state.node_name.clone(), kernel_time, copy_bytes, energy_j);
-                gpu.submit(job, move || bus.advance(state));
+                let seq = sim.next_seq();
+                let resume_at = gpu.submit(job, move || bus.resume_token(token));
+                self.inner.borrow_mut().in_flight.insert(token, InFlight { state, resume_at, seq });
             }
             Some(Phase::Wait { duration }) => {
                 let bus = self.clone();
-                let sim = self.inner.borrow().sim.clone();
-                sim.schedule_in(duration, move || bus.advance(state));
+                let (sim, token) = {
+                    let mut inner = self.inner.borrow_mut();
+                    let token = inner.next_token;
+                    inner.next_token += 1;
+                    (inner.sim.clone(), token)
+                };
+                let seq = sim.next_seq();
+                let resume_at = sim.now() + duration;
+                sim.schedule_in(duration, move || bus.resume_token(token));
+                self.inner.borrow_mut().in_flight.insert(token, InFlight { state, resume_at, seq });
             }
             None => self.complete(state),
         }
+    }
+
+    /// Continues an execution parked in the in-flight slab.
+    fn resume_token(&self, token: u64) {
+        let entry = self
+            .inner
+            .borrow_mut()
+            .in_flight
+            .remove(&token)
+            .unwrap_or_else(|| panic!("in-flight token {token} fired twice"));
+        self.advance(entry.state);
     }
 
     fn complete(&self, state: ExecState<M>) {
@@ -787,6 +852,215 @@ impl<M: 'static> Bus<M> {
         self.inner.borrow().duplicated_by_fault
     }
 
+    // --- Checkpointing --------------------------------------------------
+
+    /// Serializes all dynamic bus state: topic counters, subscription
+    /// queues and stats, node-slot dynamics plus each node's internal
+    /// state (via [`Node::save_state`]), fault counters and edge-fault
+    /// RNG positions, and every in-flight callback execution.
+    ///
+    /// Static structure — registered nodes, subscriptions, observer,
+    /// stall/slow windows — is *not* saved; resume rebuilds it from the
+    /// same configuration, then overlays this dynamic state.
+    ///
+    /// `encode` serializes one payload; it must mirror the `decode` given
+    /// to [`Bus::load_state`].
+    pub fn save_state(&self, w: &mut SnapWriter, encode: &mut dyn FnMut(&M, &mut SnapWriter)) {
+        let inner = self.inner.borrow();
+
+        w.put_tag("bus.topics");
+        let mut topics: Vec<(&String, &TopicState)> = inner.topics.iter().collect();
+        topics.sort_by(|a, b| a.0.cmp(b.0));
+        w.put_usize(topics.len());
+        for (name, state) in topics {
+            w.put_str(name);
+            w.put_u64(state.seq);
+            w.put_u64(state.published);
+        }
+
+        w.put_tag("bus.nodes");
+        w.put_usize(inner.nodes.len());
+        for slot in &inner.nodes {
+            w.put_str(&slot.name);
+            w.put_bool(slot.busy);
+            w.put_u64(slot.busy_since.as_nanos());
+            w.put_u64(slot.busy_accum.as_nanos());
+            w.put_bool(slot.down);
+            w.put_u64(slot.epoch);
+            w.put_usize(slot.subs.len());
+            for sub in &slot.subs {
+                w.put_u64(sub.delivered);
+                w.put_u64(sub.dropped);
+                w.put_usize(sub.queue.len());
+                for pending in &sub.queue {
+                    debug_assert_eq!(pending.topic, sub.topic);
+                    w.put_u64(pending.arrival.as_nanos());
+                    save_message(w, &pending.msg, encode);
+                }
+            }
+            slot.node.borrow().save_state(w);
+        }
+
+        w.put_tag("bus.faults");
+        w.put_bool(inner.faults_armed);
+        w.put_usize(inner.edge_faults.len());
+        for fault in &inner.edge_faults {
+            fault.rng.save(w);
+        }
+        w.put_u64(inner.lost_to_fault);
+        w.put_u64(inner.duplicated_by_fault);
+
+        w.put_tag("bus.inflight");
+        w.put_usize(inner.in_flight.len());
+        for entry in inner.in_flight.values() {
+            w.put_u64(entry.resume_at.as_nanos());
+            w.put_u64(entry.seq);
+            let state = &entry.state;
+            w.put_usize(state.node_idx);
+            w.put_str(&state.topic);
+            w.put_u64(state.arrival.as_nanos());
+            w.put_u64(state.started.as_nanos());
+            w.put_u64(state.epoch);
+            w.put_usize(state.phases.len());
+            for phase in &state.phases {
+                save_phase(w, phase);
+            }
+            w.put_usize(state.outbox_items.len());
+            for (topic, payload, lineage) in &state.outbox_items {
+                w.put_str(topic);
+                encode(payload, w);
+                save_lineage(w, lineage);
+            }
+            save_lineage(w, &state.input_lineage);
+        }
+    }
+
+    /// Restores dynamic state written by [`Bus::save_state`] onto a bus
+    /// that has been rebuilt with the identical node/subscription
+    /// structure, and returns the reconstructed in-flight continuations.
+    ///
+    /// The caller must merge the returned continuations with its other
+    /// restored events, sort everything by `(time, seq)`, and hand each
+    /// continuation back to [`Bus::schedule_restored`] in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus structure (node names, subscription counts,
+    /// edge-fault count) does not match the checkpoint.
+    pub fn load_state(
+        &self,
+        r: &mut SnapReader<'_>,
+        decode: &mut dyn FnMut(&mut SnapReader<'_>) -> M,
+    ) -> Vec<RestoredContinuation> {
+        let mut inner = self.inner.borrow_mut();
+
+        r.expect_tag("bus.topics");
+        let n_topics = r.get_usize();
+        inner.topics.clear();
+        for _ in 0..n_topics {
+            let name = r.get_str();
+            let state = TopicState { seq: r.get_u64(), published: r.get_u64() };
+            inner.topics.insert(name, state);
+        }
+
+        r.expect_tag("bus.nodes");
+        let n_nodes = r.get_usize();
+        assert_eq!(n_nodes, inner.nodes.len(), "checkpoint node count mismatch");
+        for slot in &mut inner.nodes {
+            let name = r.get_str();
+            assert_eq!(name, slot.name, "checkpoint node order mismatch");
+            slot.busy = r.get_bool();
+            slot.busy_since = SimTime::from_nanos(r.get_u64());
+            slot.busy_accum = SimDuration::from_nanos(r.get_u64());
+            slot.down = r.get_bool();
+            slot.epoch = r.get_u64();
+            let n_subs = r.get_usize();
+            assert_eq!(n_subs, slot.subs.len(), "checkpoint subscription count mismatch");
+            for sub in &mut slot.subs {
+                sub.delivered = r.get_u64();
+                sub.dropped = r.get_u64();
+                let depth = r.get_usize();
+                sub.queue.clear();
+                for _ in 0..depth {
+                    let arrival = SimTime::from_nanos(r.get_u64());
+                    let msg = load_message(r, decode);
+                    sub.queue.push_back(PendingMsg { topic: sub.topic.clone(), msg, arrival });
+                }
+            }
+            slot.node.borrow_mut().load_state(r);
+        }
+
+        r.expect_tag("bus.faults");
+        inner.faults_armed = r.get_bool();
+        let n_faults = r.get_usize();
+        assert_eq!(n_faults, inner.edge_faults.len(), "checkpoint edge-fault count mismatch");
+        for fault in &mut inner.edge_faults {
+            fault.rng.restore(r);
+        }
+        inner.lost_to_fault = r.get_u64();
+        inner.duplicated_by_fault = r.get_u64();
+
+        r.expect_tag("bus.inflight");
+        let n_inflight = r.get_usize();
+        let mut continuations = Vec::with_capacity(n_inflight);
+        for _ in 0..n_inflight {
+            let resume_at = SimTime::from_nanos(r.get_u64());
+            let seq = r.get_u64();
+            let node_idx = r.get_usize();
+            let node_name = inner.nodes[node_idx].name.clone();
+            let topic = r.get_str();
+            let arrival = SimTime::from_nanos(r.get_u64());
+            let started = SimTime::from_nanos(r.get_u64());
+            let epoch = r.get_u64();
+            let n_phases = r.get_usize();
+            let phases = (0..n_phases).map(|_| load_phase(r)).collect();
+            let n_items = r.get_usize();
+            let outbox_items = (0..n_items)
+                .map(|_| {
+                    let topic = r.get_str();
+                    let payload = decode(r);
+                    let lineage = load_lineage(r);
+                    (topic, payload, lineage)
+                })
+                .collect();
+            let input_lineage = load_lineage(r);
+            let state = ExecState {
+                node_idx,
+                node_name,
+                topic,
+                arrival,
+                started,
+                phases,
+                outbox_items,
+                input_lineage,
+                epoch,
+            };
+            let token = inner.next_token;
+            inner.next_token += 1;
+            inner.in_flight.insert(token, InFlight { state, resume_at, seq });
+            continuations.push(RestoredContinuation { time: resume_at, seq, token });
+        }
+        continuations
+    }
+
+    /// Schedules one continuation returned by [`Bus::load_state`]. Must be
+    /// called in globally sorted `(time, seq)` order relative to every
+    /// other restored event so equal-time ties replay in original order.
+    pub fn schedule_restored(&self, c: RestoredContinuation) {
+        let (sim, new_seq) = {
+            let inner = self.inner.borrow();
+            (inner.sim.clone(), inner.sim.next_seq())
+        };
+        // Re-stamp the slab entry with the event identity it has in the
+        // resumed run, so a later checkpoint of this session saves the
+        // ordering that is actually live.
+        if let Some(entry) = self.inner.borrow_mut().in_flight.get_mut(&c.token) {
+            entry.seq = new_seq;
+        }
+        let bus = self.clone();
+        sim.schedule_at(c.time, move || bus.resume_token(c.token));
+    }
+
     /// Cumulative busy (callback-executing) time per node as of the current
     /// simulated instant, including any in-flight callback, in
     /// node-registration order.
@@ -805,6 +1079,80 @@ impl<M: 'static> Bus<M> {
             })
             .collect()
     }
+}
+
+fn save_lineage(w: &mut SnapWriter, lineage: &Lineage) {
+    let entries: Vec<(Source, SimTime)> = lineage.iter().collect();
+    w.put_usize(entries.len());
+    for (source, stamp) in entries {
+        w.put_u8(source.code() as u8);
+        w.put_u64(stamp.as_nanos());
+    }
+}
+
+fn load_lineage(r: &mut SnapReader<'_>) -> Lineage {
+    let n = r.get_usize();
+    let entries = (0..n)
+        .map(|_| (Source::from_code(r.get_u8() as u64), SimTime::from_nanos(r.get_u64())))
+        .collect();
+    Lineage::from_entries(entries)
+}
+
+fn save_phase(w: &mut SnapWriter, phase: &Phase) {
+    match phase {
+        Phase::Cpu { demand, mem_intensity } => {
+            w.put_u8(0);
+            w.put_u64(demand.as_nanos());
+            w.put_f64(*mem_intensity);
+        }
+        Phase::Gpu { kernel_time, copy_bytes, energy_j } => {
+            w.put_u8(1);
+            w.put_u64(kernel_time.as_nanos());
+            w.put_u64(*copy_bytes);
+            w.put_f64(*energy_j);
+        }
+        Phase::Wait { duration } => {
+            w.put_u8(2);
+            w.put_u64(duration.as_nanos());
+        }
+    }
+}
+
+fn load_phase(r: &mut SnapReader<'_>) -> Phase {
+    match r.get_u8() {
+        0 => {
+            Phase::Cpu { demand: SimDuration::from_nanos(r.get_u64()), mem_intensity: r.get_f64() }
+        }
+        1 => Phase::Gpu {
+            kernel_time: SimDuration::from_nanos(r.get_u64()),
+            copy_bytes: r.get_u64(),
+            energy_j: r.get_f64(),
+        },
+        2 => Phase::Wait { duration: SimDuration::from_nanos(r.get_u64()) },
+        tag => panic!("unknown phase tag {tag}"),
+    }
+}
+
+fn save_message<M>(
+    w: &mut SnapWriter,
+    msg: &Message<M>,
+    encode: &mut dyn FnMut(&M, &mut SnapWriter),
+) {
+    w.put_u64(msg.header.seq);
+    w.put_u64(msg.header.stamp.as_nanos());
+    save_lineage(w, &msg.header.lineage);
+    encode(&msg.payload, w);
+}
+
+fn load_message<M>(
+    r: &mut SnapReader<'_>,
+    decode: &mut dyn FnMut(&mut SnapReader<'_>) -> M,
+) -> Message<M> {
+    let seq = r.get_u64();
+    let stamp = SimTime::from_nanos(r.get_u64());
+    let lineage = load_lineage(r);
+    let payload = decode(r);
+    Message::new(Header { seq, stamp, lineage }, payload)
 }
 
 impl<M: 'static> fmt::Debug for Bus<M> {

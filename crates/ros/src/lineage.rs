@@ -39,6 +39,22 @@ impl Source {
             Source::Radar => 4,
         }
     }
+
+    /// Inverse of [`Source::code`], used by checkpoint decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown code.
+    pub fn from_code(code: u64) -> Source {
+        match code {
+            0 => Source::Lidar,
+            1 => Source::Camera,
+            2 => Source::Gnss,
+            3 => Source::Imu,
+            4 => Source::Radar,
+            other => panic!("unknown source code {other}"),
+        }
+    }
 }
 
 /// The set of sensor acquisition timestamps a message derives from.
@@ -104,6 +120,23 @@ impl Lineage {
     /// Iterates over `(source, stamp)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Source, SimTime)> + '_ {
         self.entries.iter().copied()
+    }
+
+    /// Rebuilds a lineage from `(source, stamp)` pairs in the given order.
+    ///
+    /// Checkpoint restore uses this to reconstruct lineages exactly as
+    /// saved: entry order is preserved verbatim, which matters because the
+    /// exported trace serializes entries in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source appears twice — a lineage keeps one stamp per
+    /// source, so duplicates indicate corrupt checkpoint bytes.
+    pub fn from_entries(entries: Vec<(Source, SimTime)>) -> Lineage {
+        for (i, (s, _)) in entries.iter().enumerate() {
+            assert!(!entries[..i].iter().any(|(p, _)| p == s), "duplicate lineage source {s:?}");
+        }
+        Lineage { entries }
     }
 
     /// `true` when the message has no sensor ancestry.

@@ -152,6 +152,18 @@ pub trait Node<M> {
     /// reset whatever a fresh launch would not have (filters, locks,
     /// caches). Default: nothing to reset.
     fn on_restart(&mut self) {}
+
+    /// Serializes the node's mutable internal state for a checkpoint.
+    ///
+    /// Stateless nodes (pure per-message transforms whose only state is
+    /// an RNG the stack snapshots elsewhere — or nothing at all) keep the
+    /// default no-op; stateful nodes write every field a resumed run needs
+    /// to continue byte-identically. Must mirror [`Node::load_state`].
+    fn save_state(&self, _w: &mut av_des::SnapWriter) {}
+
+    /// Restores state written by [`Node::save_state`] on a freshly built
+    /// node during checkpoint resume.
+    fn load_state(&mut self, _r: &mut av_des::SnapReader<'_>) {}
 }
 
 #[cfg(test)]

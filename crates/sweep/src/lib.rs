@@ -22,6 +22,12 @@
 //!   (where does the 100 ms deadline first break 2×?) and seeded
 //!   worst-case successive halving, both batch-iterative over the same
 //!   runner and replayable from their own trajectory artifacts.
+//! * [`cache`] — a content-addressed (spec-hash → result) evaluation
+//!   cache; together with [`av_core::stack::checkpoint_drive`] it lets
+//!   the runner share one simulated prefix across blackout-only grid
+//!   variants and lets halving warm-start each rung's survivors from
+//!   the previous rung's checkpoints — byte-identical results, strictly
+//!   fewer simulated virtual seconds.
 //!
 //! Everything downstream of the spec is a pure function of it, so a
 //! sweep — or a whole search trajectory — is as reproducible as a
@@ -30,17 +36,19 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod objective;
 pub mod runner;
 pub mod search;
 pub mod spec;
 
 pub use aggregate::{aggregate, SweepArtifacts};
+pub use cache::{CachedRun, EvalCache};
 pub use objective::Objective;
-pub use runner::{run_sweep, PointResult};
+pub use runner::{run_sweep, run_sweep_instrumented, PointResult, SweepStats};
 pub use search::{
-    run_search, run_search_with, search_artifacts, BatchRecord, BisectSpec, EvalRecord,
-    HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer, SearchArtifacts, SearchOutcome,
-    SearchSpec, Strategy,
+    run_search, run_search_instrumented, run_search_with, search_artifacts, BatchRecord,
+    BisectSpec, EvalRecord, HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer,
+    SearchArtifacts, SearchOutcome, SearchSpec, SearchStats, Strategy,
 };
 pub use spec::{BlackoutSpec, FaultPlanSpec, SweepPoint, SweepSpec, WorldKind};

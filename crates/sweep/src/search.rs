@@ -30,14 +30,19 @@
 //! they are independent of worker count and completion order — the same
 //! guarantee the sweep aggregator makes, extended to the optimizer loop.
 
+use crate::cache::EvalCache;
 use crate::objective::Objective;
 use crate::spec::{SweepPoint, WorldKind};
 use av_core::determinism::{run_hash, Fnv64};
 use av_core::parallel::parallel_map;
-use av_core::stack::{run_drive, RunConfig};
+use av_core::stack::{
+    checkpoint_drive, resume_drive_checkpointed, run_drive, Checkpoint, RunConfig,
+};
 use av_des::RngStreams;
 use av_trace::json::{self, JsonValue};
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 /// A knob the search may turn. The subset of sweep axes that are
 /// ordered scalars (detector and blackout schedule are categorical —
@@ -158,6 +163,12 @@ pub struct HalvingSpec {
     pub rungs: usize,
     /// Seed of the PCG32 stream the rung-0 sample is drawn from.
     pub seed: u64,
+    /// Cap on the per-rung drive duration, seconds. Once `duration ×
+    /// eta` would exceed the cap, later rungs repeat the capped
+    /// duration — and a rung whose duration is unchanged carries every
+    /// survivor's already-measured objective forward at zero
+    /// evaluation cost (it only narrows the candidate set).
+    pub max_duration_s: Option<f64>,
 }
 
 /// Which optimizer drives the sweep engine.
@@ -516,26 +527,39 @@ where
         })
         .collect();
 
-    let mut duration = spec.duration_s;
+    let cap = h.max_duration_s.unwrap_or(f64::INFINITY);
+    let mut duration = spec.duration_s.min(cap);
     let mut best: Option<(SweepPoint, f64)> = None;
+    // Survivor objectives carried from the previous rung, with the
+    // duration they were measured at.
+    let mut carried: Option<(f64, Vec<f64>)> = None;
     for rung in 0..h.rungs {
-        let planned: Vec<PlannedEval> = candidates
-            .iter()
-            .map(|p| PlannedEval { point: p.clone(), duration_s: duration })
-            .collect();
-        let recs = driver.batch(&format!("rung {rung}"), planned);
+        let objectives: Vec<f64> = match &carried {
+            // Duration unchanged (the cap clipped its growth): every
+            // candidate already has an objective at exactly this
+            // duration, so the rung is a pure cut — zero evaluations.
+            Some((measured_at, objectives)) if *measured_at == duration => objectives.clone(),
+            _ => {
+                let planned: Vec<PlannedEval> = candidates
+                    .iter()
+                    .map(|p| PlannedEval { point: p.clone(), duration_s: duration })
+                    .collect();
+                driver.batch(&format!("rung {rung}"), planned).iter().map(|e| e.objective).collect()
+            }
+        };
 
         // Rank worst-first; candidate order breaks objective ties, so the
         // cut is deterministic even with equal objectives.
-        let mut order: Vec<usize> = (0..recs.len()).collect();
-        order.sort_by(|&a, &b| recs[b].objective.total_cmp(&recs[a].objective).then(a.cmp(&b)));
-        best = Some((candidates[order[0]].clone(), recs[order[0]].objective));
+        let mut order: Vec<usize> = (0..objectives.len()).collect();
+        order.sort_by(|&a, &b| objectives[b].total_cmp(&objectives[a]).then(a.cmp(&b)));
+        best = Some((candidates[order[0]].clone(), objectives[order[0]]));
 
-        let keep = recs.len().div_ceil(h.eta).max(1);
+        let keep = objectives.len().div_ceil(h.eta).max(1);
         let mut survivors = order[..keep.min(order.len())].to_vec();
         survivors.sort_unstable();
-        candidates = survivors.into_iter().map(|i| candidates[i].clone()).collect();
-        duration *= h.eta as f64;
+        candidates = survivors.iter().map(|&i| candidates[i].clone()).collect();
+        carried = Some((duration, survivors.into_iter().map(|i| objectives[i]).collect()));
+        duration = (duration * h.eta as f64).min(cap);
     }
     let (mut point, objective) = best.expect("at least one rung ran");
     point.ordinal = 0;
@@ -561,20 +585,116 @@ where
     SearchOutcome { batches: driver.batches, answer, search_hash: hash }
 }
 
+/// How much simulation an instrumented search actually performed.
+/// Purely informational — warm starts and caching never change a
+/// single output byte, only how those bytes were obtained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Drives actually simulated (prior-trajectory reuse and cache hits
+    /// are not counted — they cost nothing).
+    pub evaluations: usize,
+    /// Virtual seconds of drive horizon actually simulated.
+    pub simulated_s: f64,
+    /// Evaluations warm-started from an earlier rung's checkpoint.
+    pub warm_resumes: usize,
+    /// Virtual seconds of prefix those warm starts did *not*
+    /// re-simulate.
+    pub resumed_prefix_s: f64,
+    /// Evaluations served whole from the (spec-hash → result) cache.
+    pub cache_hits: usize,
+}
+
 /// Runs the search for real: every evaluation is a simulated drive,
 /// fanned out over `jobs` worker threads within each batch. Results are
 /// independent of `jobs` because [`parallel_map`] preserves order and
 /// every drive is a pure function of its configuration.
+///
+/// Successive-halving evaluations are warm-started: each rung's drives
+/// end in a checkpoint ([`checkpoint_drive`]), and the next rung
+/// resumes its survivors from those snapshots instead of re-simulating
+/// the shared prefix ([`resume_drive_checkpointed`]) — byte-identical
+/// to cold runs, strictly fewer simulated virtual seconds. A
+/// (spec-hash → result) cache additionally memoizes whole evaluations
+/// within the search.
 pub fn run_search(spec: &SearchSpec, jobs: usize, prior: &[BatchRecord]) -> SearchOutcome {
+    run_search_instrumented(spec, jobs, prior, true).0
+}
+
+/// [`run_search`], also reporting the work done. `warm: false` disables
+/// both the checkpoint warm starts and the evaluation cache (every
+/// evaluation simulates its full horizon from virtual time zero) — the
+/// cold baseline the E-resume study measures against.
+pub fn run_search_instrumented(
+    spec: &SearchSpec,
+    jobs: usize,
+    prior: &[BatchRecord],
+    warm: bool,
+) -> (SearchOutcome, SearchStats) {
     let base = spec.world.base_config();
     let objective = spec.objective;
-    run_search_with(spec, prior, |planned: &[PlannedEval]| {
+    // Checkpoints only pay off when a later evaluation extends the same
+    // configuration — which only halving rungs do.
+    let capture = warm && matches!(spec.strategy, Strategy::Halving(_));
+    let cache = EvalCache::new();
+    let checkpoints: Mutex<HashMap<u64, Checkpoint>> = Mutex::new(HashMap::new());
+    let stats: Mutex<SearchStats> = Mutex::new(SearchStats::default());
+    let outcome = run_search_with(spec, prior, |planned: &[PlannedEval]| {
         parallel_map(planned.to_vec(), jobs, |pe| {
             let config = pe.point.apply(&base);
-            let report = run_drive(&config, &RunConfig::seconds(pe.duration_s));
-            (objective.evaluate(&report), run_hash(&report))
+            let run = RunConfig::seconds(pe.duration_s);
+            if warm {
+                let key = EvalCache::spec_hash(&config, &run);
+                if let Some(hit) = cache.lookup(key) {
+                    return (objective.evaluate(&hit.report), hit.run_hash);
+                }
+                // Checkpoints are keyed by configuration alone: rungs
+                // differ only in duration, and a snapshot from a
+                // shorter run seeds any longer one.
+                let ckey = EvalCache::spec_hash(&config, &RunConfig::default());
+                let from: Option<Checkpoint> = if capture {
+                    let store = checkpoints.lock().unwrap();
+                    store.get(&ckey).filter(|cp| cp.barrier_s() < pe.duration_s).cloned()
+                } else {
+                    None
+                };
+                let resumed_from = from.as_ref().map(Checkpoint::barrier_s);
+                let (report, checkpoint) = if let Some(cp) = &from {
+                    let (r, c) = resume_drive_checkpointed(&config, &run, cp, pe.duration_s);
+                    (r, Some(c))
+                } else if capture {
+                    let (r, c) = checkpoint_drive(&config, &run, pe.duration_s);
+                    (r, Some(c))
+                } else {
+                    (run_drive(&config, &run), None)
+                };
+                if let Some(c) = checkpoint {
+                    checkpoints.lock().unwrap().insert(ckey, c);
+                }
+                let hash = run_hash(&report);
+                cache.insert(key, &report, hash);
+                let mut s = stats.lock().unwrap();
+                s.evaluations += 1;
+                let prefix = resumed_from.unwrap_or(0.0);
+                s.simulated_s += pe.duration_s - prefix;
+                if resumed_from.is_some() {
+                    s.warm_resumes += 1;
+                    s.resumed_prefix_s += prefix;
+                }
+                drop(s);
+                (objective.evaluate(&report), hash)
+            } else {
+                let report = run_drive(&config, &run);
+                let mut s = stats.lock().unwrap();
+                s.evaluations += 1;
+                s.simulated_s += pe.duration_s;
+                drop(s);
+                (objective.evaluate(&report), run_hash(&report))
+            }
         })
-    })
+    });
+    let mut final_stats = stats.into_inner().unwrap();
+    final_stats.cache_hits = cache.hits();
+    (outcome, final_stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -630,6 +750,13 @@ impl SearchSpec {
                 if h.rungs == 0 {
                     return Err("rungs must be >= 1".to_string());
                 }
+                if let Some(cap) = h.max_duration_s {
+                    if !cap.is_finite() || cap <= 0.0 {
+                        return Err(format!(
+                            "max_duration_s must be positive and finite, got {cap}"
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -668,22 +795,37 @@ impl SearchSpec {
                     .iter()
                     .map(|kr| format!("{} in [{}, {})", kr.knob.name(), kr.lo, kr.hi))
                     .collect();
+                // A rung whose (capped) duration matches the previous
+                // rung's carries the survivor objectives forward and
+                // costs nothing — mirror halving()'s skip here.
+                let cap = h.max_duration_s.unwrap_or(f64::INFINITY);
                 let mut budget = 0usize;
                 let mut n = h.initial;
+                let mut d = self.duration_s.min(cap);
+                let mut prev_d = f64::NAN;
                 for _ in 0..h.rungs {
-                    budget += n;
+                    if d != prev_d {
+                        budget += n;
+                    }
                     n = n.div_ceil(h.eta).max(1);
+                    prev_d = d;
+                    d = (d * h.eta as f64).min(cap);
                 }
+                let capped = match h.max_duration_s {
+                    Some(cap) => format!(", rung duration capped at {cap} s"),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
                     "  successive halving over {}: {} initial, eta {}, {} rung(s), seed {}, \
-                     {} evaluation(s)",
+                     {} evaluation(s){}",
                     ranges.join(", "),
                     h.initial,
                     h.eta,
                     h.rungs,
                     h.seed,
-                    budget
+                    budget,
+                    capped
                 );
             }
         }
@@ -843,7 +985,7 @@ fn parse_bisect(value: &JsonValue) -> Result<BisectSpec, String> {
 }
 
 fn parse_halving(value: &JsonValue) -> Result<HalvingSpec, String> {
-    check_keys(value, &["knobs", "initial", "eta", "rungs", "seed"], "halving")?;
+    check_keys(value, &["knobs", "initial", "eta", "rungs", "seed", "max_duration_s"], "halving")?;
     let knobs = value
         .get("knobs")
         .and_then(JsonValue::as_array)
@@ -870,6 +1012,10 @@ fn parse_halving(value: &JsonValue) -> Result<HalvingSpec, String> {
             .get("seed")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| "halving.seed must be a non-negative integer".to_string())?,
+        max_duration_s: match value.get("max_duration_s") {
+            None => None,
+            Some(_) => Some(num_field(value, "max_duration_s", "halving")?),
+        },
     })
 }
 
@@ -1164,10 +1310,15 @@ mod tests {
             "name": "w", "world": "smoke", "duration_s": 4.0,
             "objective": "e2e_p99_ms",
             "halving": {"knobs": [{"knob": "camera_rate_hz", "lo": 10, "hi": 40}],
-                        "initial": 4, "eta": 2, "rungs": 2, "seed": 7}
+                        "initial": 4, "eta": 2, "rungs": 2, "seed": 7,
+                        "max_duration_s": 6.5}
         }"#;
         let spec = SearchSpec::from_json(halving).unwrap();
         assert!(matches!(&spec.strategy, Strategy::Halving(h) if h.initial == 4));
+        assert!(
+            matches!(&spec.strategy, Strategy::Halving(h) if h.max_duration_s == Some(6.5)),
+            "max_duration_s parses"
+        );
 
         assert!(SearchSpec::from_json("{\"name\": \"x\"}").is_err(), "no strategy");
         assert!(
@@ -1209,6 +1360,7 @@ mod tests {
                 eta: 2,
                 rungs: 3,
                 seed: 2020,
+                max_duration_s: None,
             }),
         };
         let rate = |p: &SweepPoint| p.camera_rate_hz.unwrap();
@@ -1235,6 +1387,54 @@ mod tests {
         };
         let c = run_search_with(&reseeded, &[], oracle(rate));
         assert_ne!(a.search_hash, c.search_hash);
+    }
+
+    #[test]
+    fn capped_halving_carries_survivors_through_noop_rungs() {
+        let spec = SearchSpec {
+            name: "w".to_string(),
+            world: WorldKind::Smoke,
+            base: SweepPoint::default(),
+            objective: Objective::E2eP99Ms,
+            duration_s: 2.0,
+            strategy: Strategy::Halving(HalvingSpec {
+                knobs: vec![KnobRange { knob: Knob::CameraRateHz, lo: 10.0, hi: 40.0 }],
+                initial: 8,
+                eta: 2,
+                rungs: 3,
+                seed: 2020,
+                max_duration_s: Some(4.0),
+            }),
+        };
+        spec.validate().unwrap();
+        let rate = |p: &SweepPoint| p.camera_rate_hz.unwrap();
+        let a = run_search_with(&spec, &[], oracle(rate));
+        // Rung durations are 2 s, 4 s, then 4 s again: the last rung
+        // reuses the survivors' objectives and evaluates nothing.
+        assert_eq!(a.evaluations(), 8 + 4, "no-op rung costs zero evaluations");
+        assert_eq!(a.batches.len(), 2, "no batch is recorded for the no-op rung");
+        assert_eq!(a.batches[1].evals[0].duration_s, 4.0);
+        match &a.answer {
+            SearchAnswer::Best { point, objective } => assert_eq!(*objective, rate(point)),
+            other => panic!("expected Best, got {}", answer_text(other)),
+        }
+        // describe() predicts the reduced budget and names the cap.
+        assert!(spec.describe().contains("12 evaluation(s)"), "{}", spec.describe());
+        assert!(spec.describe().contains("capped at 4 s"), "{}", spec.describe());
+        let b = run_search_with(&spec, &[], oracle(rate));
+        assert_eq!(a, b, "capped halving is deterministic");
+        // A cap below every rung's duration must still be rejected only
+        // when invalid; a negative cap is invalid.
+        let bad = SearchSpec {
+            strategy: match &spec.strategy {
+                Strategy::Halving(h) => {
+                    Strategy::Halving(HalvingSpec { max_duration_s: Some(-1.0), ..h.clone() })
+                }
+                _ => unreachable!(),
+            },
+            ..spec.clone()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

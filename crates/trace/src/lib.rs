@@ -32,7 +32,7 @@ pub mod diff;
 pub mod export;
 pub mod json;
 
-use av_des::{SimDuration, SimTime};
+use av_des::{SimDuration, SimTime, SnapReader, SnapWriter};
 use av_ros::{BusObserver, FaultKind, ProcessedEvent, Source};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -289,6 +289,192 @@ impl SharedTracer {
     pub fn snapshot(&self) -> TraceData {
         self.inner.borrow().data.clone()
     }
+
+    /// Serializes the recorded trace into a checkpoint section.
+    ///
+    /// Everything is owned data in emission order, so the encoding is a
+    /// direct walk; restoring with [`SharedTracer::load_state`] and then
+    /// continuing the run appends events exactly where a straight-through
+    /// run would, keeping the exported trace byte-identical.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let data = &self.inner.borrow().data;
+        w.put_tag("tracer");
+        w.put_u64(data.sample_interval.as_nanos());
+        w.put_usize(data.nodes.len());
+        for node in &data.nodes {
+            w.put_str(node);
+        }
+        w.put_usize(data.subscriptions.len());
+        for (topic, node) in &data.subscriptions {
+            w.put_str(topic);
+            w.put_str(node);
+        }
+        w.put_usize(data.events.len());
+        for event in &data.events {
+            save_event(event, w);
+        }
+        w.put_usize(data.samples.len());
+        for sample in &data.samples {
+            w.put_u64(sample.time.as_nanos());
+            w.put_usize(sample.queue_depths.len());
+            for &d in &sample.queue_depths {
+                w.put_u64(d);
+            }
+            w.put_usize(sample.node_busy_frac.len());
+            for &f in &sample.node_busy_frac {
+                w.put_f64(f);
+            }
+            w.put_f64(sample.cpu_util);
+            w.put_f64(sample.gpu_util);
+            w.put_f64(sample.cpu_w);
+            w.put_f64(sample.gpu_w);
+        }
+    }
+
+    /// Restores the recorded trace from a checkpoint section, replacing
+    /// any current contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed checkpoint bytes.
+    pub fn load_state(&self, r: &mut SnapReader<'_>) {
+        r.expect_tag("tracer");
+        let mut data = TraceData {
+            sample_interval: SimDuration::from_nanos(r.get_u64()),
+            ..TraceData::default()
+        };
+        for _ in 0..r.get_usize() {
+            data.nodes.push(r.get_str());
+        }
+        for _ in 0..r.get_usize() {
+            let topic = r.get_str();
+            let node = r.get_str();
+            data.subscriptions.push((topic, node));
+        }
+        for _ in 0..r.get_usize() {
+            data.events.push(load_event(r));
+        }
+        for _ in 0..r.get_usize() {
+            let time = SimTime::from_nanos(r.get_u64());
+            let mut queue_depths = Vec::new();
+            for _ in 0..r.get_usize() {
+                queue_depths.push(r.get_u64());
+            }
+            let mut node_busy_frac = Vec::new();
+            for _ in 0..r.get_usize() {
+                node_busy_frac.push(r.get_f64());
+            }
+            data.samples.push(MetricSample {
+                time,
+                queue_depths,
+                node_busy_frac,
+                cpu_util: r.get_f64(),
+                gpu_util: r.get_f64(),
+                cpu_w: r.get_f64(),
+                gpu_w: r.get_f64(),
+            });
+        }
+        self.inner.borrow_mut().data = data;
+    }
+}
+
+fn save_event(event: &TraceEvent, w: &mut SnapWriter) {
+    match event {
+        TraceEvent::Callback { node, topic, arrival, started, completed, lineage, published } => {
+            w.put_u8(0);
+            w.put_str(node);
+            w.put_str(topic);
+            w.put_u64(arrival.as_nanos());
+            w.put_u64(started.as_nanos());
+            w.put_u64(completed.as_nanos());
+            w.put_usize(lineage.len());
+            for &(source, stamp) in lineage {
+                w.put_u64(source.code());
+                w.put_u64(stamp.as_nanos());
+            }
+            w.put_usize(published.len());
+            for topic in published {
+                w.put_str(topic);
+            }
+        }
+        TraceEvent::Enqueued { topic, node, depth, time } => {
+            w.put_u8(1);
+            w.put_str(topic);
+            w.put_str(node);
+            w.put_usize(*depth);
+            w.put_u64(time.as_nanos());
+        }
+        TraceEvent::Dequeued { topic, node, depth, time } => {
+            w.put_u8(2);
+            w.put_str(topic);
+            w.put_str(node);
+            w.put_usize(*depth);
+            w.put_u64(time.as_nanos());
+        }
+        TraceEvent::Dropped { topic, node, depth, time } => {
+            w.put_u8(3);
+            w.put_str(topic);
+            w.put_str(node);
+            w.put_usize(*depth);
+            w.put_u64(time.as_nanos());
+        }
+        TraceEvent::Fault { kind, node, info, time } => {
+            w.put_u8(4);
+            w.put_str(kind.name());
+            w.put_str(node);
+            w.put_str(info);
+            w.put_u64(time.as_nanos());
+        }
+    }
+}
+
+fn load_event(r: &mut SnapReader<'_>) -> TraceEvent {
+    match r.get_u8() {
+        0 => {
+            let node = r.get_str();
+            let topic = r.get_str();
+            let arrival = SimTime::from_nanos(r.get_u64());
+            let started = SimTime::from_nanos(r.get_u64());
+            let completed = SimTime::from_nanos(r.get_u64());
+            let mut lineage = Vec::new();
+            for _ in 0..r.get_usize() {
+                let source = Source::from_code(r.get_u64());
+                lineage.push((source, SimTime::from_nanos(r.get_u64())));
+            }
+            let mut published = Vec::new();
+            for _ in 0..r.get_usize() {
+                published.push(r.get_str());
+            }
+            TraceEvent::Callback { node, topic, arrival, started, completed, lineage, published }
+        }
+        1 => {
+            let topic = r.get_str();
+            let node = r.get_str();
+            let depth = r.get_usize();
+            TraceEvent::Enqueued { topic, node, depth, time: SimTime::from_nanos(r.get_u64()) }
+        }
+        2 => {
+            let topic = r.get_str();
+            let node = r.get_str();
+            let depth = r.get_usize();
+            TraceEvent::Dequeued { topic, node, depth, time: SimTime::from_nanos(r.get_u64()) }
+        }
+        3 => {
+            let topic = r.get_str();
+            let node = r.get_str();
+            let depth = r.get_usize();
+            TraceEvent::Dropped { topic, node, depth, time: SimTime::from_nanos(r.get_u64()) }
+        }
+        4 => {
+            let name = r.get_str();
+            let kind = FaultKind::parse(&name)
+                .unwrap_or_else(|| panic!("checkpoint corrupt: unknown fault kind {name:?}"));
+            let node = r.get_str();
+            let info = r.get_str();
+            TraceEvent::Fault { kind, node, info, time: SimTime::from_nanos(r.get_u64()) }
+        }
+        other => panic!("checkpoint corrupt: unknown trace event tag {other}"),
+    }
 }
 
 #[cfg(test)]
@@ -330,5 +516,51 @@ mod tests {
         assert!(matches!(data.events[1], TraceEvent::Dropped { depth: 0, .. }));
         assert!(matches!(data.events[2], TraceEvent::Dequeued { depth: 0, .. }));
         assert_eq!(data.sample_interval, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn tracer_state_round_trips() {
+        let tracer = SharedTracer::new(&TraceConfig::default());
+        tracer.set_topology(
+            vec!["vision".to_string(), "ndt".to_string()],
+            vec![("/image_raw".to_string(), "vision".to_string())],
+        );
+        {
+            let obs = tracer.observer();
+            let mut obs = obs.borrow_mut();
+            obs.message_enqueued("/image_raw", "vision", 1, SimTime::from_millis(1));
+            obs.message_dropped("/image_raw", "vision", 0, SimTime::from_millis(2));
+            obs.node_processed(&ProcessedEvent {
+                node: "vision".to_string(),
+                topic: "/image_raw".to_string(),
+                arrival: SimTime::from_millis(2),
+                started: SimTime::from_millis(3),
+                completed: SimTime::from_millis(9),
+                lineage: av_ros::Lineage::origin(Source::Camera, SimTime::from_millis(1)),
+                published: vec!["/vision_objects".to_string()],
+            });
+            obs.fault_event(FaultKind::Crash, "ndt", "", SimTime::from_millis(5));
+        }
+        tracer.push_sample(MetricSample {
+            time: SimTime::from_millis(100),
+            queue_depths: vec![1],
+            node_busy_frac: vec![0.5, 0.25],
+            cpu_util: 0.4,
+            gpu_util: 0.7,
+            cpu_w: 11.0,
+            gpu_w: 19.5,
+        });
+        let mut w = SnapWriter::new();
+        tracer.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let restored = SharedTracer::default();
+        restored.load_state(&mut SnapReader::new(&bytes));
+        assert_eq!(restored.snapshot(), tracer.snapshot());
+
+        // Re-serializing the restored state is byte-identical.
+        let mut w2 = SnapWriter::new();
+        restored.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 }

@@ -77,6 +77,22 @@ echo "== search resume: replaying the trajectory is byte-identical and free =="
     --results "$tmp/search_resume" >"$tmp/resume.log" 2>/dev/null
 diff -r "$tmp/search" "$tmp/search_resume"
 
+echo "== checkpoint/resume: snapshotted drive is byte-identical to straight-through =="
+# A short traced smoke drive with a supervised crash, checkpointed
+# mid-recovery and resumed: golden hash, trace bytes and metrics CSV
+# must all match the straight run; resume_check exits nonzero if not.
+./target/release/resume_check >"$tmp/resume_check.log" 2>/dev/null
+grep 'resume check passed' "$tmp/resume_check.log"
+
+echo "== warm search: checkpointed halving matches cold search, simulates less =="
+# The same halving search run cold and warm must land on the identical
+# search hash; search --bench-resume exits nonzero on any divergence.
+./target/release/search --spec specs/search_resume_bench.json --jobs 4 \
+    --bench-resume "$tmp/bench_resume.json" \
+    --results "$tmp/search_warm" >"$tmp/warm.log" 2>/dev/null
+grep 'identical search hash' "$tmp/warm.log"
+grep -q '"virtual_seconds_saved": 32.000' "$tmp/bench_resume.json"
+
 echo "== trace_diff self-diff: a trace diffed against itself is empty =="
 ./target/release/trace_diff "$tmp/sweep/trace_p00.json" "$tmp/sweep/trace_p00.json" \
     >"$tmp/diff.log"
