@@ -7,8 +7,10 @@
 //! Loads two Chrome-format traces exported by this repo (`repro --trace`,
 //! `sweep --trace`, or `trace_report`), aligns them by node name and by
 //! lineage-anchored computation path, and reports per-node and per-path
-//! latency-distribution shifts, drops that appeared or vanished, and
-//! queue-depth divergence.
+//! latency-distribution shifts, drops that appeared or vanished,
+//! queue-depth divergence, and critical-path composition shifts (the
+//! dominant blame component flipped, or a node's blame share moved more
+//! than 5 points — the tail moved even if the mean did not).
 //!
 //! Exit status: `0` when the traces are behaviourally identical (the
 //! report says `traces identical: 0 differences`), `1` when differences
@@ -17,7 +19,8 @@
 
 use av_core::stack::computation_paths;
 use av_trace::analysis::{analyze_trace, TracePathSpec, TraceReport};
-use av_trace::diff::{diff_reports, render_diff};
+use av_trace::blame::{analyze_blame, trace_from_chrome, BlamePathSpec, BlameReport};
+use av_trace::diff::{diff_blame, diff_reports, render_diff, BLAME_SHIFT_EPSILON};
 use av_trace::json;
 
 fn trace_specs() -> Vec<TracePathSpec> {
@@ -27,7 +30,14 @@ fn trace_specs() -> Vec<TracePathSpec> {
         .collect()
 }
 
-fn load(path: &str) -> TraceReport {
+fn blame_specs() -> Vec<BlamePathSpec> {
+    computation_paths()
+        .into_iter()
+        .map(|p| BlamePathSpec::new(p.name, p.sink_node, p.source))
+        .collect()
+}
+
+fn load(path: &str) -> (TraceReport, BlameReport) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
@@ -36,10 +46,19 @@ fn load(path: &str) -> TraceReport {
         eprintln!("{path} is not valid JSON: {e}");
         std::process::exit(2);
     });
-    analyze_trace(&doc, &trace_specs()).unwrap_or_else(|e| {
+    let report = analyze_trace(&doc, &trace_specs()).unwrap_or_else(|e| {
         eprintln!("{path} is not a stack trace: {e}");
         std::process::exit(2);
-    })
+    });
+    let data = trace_from_chrome(&doc).unwrap_or_else(|e| {
+        eprintln!("{path} cannot be rehydrated for blame attribution: {e}");
+        std::process::exit(2);
+    });
+    let blame = analyze_blame(&data, &blame_specs()).unwrap_or_else(|e| {
+        eprintln!("{path} blame attribution failed: {e}");
+        std::process::exit(2);
+    });
+    (report, blame)
 }
 
 fn main() {
@@ -51,7 +70,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let diff = diff_reports(&load(a), &load(b));
+    let (report_a, blame_a) = load(a);
+    let (report_b, blame_b) = load(b);
+    let mut diff = diff_reports(&report_a, &report_b);
+    diff.blame_shifts = diff_blame(&blame_a, &blame_b, BLAME_SHIFT_EPSILON);
     print!("{}", render_diff(a, b, &diff));
     std::process::exit(i32::from(!diff.is_identical()));
 }

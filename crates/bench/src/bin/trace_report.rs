@@ -32,11 +32,13 @@ fn trace_specs() -> Vec<TracePathSpec> {
 }
 
 fn path_table(report: &TraceReport) -> Table {
-    let mut table = Table::with_headers(&["Path", "Count", "Mean (ms)", "p99 (ms)", "Max (ms)"]);
-    for (name, dist) in &report.paths {
-        let s = dist.summary();
+    let mut table =
+        Table::with_headers(&["Path", "Verdict", "Count", "Mean (ms)", "p99 (ms)", "Max (ms)"]);
+    for path in &report.paths {
+        let s = path.latency.summary();
         table.add_row(vec![
-            name.clone(),
+            path.name.clone(),
+            path.verdict.describe(),
             s.count.to_string(),
             format!("{:.2}", s.mean),
             format!("{:.2}", s.p99),
@@ -98,6 +100,15 @@ fn analyze_file(path: &str) {
         std::process::exit(2);
     });
     print_report(path, &report);
+    let broken: Vec<&av_trace::analysis::PathReport> =
+        report.paths.iter().filter(|p| !p.verdict.is_ok()).collect();
+    if !broken.is_empty() {
+        for p in &broken {
+            eprintln!("path {}: {}", p.name, p.verdict.describe());
+        }
+        eprintln!("{} path(s) not fully anchored", broken.len());
+        std::process::exit(1);
+    }
 }
 
 fn verify(duration_s: f64, detector: DetectorKind) {
@@ -126,17 +137,20 @@ fn verify(duration_s: f64, detector: DetectorKind) {
     // Fig 6: every path's sample vector must match the live recorder
     // bit-for-bit (hence so do mean, p99, ... — summaries are pure
     // functions of the samples).
-    for (name, dist) in &recomputed.paths {
+    for path in &recomputed.paths {
+        let name = &path.name;
         let live_samples =
             live.recorder.path_latencies(name).map(|d| d.samples().to_vec()).unwrap_or_default();
         check(
             format!(
                 "path {name}: {} samples, mean {:.3} ms",
                 live_samples.len(),
-                dist.summary().mean
+                path.latency.summary().mean
             ),
-            dist.samples() == live_samples.as_slice(),
+            path.latency.samples() == live_samples.as_slice(),
         );
+        // A silently-empty path (missing lineage source) fails loudly.
+        check(format!("path {name}: verdict {}", path.verdict.describe()), path.verdict.is_ok());
     }
 
     // Fig 5: per-node processing latencies.

@@ -6,7 +6,9 @@
 //! the sweep aggregator and the search objective agree byte-for-byte on
 //! what "p99 end-to-end latency" or "drop rate" means.
 
-use crate::stack::RunReport;
+use crate::stack::{computation_paths, RunReport};
+use av_trace::blame::{analyze_blame, BlamePathSpec, Component};
+use std::collections::BTreeMap;
 
 /// The perception deadline the paper's Finding 2 is stated against:
 /// "the detection results... should be delivered within 100 ms".
@@ -83,6 +85,51 @@ pub fn run_metrics(report: &RunReport) -> RunMetrics {
     }
 }
 
+/// Blame-attribution scalars from a traced run, keyed for sweep columns
+/// and search objectives (`blame:<key>`):
+///
+/// * `critical_path_share_queue` — queue-wait share of the worst path's
+///   p99 instance (Finding 1's contention signal),
+/// * `critical_path_share_queue_p50` — the same share at the median, so
+///   the tail-vs-typical gap is one subtraction away,
+/// * `p99_blame_<node>` — each node's share of the worst path's p99
+///   instance (COLA-style tail blame),
+/// * `energy_per_frame_<node>_mj` — mean attributed energy per worst-path
+///   instance, by node.
+///
+/// Errors when the run was not traced (`RunConfig::with_trace`) or when a
+/// blame chain cannot be reconstructed.
+pub fn blame_scalars(report: &RunReport) -> Result<BTreeMap<String, f64>, String> {
+    let trace =
+        report.trace.as_ref().ok_or("blame scalars need a traced run (RunConfig::with_trace)")?;
+    let specs: Vec<BlamePathSpec> = computation_paths()
+        .into_iter()
+        .map(|p| BlamePathSpec::new(p.name, p.sink_node, p.source))
+        .collect();
+    let blame = analyze_blame(trace, &specs)?;
+    let mut out = BTreeMap::new();
+    let Some((worst, _)) = report.end_to_end() else { return Ok(out) };
+    let Some(path) = blame.path(&worst) else { return Ok(out) };
+    out.insert(
+        "critical_path_share_queue".to_string(),
+        path.component_share_at(99.0, Component::QueueWait),
+    );
+    out.insert(
+        "critical_path_share_queue_p50".to_string(),
+        path.component_share_at(50.0, Component::QueueWait),
+    );
+    if let Some(inst) = path.instance_at_percentile(99.0) {
+        let total = inst.total_ns().max(1);
+        for (node, ns) in inst.node_ns() {
+            out.insert(format!("p99_blame_{node}"), ns as f64 / total as f64);
+        }
+    }
+    for (node, mj) in path.mean_energy_mj_by_node() {
+        out.insert(format!("energy_per_frame_{node}_mj"), mj);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +152,23 @@ mod tests {
         assert_eq!(m.time_degraded_s, 0.0);
         assert_eq!(m.recovery_latency_ms, 0.0);
         assert_eq!(m.fault_lost_msgs, 0);
+    }
+
+    #[test]
+    fn blame_scalars_require_a_trace_and_shares_sum_to_one() {
+        let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let untraced = run_drive(&config, &RunConfig::seconds(5.0));
+        assert!(blame_scalars(&untraced).is_err(), "untraced runs cannot be attributed");
+
+        let report = run_drive(&config, &RunConfig::seconds(5.0).with_trace());
+        let m = blame_scalars(&report).expect("traced run attributes");
+        let q99 = m["critical_path_share_queue"];
+        let q50 = m["critical_path_share_queue_p50"];
+        assert!((0.0..=1.0).contains(&q99), "queue share {q99}");
+        assert!((0.0..=1.0).contains(&q50), "queue share {q50}");
+        let blame_sum: f64 =
+            m.iter().filter(|(k, _)| k.starts_with("p99_blame_")).map(|(_, v)| v).sum();
+        assert!((blame_sum - 1.0).abs() < 1e-9, "p99 blame shares sum to 1, got {blame_sum}");
+        assert!(m.keys().any(|k| k.starts_with("energy_per_frame_")), "energy scalars present");
     }
 }

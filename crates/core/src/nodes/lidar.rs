@@ -10,7 +10,7 @@ use av_perception::{
     ClusterParams, EuclideanCluster, NdtMatcher, NdtParams, RayGroundFilter, RayGroundParams,
 };
 use av_pointcloud::{NdtGrid, VoxelGrid};
-use av_ros::{Execution, Message, Node, Outbox};
+use av_ros::{Execution, Lineage, Message, Node, Outbox};
 
 /// `voxel_grid_filter`: down-samples `/points_raw` for localization.
 pub struct VoxelGridFilterNode {
@@ -68,6 +68,10 @@ pub struct NdtMatchingNode {
     last_gnss: Option<av_geom::Vec3>,
     last_accept_stamp: Option<SimTime>,
     awaiting_seed: bool,
+    // Lineage of the GNSS fix currently seeding the pose. Merged into
+    // published poses until the first accepted scan match, so the
+    // post-restart reseed handshake stays visible in blame chains.
+    seed_lineage: Lineage,
 }
 
 impl NdtMatchingNode {
@@ -94,6 +98,7 @@ impl NdtMatchingNode {
             last_gnss: None,
             last_accept_stamp: None,
             awaiting_seed: false,
+            seed_lineage: Lineage::empty(),
         }
     }
 
@@ -157,6 +162,7 @@ impl Node<Msg> for NdtMatchingNode {
         crate::snapshot::put_opt_vec3(w, self.last_gnss);
         crate::snapshot::put_opt_time(w, self.last_accept_stamp);
         w.put_bool(self.awaiting_seed);
+        crate::snapshot::put_lineage(w, &self.seed_lineage);
     }
 
     fn load_state(&mut self, r: &mut av_des::SnapReader<'_>) {
@@ -170,6 +176,7 @@ impl Node<Msg> for NdtMatchingNode {
         self.last_gnss = crate::snapshot::get_opt_vec3(r);
         self.last_accept_stamp = crate::snapshot::get_opt_time(r);
         self.awaiting_seed = r.get_bool();
+        self.seed_lineage = crate::snapshot::get_lineage(r);
     }
 
     fn on_message(&mut self, topic: &str, msg: &Message<Msg>, out: &mut Outbox<Msg>) -> Execution {
@@ -196,6 +203,7 @@ impl Node<Msg> for NdtMatchingNode {
                         None => self.pose.yaw(),
                     };
                     self.pose = Pose::planar(fix.position.x, fix.position.y, yaw);
+                    self.seed_lineage = msg.header.lineage.clone();
                 }
                 self.last_gnss = Some(fix.position);
                 self.awaiting_seed = false;
@@ -246,15 +254,26 @@ impl Node<Msg> for NdtMatchingNode {
                         self.localized = false;
                     }
                 }
+                let accepted_now = self.consecutive_rejects == 0 && self.localized;
                 self.last_match_stamp = Some(msg.header.stamp);
-                out.publish(
-                    topics::NDT_POSE,
-                    Msg::Pose(PoseEstimate {
-                        pose: self.pose,
-                        fitness: result.fitness,
-                        iterations: result.iterations,
-                    }),
-                );
+                let payload = Msg::Pose(PoseEstimate {
+                    pose: self.pose,
+                    fitness: result.fitness,
+                    iterations: result.iterations,
+                });
+                if self.seed_lineage.is_empty() {
+                    out.publish(topics::NDT_POSE, payload);
+                } else {
+                    // While converging from a GNSS seed the pose still
+                    // derives from that fix: keep its ancestry on the
+                    // published estimate (and drop it once a scan match is
+                    // accepted — from then on the pose is map-matched).
+                    let lineage = out.default_lineage().merged(&self.seed_lineage);
+                    out.publish_with_lineage(topics::NDT_POSE, payload, lineage);
+                    if accepted_now {
+                        self.seed_lineage = Lineage::empty();
+                    }
+                }
                 let units = result.iterations as f64;
                 Execution::cpu(self.cost.demand(units, &mut self.rng), self.cost.mem_intensity)
             }

@@ -1305,7 +1305,7 @@ impl TracePrev {
     }
 }
 
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// A serialized mid-drive snapshot of the complete simulation state:
 /// event-queue identities, every RNG stream position, bus queues and

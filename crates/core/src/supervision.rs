@@ -32,7 +32,9 @@ use crate::nodes::VisionDetectionNode;
 use crate::topics;
 use av_des::{SimDuration, SimTime, StreamRng};
 use av_geom::{Pose, Vec3};
-use av_ros::{Bus, BusObserver, Execution, FaultKind, Message, Node, Outbox, ProcessedEvent};
+use av_ros::{
+    Bus, BusObserver, Execution, FaultKind, Lineage, Message, Node, Outbox, ProcessedEvent,
+};
 use av_vision::DetectorKind;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -600,6 +602,10 @@ pub struct FallbackLocalizer {
     last_imu_stamp: Option<SimTime>,
     last_gnss: Option<Vec3>,
     imu_count: u64,
+    // Lineage of the last GNSS fix absorbed into the dead-reckoned pose,
+    // merged into every published fallback pose so blame chains stay
+    // anchored to real acquisitions across a fault window.
+    reseed_lineage: Lineage,
     cost: NodeCost,
     rng: StreamRng,
 }
@@ -619,6 +625,7 @@ impl FallbackLocalizer {
             last_imu_stamp: None,
             last_gnss: None,
             imu_count: 0,
+            reseed_lineage: Lineage::empty(),
             cost: calib.auxiliary.clone(),
             rng,
         }
@@ -649,6 +656,7 @@ impl Node<Msg> for FallbackLocalizer {
         crate::snapshot::put_opt_time(w, self.last_imu_stamp);
         crate::snapshot::put_opt_vec3(w, self.last_gnss);
         w.put_u64(self.imu_count);
+        crate::snapshot::put_lineage(w, &self.reseed_lineage);
         self.rng.save(w);
     }
 
@@ -660,6 +668,7 @@ impl Node<Msg> for FallbackLocalizer {
         self.last_imu_stamp = crate::snapshot::get_opt_time(r);
         self.last_gnss = crate::snapshot::get_opt_vec3(r);
         self.imu_count = r.get_u64();
+        self.reseed_lineage = crate::snapshot::get_lineage(r);
         self.rng.restore(r);
     }
 
@@ -683,9 +692,13 @@ impl Node<Msg> for FallbackLocalizer {
                 self.yaw_rate = imu.yaw_rate;
                 self.imu_count += 1;
                 if self.active && self.imu_count.is_multiple_of(IMU_PUBLISH_DIVIDER) {
-                    out.publish(
+                    // The dead-reckoned pose derives from the triggering
+                    // IMU sample *and* the last GNSS reseed.
+                    let lineage = out.default_lineage().merged(&self.reseed_lineage);
+                    out.publish_with_lineage(
                         topics::NDT_POSE,
                         Msg::Pose(PoseEstimate { pose: self.pose, fitness: 0.0, iterations: 0 }),
+                        lineage,
                     );
                 }
                 Execution::cpu(self.cost.demand(0.0, &mut self.rng), self.cost.mem_intensity)
@@ -707,6 +720,7 @@ impl Node<Msg> for FallbackLocalizer {
                 };
                 self.pose = Pose::planar(fix.position.x, fix.position.y, yaw);
                 self.last_gnss = Some(fix.position);
+                self.reseed_lineage = msg.header.lineage.clone();
                 Execution::cpu(self.cost.demand(0.0, &mut self.rng), self.cost.mem_intensity)
             }
             other => unexpected(topics::nodes::FALLBACK_LOCALIZER, topic, other),

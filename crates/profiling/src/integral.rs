@@ -1,0 +1,154 @@
+//! Span-bounded integrals over sampled rate series.
+//!
+//! The trace layer samples per-node busy fractions and device power at a
+//! fixed cadence; blame attribution needs those integrated over arbitrary
+//! spans (one callback's execution, one path instance's lifetime). A
+//! [`RateIntegral`] turns the sampled series into a piecewise-constant
+//! rate function with an exact prefix sum, so `integral(a, b)` is O(log n)
+//! and a pure function of the samples — byte-deterministic across runs.
+
+/// A piecewise-constant rate over time, queryable for the integral of the
+/// rate over any span.
+///
+/// Each sample `(end_ns, rate)` covers the interval `(previous end, end]`;
+/// the first interval starts `interval_ns` before its sample (clamped at
+/// zero). Outside the covered range the rate is zero.
+///
+/// ```
+/// use av_profiling::RateIntegral;
+/// // Two 100 ms intervals at 2.0/s then 4.0/s.
+/// let r = RateIntegral::from_samples(&[(100_000_000, 2.0), (200_000_000, 4.0)], 100_000_000);
+/// assert!((r.integral(0, 100_000_000) - 0.2).abs() < 1e-12);
+/// assert!((r.integral(50_000_000, 150_000_000) - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RateIntegral {
+    /// Interval start times, ns (ascending, contiguous with `ends`).
+    starts: Vec<u64>,
+    /// Interval end times, ns (ascending).
+    ends: Vec<u64>,
+    /// Rate per second over each interval.
+    rates: Vec<f64>,
+    /// Prefix sums: `cum[i]` = integral from 0 to `ends[i]`.
+    cum: Vec<f64>,
+}
+
+impl RateIntegral {
+    /// Builds the integral from `(sample_end_ns, rate_per_second)` pairs in
+    /// ascending time order. `interval_ns` bounds the first sample's
+    /// interval on the left.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sample times are not strictly ascending.
+    pub fn from_samples(samples: &[(u64, f64)], interval_ns: u64) -> RateIntegral {
+        let mut out = RateIntegral::default();
+        let mut prev_end = 0u64;
+        let mut total = 0.0f64;
+        for (i, &(end, rate)) in samples.iter().enumerate() {
+            let start = if i == 0 { end.saturating_sub(interval_ns) } else { prev_end };
+            assert!(end > start, "sample times must be strictly ascending");
+            total += rate * ns_to_s(end - start);
+            out.starts.push(start);
+            out.ends.push(end);
+            out.rates.push(rate);
+            out.cum.push(total);
+            prev_end = end;
+        }
+        out
+    }
+
+    /// The integral of the rate from time zero to `t_ns`.
+    pub fn cumulative(&self, t_ns: u64) -> f64 {
+        if self.ends.is_empty() || t_ns <= self.starts[0] {
+            return 0.0;
+        }
+        // Last interval ending at or before t.
+        let idx = self.ends.partition_point(|&e| e <= t_ns);
+        if idx == self.ends.len() {
+            return self.cum[idx - 1];
+        }
+        let before = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
+        // t falls inside (or before the start of) interval idx.
+        let overlap = t_ns.saturating_sub(self.starts[idx]);
+        before + self.rates[idx] * ns_to_s(overlap)
+    }
+
+    /// The integral of the rate over `[a_ns, b_ns]` (zero when `b <= a`).
+    pub fn integral(&self, a_ns: u64, b_ns: u64) -> f64 {
+        if b_ns <= a_ns {
+            return 0.0;
+        }
+        self.cumulative(b_ns) - self.cumulative(a_ns)
+    }
+
+    /// The integral over the whole covered range.
+    pub fn total(&self) -> f64 {
+        self.cum.last().copied().unwrap_or(0.0)
+    }
+
+    /// `true` when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+}
+
+fn ns_to_s(ns: u64) -> f64 {
+    ns as f64 * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> RateIntegral {
+        // 3 × 100 ms intervals at rates 1, 3, 2 per second.
+        RateIntegral::from_samples(
+            &[(100_000_000, 1.0), (200_000_000, 3.0), (300_000_000, 2.0)],
+            100_000_000,
+        )
+    }
+
+    #[test]
+    fn total_and_cumulative() {
+        let r = series();
+        assert!((r.total() - 0.6).abs() < 1e-12);
+        assert_eq!(r.cumulative(0), 0.0);
+        assert!((r.cumulative(100_000_000) - 0.1).abs() < 1e-12);
+        assert!((r.cumulative(150_000_000) - 0.25).abs() < 1e-12);
+        assert!((r.cumulative(1_000_000_000) - 0.6).abs() < 1e-12, "flat after last sample");
+    }
+
+    #[test]
+    fn integral_is_additive_over_splits() {
+        let r = series();
+        let whole = r.integral(20_000_000, 280_000_000);
+        let split = r.integral(20_000_000, 130_000_000) + r.integral(130_000_000, 280_000_000);
+        assert!((whole - split).abs() < 1e-12);
+        assert_eq!(r.integral(50, 50), 0.0);
+        assert_eq!(r.integral(100, 50), 0.0, "inverted span is zero");
+    }
+
+    #[test]
+    fn outside_range_is_zero_rate() {
+        let r = RateIntegral::from_samples(&[(200_000_000, 5.0)], 100_000_000);
+        // Interval covers (100 ms, 200 ms].
+        assert_eq!(r.integral(0, 100_000_000), 0.0);
+        assert!((r.integral(0, 300_000_000) - 0.5).abs() < 1e-12);
+        assert_eq!(r.integral(200_000_000, 900_000_000), 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let r = RateIntegral::from_samples(&[], 100);
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 0.0);
+        assert_eq!(r.integral(0, 1_000_000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_samples_panic() {
+        RateIntegral::from_samples(&[(100, 1.0), (100, 2.0)], 50);
+    }
+}

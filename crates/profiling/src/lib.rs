@@ -17,10 +17,12 @@
 
 #![warn(missing_docs)]
 
+mod integral;
 mod recorder;
 mod stats;
 mod table;
 
+pub use integral::RateIntegral;
 pub use recorder::{LatencyRecorder, PathSpec, SharedRecorder};
 pub use stats::{Distribution, Summary};
 pub use table::Table;

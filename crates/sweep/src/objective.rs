@@ -7,14 +7,14 @@
 //! the optimizer ranks by is byte-identical to the one the sweep
 //! aggregator prints.
 
-use av_core::metrics::run_metrics;
+use av_core::metrics::{blame_scalars, run_metrics};
 use av_core::stack::RunReport;
 
 /// The scalar a search evaluates at every point. All objectives are
 /// oriented so that *larger means worse* — boundary searches look for
 /// the knob value where the objective first exceeds a threshold, and
 /// worst-case searches maximize it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Objective {
     /// p99 end-to-end latency over the worst path, ms.
     E2eP99Ms,
@@ -33,6 +33,12 @@ pub enum Objective {
     RecoveryLatencyMs,
     /// Total time spent degraded (node down or on a fallback), s.
     TimeDegradedS,
+    /// A blame-attribution scalar by key — spelled `blame:<key>` in
+    /// specs, e.g. `blame:critical_path_share_queue` or
+    /// `blame:p99_blame_ndt_matching`. Requires a traced evaluation (the
+    /// search driver enables tracing automatically); an unknown key
+    /// evaluates to 0.
+    Blame(String),
 }
 
 impl Objective {
@@ -49,7 +55,7 @@ impl Objective {
     ];
 
     /// The spec spelling of this objective.
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> String {
         match self {
             Objective::E2eP99Ms => "e2e_p99_ms",
             Objective::E2eMeanMs => "e2e_mean_ms",
@@ -59,19 +65,42 @@ impl Objective {
             Objective::LocErrM => "loc_err_m",
             Objective::RecoveryLatencyMs => "recovery_latency_ms",
             Objective::TimeDegradedS => "time_degraded_s",
+            Objective::Blame(key) => return format!("blame:{key}"),
         }
+        .to_string()
+    }
+
+    /// `true` when evaluation reads the blame attribution, which needs
+    /// the run traced.
+    pub fn needs_trace(&self) -> bool {
+        matches!(self, Objective::Blame(_))
     }
 
     /// Parses a spec spelling.
     pub fn parse(s: &str) -> Result<Objective, String> {
-        Objective::ALL.into_iter().find(|o| o.name() == s).ok_or_else(|| {
-            let names: Vec<&str> = Objective::ALL.iter().map(|o| o.name()).collect();
-            format!("unknown objective {s:?} (expected one of {})", names.join(", "))
-        })
+        if let Some(found) = Objective::ALL.into_iter().find(|o| o.name() == s) {
+            return Ok(found);
+        }
+        if let Some(key) = s.strip_prefix("blame:") {
+            if key.is_empty() {
+                return Err("blame: objective needs a key, e.g. \
+                            blame:critical_path_share_queue"
+                    .to_string());
+            }
+            return Ok(Objective::Blame(key.to_string()));
+        }
+        let names: Vec<String> = Objective::ALL.iter().map(|o| o.name()).collect();
+        Err(format!(
+            "unknown objective {s:?} (expected one of {}, or blame:<key>)",
+            names.join(", ")
+        ))
     }
 
     /// Extracts the objective value from a finished run.
-    pub fn evaluate(self, report: &RunReport) -> f64 {
+    pub fn evaluate(&self, report: &RunReport) -> f64 {
+        if let Objective::Blame(key) = self {
+            return blame_scalars(report).ok().and_then(|m| m.get(key).copied()).unwrap_or(0.0);
+        }
         let m = run_metrics(report);
         match self {
             Objective::E2eP99Ms => m.e2e_p99_ms,
@@ -82,6 +111,7 @@ impl Objective {
             Objective::LocErrM => m.loc_err_m,
             Objective::RecoveryLatencyMs => m.recovery_latency_ms,
             Objective::TimeDegradedS => m.time_degraded_s,
+            Objective::Blame(_) => unreachable!("handled above"),
         }
     }
 }
@@ -95,9 +125,28 @@ mod tests {
     #[test]
     fn names_round_trip() {
         for o in Objective::ALL {
-            assert_eq!(Objective::parse(o.name()), Ok(o));
+            assert_eq!(Objective::parse(&o.name()), Ok(o));
         }
+        let blame = Objective::parse("blame:critical_path_share_queue").unwrap();
+        assert_eq!(blame, Objective::Blame("critical_path_share_queue".to_string()));
+        assert_eq!(blame.name(), "blame:critical_path_share_queue");
+        assert!(blame.needs_trace());
+        assert!(!Objective::E2eP99Ms.needs_trace());
+        assert!(Objective::parse("blame:").is_err());
         assert!(Objective::parse("p99").is_err());
+    }
+
+    #[test]
+    fn blame_objective_reads_attribution_scalars() {
+        let config = StackConfig::smoke_test(DetectorKind::Ssd512);
+        let report = run_drive(&config, &RunConfig::seconds(4.0).with_trace());
+        let m = av_core::metrics::blame_scalars(&report).unwrap();
+        let o = Objective::parse("blame:critical_path_share_queue").unwrap();
+        assert_eq!(o.evaluate(&report), m["critical_path_share_queue"]);
+        // Unknown keys and untraced runs degrade to 0 rather than panic.
+        assert_eq!(Objective::Blame("no_such_key".to_string()).evaluate(&report), 0.0);
+        let untraced = run_drive(&config, &RunConfig::seconds(4.0));
+        assert_eq!(o.evaluate(&untraced), 0.0);
     }
 
     #[test]

@@ -631,7 +631,7 @@ pub fn run_search_instrumented(
     warm: bool,
 ) -> (SearchOutcome, SearchStats) {
     let base = spec.world.base_config();
-    let objective = spec.objective;
+    let objective = &spec.objective;
     // Checkpoints only pay off when a later evaluation extends the same
     // configuration — which only halving rungs do.
     let capture = warm && matches!(spec.strategy, Strategy::Halving(_));
@@ -641,7 +641,13 @@ pub fn run_search_instrumented(
     let outcome = run_search_with(spec, prior, |planned: &[PlannedEval]| {
         parallel_map(planned.to_vec(), jobs, |pe| {
             let config = pe.point.apply(&base);
-            let run = RunConfig::seconds(pe.duration_s);
+            // Blame objectives read the event-trace attribution, so their
+            // evaluations must record one.
+            let run = if objective.needs_trace() {
+                RunConfig::seconds(pe.duration_s).with_trace()
+            } else {
+                RunConfig::seconds(pe.duration_s)
+            };
             if warm {
                 let key = EvalCache::spec_hash(&config, &run);
                 if let Some(hit) = cache.lookup(key) {

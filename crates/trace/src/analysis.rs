@@ -48,13 +48,58 @@ pub struct QueueStat {
     pub max_depth: u64,
 }
 
+/// Health of one recomputed path: whether every sink publication could be
+/// anchored to the spec's lineage source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathVerdict {
+    /// Every sink publication carried the source stamp.
+    Ok,
+    /// The sink node never published — wrong sink name or a dead node.
+    NoSinkActivity,
+    /// The sink published, but some publications lacked the lineage
+    /// source — a broken stamping chain upstream. Carries the count.
+    MissingLineage {
+        /// Sink publications without the source stamp.
+        missing: u64,
+    },
+}
+
+impl PathVerdict {
+    /// `true` only for [`PathVerdict::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == PathVerdict::Ok
+    }
+
+    /// Short human-readable rendering (`ok`, `no-sink-activity`,
+    /// `missing-lineage(n)`).
+    pub fn describe(self) -> String {
+        match self {
+            PathVerdict::Ok => "ok".to_string(),
+            PathVerdict::NoSinkActivity => "no-sink-activity".to_string(),
+            PathVerdict::MissingLineage { missing } => format!("missing-lineage({missing})"),
+        }
+    }
+}
+
+/// One path's recomputed latency distribution plus its health verdict.
+#[derive(Debug, Clone)]
+pub struct PathReport {
+    /// Path name from the spec.
+    pub name: String,
+    /// End-to-end latency distribution (ms).
+    pub latency: Distribution,
+    /// Whether the path was fully anchored. A silent empty distribution
+    /// can no longer masquerade as a healthy quiet path.
+    pub verdict: PathVerdict,
+}
+
 /// Everything recomputed from one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
     /// Callback slices seen (all, including non-publishing ones).
     pub callbacks: usize,
-    /// Per-path latency distributions, in spec order (ms).
-    pub paths: Vec<(String, Distribution)>,
+    /// Per-path latency distributions and verdicts, in spec order.
+    pub paths: Vec<PathReport>,
     /// Per-node processing-latency distributions (ms), publishing
     /// callbacks only — Fig 5's measurement.
     pub nodes: BTreeMap<String, Distribution>,
@@ -87,9 +132,18 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
         .ok_or("missing traceEvents array")?;
 
     let mut report = TraceReport {
-        paths: specs.iter().map(|s| (s.name.clone(), Distribution::new())).collect(),
+        paths: specs
+            .iter()
+            .map(|s| PathReport {
+                name: s.name.clone(),
+                latency: Distribution::new(),
+                verdict: PathVerdict::NoSinkActivity,
+            })
+            .collect(),
         ..TraceReport::default()
     };
+    // Sink publications lacking the lineage stamp, per path.
+    let mut missing: Vec<u64> = vec![0; specs.len()];
 
     for event in events {
         let ph = str_field(event, "ph").ok_or("event without ph")?;
@@ -117,15 +171,17 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
                 report.nodes.entry(node.clone()).or_default().record(
                     completed.saturating_since(SimTime::from_nanos(started)).as_millis_f64(),
                 );
-                for (spec, (_, dist)) in specs.iter().zip(report.paths.iter_mut()) {
+                for (i, (spec, path)) in specs.iter().zip(report.paths.iter_mut()).enumerate() {
                     if spec.sink_node != node {
                         continue;
                     }
                     let key = format!("lineage_{}_ns", spec.source);
                     if let Some(origin) = arg_u64(event, &key) {
-                        dist.record(
+                        path.latency.record(
                             completed.saturating_since(SimTime::from_nanos(origin)).as_millis_f64(),
                         );
+                    } else {
+                        missing[i] += 1;
                     }
                 }
             }
@@ -157,6 +213,15 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
             }
             _ => {}
         }
+    }
+    for (path, &miss) in report.paths.iter_mut().zip(&missing) {
+        path.verdict = if miss > 0 {
+            PathVerdict::MissingLineage { missing: miss }
+        } else if path.latency.is_empty() {
+            PathVerdict::NoSinkActivity
+        } else {
+            PathVerdict::Ok
+        };
     }
     Ok(report)
 }
@@ -235,10 +300,11 @@ mod tests {
         let report = analyze_trace(&parsed, &specs).unwrap();
 
         assert_eq!(report.callbacks, 3);
-        let (name, dist) = &report.paths[0];
-        assert_eq!(name, "localization");
+        let path = &report.paths[0];
+        assert_eq!(path.name, "localization");
+        assert_eq!(path.verdict, PathVerdict::Ok);
         // 150−100 = 50 ms, 260−200 = 60 ms; auxiliary callback excluded.
-        assert_eq!(dist.samples(), &[50.0, 60.0]);
+        assert_eq!(path.latency.samples(), &[50.0, 60.0]);
         assert_eq!(report.nodes["ndt"].samples(), &[40.0, 60.0]);
         assert_eq!(report.drops[&("/in".to_string(), "ndt".to_string())], 1);
         // The drop's companion queue counter is recovered too.
@@ -331,8 +397,17 @@ mod tests {
             TracePathSpec::new("by_camera", "other", "lidar"),
         ];
         let report = analyze_trace(&parsed, &specs).unwrap();
-        assert!(report.paths[0].1.is_empty(), "wrong sink node");
-        assert!(report.paths[1].1.is_empty(), "missing lineage source");
+        assert!(report.paths[0].latency.is_empty(), "wrong sink node");
+        assert_eq!(report.paths[0].verdict, PathVerdict::NoSinkActivity);
+        assert_eq!(report.paths[0].verdict.describe(), "no-sink-activity");
+        assert!(report.paths[1].latency.is_empty(), "missing lineage source");
+        assert_eq!(
+            report.paths[1].verdict,
+            PathVerdict::MissingLineage { missing: 1 },
+            "a sink publication without the stamp is loud, not silently empty"
+        );
+        assert!(!report.paths[1].verdict.is_ok());
+        assert_eq!(report.paths[1].verdict.describe(), "missing-lineage(1)");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! the regression's location falls out of the table.
 
 use crate::analysis::{QueueStat, TraceReport};
+use crate::blame::{BlameReport, Component};
 use av_profiling::{Distribution, Table};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -105,6 +106,75 @@ pub struct FaultChange {
     pub count: (u64, u64),
 }
 
+/// Default blame-share movement that counts as a composition shift
+/// (5 percentage points of a path's total time).
+pub const BLAME_SHIFT_EPSILON: f64 = 0.05;
+
+/// A critical-path composition shift for one path: the *shape* of where
+/// its time goes changed, even if the total barely moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameShift {
+    /// Path name.
+    pub path: String,
+    /// Dominant component name on each side (by instance histogram).
+    pub dominant: (String, String),
+    /// Nodes whose mean blame share moved more than epsilon:
+    /// `(node, share A, share B)`.
+    pub moved_nodes: Vec<(String, f64, f64)>,
+}
+
+impl BlameShift {
+    /// `true` when the dominant component itself changed.
+    pub fn dominant_changed(&self) -> bool {
+        self.dominant.0 != self.dominant.1
+    }
+}
+
+/// Compares two blame attributions path-by-path and reports composition
+/// shifts: a changed dominant component, or any node whose mean blame
+/// share moved more than `epsilon`. Paths with no instances on either
+/// side are skipped.
+pub fn diff_blame(a: &BlameReport, b: &BlameReport, epsilon: f64) -> Vec<BlameShift> {
+    let mut names: Vec<&str> = a.paths.iter().map(|p| p.name.as_str()).collect();
+    for p in &b.paths {
+        if !names.contains(&p.name.as_str()) {
+            names.push(&p.name);
+        }
+    }
+    let dominant_of = |report: &BlameReport, name: &str| -> Option<&'static str> {
+        let path = report.path(name)?;
+        if path.instances.is_empty() {
+            return None;
+        }
+        let hist = path.dominant_histogram();
+        Component::ALL.into_iter().max_by_key(|c| hist[c.idx()]).map(Component::name)
+    };
+    let mut shifts = Vec::new();
+    for name in names {
+        let da = dominant_of(a, name);
+        let db = dominant_of(b, name);
+        if da.is_none() && db.is_none() {
+            continue;
+        }
+        let shares_a = a.path(name).map(|p| p.mean_node_share()).unwrap_or_default();
+        let shares_b = b.path(name).map(|p| p.mean_node_share()).unwrap_or_default();
+        let nodes: BTreeSet<&String> = shares_a.keys().chain(shares_b.keys()).collect();
+        let moved_nodes: Vec<(String, f64, f64)> = nodes
+            .into_iter()
+            .filter_map(|node| {
+                let sa = shares_a.get(node).copied().unwrap_or(0.0);
+                let sb = shares_b.get(node).copied().unwrap_or(0.0);
+                ((sb - sa).abs() > epsilon).then(|| (node.clone(), sa, sb))
+            })
+            .collect();
+        let dominant = (da.unwrap_or("-").to_string(), db.unwrap_or("-").to_string());
+        if dominant.0 != dominant.1 || !moved_nodes.is_empty() {
+            shifts.push(BlameShift { path: name.to_string(), dominant, moved_nodes });
+        }
+    }
+    shifts
+}
+
 /// The full comparison of two trace reports.
 #[derive(Debug, Clone, Default)]
 pub struct TraceDiff {
@@ -120,6 +190,9 @@ pub struct TraceDiff {
     pub queue_changes: Vec<QueueChange>,
     /// Fault/supervision event counts that differ (only differing ones).
     pub fault_changes: Vec<FaultChange>,
+    /// Critical-path composition shifts, when blame attributions were
+    /// compared (see [`diff_blame`]); empty otherwise.
+    pub blame_shifts: Vec<BlameShift>,
 }
 
 impl TraceDiff {
@@ -133,6 +206,7 @@ impl TraceDiff {
             + self.drop_changes.len()
             + self.queue_changes.len()
             + self.fault_changes.len()
+            + self.blame_shifts.len()
     }
 
     /// `true` when the two traces are behaviourally identical.
@@ -151,16 +225,16 @@ pub fn diff_reports(a: &TraceReport, b: &TraceReport) -> TraceDiff {
         .collect();
 
     let path_names: Vec<&String> = {
-        let mut names: Vec<&String> = a.paths.iter().map(|(n, _)| n).collect();
-        for (n, _) in &b.paths {
-            if !names.contains(&n) {
-                names.push(n);
+        let mut names: Vec<&String> = a.paths.iter().map(|p| &p.name).collect();
+        for p in &b.paths {
+            if !names.contains(&&p.name) {
+                names.push(&p.name);
             }
         }
         names
     };
     let find = |report: &'_ TraceReport, name: &String| -> Option<Distribution> {
-        report.paths.iter().find(|(n, _)| n == name).map(|(_, d)| d.clone())
+        report.paths.iter().find(|p| &p.name == name).map(|p| p.latency.clone())
     };
     let paths = path_names
         .into_iter()
@@ -218,6 +292,7 @@ pub fn diff_reports(a: &TraceReport, b: &TraceReport) -> TraceDiff {
         drop_changes,
         queue_changes,
         fault_changes,
+        blame_shifts: Vec::new(),
     }
 }
 
@@ -316,6 +391,41 @@ pub fn render_diff(label_a: &str, label_b: &str, diff: &TraceDiff) -> String {
         ]);
     }
     push_section(&mut out, "Fault-event changes", &faults);
+
+    let mut blame = Table::with_headers(&[
+        "Path",
+        "Dominant A",
+        "Dominant B",
+        "Node",
+        "Share A",
+        "Share B",
+        "Δ",
+    ]);
+    for s in &diff.blame_shifts {
+        if s.moved_nodes.is_empty() {
+            blame.add_row(vec![
+                s.path.clone(),
+                s.dominant.0.clone(),
+                s.dominant.1.clone(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        for (node, sa, sb) in &s.moved_nodes {
+            blame.add_row(vec![
+                s.path.clone(),
+                s.dominant.0.clone(),
+                s.dominant.1.clone(),
+                node.clone(),
+                format!("{:.1}%", sa * 100.0),
+                format!("{:.1}%", sb * 100.0),
+                format!("{:+.1}%", (sb - sa) * 100.0),
+            ]);
+        }
+    }
+    push_section(&mut out, "Critical-path composition shifts", &blame);
 
     if diff.is_identical() {
         out.push_str("traces identical: 0 differences\n");
@@ -419,5 +529,88 @@ mod tests {
         let ndt = diff.nodes.iter().find(|s| s.name == "ndt").unwrap();
         assert_eq!(ndt.count, (1, 0));
         assert!(!ndt.identical);
+    }
+
+    /// lidar@100 → filter → sink, with the filter's queue wait and
+    /// compute time dialed by the caller.
+    fn blamed(wait_ms: u64, compute_ms: u64) -> BlameReport {
+        use crate::blame::{analyze_blame, BlamePathSpec};
+        let started = 100 + wait_ms;
+        let done = started + compute_ms;
+        let data = TraceData {
+            nodes: vec!["filter".to_string(), "sink".to_string()],
+            events: vec![
+                TraceEvent::Callback {
+                    node: "filter".to_string(),
+                    topic: "/raw".to_string(),
+                    arrival: SimTime::from_millis(100),
+                    started: SimTime::from_millis(started),
+                    completed: SimTime::from_millis(done),
+                    lineage: vec![(Source::Lidar, SimTime::from_millis(100))],
+                    published: vec!["/mid".to_string()],
+                },
+                TraceEvent::Callback {
+                    node: "sink".to_string(),
+                    topic: "/mid".to_string(),
+                    arrival: SimTime::from_millis(done),
+                    started: SimTime::from_millis(done),
+                    completed: SimTime::from_millis(done + 10),
+                    lineage: vec![(Source::Lidar, SimTime::from_millis(100))],
+                    published: vec!["/out".to_string()],
+                },
+            ],
+            ..TraceData::default()
+        };
+        let specs = [BlamePathSpec::new("p", "sink", Source::Lidar)];
+        analyze_blame(&data, &specs).unwrap()
+    }
+
+    #[test]
+    fn blame_self_diff_reports_no_shift() {
+        let a = blamed(10, 60);
+        assert!(diff_blame(&a, &a, BLAME_SHIFT_EPSILON).is_empty());
+    }
+
+    #[test]
+    fn blame_dominant_flip_and_share_move_are_flagged() {
+        // A: 10 ms wait / 60 ms compute at the filter (compute-dominant,
+        // filter holds 70/80 of the path). B: 60 ms wait / 10 ms compute
+        // (queue-dominant, filter still 70/80 but sink share unchanged) —
+        // only the dominant flips. C: 0 wait / 10 ms compute shrinks the
+        // filter to 10/20, moving both node shares past epsilon.
+        let a = blamed(10, 60);
+        let b = blamed(60, 10);
+        let flips = diff_blame(&a, &b, BLAME_SHIFT_EPSILON);
+        assert_eq!(flips.len(), 1, "{flips:?}");
+        assert_eq!(flips[0].path, "p");
+        assert!(flips[0].dominant_changed());
+        assert_eq!(flips[0].dominant, ("compute".to_string(), "queue_wait".to_string()));
+        assert!(flips[0].moved_nodes.is_empty(), "node split unchanged: {flips:?}");
+
+        let c = blamed(0, 10);
+        let moves = diff_blame(&a, &c, BLAME_SHIFT_EPSILON);
+        assert_eq!(moves.len(), 1, "{moves:?}");
+        assert!(!moves[0].dominant_changed());
+        let filter = moves[0].moved_nodes.iter().find(|(n, _, _)| n == "filter").unwrap();
+        assert!((filter.1 - 0.875).abs() < 1e-9 && (filter.2 - 0.5).abs() < 1e-9, "{moves:?}");
+
+        // The shifts land in the rendered report and the diff count.
+        let mut diff =
+            diff_reports(&analyze(&small_trace(40, false)), &analyze(&small_trace(40, false)));
+        assert!(diff.is_identical());
+        diff.blame_shifts = flips;
+        assert_eq!(diff.difference_count(), 1);
+        let text = render_diff("a", "b", &diff);
+        assert!(text.contains("Critical-path composition shifts"), "{text}");
+        assert!(text.contains("queue_wait"), "{text}");
+    }
+
+    #[test]
+    fn blame_path_missing_on_one_side_is_a_shift() {
+        let a = blamed(10, 60);
+        let empty = BlameReport { paths: Vec::new() };
+        let shifts = diff_blame(&a, &empty, BLAME_SHIFT_EPSILON);
+        assert_eq!(shifts.len(), 1);
+        assert_eq!(shifts[0].dominant, ("compute".to_string(), "-".to_string()));
     }
 }

@@ -17,18 +17,18 @@ use std::fmt::Write as _;
 
 /// Microseconds with a fixed 3-digit nanosecond fraction, via integer math
 /// (no float formatting in timestamps).
-fn ts_us(t: SimTime) -> String {
+pub(crate) fn ts_us(t: SimTime) -> String {
     let ns = t.as_nanos();
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
-fn dur_us(d: SimDuration) -> String {
+pub(crate) fn dur_us(d: SimDuration) -> String {
     let ns = d.as_nanos();
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
 /// Escapes a string for a JSON literal (quotes not included).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod blame;
 pub mod diff;
 pub mod export;
 pub mod json;

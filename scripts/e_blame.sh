@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# E-blame: critical-path blame attribution over the E-sweep grid.
+#
+#   scripts/e_blame.sh [--jobs N]
+#
+# Reruns the detector × camera-rate sweep traced, attributes every
+# point's computation paths with `blame_report`, and regenerates the
+# committed `results/blame/E_blame.csv` — one row per (point, path)
+# with the queue-wait share at the mean / p50 / p99, the dominant blame
+# component, and the top energy node. Exits nonzero unless at least one
+# detector path shows a larger queue-wait share at p99 than at p50 (the
+# tail-is-contention signal the study exists to demonstrate).
+#
+# Fully offline — no registry access, no network.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=8
+if [ "${1:-}" = "--jobs" ]; then jobs="$2"; fi
+
+cargo build --release -p av-bench
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== traced E-sweep (detector × camera rate) =="
+./target/release/sweep --spec specs/detector_camera.json --trace --jobs "$jobs" \
+    --results "$tmp/sweep" >"$tmp/sweep.log" 2>/dev/null
+grep 'sweep golden hash' "$tmp/sweep.log"
+
+echo "== blame attribution per point =="
+mkdir -p results/blame
+out=results/blame/E_blame.csv
+: > "$out"
+first=1
+while IFS=, read -r point detector _density camhz _rest; do
+    [ "$point" = "Point" ] && continue
+    label="${detector}@${camhz}Hz"
+    ./target/release/blame_report "$tmp/sweep/trace_${point}.json" \
+        --paths-csv "$tmp/part.csv" --label "$label" >/dev/null 2>&1
+    if [ "$first" = 1 ]; then
+        cat "$tmp/part.csv" >> "$out"; first=0
+    else
+        tail -n +2 "$tmp/part.csv" >> "$out"
+    fi
+done < "$tmp/sweep/sweep_summary.csv"
+echo "wrote $out ($(($(wc -l < "$out") - 1)) rows)"
+
+# The acceptance signal: somewhere on the grid, queue-wait owns more of
+# the tail than of the median — contention is a tail phenomenon
+# (columns: 9 = queue_share_p50, 10 = queue_share_p99).
+awk -F, 'NR > 1 && $10 > $9 && $10 > 0.01 { found = 1; print "tail queue signal:", $1, $2, "p50", $9, "p99", $10 }
+         END { exit !found }' "$out"
+echo "e_blame: OK"

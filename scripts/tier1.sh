@@ -98,6 +98,32 @@ echo "== trace_diff self-diff: a trace diffed against itself is empty =="
     >"$tmp/diff.log"
 grep 'traces identical: 0 differences' "$tmp/diff.log"
 
+echo "== blame oracle: decomposition is exact, additive and byte-stable =="
+# One clean and one crash-faulted traced drive: every path instance's
+# components must sum exactly to the recorded end-to-end latency, the
+# blame-side distribution must match the live recorder bit-for-bit, and
+# the exports must survive a Chrome-JSON round trip byte-identically.
+./target/release/blame_report --verify --duration 8 >"$tmp/blame.log" 2>/dev/null
+grep 'blame verify passed' "$tmp/blame.log"
+
+echo "== blame export determinism: attribution bytes across --jobs 1 vs --jobs 8 =="
+# The smoke sweep rerun at each jobs level must yield byte-identical
+# blame CSVs and critical-path tracks from its traces.
+./target/release/sweep --spec specs/smoke.json --trace --jobs 1 \
+    --results "$tmp/blame_j1" >/dev/null 2>&1
+./target/release/sweep --spec specs/smoke.json --trace --jobs 8 \
+    --results "$tmp/blame_j8" >/dev/null 2>&1
+for point in p00 p01 p02 p03; do
+    for side in j1 j8; do
+        ./target/release/blame_report "$tmp/blame_$side/trace_$point.json" \
+            --csv "$tmp/blame_$side/blame_$point.csv" \
+            --track "$tmp/blame_$side/track_$point.json" >/dev/null 2>&1
+    done
+    cmp "$tmp/blame_j1/blame_$point.csv" "$tmp/blame_j8/blame_$point.csv"
+    cmp "$tmp/blame_j1/track_$point.json" "$tmp/blame_j8/track_$point.json"
+done
+echo "blame exports byte-identical across jobs levels"
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

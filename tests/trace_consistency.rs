@@ -90,14 +90,16 @@ fn trace_agrees_with_live_recorder_and_bus_counters() {
     assert_eq!(recomputed.drops, recorder_by_sub, "drops survive the JSON round-trip");
 
     // Fig 6 paths: bit-identical sample vectors, hence identical means.
-    for (name, dist) in &recomputed.paths {
+    for path in &recomputed.paths {
+        let name = &path.name;
         let live = report
             .recorder
             .path_latencies(name)
             .unwrap_or_else(|| panic!("live recorder missing path {name}"));
-        assert_eq!(dist.samples(), live.samples(), "path {name} samples");
-        assert!(dist.summary().count > 0, "path {name} must have samples");
-        assert_eq!(dist.summary().mean.to_bits(), live.summary().mean.to_bits());
+        assert_eq!(path.latency.samples(), live.samples(), "path {name} samples");
+        assert!(path.latency.summary().count > 0, "path {name} must have samples");
+        assert_eq!(path.latency.summary().mean.to_bits(), live.summary().mean.to_bits());
+        assert!(path.verdict.is_ok(), "path {name} verdict {}", path.verdict.describe());
     }
 
     // Fig 5 nodes: same node set, bit-identical processing latencies.
