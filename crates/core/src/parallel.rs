@@ -31,8 +31,35 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_streamed(tasks, jobs, f, |_, _| {})
+}
+
+/// [`parallel_map`], additionally invoking `sink(index, &result)` for
+/// every task *in input order* as soon as the result is available — the
+/// streaming seam the scenario service uses to ship sweep-point results
+/// while later points are still simulating.
+///
+/// The sink runs on the caller's thread. Results may complete out of
+/// order on the workers; a reorder buffer holds them until every
+/// earlier index has been emitted, so the sink-call sequence is
+/// identical at any `jobs` level (determinism of streamed output).
+pub fn parallel_map_streamed<T, R, F, S>(tasks: Vec<T>, jobs: usize, f: F, mut sink: S) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    S: FnMut(usize, &R),
+{
     if jobs <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().map(f).collect();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = f(t);
+                sink(i, &r);
+                r
+            })
+            .collect();
     }
     let workers = jobs.min(tasks.len());
     let n = tasks.len();
@@ -43,6 +70,7 @@ where
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
 
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -61,12 +89,22 @@ where
             });
         }
         drop(tx);
+        // Drain on the caller's thread *inside* the scope, so the sink
+        // observes results while workers are still running.
+        let mut frontier = 0;
+        for _ in 0..n {
+            let (i, r) = rx.recv().expect("worker died before finishing its task");
+            out[i] = Some(r);
+            while frontier < n {
+                match &out[frontier] {
+                    Some(r) => sink(frontier, r),
+                    None => break,
+                }
+                frontier += 1;
+            }
+        }
     });
 
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in rx {
-        out[i] = Some(r);
-    }
     out.into_iter().map(|r| r.expect("worker died before finishing its task")).collect()
 }
 
@@ -114,6 +152,19 @@ mod tests {
         assert_eq!(effective_jobs(Some(0)), 1);
         assert_eq!(effective_jobs(Some(5)), 5);
         assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn streamed_sink_fires_in_input_order_at_any_jobs_level() {
+        let tasks: Vec<u64> = (0..40).collect();
+        for jobs in [1, 3, 8] {
+            let mut seen: Vec<(usize, u64)> = Vec::new();
+            let got =
+                parallel_map_streamed(tasks.clone(), jobs, |t| t * 7, |i, r| seen.push((i, *r)));
+            assert_eq!(got, tasks.iter().map(|t| t * 7).collect::<Vec<_>>());
+            let want: Vec<(usize, u64)> = tasks.iter().map(|&t| (t as usize, t * 7)).collect();
+            assert_eq!(seen, want, "sink order diverged at jobs={jobs}");
+        }
     }
 
     #[test]

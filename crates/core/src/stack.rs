@@ -23,7 +23,7 @@ use av_ros::{
     Bus, BusObserver, DropStats, FanoutObserver, FaultKind, Lineage, Message, Node, Outbox,
     RestoredContinuation, Source, SubscriptionSpec,
 };
-use av_trace::{MetricSample, SharedTracer, TraceConfig, TraceData};
+use av_trace::{MetricSample, SharedTracer, TraceConfig, TraceData, TraceEvent};
 use av_tracking::{PredictParams, TrackerParams};
 use av_vision::DetectorKind;
 use av_world::{CameraConfig, CameraModel, LidarConfig, LidarModel, ScenarioConfig, World};
@@ -483,6 +483,84 @@ pub fn resume_drive_checkpointed(
 ) -> (RunReport, Checkpoint) {
     let (report, next) = drive(config, run, Some(checkpoint), Some(barrier_s));
     (report, next.expect("drive captures when a barrier is supplied"))
+}
+
+/// One pause point of a [`run_drive_streamed`] drive.
+#[derive(Debug)]
+pub struct DriveProgress<'a> {
+    /// Virtual time of the pause, seconds. Multiples of the slice width
+    /// for intermediate pauses; the run horizon for the final one.
+    pub time_s: f64,
+    /// `true` on the last call, after the end-of-run drain.
+    pub done: bool,
+    /// Trace events recorded since the previous pause, in emission
+    /// order. Empty when the run is untraced.
+    pub new_events: &'a [TraceEvent],
+    /// Total events recorded so far (cumulative over all pauses).
+    pub events_total: usize,
+}
+
+/// Runs a drive like [`run_drive`], pausing every `slice_s` virtual
+/// seconds to hand the caller a [`DriveProgress`] — the streaming seam
+/// the scenario service uses to ship trace events while the run is
+/// still executing.
+///
+/// The report is byte-identical to [`run_drive`]'s for the same inputs:
+/// pausing is exactly the checkpoint barrier mechanism without a
+/// capture, and reading the tracer between slices is a pure read.
+/// Because trace events are recorded in nondecreasing
+/// [`TraceEvent::emission_time`] order, the pause at barrier `t`
+/// delivers precisely the events with emission time `<= t` — so a
+/// finished run's event stream can later be re-partitioned into the
+/// identical slice sequence from its `RunReport` alone (how cached
+/// responses replay their live event stream byte-for-byte).
+///
+/// # Panics
+///
+/// Panics unless `slice_s` is positive and finite.
+pub fn run_drive_streamed(
+    config: &StackConfig,
+    run: &RunConfig,
+    slice_s: f64,
+    on_progress: &mut dyn FnMut(DriveProgress<'_>),
+) -> RunReport {
+    assert!(slice_s.is_finite() && slice_s > 0.0, "slice_s must be positive and finite");
+    let session = build_session(config, run);
+    session.start_fresh();
+    let events_at = |cursor: usize| match &session.tracer {
+        Some(tracer) => tracer.events_since(cursor),
+        None => Vec::new(),
+    };
+    let mut cursor = 0usize;
+    let mut slice = 1u64;
+    loop {
+        let barrier = SimTime::from_secs_f64_round(slice_s * slice as f64);
+        if barrier >= session.until {
+            break;
+        }
+        session.sim.run_until(barrier);
+        let new_events = events_at(cursor);
+        cursor += new_events.len();
+        on_progress(DriveProgress {
+            time_s: barrier.as_secs_f64(),
+            done: false,
+            new_events: &new_events,
+            events_total: cursor,
+        });
+        slice += 1;
+    }
+    session.sim.run_until(session.until);
+    // Let in-flight work complete so the last frames are counted.
+    session.sim.run();
+    let new_events = events_at(cursor);
+    cursor += new_events.len();
+    on_progress(DriveProgress {
+        time_s: session.until.as_secs_f64(),
+        done: true,
+        new_events: &new_events,
+        events_total: cursor,
+    });
+    session.report(config)
 }
 
 /// The one engine behind all four public drive entry points: build the
@@ -1703,6 +1781,50 @@ mod tests {
 
     fn quick(detector: DetectorKind) -> RunReport {
         run_drive(&StackConfig::smoke_test(detector), &RunConfig::seconds(6.0))
+    }
+
+    #[test]
+    fn streamed_drive_is_byte_identical_and_slices_partition_by_emission_time() {
+        let config = StackConfig::smoke_test(DetectorKind::YoloV3);
+        let run = RunConfig::seconds(4.0).with_trace();
+        let straight = run_drive(&config, &run);
+
+        let mut pauses: Vec<(f64, bool, usize)> = Vec::new();
+        let mut streamed_events: Vec<TraceEvent> = Vec::new();
+        let streamed = run_drive_streamed(&config, &run, 1.0, &mut |p: DriveProgress<'_>| {
+            pauses.push((p.time_s, p.done, p.new_events.len()));
+            streamed_events.extend_from_slice(p.new_events);
+        });
+
+        // The report — and therefore the golden hash — is untouched by
+        // pausing.
+        assert_eq!(
+            crate::determinism::run_hash(&streamed),
+            crate::determinism::run_hash(&straight)
+        );
+
+        // Pauses at 1,2,3 s plus the final drain at 4 s; only the last
+        // one is `done`.
+        assert_eq!(
+            pauses.iter().map(|&(t, d, _)| (t, d)).collect::<Vec<_>>(),
+            vec![(1.0, false), (2.0, false), (3.0, false), (4.0, true)]
+        );
+
+        // The concatenated deltas are exactly the final trace, and each
+        // intermediate pause delivered precisely the events with
+        // emission time at or before its barrier.
+        let all = straight.trace.as_ref().expect("traced").events.clone();
+        assert_eq!(streamed_events, all);
+        let mut offset = 0;
+        for &(t, done, n) in &pauses {
+            offset += n;
+            if !done {
+                let barrier = SimTime::from_secs_f64_round(t);
+                let by_time = all.iter().filter(|e| e.emission_time() <= barrier).count();
+                assert_eq!(offset, by_time, "slice at {t}s is not the emission-time prefix");
+            }
+        }
+        assert_eq!(offset, all.len());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The E-serve load harness.
+//!
+//! Starts a fresh service per worker-pool level, drives it with
+//! concurrent synthetic tenants, and reports throughput, queue wait,
+//! cache hit-rate, and whether store-served repeats were byte-identical
+//! to their cold runs. Each tenant sends its own distinct request
+//! (seed-varied) `repeat` times, so the expected hit pattern is exact:
+//! one cold run per tenant, every repeat served from the store —
+//! `(repeat-1)/repeat` hits regardless of interleaving.
+//!
+//! Wall-clock numbers are honest, not flattering: the report carries
+//! the machine's core count, and a single-core host is flagged so
+//! nobody reads queue-dominated numbers as a scaling result.
+
+use crate::client::{Client, Outcome, Response};
+use crate::protocol::json_num;
+use crate::server::{ServeConfig, Server};
+use std::io;
+use std::thread;
+use std::time::Instant;
+
+/// Load-harness knobs.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Worker-pool sizes to measure, one service per entry.
+    pub worker_levels: Vec<usize>,
+    /// Concurrent tenants (each with its own distinct request).
+    pub tenants: usize,
+    /// Times each tenant sends its request (first is cold, the rest
+    /// should be store hits).
+    pub repeat: usize,
+    /// Virtual horizon of each drive, seconds.
+    pub duration_s: f64,
+    /// Service queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> BenchOptions {
+        BenchOptions {
+            worker_levels: vec![1, 2, 8],
+            tenants: 3,
+            repeat: 4,
+            duration_s: 2.0,
+            queue_capacity: 32,
+        }
+    }
+}
+
+/// One worker-pool level's measurements.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// Worker threads the service ran.
+    pub workers: usize,
+    /// Requests sent (tenants × repeat).
+    pub requests: usize,
+    /// Wall-clock for the whole level, ms.
+    pub wall_ms: f64,
+    /// Completed requests per wall second.
+    pub throughput_rps: f64,
+    /// Requests answered from the result store.
+    pub cache_hits: usize,
+    /// `cache_hits / requests`.
+    pub cache_hit_rate: f64,
+    /// Mean reported queue wait, ms.
+    pub queue_wait_ms_mean: f64,
+    /// Worst reported queue wait, ms.
+    pub queue_wait_ms_max: f64,
+    /// Mean reported execution wall-clock, ms.
+    pub exec_ms_mean: f64,
+    /// Whether every repeat's body and event payloads matched its cold
+    /// run byte-for-byte.
+    pub byte_identical: bool,
+}
+
+/// Runs the harness and returns per-level reports plus the core count.
+pub fn run_load(opts: &BenchOptions) -> io::Result<(Vec<LevelReport>, usize)> {
+    let cores = thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let mut levels = Vec::new();
+    for &workers in &opts.worker_levels {
+        levels.push(run_level(opts, workers)?);
+    }
+    Ok((levels, cores))
+}
+
+fn request_line(tenant: usize, rep: usize, duration_s: f64) -> String {
+    format!(
+        "{{\"id\":\"t{tenant}-r{rep}\",\"kind\":\"drive\",\"world\":\"smoke\",\
+         \"duration_s\":{},\"point\":{{\"seed\":{}}}}}",
+        json_num(duration_s),
+        1000 + tenant
+    )
+}
+
+fn run_level(opts: &BenchOptions, workers: usize) -> io::Result<LevelReport> {
+    let server = Server::start(ServeConfig {
+        workers,
+        queue_capacity: opts.queue_capacity,
+        ..Default::default()
+    })?;
+    let addr = server.addr();
+    let started = Instant::now();
+
+    let tenant_runs: Vec<io::Result<Vec<Response>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.tenants)
+            .map(|tenant| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr)?;
+                    let mut responses = Vec::with_capacity(opts.repeat);
+                    for rep in 0..opts.repeat {
+                        responses.push(client.run(&request_line(tenant, rep, opts.duration_s))?);
+                    }
+                    Ok(responses)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("tenant thread panicked")).collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut requests = 0usize;
+    let mut cache_hits = 0usize;
+    let mut byte_identical = true;
+    let mut waits = Vec::new();
+    let mut execs = Vec::new();
+    for runs in tenant_runs {
+        let runs = runs?;
+        let cold = runs.first().expect("repeat >= 1");
+        for (rep, response) in runs.iter().enumerate() {
+            requests += 1;
+            if !matches!(response.outcome, Outcome::Completed { .. }) {
+                byte_identical = false;
+                continue;
+            }
+            if response.cached == Some(true) {
+                cache_hits += 1;
+            }
+            if rep > 0 && (response.body() != cold.body() || response.events != cold.events) {
+                byte_identical = false;
+            }
+            waits.extend(response.queue_wait_ms);
+            execs.extend(response.exec_ms);
+        }
+    }
+
+    let mut shutter = Client::connect(addr)?;
+    shutter.shutdown("bench-bye", true)?;
+    server.wait()?;
+
+    let mean =
+        |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    Ok(LevelReport {
+        workers,
+        requests,
+        wall_ms,
+        throughput_rps: if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 },
+        cache_hits,
+        cache_hit_rate: if requests > 0 { cache_hits as f64 / requests as f64 } else { 0.0 },
+        queue_wait_ms_mean: mean(&waits),
+        queue_wait_ms_max: waits.iter().copied().fold(0.0, f64::max),
+        exec_ms_mean: mean(&execs),
+        byte_identical,
+    })
+}
+
+/// Renders the committed `BENCH_serve.json` artifact.
+pub fn render_json(opts: &BenchOptions, levels: &[LevelReport], cores: usize) -> String {
+    let mut out = String::from("{\n  \"bench\": \"E-serve\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"cores\": {cores}, \"single_core\": {}, \"tenants\": {}, \
+         \"repeat\": {}, \"duration_s\": {}, \"queue_capacity\": {}}},\n",
+        cores <= 1,
+        opts.tenants,
+        opts.repeat,
+        json_num(opts.duration_s),
+        opts.queue_capacity
+    ));
+    out.push_str("  \"levels\": [\n");
+    let rows: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"workers\": {}, \"requests\": {}, \"wall_ms\": {}, \
+                 \"throughput_rps\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {}, \
+                 \"queue_wait_ms_mean\": {}, \"queue_wait_ms_max\": {}, \"exec_ms_mean\": {}, \
+                 \"byte_identical\": {}}}",
+                l.workers,
+                l.requests,
+                json_num(l.wall_ms),
+                json_num(l.throughput_rps),
+                l.cache_hits,
+                json_num(l.cache_hit_rate),
+                json_num(l.queue_wait_ms_mean),
+                json_num(l.queue_wait_ms_max),
+                json_num(l.exec_ms_mean),
+                l.byte_identical
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders the companion CSV (one row per worker level).
+pub fn render_csv(levels: &[LevelReport]) -> String {
+    let mut out = String::from(
+        "workers,requests,wall_ms,throughput_rps,cache_hits,cache_hit_rate,\
+         queue_wait_ms_mean,queue_wait_ms_max,exec_ms_mean,byte_identical\n",
+    );
+    for l in levels {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            l.workers,
+            l.requests,
+            json_num(l.wall_ms),
+            json_num(l.throughput_rps),
+            l.cache_hits,
+            json_num(l.cache_hit_rate),
+            json_num(l.queue_wait_ms_mean),
+            json_num(l.queue_wait_ms_max),
+            json_num(l.exec_ms_mean),
+            l.byte_identical
+        ));
+    }
+    out
+}

@@ -1,0 +1,191 @@
+//! The per-session event bus.
+//!
+//! Each session owns one [`EventBus`]; the session emits deterministic
+//! payload strings and the bus stamps a monotonic sequence number,
+//! renders the `event` frame, and broadcasts to every attached
+//! [`EventSink`]. Sinks compose: a live session typically carries a
+//! connection sink (stream to the requesting client), a spool sink
+//! (accumulate payloads for the result store), and optionally a file
+//! sink (server-side event log). Per-request isolation falls out of the
+//! ownership: nothing is shared between two sessions' buses except the
+//! sinks a caller deliberately shares.
+
+use crate::protocol::event_frame;
+use std::io::Write;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+/// One destination for a session's event frames.
+///
+/// `emit` receives the session id, the per-session sequence number, the
+/// deterministic payload, and the fully rendered frame line (no
+/// trailing newline) — each sink picks the representation it wants.
+/// Sinks must never panic on delivery failure (a vanished client is
+/// normal); they drop the event instead.
+pub trait EventSink: Send {
+    /// Delivers one event.
+    fn emit(&mut self, id: &str, seq: u64, payload: &str, frame: &str);
+}
+
+/// Discards everything. Useful as a placeholder and in benchmarks.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _id: &str, _seq: u64, _payload: &str, _frame: &str) {}
+}
+
+/// Forwards `(seq, payload)` pairs over an [`mpsc`] channel — the
+/// in-process subscription tests and tools use.
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: Sender<(u64, String)>,
+}
+
+impl ChannelSink {
+    /// Wraps a channel sender.
+    pub fn new(tx: Sender<(u64, String)>) -> ChannelSink {
+        ChannelSink { tx }
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn emit(&mut self, _id: &str, seq: u64, payload: &str, _frame: &str) {
+        // A dropped receiver just means nobody is listening anymore.
+        let _ = self.tx.send((seq, payload.to_string()));
+    }
+}
+
+/// Appends rendered frame lines to a shared writer (an opened event-log
+/// file, a socket, a test buffer). The writer is behind a mutex so
+/// several sessions can share one log.
+pub struct WriterSink<W: Write + Send> {
+    out: Arc<Mutex<W>>,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wraps a shared writer.
+    pub fn new(out: Arc<Mutex<W>>) -> WriterSink<W> {
+        WriterSink { out }
+    }
+}
+
+impl<W: Write + Send> EventSink for WriterSink<W> {
+    fn emit(&mut self, _id: &str, _seq: u64, _payload: &str, frame: &str) {
+        // Delivery is best-effort: a closed peer must not kill the
+        // session (the result still lands in the store).
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(frame.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+}
+
+/// Accumulates raw payloads for the result store (the outbox's event
+/// section). Shared with the worker that writes the store entry.
+#[derive(Debug, Default)]
+pub struct SpoolSink {
+    payloads: Arc<Mutex<Vec<String>>>,
+}
+
+impl SpoolSink {
+    /// Creates an empty spool.
+    pub fn new() -> SpoolSink {
+        SpoolSink::default()
+    }
+
+    /// The shared payload buffer.
+    pub fn payloads(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.payloads)
+    }
+}
+
+impl EventSink for SpoolSink {
+    fn emit(&mut self, _id: &str, _seq: u64, payload: &str, _frame: &str) {
+        self.payloads.lock().unwrap().push(payload.to_string());
+    }
+}
+
+/// The session-owned bus: stamps sequence numbers and fans out.
+pub struct EventBus {
+    id: String,
+    seq: u64,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl EventBus {
+    /// A bus for the session answering request `id`, with no sinks yet.
+    pub fn new(id: impl Into<String>) -> EventBus {
+        EventBus { id: id.into(), seq: 0, sinks: Vec::new() }
+    }
+
+    /// Attaches a sink; events emitted from now on reach it.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Emits one deterministic payload to every sink, stamping the next
+    /// sequence number.
+    pub fn emit(&mut self, payload: &str) {
+        let frame = event_frame(&self.id, self.seq, payload);
+        for sink in &mut self.sinks {
+            sink.emit(&self.id, self.seq, payload, &frame);
+        }
+        self.seq += 1;
+    }
+
+    /// Events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// The session id the bus stamps on every frame.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn bus_stamps_monotonic_seqs_and_fans_out_to_every_sink() {
+        let (tx, rx) = mpsc::channel();
+        let log: Arc<Mutex<Vec<u8>>> = Arc::default();
+        let spool = SpoolSink::new();
+        let payloads = spool.payloads();
+
+        let mut bus = EventBus::new("r1");
+        bus.add_sink(Box::new(NullSink));
+        bus.add_sink(Box::new(ChannelSink::new(tx)));
+        bus.add_sink(Box::new(WriterSink::new(Arc::clone(&log))));
+        bus.add_sink(Box::new(spool));
+        bus.emit("{\"phase\":\"started\"}");
+        bus.emit("{\"phase\":\"progress\",\"t_s\":1.0}");
+        assert_eq!(bus.emitted(), 2);
+
+        let got: Vec<(u64, String)> = rx.try_iter().collect();
+        assert_eq!(got[0], (0, "{\"phase\":\"started\"}".to_string()));
+        assert_eq!(got[1].0, 1);
+
+        let text = String::from_utf8(log.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"type\":\"event\",\"id\":\"r1\",\"seq\":0,\"event\":{\"phase\":\"started\"}}\n\
+             {\"type\":\"event\",\"id\":\"r1\",\"seq\":1,\"event\":{\"phase\":\"progress\",\"t_s\":1.0}}\n"
+        );
+        assert_eq!(payloads.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dropped_channel_receiver_does_not_poison_the_bus() {
+        let (tx, rx) = mpsc::channel();
+        drop(rx);
+        let mut bus = EventBus::new("r2");
+        bus.add_sink(Box::new(ChannelSink::new(tx)));
+        bus.emit("{}");
+        assert_eq!(bus.emitted(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! A blocking client for the scenario service.
+//!
+//! Used by the `av_client` CLI, the tier-1 gates, the determinism
+//! suite, and the E-serve load harness. The client deliberately keeps
+//! *raw bytes*: event payloads and the result body are extracted by
+//! slicing the frame line, not by re-rendering parsed JSON, so
+//! byte-identity comparisons compare exactly what the server sent.
+
+use crate::protocol::MAX_FRAME_BYTES;
+use av_trace::json::{self, JsonValue};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// How a work request concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A `result` frame arrived; `body` holds its raw body bytes.
+    Completed {
+        /// Raw response-body bytes, exactly as sent.
+        body: String,
+    },
+    /// The service refused the request (backpressure or drain).
+    Rejected {
+        /// `429` for a full queue, `503` for shutdown.
+        verdict: u64,
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// The request failed (protocol error or failed session).
+    Failed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// Everything received for one work request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// How the request concluded.
+    pub outcome: Outcome,
+    /// Raw event payloads in sequence order, sliced from the frames.
+    pub events: Vec<String>,
+    /// Every raw frame line, in arrival order (including `ack`,
+    /// `event`s, `stats`, and the terminal frame).
+    pub frames: Vec<String>,
+    /// Whether the store answered (`stats.cached`), when a stats frame
+    /// arrived.
+    pub cached: Option<bool>,
+    /// Queue wait reported by the server, ms.
+    pub queue_wait_ms: Option<f64>,
+    /// Execution wall-clock reported by the server, ms.
+    pub exec_ms: Option<f64>,
+}
+
+impl Response {
+    /// The raw body bytes, when the request completed.
+    pub fn body(&self) -> Option<&str> {
+        match &self.outcome {
+            Outcome::Completed { body } => Some(body),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to the service.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running service.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Sends one raw frame line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one frame line, `None` on a cleanly closed connection.
+    pub fn read_frame(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        // The server's frames are bounded; cap our buffer the same way.
+        loop {
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Ok(if line.is_empty() { None } else { Some(line) });
+            }
+            if line.ends_with('\n') {
+                line.pop();
+                return Ok(Some(line));
+            }
+            if line.len() > MAX_FRAME_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "server frame exceeds the protocol bound",
+                ));
+            }
+        }
+    }
+
+    /// Sends a `ping` and returns the raw `pong` frame.
+    pub fn ping(&mut self, id: &str) -> io::Result<String> {
+        self.send_line(&format!("{{\"id\":\"{id}\",\"kind\":\"ping\"}}"))?;
+        self.expect_frame("pong")
+    }
+
+    /// Sends a `shutdown` and returns the raw `bye` frame.
+    pub fn shutdown(&mut self, id: &str, drain: bool) -> io::Result<String> {
+        self.send_line(&format!("{{\"id\":\"{id}\",\"kind\":\"shutdown\",\"drain\":{drain}}}"))?;
+        self.expect_frame("bye")
+    }
+
+    fn expect_frame(&mut self, kind: &str) -> io::Result<String> {
+        match self.read_frame()? {
+            Some(frame) if frame_type(&frame).as_deref() == Some(kind) => Ok(frame),
+            Some(frame) => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected {kind}: {frame}")))
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("connection closed awaiting {kind}"),
+            )),
+        }
+    }
+
+    /// Sends one work request line and collects frames until the
+    /// terminal `result` / `reject` / `error` arrives.
+    pub fn run(&mut self, line: &str) -> io::Result<Response> {
+        self.send_line(line)?;
+        let mut response = Response {
+            outcome: Outcome::Failed { reason: "connection closed before a result".to_string() },
+            events: Vec::new(),
+            frames: Vec::new(),
+            cached: None,
+            queue_wait_ms: None,
+            exec_ms: None,
+        };
+        while let Some(frame) = self.read_frame()? {
+            let kind = frame_type(&frame).unwrap_or_default();
+            match kind.as_str() {
+                "event" => {
+                    if let Some(payload) = raw_member(&frame, ",\"event\":") {
+                        response.events.push(payload.to_string());
+                    }
+                }
+                "stats" => {
+                    let doc = json::parse(&frame).unwrap_or(JsonValue::Null);
+                    if let Some(JsonValue::Bool(b)) = doc.get("cached") {
+                        response.cached = Some(*b);
+                    }
+                    response.queue_wait_ms = doc.get("queue_wait_ms").and_then(|v| v.as_f64());
+                    response.exec_ms = doc.get("exec_ms").and_then(|v| v.as_f64());
+                }
+                "result" => {
+                    let body = raw_member(&frame, ",\"body\":").unwrap_or_default().to_string();
+                    response.outcome = Outcome::Completed { body };
+                    response.frames.push(frame);
+                    return Ok(response);
+                }
+                "reject" => {
+                    let doc = json::parse(&frame).unwrap_or(JsonValue::Null);
+                    response.outcome = Outcome::Rejected {
+                        verdict: doc.get("verdict").and_then(|v| v.as_u64()).unwrap_or(0),
+                        reason: member_str(&doc, "reason"),
+                    };
+                    response.frames.push(frame);
+                    return Ok(response);
+                }
+                "error" => {
+                    let doc = json::parse(&frame).unwrap_or(JsonValue::Null);
+                    response.outcome = Outcome::Failed { reason: member_str(&doc, "reason") };
+                    response.frames.push(frame);
+                    return Ok(response);
+                }
+                _ => {}
+            }
+            response.frames.push(frame);
+        }
+        Ok(response)
+    }
+}
+
+fn frame_type(frame: &str) -> Option<String> {
+    json::parse(frame).ok()?.get("type")?.as_str().map(str::to_string)
+}
+
+fn member_str(doc: &JsonValue, key: &str) -> String {
+    doc.get(key).and_then(|v| v.as_str()).unwrap_or_default().to_string()
+}
+
+/// Slices the raw bytes of a trailing frame member: for
+/// `{"type":"event","id":"x","seq":3,"event":<payload>}` and marker
+/// `,"event":` this returns `<payload>` verbatim. Safe because ids are
+/// restricted to `[A-Za-z0-9-_.:]` — the marker cannot appear earlier
+/// in the frame.
+fn raw_member<'a>(frame: &'a str, marker: &str) -> Option<&'a str> {
+    let start = frame.find(marker)? + marker.len();
+    frame.get(start..frame.len().checked_sub(1)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{event_frame, result_frame};
+
+    #[test]
+    fn raw_member_slices_payload_and_body_bytes_verbatim() {
+        let payload = "{\"phase\":\"progress\",\"t_s\":1.0}";
+        let frame = event_frame("id-7", 3, payload);
+        assert_eq!(raw_member(&frame, ",\"event\":"), Some(payload));
+
+        let body = "{\"kind\":\"drive\",\"run_hash\":\"0x00ff\"}";
+        let frame = result_frame("id-7", body);
+        assert_eq!(raw_member(&frame, ",\"body\":"), Some(body));
+    }
+}

@@ -1,0 +1,168 @@
+//! The bounded work queue behind the worker pool.
+//!
+//! Backpressure is explicit: [`WorkQueue::submit`] on a full queue
+//! fails immediately with [`SubmitError::Full`] (surfaced to clients as
+//! a `429`-style reject) rather than blocking the accept path or
+//! growing without bound. Shutdown is graceful by default: closing with
+//! `drain` lets workers finish everything already queued; closing
+//! without it discards the queue (in-flight sessions still complete).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — back off and retry later.
+    Full {
+        /// The fixed capacity that was hit.
+        capacity: usize,
+    },
+    /// The queue is closed (the service is shutting down).
+    Closed,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    open: bool,
+}
+
+/// A bounded MPMC queue: connection handlers submit, workers block on
+/// [`WorkQueue::next`].
+pub struct WorkQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> WorkQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        WorkQueue {
+            state: Mutex::new(State { queue: VecDeque::new(), open: true }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues an item, returning the queue depth *including* it, or
+    /// the explicit backpressure/shutdown refusal. Never blocks.
+    pub fn submit(&self, item: T) -> Result<usize, SubmitError> {
+        let mut state = self.state.lock().unwrap();
+        if !state.open {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(SubmitError::Full { capacity: self.capacity });
+        }
+        state.queue.push_back(item);
+        let depth = state.queue.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available and claims it. Returns `None`
+    /// once the queue is closed and (under drain) emptied — the
+    /// worker's signal to exit.
+    pub fn next(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                return Some(item);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue. With `drain`, everything already queued is
+    /// still handed to workers; without it the queue is discarded.
+    /// Returns the number of items discarded (always zero when
+    /// draining). Idempotent.
+    pub fn close(&self, drain: bool) -> usize {
+        let mut state = self.state.lock().unwrap();
+        state.open = false;
+        let discarded = if drain { 0 } else { state.queue.drain(..).count() };
+        drop(state);
+        self.ready.notify_all();
+        discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = WorkQueue::new(2);
+        assert_eq!(q.submit(1), Ok(1));
+        assert_eq!(q.submit(2), Ok(2));
+        assert_eq!(q.submit(3), Err(SubmitError::Full { capacity: 2 }));
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.submit(3), Ok(2), "capacity frees as workers claim items");
+    }
+
+    #[test]
+    fn close_with_drain_hands_out_the_backlog_then_stops() {
+        let q = WorkQueue::new(8);
+        q.submit("a").unwrap();
+        q.submit("b").unwrap();
+        assert_eq!(q.close(true), 0);
+        assert_eq!(q.submit("c"), Err(SubmitError::Closed));
+        assert_eq!(q.next(), Some("a"));
+        assert_eq!(q.next(), Some("b"));
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn close_without_drain_discards_the_backlog() {
+        let q = WorkQueue::new(8);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        assert_eq!(q.close(false), 2);
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_submit_and_on_close() {
+        let q = Arc::new(WorkQueue::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.next() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.submit(7).unwrap();
+        thread::sleep(Duration::from_millis(20));
+        q.close(true);
+        assert_eq!(worker.join().unwrap(), vec![7]);
+    }
+}

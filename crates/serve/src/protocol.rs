@@ -1,0 +1,591 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every frame — request or response — is one JSON object on one line,
+//! parsed with the hermetic [`av_trace::json`] parser (which enforces
+//! the 512-level nesting cap). Frames are bounded at
+//! [`MAX_FRAME_BYTES`]; anything larger is answered with a clean
+//! `error` frame, never a panic or a hang.
+//!
+//! Requests (client → server):
+//!
+//! ```json
+//! {"id":"r1","kind":"ping"}
+//! {"id":"r2","kind":"drive","world":"smoke","duration_s":4.0,"trace":true,"stream_trace":true}
+//! {"id":"r3","kind":"blame","world":"smoke","duration_s":4.0,"point":{"detector":"YOLOv3"}}
+//! {"id":"r4","kind":"sweep","spec":{...sweep spec...},"jobs":2}
+//! {"id":"r5","kind":"search","spec":{...search spec...}}
+//! {"id":"r6","kind":"shutdown","drain":true}
+//! ```
+//!
+//! Response frames (server → client), all carrying the request `id`:
+//!
+//! * `ack` — accepted; includes the request fingerprint and queue depth.
+//! * `reject` — bounded-queue backpressure (`verdict` 429) or drain
+//!   (`verdict` 503). The request was *not* run.
+//! * `event` — one streamed progress/trace payload, with a monotonic
+//!   per-session `seq`.
+//! * `result` — the deterministic response body. Byte-identical across
+//!   cold runs, cache replays, and store-served repeats.
+//! * `stats` — serving telemetry (queue wait, execution wall-clock,
+//!   whether the store answered). Deliberately *not* deterministic and
+//!   excluded from every byte-identity gate.
+//! * `error` — malformed request or failed session.
+//!
+//! The request **fingerprint** is FNV-1a-64 over the canonical `Debug`
+//! rendering of the parsed work (the same stable-rendering trick
+//! `av_sweep::EvalCache::spec_hash` uses), plus the flags that change
+//! response bytes (`stream_trace`). The `id` and `jobs` members are
+//! serving details and deliberately excluded: the same scenario asked
+//! under a different name is still the same scenario.
+
+use av_core::determinism::Fnv64;
+use av_sweep::{SearchSpec, SweepPoint, SweepSpec, WorldKind};
+use av_trace::export::escape;
+use av_trace::json::{self, JsonValue};
+
+/// Hard bound on one frame's byte length, both directions.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024;
+
+/// Hard bound on a served sweep's expanded grid.
+pub const MAX_SWEEP_POINTS: usize = 64;
+
+/// Hard bound on a served sweep's total simulated horizon, virtual
+/// seconds (points × per-point duration).
+pub const MAX_SWEEP_VIRTUAL_S: f64 = 3600.0;
+
+/// Hard bound on one drive's virtual horizon, seconds.
+pub const MAX_DURATION_S: f64 = 600.0;
+
+const MAX_ID_BYTES: usize = 64;
+const MAX_JOBS: usize = 8;
+
+/// One parsed request frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe; answered inline with a `pong`.
+    Ping {
+        /// Echoed request id.
+        id: String,
+    },
+    /// Graceful shutdown. `drain: true` (the default) finishes every
+    /// queued session first; `false` discards the queue (in-flight
+    /// sessions still complete).
+    Shutdown {
+        /// Echoed request id.
+        id: String,
+        /// Whether to finish queued sessions before exiting.
+        drain: bool,
+    },
+    /// A simulation request for the worker pool.
+    Work(Box<WorkRequest>),
+}
+
+/// A parsed simulation request.
+#[derive(Debug, Clone)]
+pub struct WorkRequest {
+    /// Client-chosen id, echoed on every response frame.
+    pub id: String,
+    /// Stream individual trace events (`{"phase":"trace",...}` frames)
+    /// while the run executes, not just progress pulses. Requires a
+    /// traced work kind.
+    pub stream_trace: bool,
+    /// Worker-thread hint for sweep/search sessions (1–8). A serving
+    /// detail: results are byte-identical at any level, so it is not
+    /// part of the fingerprint.
+    pub jobs: usize,
+    /// What to simulate.
+    pub work: Work,
+}
+
+/// The four work kinds the service runs.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// One characterization drive.
+    Drive {
+        /// Base world the point overrides apply to.
+        world: WorldKind,
+        /// Configuration overrides.
+        point: SweepPoint,
+        /// Virtual horizon, seconds.
+        duration_s: f64,
+        /// Record a trace (required for `stream_trace`).
+        trace: bool,
+    },
+    /// A traced drive answered with critical-path blame scalars.
+    Blame {
+        /// Base world the point overrides apply to.
+        world: WorldKind,
+        /// Configuration overrides.
+        point: SweepPoint,
+        /// Virtual horizon, seconds.
+        duration_s: f64,
+    },
+    /// A declarative sweep grid.
+    Sweep {
+        /// The parsed spec.
+        spec: SweepSpec,
+    },
+    /// A scenario-space search.
+    Search {
+        /// The parsed spec.
+        spec: SearchSpec,
+    },
+}
+
+impl Work {
+    /// The wire name of this work kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Work::Drive { .. } => "drive",
+            Work::Blame { .. } => "blame",
+            Work::Sweep { .. } => "sweep",
+            Work::Search { .. } => "search",
+        }
+    }
+}
+
+impl WorkRequest {
+    /// The request's content address: FNV-1a-64 over the canonical
+    /// rendering of everything that can change a response byte.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(self.work.kind());
+        h.write_str(if self.stream_trace { "stream" } else { "pulse" });
+        h.write_str(&format!("{:?}", self.work));
+        h.finish()
+    }
+}
+
+/// A request that could not be parsed or validated. Carries the id when
+/// one was recoverable, so the error frame can still be correlated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The request id, when the frame was well-formed enough to have
+    /// one.
+    pub id: Option<String>,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl ProtocolError {
+    fn new(id: Option<&str>, reason: impl Into<String>) -> ProtocolError {
+        ProtocolError { id: id.map(str::to_string), reason: reason.into() }
+    }
+}
+
+fn valid_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= MAX_ID_BYTES
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || "-_.:".contains(c))
+}
+
+fn duration_from(members: &[(String, JsonValue)], id: &str) -> Result<f64, ProtocolError> {
+    let Some(v) = members.iter().find(|(k, _)| k == "duration_s").map(|(_, v)| v) else {
+        return Ok(4.0);
+    };
+    let d =
+        v.as_f64().ok_or_else(|| ProtocolError::new(Some(id), "duration_s must be a number"))?;
+    if !d.is_finite() || d <= 0.0 || d > MAX_DURATION_S {
+        return Err(ProtocolError::new(
+            Some(id),
+            format!("duration_s must be in (0, {MAX_DURATION_S}], got {d:?}"),
+        ));
+    }
+    Ok(d)
+}
+
+fn bool_member(
+    members: &[(String, JsonValue)],
+    key: &str,
+    id: &str,
+) -> Result<bool, ProtocolError> {
+    match members.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        None => Ok(false),
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(_) => Err(ProtocolError::new(Some(id), format!("{key} must be a boolean"))),
+    }
+}
+
+fn world_from(members: &[(String, JsonValue)], id: &str) -> Result<WorldKind, ProtocolError> {
+    match members.iter().find(|(k, _)| k == "world").map(|(_, v)| v) {
+        None => Ok(WorldKind::Smoke),
+        Some(v) => {
+            let name =
+                v.as_str().ok_or_else(|| ProtocolError::new(Some(id), "world must be a string"))?;
+            WorldKind::parse(name).map_err(|e| ProtocolError::new(Some(id), e))
+        }
+    }
+}
+
+fn point_from(members: &[(String, JsonValue)], id: &str) -> Result<SweepPoint, ProtocolError> {
+    match members.iter().find(|(k, _)| k == "point").map(|(_, v)| v) {
+        None => Ok(SweepPoint::default()),
+        Some(v) => SweepPoint::from_json_value(v)
+            .map_err(|e| ProtocolError::new(Some(id), format!("point: {e}"))),
+    }
+}
+
+fn jobs_from(members: &[(String, JsonValue)], id: &str) -> Result<usize, ProtocolError> {
+    match members.iter().find(|(k, _)| k == "jobs").map(|(_, v)| v) {
+        None => Ok(1),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| ProtocolError::new(Some(id), "jobs must be a positive integer"))?;
+            if n == 0 || n as usize > MAX_JOBS {
+                return Err(ProtocolError::new(
+                    Some(id),
+                    format!("jobs must be in 1..={MAX_JOBS}, got {n}"),
+                ));
+            }
+            Ok(n as usize)
+        }
+    }
+}
+
+fn spec_text(members: &[(String, JsonValue)], id: &str) -> Result<String, ProtocolError> {
+    let Some(v) = members.iter().find(|(k, _)| k == "spec").map(|(_, v)| v) else {
+        return Err(ProtocolError::new(Some(id), "missing required member \"spec\""));
+    };
+    if !matches!(v, JsonValue::Obj(_)) {
+        return Err(ProtocolError::new(Some(id), "spec must be a JSON object"));
+    }
+    Ok(render_json(v))
+}
+
+fn check_keys(
+    members: &[(String, JsonValue)],
+    allowed: &[&str],
+    id: &str,
+) -> Result<(), ProtocolError> {
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ProtocolError::new(Some(id), format!("unknown request member {key:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and validates one request line.
+///
+/// Never panics on any input: syntax errors, oversized frames, wrong
+/// types, out-of-range values and unknown members all come back as
+/// [`ProtocolError`]s (with the request id attached whenever it was
+/// recoverable).
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(ProtocolError::new(
+            None,
+            format!("frame exceeds {MAX_FRAME_BYTES} bytes ({} sent)", line.len()),
+        ));
+    }
+    let doc = json::parse(line)
+        .map_err(|e| ProtocolError::new(None, format!("request is not valid JSON: {e}")))?;
+    let JsonValue::Obj(members) = &doc else {
+        return Err(ProtocolError::new(None, "request must be a JSON object"));
+    };
+    let id = match members.iter().find(|(k, _)| k == "id").map(|(_, v)| v) {
+        None => "req".to_string(),
+        Some(JsonValue::Str(s)) if valid_id(s) => s.clone(),
+        Some(_) => {
+            return Err(ProtocolError::new(
+                None,
+                format!(
+                    "id must be a nonempty string of at most {MAX_ID_BYTES} \
+                     alphanumeric/-_.: characters"
+                ),
+            ))
+        }
+    };
+    let kind = match members.iter().find(|(k, _)| k == "kind").map(|(_, v)| v) {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        Some(_) => return Err(ProtocolError::new(Some(&id), "kind must be a string")),
+        None => return Err(ProtocolError::new(Some(&id), "missing required member \"kind\"")),
+    };
+    match kind {
+        "ping" => {
+            check_keys(members, &["id", "kind"], &id)?;
+            Ok(Request::Ping { id })
+        }
+        "shutdown" => {
+            check_keys(members, &["id", "kind", "drain"], &id)?;
+            let drain = match members.iter().find(|(k, _)| k == "drain").map(|(_, v)| v) {
+                None => true,
+                Some(JsonValue::Bool(b)) => *b,
+                Some(_) => return Err(ProtocolError::new(Some(&id), "drain must be a boolean")),
+            };
+            Ok(Request::Shutdown { id, drain })
+        }
+        "drive" => {
+            check_keys(
+                members,
+                &["id", "kind", "world", "point", "duration_s", "trace", "stream_trace"],
+                &id,
+            )?;
+            let world = world_from(members, &id)?;
+            let point = point_from(members, &id)?;
+            let duration_s = duration_from(members, &id)?;
+            let trace = bool_member(members, "trace", &id)?;
+            let stream_trace = bool_member(members, "stream_trace", &id)?;
+            if stream_trace && !trace {
+                return Err(ProtocolError::new(Some(&id), "stream_trace requires trace:true"));
+            }
+            Ok(Request::Work(Box::new(WorkRequest {
+                id,
+                stream_trace,
+                jobs: 1,
+                work: Work::Drive { world, point, duration_s, trace },
+            })))
+        }
+        "blame" => {
+            check_keys(
+                members,
+                &["id", "kind", "world", "point", "duration_s", "stream_trace"],
+                &id,
+            )?;
+            let world = world_from(members, &id)?;
+            let point = point_from(members, &id)?;
+            let duration_s = duration_from(members, &id)?;
+            let stream_trace = bool_member(members, "stream_trace", &id)?;
+            Ok(Request::Work(Box::new(WorkRequest {
+                id,
+                stream_trace,
+                jobs: 1,
+                work: Work::Blame { world, point, duration_s },
+            })))
+        }
+        "sweep" => {
+            check_keys(members, &["id", "kind", "spec", "jobs"], &id)?;
+            let jobs = jobs_from(members, &id)?;
+            let text = spec_text(members, &id)?;
+            let spec = SweepSpec::from_json(&text)
+                .map_err(|e| ProtocolError::new(Some(&id), format!("sweep spec: {e}")))?;
+            let points = spec.points().len();
+            if points > MAX_SWEEP_POINTS {
+                return Err(ProtocolError::new(
+                    Some(&id),
+                    format!("sweep expands to {points} points (service cap {MAX_SWEEP_POINTS})"),
+                ));
+            }
+            let duration =
+                spec.duration_s.unwrap_or_else(|| spec.base_config().scenario.duration_s);
+            let total = duration * points as f64;
+            if !(0.0..=MAX_SWEEP_VIRTUAL_S).contains(&total) {
+                return Err(ProtocolError::new(
+                    Some(&id),
+                    format!(
+                        "sweep asks for {total:.0} virtual seconds \
+                         (service cap {MAX_SWEEP_VIRTUAL_S:.0})"
+                    ),
+                ));
+            }
+            Ok(Request::Work(Box::new(WorkRequest {
+                id,
+                stream_trace: false,
+                jobs,
+                work: Work::Sweep { spec },
+            })))
+        }
+        "search" => {
+            check_keys(members, &["id", "kind", "spec", "jobs"], &id)?;
+            let jobs = jobs_from(members, &id)?;
+            let text = spec_text(members, &id)?;
+            let spec = SearchSpec::from_json(&text)
+                .map_err(|e| ProtocolError::new(Some(&id), format!("search spec: {e}")))?;
+            Ok(Request::Work(Box::new(WorkRequest {
+                id,
+                stream_trace: false,
+                jobs,
+                work: Work::Search { spec },
+            })))
+        }
+        other => Err(ProtocolError::new(Some(&id), format!("unknown request kind {other:?}"))),
+    }
+}
+
+/// Re-renders a parsed JSON value on one line. Objects keep insertion
+/// order, numbers use the shortest round-trip rendering (integers
+/// without a fraction), so the output is a pure function of the value.
+pub fn render_json(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => render_num(*n),
+        JsonValue::Str(s) => format!("\"{}\"", escape(s)),
+        JsonValue::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        JsonValue::Obj(members) => {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), render_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn render_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:?}")
+    }
+}
+
+/// `0x`-prefixed, zero-padded hex rendering of a 64-bit hash — the one
+/// spelling every artifact uses.
+pub fn hex64(h: u64) -> String {
+    format!("{h:#018x}")
+}
+
+/// A float for a deterministic response body: shortest round-trip
+/// rendering, with non-finite values mapped to `null` (JSON has no
+/// NaN).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders an `ack` frame: the request was accepted at queue depth
+/// `queued`.
+pub fn ack_frame(id: &str, fingerprint: u64, queued: usize) -> String {
+    format!(
+        "{{\"type\":\"ack\",\"id\":\"{}\",\"fingerprint\":\"{}\",\"queued\":{queued}}}",
+        escape(id),
+        hex64(fingerprint)
+    )
+}
+
+/// Renders a `reject` frame (429-style backpressure or 503 drain).
+pub fn reject_frame(id: &str, verdict: u32, reason: &str) -> String {
+    format!(
+        "{{\"type\":\"reject\",\"id\":\"{}\",\"verdict\":{verdict},\"reason\":\"{}\"}}",
+        escape(id),
+        escape(reason)
+    )
+}
+
+/// Renders an `error` frame; `id` is `null` when the frame was too
+/// malformed to carry one.
+pub fn error_frame(id: Option<&str>, reason: &str) -> String {
+    let id = match id {
+        Some(id) => format!("\"{}\"", escape(id)),
+        None => "null".to_string(),
+    };
+    format!("{{\"type\":\"error\",\"id\":{id},\"reason\":\"{}\"}}", escape(reason))
+}
+
+/// Renders one streamed `event` frame around a deterministic payload.
+pub fn event_frame(id: &str, seq: u64, payload: &str) -> String {
+    format!("{{\"type\":\"event\",\"id\":\"{}\",\"seq\":{seq},\"event\":{payload}}}", escape(id))
+}
+
+/// Renders the `result` frame around a deterministic body.
+pub fn result_frame(id: &str, body: &str) -> String {
+    format!("{{\"type\":\"result\",\"id\":\"{}\",\"body\":{body}}}", escape(id))
+}
+
+/// Renders the `stats` frame — the one deliberately nondeterministic
+/// frame (wall-clock serving telemetry).
+pub fn stats_frame(id: &str, cached: bool, queue_wait_ms: f64, exec_ms: f64) -> String {
+    format!(
+        "{{\"type\":\"stats\",\"id\":\"{}\",\"cached\":{cached},\"queue_wait_ms\":{},\
+         \"exec_ms\":{}}}",
+        escape(id),
+        json_num(queue_wait_ms),
+        json_num(exec_ms)
+    )
+}
+
+/// Renders the `pong` reply to a `ping`.
+pub fn pong_frame(id: &str, workers: usize, queue_capacity: usize, store_len: usize) -> String {
+    format!(
+        "{{\"type\":\"pong\",\"id\":\"{}\",\"workers\":{workers},\
+         \"queue_capacity\":{queue_capacity},\"store\":{store_len}}}",
+        escape(id)
+    )
+}
+
+/// Renders the `bye` acknowledgement of a `shutdown` request.
+pub fn bye_frame(id: &str, drain: bool) -> String {
+    format!("{{\"type\":\"bye\",\"id\":\"{}\",\"drain\":{drain}}}", escape(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_request_shapes() {
+        assert!(matches!(parse_request(r#"{"id":"a","kind":"ping"}"#), Ok(Request::Ping { .. })));
+        assert!(matches!(
+            parse_request(r#"{"kind":"shutdown","drain":false}"#),
+            Ok(Request::Shutdown { drain: false, .. })
+        ));
+        let drive = parse_request(
+            r#"{"id":"d1","kind":"drive","world":"smoke","duration_s":4.0,"trace":true,
+                "stream_trace":true,"point":{"detector":"YOLOv3"}}"#,
+        )
+        .expect("valid drive");
+        let Request::Work(wr) = drive else { panic!("drive is work") };
+        assert_eq!(wr.id, "d1");
+        assert!(wr.stream_trace);
+        assert!(
+            matches!(wr.work, Work::Drive { duration_s, trace: true, .. } if duration_s == 4.0)
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_id_and_jobs_but_not_content() {
+        let parse_work = |line: &str| match parse_request(line) {
+            Ok(Request::Work(wr)) => wr,
+            other => panic!("expected work, got {other:?}"),
+        };
+        let a = parse_work(r#"{"id":"a","kind":"drive","duration_s":4.0}"#);
+        let b = parse_work(r#"{"id":"b","kind":"drive","duration_s":4.0}"#);
+        let c = parse_work(r#"{"id":"a","kind":"drive","duration_s":5.0}"#);
+        let d = parse_work(r#"{"id":"a","kind":"drive","duration_s":4.0,"trace":true}"#);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "id must not change the fingerprint");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "duration is content");
+        assert_ne!(a.fingerprint(), d.fingerprint(), "tracing is content");
+    }
+
+    #[test]
+    fn rejects_malformed_frames_with_clean_errors() {
+        for (line, needle) in [
+            ("", "not valid JSON"),
+            ("null", "must be a JSON object"),
+            ("{\"kind\":\"drive\",\"duration_s\":-1}", "duration_s"),
+            ("{\"kind\":\"drive\",\"duration_s\":1e9}", "duration_s"),
+            ("{\"kind\":\"nope\"}", "unknown request kind"),
+            ("{\"kind\":\"drive\",\"bogus\":1}", "unknown request member"),
+            ("{\"id\":\"\",\"kind\":\"ping\"}", "id must be"),
+            ("{\"kind\":\"drive\",\"stream_trace\":true}", "stream_trace requires"),
+            ("{\"kind\":\"sweep\"}", "missing required member \"spec\""),
+            ("{\"kind\":\"ping\",\"id\":7}", "id must be"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.reason.contains(needle), "{line}: {}", err.reason);
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_parsing() {
+        let line = format!("{{\"pad\":\"{}\"}}", "x".repeat(MAX_FRAME_BYTES));
+        let err = parse_request(&line).expect_err("too long");
+        assert!(err.reason.contains("frame exceeds"));
+    }
+
+    #[test]
+    fn render_json_round_trips_a_spec_subtree() {
+        let text =
+            r#"{"name":"s","world":"smoke","duration_s":4.5,"grid":{"detector":["SSD512"]},"n":3}"#;
+        let doc = json::parse(text).expect("valid");
+        assert_eq!(render_json(&doc), text);
+    }
+}

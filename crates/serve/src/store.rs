@@ -1,0 +1,231 @@
+//! The content-addressed result store with a crash-safe outbox spool.
+//!
+//! Finished sessions are stored under their request fingerprint: the
+//! exact response body bytes plus every streamed event payload, in
+//! sequence order. A repeated request is answered from the store
+//! byte-for-byte — no re-simulation — which is safe precisely because
+//! bodies and event payloads are pure functions of the request.
+//!
+//! Persistence uses the outbox pattern. An entry is first written to
+//! `<spool>/pending/<fingerprint>.entry`, fsynced, then atomically
+//! renamed into `<spool>/`: a crash can leave at most a `pending/`
+//! leftover, which the next start sweeps away, so the visible spool
+//! only ever contains complete entries (exactly-once delivery into the
+//! store). Entries are reloaded verbatim on start, so the
+//! byte-identity guarantee holds across restarts.
+
+use crate::protocol::hex64;
+use av_trace::json;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One finished session, addressed by its request fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultEntry {
+    /// The request fingerprint ([`crate::WorkRequest::fingerprint`]).
+    pub fingerprint: u64,
+    /// The response body, verbatim.
+    pub body: String,
+    /// Every streamed event payload, in sequence order, verbatim.
+    pub events: Vec<String>,
+}
+
+/// Fingerprint-keyed store of finished sessions, optionally backed by a
+/// spool directory.
+pub struct ResultStore {
+    entries: Mutex<HashMap<u64, Arc<ResultEntry>>>,
+    spool: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// A purely in-memory store (no persistence).
+    pub fn in_memory() -> ResultStore {
+        ResultStore { entries: Mutex::new(HashMap::new()), spool: None }
+    }
+
+    /// Opens (or creates) a spooled store at `dir`, sweeping incomplete
+    /// `pending/` leftovers and reloading every completed entry
+    /// verbatim.
+    pub fn with_spool(dir: &Path) -> io::Result<ResultStore> {
+        fs::create_dir_all(dir.join("pending"))?;
+        for leftover in fs::read_dir(dir.join("pending"))? {
+            let path = leftover?.path();
+            if path.is_file() {
+                fs::remove_file(&path)?;
+            }
+        }
+        let mut entries = HashMap::new();
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            // A file that does not parse is treated as absent rather
+            // than fatal — the request it answered just runs cold again.
+            if let Some(entry) = load_entry(&path) {
+                entries.insert(entry.fingerprint, Arc::new(entry));
+            }
+        }
+        Ok(ResultStore { entries: Mutex::new(entries), spool: Some(dir.to_path_buf()) })
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a finished session by fingerprint.
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<ResultEntry>> {
+        self.entries.lock().unwrap().get(&fingerprint).cloned()
+    }
+
+    /// Inserts a finished session, persisting it through the outbox
+    /// when spooled. First writer wins: if the fingerprint is already
+    /// present the existing bytes are kept (they are identical by
+    /// construction, and keeping them preserves the byte-identity
+    /// guarantee even if that invariant were ever violated).
+    pub fn put(&self, entry: ResultEntry) -> io::Result<Arc<ResultEntry>> {
+        {
+            let map = self.entries.lock().unwrap();
+            if let Some(existing) = map.get(&entry.fingerprint) {
+                return Ok(Arc::clone(existing));
+            }
+        }
+        if let Some(dir) = &self.spool {
+            persist(dir, &entry)?;
+        }
+        let arc = Arc::new(entry);
+        let mut map = self.entries.lock().unwrap();
+        Ok(Arc::clone(map.entry(arc.fingerprint).or_insert(arc)))
+    }
+}
+
+fn entry_name(fingerprint: u64) -> String {
+    format!("{}.entry", hex64(fingerprint))
+}
+
+/// Outbox write: pending file, fsync, atomic rename into the spool.
+fn persist(dir: &Path, entry: &ResultEntry) -> io::Result<()> {
+    let pending = dir.join("pending").join(entry_name(entry.fingerprint));
+    {
+        let mut f = File::create(&pending)?;
+        writeln!(
+            f,
+            "{{\"fingerprint\":\"{}\",\"events\":{}}}",
+            hex64(entry.fingerprint),
+            entry.events.len()
+        )?;
+        for payload in &entry.events {
+            writeln!(f, "{payload}")?;
+        }
+        writeln!(f, "{}", entry.body)?;
+        f.sync_all()?;
+    }
+    fs::rename(&pending, dir.join(entry_name(entry.fingerprint)))?;
+    // Make the rename itself durable; best-effort (not all platforms
+    // allow fsyncing a directory handle).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads one spooled entry: a header line, `events` payload lines, then
+/// the body line — all payload/body bytes taken verbatim.
+fn load_entry(path: &Path) -> Option<ResultEntry> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header = json::parse(lines.next()?).ok()?;
+    let fingerprint = parse_hex64(header.get("fingerprint")?.as_str()?)?;
+    let count = header.get("events")?.as_u64()? as usize;
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        events.push(lines.next()?.to_string());
+    }
+    let body = lines.next()?.to_string();
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(ResultEntry { fingerprint, body, events })
+}
+
+fn parse_hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("av_serve_store_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry() -> ResultEntry {
+        ResultEntry {
+            fingerprint: 0xfeed_beef_dead_cafe,
+            body: "{\"kind\":\"drive\",\"run_hash\":\"0x0000000000000001\"}".to_string(),
+            events: vec!["{\"phase\":\"started\"}".to_string(), "{\"phase\":\"done\"}".to_string()],
+        }
+    }
+
+    #[test]
+    fn put_then_get_round_trips_in_memory() {
+        let store = ResultStore::in_memory();
+        assert!(store.get(1).is_none());
+        let put = store.put(entry()).unwrap();
+        let got = store.get(entry().fingerprint).expect("present");
+        assert_eq!(*got, *put);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn spooled_entries_survive_restart_byte_for_byte() {
+        let dir = tmpdir("restart");
+        let store = ResultStore::with_spool(&dir).unwrap();
+        store.put(entry()).unwrap();
+        drop(store);
+
+        let reopened = ResultStore::with_spool(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let got = reopened.get(entry().fingerprint).expect("reloaded");
+        assert_eq!(got.body, entry().body);
+        assert_eq!(got.events, entry().events);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_leftovers_are_swept_and_corrupt_entries_skipped() {
+        let dir = tmpdir("sweep");
+        fs::create_dir_all(dir.join("pending")).unwrap();
+        fs::write(dir.join("pending").join("0xdead.entry"), "half-written").unwrap();
+        fs::write(dir.join("0x0bad.entry"), "not a header\n").unwrap();
+        let store = ResultStore::with_spool(&dir).unwrap();
+        assert_eq!(store.len(), 0, "neither leftover nor corrupt entry loads");
+        assert!(!dir.join("pending").join("0xdead.entry").exists(), "leftover swept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_fingerprints() {
+        let store = ResultStore::in_memory();
+        store.put(entry()).unwrap();
+        let mut other = entry();
+        other.body = "{\"different\":true}".to_string();
+        let kept = store.put(other).unwrap();
+        assert_eq!(kept.body, entry().body);
+    }
+}

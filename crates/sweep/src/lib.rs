@@ -45,7 +45,7 @@ pub mod spec;
 pub use aggregate::{aggregate, SweepArtifacts};
 pub use cache::{CachedRun, EvalCache};
 pub use objective::Objective;
-pub use runner::{run_sweep, run_sweep_instrumented, PointResult, SweepStats};
+pub use runner::{run_sweep, run_sweep_instrumented, run_sweep_streamed, PointResult, SweepStats};
 pub use search::{
     run_search, run_search_instrumented, run_search_with, search_artifacts, BatchRecord,
     BisectSpec, EvalRecord, HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer,

@@ -31,7 +31,7 @@
 use crate::cache::EvalCache;
 use crate::spec::{SweepPoint, SweepSpec};
 use av_core::determinism::run_hash;
-use av_core::parallel::parallel_map;
+use av_core::parallel::parallel_map_streamed;
 use av_core::stack::{
     checkpoint_drive, resume_drive, run_drive, RunConfig, RunReport, StackConfig,
 };
@@ -120,6 +120,25 @@ pub fn run_sweep_instrumented(
     run: &RunConfig,
     jobs: usize,
 ) -> (Vec<PointResult>, SweepStats) {
+    run_sweep_streamed(spec, run, jobs, |_| {})
+}
+
+/// [`run_sweep_instrumented`], additionally invoking `on_point` for
+/// every finished point *in expansion order* as soon as its result is
+/// known — the streaming seam the scenario service uses to ship
+/// per-point results while later points are still simulating.
+///
+/// An ordinal frontier gates emission: point `k` is emitted only after
+/// points `0..k`, so the callback sequence is identical at any `jobs`
+/// level even though representatives complete out of order (the same
+/// reorder discipline as [`parallel_map_streamed`], lifted through the
+/// dedup fan-out).
+pub fn run_sweep_streamed(
+    spec: &SweepSpec,
+    run: &RunConfig,
+    jobs: usize,
+    mut on_point: impl FnMut(&PointResult),
+) -> (Vec<PointResult>, SweepStats) {
     let base = spec.base_config();
     let run = effective_run(spec, run);
     let points = spec.points();
@@ -181,37 +200,51 @@ pub fn run_sweep_instrumented(
 
     let reps = &reps;
     let run_ref = &run;
-    let completed: Vec<Vec<(usize, RunReport, u64)>> = parallel_map(tasks, jobs, move |task| {
-        let finish = |rep: usize, report: RunReport| {
-            let hash = run_hash(&report);
-            (rep, report, hash)
-        };
-        match task {
-            Task::Single(rep) => vec![finish(rep, run_drive(&reps[rep], run_ref))],
-            Task::Shared { barrier_s, members } => {
-                let (first, checkpoint) = checkpoint_drive(&reps[members[0]], run_ref, barrier_s);
-                let mut out = vec![finish(members[0], first)];
-                for &rep in &members[1..] {
-                    out.push(finish(rep, resume_drive(&reps[rep], run_ref, &checkpoint)));
-                }
-                out
-            }
-        }
-    });
-
+    // Results fan out from representatives to points behind an ordinal
+    // frontier: a point is emitted (and appended to `results`) the
+    // moment its representative's result is known *and* every earlier
+    // point has already been emitted, so the on_point sequence — and
+    // the result vector it mirrors — is independent of completion
+    // order.
     let mut rep_results: Vec<Option<(RunReport, u64)>> = (0..reps.len()).map(|_| None).collect();
-    for (rep, report, hash) in completed.into_iter().flatten() {
-        rep_results[rep] = Some((report, hash));
-    }
-    let results = points
-        .into_iter()
-        .zip(&owner)
-        .map(|(point, &rep)| {
-            let (report, run_hash) =
-                rep_results[rep].clone().expect("every representative evaluated");
-            PointResult { point, report, run_hash }
-        })
-        .collect();
+    let mut results: Vec<PointResult> = Vec::with_capacity(points.len());
+    parallel_map_streamed(
+        tasks,
+        jobs,
+        move |task| {
+            let finish = |rep: usize, report: RunReport| {
+                let hash = run_hash(&report);
+                (rep, report, hash)
+            };
+            match task {
+                Task::Single(rep) => vec![finish(rep, run_drive(&reps[rep], run_ref))],
+                Task::Shared { barrier_s, members } => {
+                    let (first, checkpoint) =
+                        checkpoint_drive(&reps[members[0]], run_ref, barrier_s);
+                    let mut out = vec![finish(members[0], first)];
+                    for &rep in &members[1..] {
+                        out.push(finish(rep, resume_drive(&reps[rep], run_ref, &checkpoint)));
+                    }
+                    out
+                }
+            }
+        },
+        |_, completed: &Vec<(usize, RunReport, u64)>| {
+            for (rep, report, hash) in completed {
+                rep_results[*rep] = Some((report.clone(), *hash));
+            }
+            while results.len() < points.len() {
+                let point = &points[results.len()];
+                let Some((report, run_hash)) = rep_results[owner[results.len()]].clone() else {
+                    break;
+                };
+                let result = PointResult { point: point.clone(), report, run_hash };
+                on_point(&result);
+                results.push(result);
+            }
+        },
+    );
+    assert_eq!(results.len(), points.len(), "every representative evaluated");
     (results, stats)
 }
 
@@ -237,6 +270,28 @@ mod tests {
         }
         assert_eq!(serial[0].report.detector, DetectorKind::Ssd512);
         assert_eq!(serial[1].report.detector, DetectorKind::YoloV3);
+    }
+
+    #[test]
+    fn streamed_points_arrive_in_expansion_order_at_any_jobs_level() {
+        let spec = SweepSpec {
+            duration_s: Some(4.0),
+            detectors: vec![DetectorKind::Ssd512, DetectorKind::Ssd300, DetectorKind::YoloV3],
+            ..SweepSpec::new("t", WorldKind::Smoke)
+        };
+        let mut streams: Vec<Vec<(usize, u64)>> = Vec::new();
+        for jobs in [1, 4] {
+            let mut seen = Vec::new();
+            let (results, _) = run_sweep_streamed(&spec, &RunConfig::default(), jobs, |r| {
+                seen.push((r.point.ordinal, r.run_hash));
+            });
+            let want: Vec<(usize, u64)> =
+                results.iter().map(|r| (r.point.ordinal, r.run_hash)).collect();
+            assert_eq!(seen, want, "stream order != result order at jobs={jobs}");
+            streams.push(seen);
+        }
+        assert_eq!(streams[0], streams[1], "streamed sequence diverged across jobs levels");
+        assert_eq!(streams[0].iter().map(|&(o, _)| o).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub enum WorldKind {
 }
 
 impl WorldKind {
-    fn parse(s: &str) -> Result<WorldKind, String> {
+    /// Parses a world name (`"paper"` or `"smoke"`), as it appears in
+    /// sweep specs and scenario-service requests.
+    pub fn parse(s: &str) -> Result<WorldKind, String> {
         match s {
             "paper" => Ok(WorldKind::Paper),
             "smoke" => Ok(WorldKind::Smoke),

@@ -28,7 +28,7 @@ pub(crate) fn dur_us(d: SimDuration) -> String {
 }
 
 /// Escapes a string for a JSON literal (quotes not included).
-pub(crate) fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -44,6 +44,60 @@ pub(crate) fn escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Renders one [`TraceEvent`] as a single JSON object line (no trailing
+/// newline) — the incremental-streaming sibling of
+/// [`render_chrome_trace`], used by the scenario service to ship events
+/// while a run is still executing. All timestamps are integer
+/// nanoseconds, so the bytes are a pure function of the event.
+pub fn render_event_jsonl(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::Callback { node, topic, arrival, started, completed, lineage, published } => {
+            let lineage: Vec<String> = lineage
+                .iter()
+                .map(|&(source, stamp)| format!("[\"{}\",{}]", source.name(), stamp.as_nanos()))
+                .collect();
+            let published: Vec<String> =
+                published.iter().map(|t| format!("\"{}\"", escape(t))).collect();
+            format!(
+                "{{\"ev\":\"callback\",\"node\":\"{}\",\"topic\":\"{}\",\"arrival_ns\":{},\
+                 \"started_ns\":{},\"completed_ns\":{},\"lineage\":[{}],\"published\":[{}]}}",
+                escape(node),
+                escape(topic),
+                arrival.as_nanos(),
+                started.as_nanos(),
+                completed.as_nanos(),
+                lineage.join(","),
+                published.join(",")
+            )
+        }
+        TraceEvent::Enqueued { topic, node, depth, time } => {
+            queue_jsonl("enqueued", topic, node, *depth, *time)
+        }
+        TraceEvent::Dequeued { topic, node, depth, time } => {
+            queue_jsonl("dequeued", topic, node, *depth, *time)
+        }
+        TraceEvent::Dropped { topic, node, depth, time } => {
+            queue_jsonl("dropped", topic, node, *depth, *time)
+        }
+        TraceEvent::Fault { kind, node, info, time } => format!(
+            "{{\"ev\":\"fault\",\"kind\":\"{}\",\"node\":\"{}\",\"info\":\"{}\",\"time_ns\":{}}}",
+            kind.name(),
+            escape(node),
+            escape(info),
+            time.as_nanos()
+        ),
+    }
+}
+
+fn queue_jsonl(ev: &str, topic: &str, node: &str, depth: usize, time: SimTime) -> String {
+    format!(
+        "{{\"ev\":\"{ev}\",\"topic\":\"{}\",\"node\":\"{}\",\"depth\":{depth},\"time_ns\":{}}}",
+        escape(topic),
+        escape(node),
+        time.as_nanos()
+    )
 }
 
 /// Flow-event id: the acquisition stamp is unique per sensor firing, so

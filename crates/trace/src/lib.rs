@@ -121,6 +121,26 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The virtual time at which the event was *recorded* by the bus
+    /// observer: `completed` for callbacks (a span is only known once
+    /// its processing ends), the event's own `time` for everything
+    /// else. Events appear in [`TraceData::events`] in nondecreasing
+    /// emission order, so a prefix of the vector is exactly the set of
+    /// events a live observer has seen up to some barrier — the
+    /// property incremental streaming (`av-serve`) relies on to replay
+    /// a finished run's event stream byte-for-byte.
+    pub fn emission_time(&self) -> SimTime {
+        match self {
+            TraceEvent::Callback { completed, .. } => *completed,
+            TraceEvent::Enqueued { time, .. }
+            | TraceEvent::Dequeued { time, .. }
+            | TraceEvent::Dropped { time, .. }
+            | TraceEvent::Fault { time, .. } => *time,
+        }
+    }
+}
+
 /// One fixed-cadence metrics sample, covering the interval ending at
 /// `time`.
 #[derive(Debug, Clone, PartialEq)]
@@ -289,6 +309,19 @@ impl SharedTracer {
     /// Clones the recorded trace out of the shared handle.
     pub fn snapshot(&self) -> TraceData {
         self.inner.borrow().data.clone()
+    }
+
+    /// Number of events recorded so far — the cursor for incremental
+    /// streaming between run slices.
+    pub fn event_count(&self) -> usize {
+        self.inner.borrow().data.events.len()
+    }
+
+    /// Clones the events recorded at positions `from..`, so a paused
+    /// run can ship just the delta since the previous pause instead of
+    /// re-exporting the whole trace at the end.
+    pub fn events_since(&self, from: usize) -> Vec<TraceEvent> {
+        self.inner.borrow().data.events.get(from..).unwrap_or(&[]).to_vec()
     }
 
     /// Serializes the recorded trace into a checkpoint section.

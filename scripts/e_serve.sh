@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# E-serve: scenario-service load study — throughput, queue wait, and
+# cache hit-rate under concurrent synthetic tenants at worker-pool
+# sizes 1/2/8, plus byte-identity of store-served repeats.
+#
+#   scripts/e_serve.sh            # writes results/serve/BENCH_serve.{json,csv}
+#
+# Fully offline. Wall-clock numbers are honest: on a single-core host
+# the harness (and this script) WARN that the levels measure queueing
+# behaviour, not parallel speedup — the artifact records the core count
+# so readers can tell.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "${cores}" -le 1 ]; then
+    echo "WARNING: ${cores}-core host — E-serve worker levels will not show parallel" >&2
+    echo "speedup here; interpret queue-wait and hit-rate, not throughput scaling." >&2
+fi
+
+cargo build --release -p av-bench >/dev/null
+
+echo "== E-serve load harness (workers 1/2/8) =="
+./target/release/serve --bench --out results/serve --levels 1,2,8 --duration 2.0
+
+echo "== sweep-over-the-wire smoke (specs/serve_load.json) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+./target/release/serve --port-file "$tmp/port" --workers 2 >/dev/null 2>&1 &
+serve_pid=$!
+for _ in $(seq 50); do [ -s "$tmp/port" ] && break; sleep 0.1; done
+addr=$(cat "$tmp/port")
+./target/release/av_client --addr "$addr" --quiet --request specs/serve_load.json \
+    --out "$tmp/sweep_body1" >/dev/null 2>"$tmp/stats1"
+./target/release/av_client --addr "$addr" --quiet --request specs/serve_load.json \
+    --out "$tmp/sweep_body2" >/dev/null 2>"$tmp/stats2"
+grep -q 'cached=false' "$tmp/stats1"
+grep -q 'cached=true' "$tmp/stats2"
+cmp "$tmp/sweep_body1" "$tmp/sweep_body2"
+./target/release/av_client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+echo "served sweep byte-identical on repeat"
+
+echo "E-serve artifacts: results/serve/BENCH_serve.json, results/serve/BENCH_serve.csv"

@@ -124,6 +124,35 @@ for point in p00 p01 p02 p03; do
 done
 echo "blame exports byte-identical across jobs levels"
 
+echo "== scenario service: serve --check self-test =="
+# In-process end-to-end: ping, malformed frame -> error, cold streamed
+# drive, store-served repeat byte-identical, oversized frame bounded,
+# graceful drain. serve --check exits nonzero on any failure.
+./target/release/serve --check >"$tmp/serve_check.log"
+grep 'serve check ok' "$tmp/serve_check.log"
+
+echo "== scenario service: store-served repeat is byte-identical over the wire =="
+# A live daemon on a loopback port: the same drive request sent twice
+# must be answered cold then from the content-addressed store, with the
+# result body and the streamed event payloads matching byte-for-byte.
+mkdir -p "$tmp/serve_spool"
+./target/release/serve --port-file "$tmp/serve_port" --workers 2 \
+    --spool "$tmp/serve_spool" >/dev/null 2>&1 &
+serve_pid=$!
+for _ in $(seq 50); do [ -s "$tmp/serve_port" ] && break; sleep 0.1; done
+serve_addr=$(cat "$tmp/serve_port")
+./target/release/av_client --addr "$serve_addr" --quiet --request specs/serve_drive.json \
+    --out "$tmp/serve_body1" --events "$tmp/serve_events1" >/dev/null 2>"$tmp/serve_stats1"
+./target/release/av_client --addr "$serve_addr" --quiet --request specs/serve_drive.json \
+    --out "$tmp/serve_body2" --events "$tmp/serve_events2" >/dev/null 2>"$tmp/serve_stats2"
+grep -q 'cached=false' "$tmp/serve_stats1"
+grep -q 'cached=true' "$tmp/serve_stats2"
+cmp "$tmp/serve_body1" "$tmp/serve_body2"
+cmp "$tmp/serve_events1" "$tmp/serve_events2"
+./target/release/av_client --addr "$serve_addr" --shutdown >/dev/null
+wait "$serve_pid"
+echo "store-served drive byte-identical over the wire"
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -1,0 +1,177 @@
+//! Service-level determinism: interleaved sessions at every worker-pool
+//! level produce response bodies and streamed event bytes identical to
+//! isolated in-process runs, and store-served repeats are identical to
+//! their cold runs.
+//!
+//! This is the serving analogue of the repo's byte-determinism
+//! contract: `--jobs`-style concurrency (here, worker threads and
+//! interleaved tenants) must never leak into response bytes. Only the
+//! `stats` frame may differ between runs.
+
+use av_core::determinism::run_hash;
+use av_core::stack::{run_drive, RunConfig};
+use av_serve::bus::ChannelSink;
+use av_serve::client::Outcome;
+use av_serve::protocol::hex64;
+use av_serve::{parse_request, Client, EventBus, Request, ServeConfig, Server, WorkRequest};
+use av_sweep::WorldKind;
+use std::sync::mpsc;
+use std::thread;
+
+const WORKER_LEVELS: [usize; 3] = [1, 2, 8];
+
+/// Three distinct tenants: two seed-varied traced drives and a blame
+/// session, all streaming.
+fn tenant_lines() -> Vec<String> {
+    vec![
+        r#"{"id":"t0","kind":"drive","world":"smoke","duration_s":2.0,"trace":true,"stream_trace":true,"point":{"seed":41}}"#.to_string(),
+        r#"{"id":"t1","kind":"drive","world":"smoke","duration_s":2.0,"trace":true,"stream_trace":true,"point":{"seed":42}}"#.to_string(),
+        r#"{"id":"t2","kind":"blame","world":"smoke","duration_s":2.0,"point":{"seed":43}}"#.to_string(),
+    ]
+}
+
+fn parse_work(line: &str) -> WorkRequest {
+    match parse_request(line) {
+        Ok(Request::Work(wr)) => *wr,
+        other => panic!("tenant line must be work: {other:?}"),
+    }
+}
+
+/// Runs a request in-process (no server, no queue, no concurrency) and
+/// returns its event payloads and body — the isolation baseline.
+fn isolated(line: &str) -> (Vec<String>, String) {
+    let request = parse_work(line);
+    let (tx, rx) = mpsc::channel();
+    let mut bus = EventBus::new(&request.id);
+    bus.add_sink(Box::new(ChannelSink::new(tx)));
+    let body = av_serve::session::execute(&request, &mut bus).expect("isolated run succeeds");
+    (rx.try_iter().map(|(_, payload)| payload).collect(), body)
+}
+
+#[test]
+fn interleaved_sessions_match_isolated_runs_at_every_worker_level() {
+    let lines = tenant_lines();
+    let baselines: Vec<(Vec<String>, String)> = lines.iter().map(|l| isolated(l)).collect();
+
+    // The per-session golden hash from the raw runner, independent of
+    // every serving layer.
+    let golden: Vec<String> = lines
+        .iter()
+        .map(|line| {
+            let request = parse_work(line);
+            let av_serve::Work::Drive { world, point, duration_s, trace } = &request.work else {
+                let av_serve::Work::Blame { world, point, duration_s } = &request.work else {
+                    panic!("unexpected work kind");
+                };
+                let config = point.apply(&world.base_config());
+                let run = RunConfig::seconds(*duration_s).with_trace();
+                return hex64(run_hash(&run_drive(&config, &run)));
+            };
+            assert!(*trace);
+            assert_eq!(*world, WorldKind::Smoke);
+            let config = point.apply(&world.base_config());
+            let run = RunConfig::seconds(*duration_s).with_trace();
+            hex64(run_hash(&run_drive(&config, &run)))
+        })
+        .collect();
+
+    for workers in WORKER_LEVELS {
+        let server =
+            Server::start(ServeConfig { workers, ..Default::default() }).expect("server starts");
+        let addr = server.addr();
+
+        // All tenants in flight at once: concurrent sessions interleave
+        // on the pool, each on its own connection.
+        let responses: Vec<_> = thread::scope(|scope| {
+            let handles: Vec<_> = lines
+                .iter()
+                .map(|line| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let cold = client.run(line).expect("cold run");
+                        let warm = client.run(line).expect("warm run");
+                        (cold, warm)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tenant thread")).collect()
+        });
+
+        for (tenant, (cold, warm)) in responses.iter().enumerate() {
+            let (base_events, base_body) = &baselines[tenant];
+            let Outcome::Completed { body: cold_body } = &cold.outcome else {
+                panic!("workers={workers} tenant={tenant}: cold failed: {:?}", cold.outcome);
+            };
+            assert_eq!(
+                cold_body, base_body,
+                "workers={workers} tenant={tenant}: served body differs from isolated run"
+            );
+            assert_eq!(
+                &cold.events, base_events,
+                "workers={workers} tenant={tenant}: streamed events differ from isolated run"
+            );
+            assert!(
+                cold_body.contains(&format!("\"run_hash\":\"{}\"", golden[tenant])),
+                "workers={workers} tenant={tenant}: body lacks the raw runner's golden hash \
+                 {} — body {cold_body}",
+                golden[tenant]
+            );
+            assert_eq!(cold.cached, Some(false), "first run must be cold");
+
+            let Outcome::Completed { body: warm_body } = &warm.outcome else {
+                panic!("workers={workers} tenant={tenant}: warm failed: {:?}", warm.outcome);
+            };
+            assert_eq!(warm.cached, Some(true), "repeat must be store-served");
+            assert_eq!(warm_body, cold_body, "store-served body must be byte-identical");
+            assert_eq!(warm.events, cold.events, "store-served events must be byte-identical");
+        }
+
+        let mut shutter = Client::connect(addr).expect("connect for shutdown");
+        shutter.shutdown("bye", true).expect("graceful shutdown");
+        server.wait().expect("drained exit");
+    }
+}
+
+#[test]
+fn backpressure_rejects_cleanly_and_drain_finishes_the_backlog() {
+    // One worker, tiny queue: saturate it and verify the 429-style
+    // reject carries no partial work, then drain on shutdown.
+    let server = Server::start(ServeConfig { workers: 1, queue_capacity: 1, ..Default::default() })
+        .expect("server starts");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    // Fire several distinct slow-ish requests without reading responses:
+    // with a single worker and capacity 1, at least one must be
+    // rejected with verdict 429.
+    for seed in 0..4 {
+        client
+            .send_line(&format!(
+                "{{\"id\":\"q{seed}\",\"kind\":\"drive\",\"world\":\"smoke\",\
+                 \"duration_s\":2.0,\"point\":{{\"seed\":{}}}}}",
+                900 + seed
+            ))
+            .expect("send");
+    }
+    let mut acks = 0;
+    let mut rejects = 0;
+    let mut results = 0;
+    while results + rejects < 4 {
+        let frame = client.read_frame().expect("read").expect("open");
+        if frame.contains("\"type\":\"ack\"") {
+            acks += 1;
+        } else if frame.contains("\"type\":\"reject\"") {
+            assert!(frame.contains("\"verdict\":429"), "backpressure verdict: {frame}");
+            rejects += 1;
+        } else if frame.contains("\"type\":\"result\"") {
+            results += 1;
+        }
+    }
+    assert!(rejects >= 1, "a 1-deep queue under 4 requests must reject");
+    assert_eq!(acks + rejects, 4, "every request is acked or rejected");
+    assert_eq!(results, acks, "every acked request completes (drain semantics)");
+
+    let mut shutter = Client::connect(addr).expect("connect");
+    shutter.shutdown("bye", true).expect("shutdown");
+    server.wait().expect("drained exit");
+}
