@@ -1,7 +1,7 @@
 //! `trace_report` — recomputes the paper's tables from a trace file alone.
 //!
 //! ```text
-//! trace_report <trace.json>                 # analyze an exported trace
+//! trace_report <trace.json> [--paths-csv <out.csv>]  # analyze a trace
 //! trace_report --verify [--duration <s>] [--detector <name>]
 //! ```
 //!
@@ -71,9 +71,37 @@ fn drop_table(report: &TraceReport) -> Table {
     table
 }
 
+/// Per-path CSV for the E-sched study: one row per computation path with
+/// the deadline-miss fraction against the paper's 100 ms budget. The
+/// `policy` column comes from the trace's own header (`fifo` when the
+/// run predates or omits scheduling policies).
+fn render_paths_csv(report: &TraceReport) -> String {
+    use std::fmt::Write as _;
+    let policy = report.policy.as_deref().unwrap_or("fifo");
+    let mut out = String::from("policy,path,count,p50_ms,p99_ms,max_ms,miss_frac\n");
+    for path in &report.paths {
+        let d = &path.latency;
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:.3},{:.3},{:.4}",
+            policy,
+            path.name,
+            d.samples().len(),
+            d.percentile(50.0),
+            d.percentile(99.0),
+            d.summary().max,
+            d.fraction_above(av_core::metrics::DEADLINE_MS),
+        );
+    }
+    out
+}
+
 fn print_report(title: &str, report: &TraceReport) {
     println!("# Trace report — {title}\n");
     println!("callback slices: {}\n", report.callbacks);
+    if let Some(policy) = &report.policy {
+        println!("sched policy: {policy} ({} decision events)\n", report.sched_decisions);
+    }
     println!("## Fig 6 — end-to-end path latency (from trace)\n");
     println!("{}", path_table(report));
     println!("## Fig 5 — node processing latency (from trace)\n");
@@ -86,7 +114,7 @@ fn print_report(title: &str, report: &TraceReport) {
     }
 }
 
-fn analyze_file(path: &str) {
+fn analyze_file(path: &str, paths_csv: Option<&str>) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
@@ -100,6 +128,13 @@ fn analyze_file(path: &str) {
         std::process::exit(2);
     });
     print_report(path, &report);
+    if let Some(out) = paths_csv {
+        std::fs::write(out, render_paths_csv(&report)).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("paths csv: {out}");
+    }
     let broken: Vec<&av_trace::analysis::PathReport> =
         report.paths.iter().filter(|p| !p.verdict.is_ok()).collect();
     if !broken.is_empty() {
@@ -107,6 +142,16 @@ fn analyze_file(path: &str) {
             eprintln!("path {}: {}", p.name, p.verdict.describe());
         }
         eprintln!("{} path(s) not fully anchored", broken.len());
+        std::process::exit(1);
+    }
+    // A trace carrying scheduler decisions must also name the policy in
+    // its run header — anonymous reordering is as loud as missing
+    // lineage, not something to silently accept.
+    if !report.sched_header_consistent() {
+        eprintln!(
+            "trace has {} sched-decision event(s) but no sched_policy run header",
+            report.sched_decisions
+        );
         std::process::exit(1);
     }
 }
@@ -185,6 +230,24 @@ fn verify(duration_s: f64, detector: DetectorKind) {
         trace_dropped == bus_dropped,
     );
 
+    // Scheduler header: the policy name must survive the JSON round-trip,
+    // and decision events must never appear without it.
+    check(
+        format!(
+            "sched policy header round-trips ({})",
+            trace.policy.as_deref().unwrap_or("fifo, omitted")
+        ),
+        recomputed.policy == trace.policy,
+    );
+    check(
+        format!("sched decisions ({}) only under a declared policy", recomputed.sched_decisions),
+        recomputed.sched_header_consistent(),
+    );
+    check(
+        format!("sched decision count round-trips ({})", trace.sched_decision_count()),
+        recomputed.sched_decisions == trace.sched_decision_count(),
+    );
+
     println!();
     print_report(&format!("{detector} ({duration_s:.0} s verify run)"), &recomputed);
     if failures > 0 {
@@ -199,10 +262,14 @@ fn main() {
     let mut do_verify = false;
     let mut duration_s = 10.0;
     let mut detector = DetectorKind::Ssd512;
+    let mut paths_csv: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--verify" => do_verify = true,
+            "--paths-csv" => {
+                paths_csv = Some(args.next().expect("--paths-csv needs an output path"));
+            }
             "--duration" => {
                 let value = args.next().expect("--duration needs seconds");
                 duration_s = value.parse().expect("invalid duration");
@@ -219,8 +286,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: trace_report <trace.json> | --verify [--duration <s>] \
-                     [--detector <name>]"
+                    "usage: trace_report <trace.json> [--paths-csv <out.csv>] | \
+                     --verify [--duration <s>] [--detector <name>]"
                 );
                 std::process::exit(0);
             }
@@ -232,7 +299,7 @@ fn main() {
         }
     }
     match (file, do_verify) {
-        (Some(path), false) => analyze_file(&path),
+        (Some(path), false) => analyze_file(&path, paths_csv.as_deref()),
         (None, true) => verify(duration_s, detector),
         (Some(_), true) => {
             eprintln!("--verify runs its own drive; do not also pass a trace file");

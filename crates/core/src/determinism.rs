@@ -180,6 +180,12 @@ fn fold_run(h: &mut Fnv64, report: &RunReport) {
 
 fn fold_trace(h: &mut Fnv64, trace: &TraceData) {
     h.write_u64(trace.sample_interval.as_nanos());
+    // The scheduling-policy header is folded only when present, so
+    // FIFO runs (which never set it) keep their pre-policy hashes.
+    if let Some(policy) = &trace.policy {
+        h.write_str("sched_policy");
+        h.write_str(policy);
+    }
     h.write_u64(trace.nodes.len() as u64);
     for node in &trace.nodes {
         h.write_str(node);
@@ -235,6 +241,14 @@ fn fold_trace(h: &mut Fnv64, trace: &TraceData) {
                 h.write_u64(u64::from(kind.code()));
                 h.write_str(node);
                 h.write_str(info);
+                h.write_u64(time.as_nanos());
+            }
+            TraceEvent::SchedDecision { node, topic, considered, key, time } => {
+                h.write_u64(5);
+                h.write_str(node);
+                h.write_str(topic);
+                h.write_u64(*considered);
+                h.write_u64(*key as u64);
                 h.write_u64(time.as_nanos());
             }
         }

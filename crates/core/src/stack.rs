@@ -30,6 +30,8 @@ use av_world::{CameraConfig, CameraModel, LidarConfig, LidarModel, ScenarioConfi
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+pub use av_des::SchedPolicyKind;
+
 /// The computation paths of Table IV, as [`PathSpec`]s.
 pub fn computation_paths() -> Vec<PathSpec> {
     vec![
@@ -37,6 +39,55 @@ pub fn computation_paths() -> Vec<PathSpec> {
         PathSpec::new("costmap_points", node_names::COSTMAP_GENERATOR, Source::Lidar),
         PathSpec::new("costmap_vision_obj", node_names::COSTMAP_GENERATOR_OBJ, Source::Camera),
         PathSpec::new("costmap_cluster_obj", node_names::COSTMAP_GENERATOR_OBJ, Source::Lidar),
+    ]
+}
+
+/// Static scheduler metadata per subscription: `(node, topic, rank,
+/// downstream_ms)`. `rank` is the Priority policy's static urgency
+/// (lower = dispatched first); `downstream_ms` is the estimated
+/// remaining chain cost past this node, the slack term the chain-aware
+/// policy subtracts from the path deadline. Both are calibrated against
+/// the default cost model; they are scheduling hints, not measurements,
+/// so they stay static across detectors. Entries for nodes a
+/// configuration does not launch are skipped at wiring time.
+pub fn sched_metadata() -> Vec<(&'static str, &'static str, u64, u64)> {
+    use crate::topics::*;
+    vec![
+        // Localization chain: the paper's deadline-defining path.
+        (node_names::VOXEL_GRID_FILTER, POINTS_RAW, 10, 60),
+        (node_names::NDT_MATCHING, FILTERED_POINTS, 10, 15),
+        (node_names::NDT_MATCHING, GNSS_POSE, 40, 15),
+        (node_names::NDT_MATCHING, IMU_RAW, 40, 15),
+        (node_names::FALLBACK_LOCALIZER, GNSS_POSE, 40, 10),
+        (node_names::FALLBACK_LOCALIZER, IMU_RAW, 40, 10),
+        // LiDAR perception chain.
+        (node_names::RAY_GROUND_FILTER, POINTS_RAW, 20, 45),
+        (node_names::EUCLIDEAN_CLUSTER, POINTS_NO_GROUND, 20, 20),
+        // Vision chain (heaviest single node).
+        (node_names::VISION_DETECTION, IMAGE_RAW, 20, 25),
+        // Fusion / tracking mid-chain.
+        (node_names::RANGE_VISION_FUSION, LIDAR_DETECTOR_OBJECTS, 25, 20),
+        (node_names::RANGE_VISION_FUSION, IMAGE_DETECTOR_OBJECTS, 25, 20),
+        (node_names::RANGE_VISION_FUSION, NDT_POSE, 35, 20),
+        (node_names::IMM_UKF_PDA_TRACKER, FUSION_TOOLS_OBJECTS, 25, 15),
+        (node_names::IMM_UKF_PDA_TRACKER, RADAR_DETECTOR_OBJECTS, 25, 15),
+        (node_names::UKF_TRACK_RELAY, OBJECT_TRACKER_OBJECTS, 25, 12),
+        (node_names::NAIVE_MOTION_PREDICT, DETECTION_OBJECTS, 25, 10),
+        // Costmap sinks (path terminals).
+        (node_names::COSTMAP_GENERATOR, POINTS_NO_GROUND, 15, 2),
+        (node_names::COSTMAP_GENERATOR_OBJ, MOTION_PREDICTOR_OBJECTS, 15, 2),
+        (node_names::COSTMAP_GENERATOR_OBJ, NDT_POSE, 35, 2),
+        // Extensions.
+        (node_names::TRAFFIC_LIGHT_RECOGNITION, IMAGE_RAW, 30, 5),
+        (node_names::TRAFFIC_LIGHT_RECOGNITION, NDT_POSE, 35, 5),
+        (node_names::RADAR_DETECTION, RADAR_RAW, 20, 18),
+        (node_names::RADAR_DETECTION, NDT_POSE, 35, 18),
+        // Actuation: most control-critical, cheapest remaining work.
+        (node_names::OP_LOCAL_PLANNER, COSTMAP_OBJECTS, 5, 8),
+        (node_names::OP_LOCAL_PLANNER, NDT_POSE, 35, 8),
+        (node_names::PURE_PURSUIT, FINAL_WAYPOINTS, 5, 3),
+        (node_names::PURE_PURSUIT, NDT_POSE, 35, 3),
+        (node_names::TWIST_FILTER, TWIST_RAW, 5, 1),
     ]
 }
 
@@ -144,6 +195,12 @@ pub struct StackConfig {
     /// chain; sweeps vary this to study head-of-line drops). The GNSS and
     /// IMU side channels keep their own fixed depths.
     pub queue_capacity: usize,
+    /// Callback scheduling policy: how a node picks among several ready
+    /// messages when it frees up (and which sensor clock wins an
+    /// exact-tie). [`SchedPolicyKind::Fifo`] reproduces the historical
+    /// arrival order bit-for-bit; the other policies reorder only
+    /// same-instant choices, never time itself.
+    pub sched_policy: SchedPolicyKind,
     /// Voxel leaf size for `voxel_grid_filter`, meters.
     pub voxel_leaf: f64,
     /// NDT map cell size, meters.
@@ -170,6 +227,7 @@ impl StackConfig {
             faults: FaultPlan::default(),
             supervision: SupervisionPolicy::default(),
             queue_capacity: 1,
+            sched_policy: SchedPolicyKind::Fifo,
             voxel_leaf: 1.0,
             map_cell_size: 2.0,
         }
@@ -865,6 +923,25 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
         );
     }
 
+    // --- Scheduler policy -------------------------------------------------
+    // FIFO leaves the bus in its construction state: no policy call, no
+    // per-subscription metadata, no trace header — the run is bit-identical
+    // to one built before scheduling policies existed. Any other policy is
+    // wired here, with the paper's 100 ms deadline as the per-path budget.
+    if config.sched_policy != SchedPolicyKind::Fifo {
+        let budget = SimDuration::from_millis(crate::metrics::DEADLINE_MS as u64);
+        bus.set_sched_policy(config.sched_policy, budget);
+        let subs = bus.queue_depths();
+        for (node, topic, rank, downstream_ms) in sched_metadata() {
+            if subs.iter().any(|(t, n, _)| t == topic && n == node) {
+                bus.set_sub_sched_meta(node, topic, rank, SimDuration::from_millis(downstream_ms));
+            }
+        }
+        if let Some(tracer) = &tracer {
+            tracer.set_policy(config.sched_policy.name());
+        }
+    }
+
     // --- Fault plane -----------------------------------------------------
     // Arm every planned fault up front. Each fault announces itself with
     // an `inject` event at t=0 (so traces carry the plan), then acts at
@@ -972,13 +1049,15 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
 
     let mut timers: Vec<Rc<RefCell<TimerState>>> = Vec::new();
     let mut noise_rngs: Vec<(&'static str, Rc<RefCell<StreamRng>>)> = Vec::new();
-    let mut register = |period: SimDuration,
+    let mut register = |key: u64,
+                        period: SimDuration,
                         jitter: SimDuration,
                         rng: StreamRng,
                         skew: Option<(f64, SimTime, SimTime)>,
                         tick: Box<dyn FnMut()>| {
         timers.push(Rc::new(RefCell::new(TimerState {
             sim: sim.clone(),
+            key,
             period,
             jitter,
             rng,
@@ -988,8 +1067,16 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
             pending: None,
         })));
     };
+    // Sensor clocks get a static urgency key under a non-FIFO policy so
+    // exact-nanosecond tick collisions resolve by sensor criticality
+    // instead of registration order. Under FIFO every key is 0 — the
+    // historical heap order, bit-for-bit. Infrastructure timers (the
+    // samplers, the supervisor) always keep key 0: read-only probes run
+    // before the publication they would otherwise observe late.
+    let sensor_key = |k: u64| if config.sched_policy == SchedPolicyKind::Fifo { 0 } else { k };
 
     register(
+        sensor_key(1),
         SimDuration::from_secs_f64(1.0 / config.lidar.rate_hz),
         SimDuration::from_millis(2),
         streams.stream("lidar_clock"),
@@ -1017,6 +1104,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
     );
 
     register(
+        sensor_key(2),
         SimDuration::from_secs_f64(1.0 / config.camera.rate_hz),
         SimDuration::from_millis(3),
         streams.stream("camera_clock"),
@@ -1042,6 +1130,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
     );
 
     register(
+        sensor_key(4),
         SimDuration::from_secs(1),
         SimDuration::ZERO,
         streams.stream("gnss_clock"),
@@ -1068,6 +1157,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
     );
 
     register(
+        sensor_key(5),
         SimDuration::from_millis(10),
         SimDuration::ZERO,
         streams.stream("imu_clock"),
@@ -1092,6 +1182,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
     if config.with_radar {
         let radar_model = Rc::new(av_world::RadarModel::new(config.radar.clone()));
         register(
+            sensor_key(3),
             SimDuration::from_secs_f64(1.0 / config.radar.rate_hz),
             SimDuration::from_millis(1),
             streams.stream("radar_clock"),
@@ -1135,6 +1226,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
         let started = Rc::new(Cell::new(false));
         loc_tracking_started = Some(Rc::clone(&started));
         register(
+            0,
             SimDuration::from_secs(1),
             SimDuration::ZERO,
             streams.stream("loc_clock"),
@@ -1184,7 +1276,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
         // closure locals) so checkpoints can carry the phase.
         let prev = Rc::new(RefCell::new(TracePrev::new()));
         trace_prev = Some(Rc::clone(&prev));
-        register(interval, SimDuration::ZERO, streams.stream("trace_clock"), None, {
+        register(0, interval, SimDuration::ZERO, streams.stream("trace_clock"), None, {
             let (sim, bus, platform) = (sim.clone(), bus.clone(), platform.clone());
             let tracer = tracer.clone();
             let power = config.calib.power.clone();
@@ -1235,6 +1327,7 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
     // pure function of the configuration.
     if let Some(sup) = &supervisor {
         register(
+            0,
             SimDuration::from_secs_f64(config.supervision.heartbeat_interval_s),
             SimDuration::ZERO,
             streams.stream("supervisor_clock"),
@@ -1283,6 +1376,12 @@ fn build_session(config: &StackConfig, run: &RunConfig) -> DriveSession {
 /// resume in the exact original order among equal-time events.
 struct TimerState {
     sim: Sim,
+    /// Equal-time urgency key for the tick events (see
+    /// `Sim::schedule_at_keyed`): 0 for FIFO runs and infrastructure
+    /// timers, a static sensor rank under a non-FIFO policy. Recomputed
+    /// from the configuration at build time, so checkpoints never store
+    /// it.
+    key: u64,
     period: SimDuration,
     jitter: SimDuration,
     rng: StreamRng,
@@ -1316,10 +1415,13 @@ fn arm_timer(state: &Rc<RefCell<TimerState>>) {
 /// delay) and by checkpoint resume (re-inserting a saved pending tick at
 /// its original time, without consuming a jitter draw).
 fn schedule_tick(state: &Rc<RefCell<TimerState>>, at: SimTime) {
-    let sim = state.borrow().sim.clone();
+    let (sim, key) = {
+        let s = state.borrow();
+        (s.sim.clone(), s.key)
+    };
     state.borrow_mut().pending = Some((at, sim.next_seq()));
     let state = Rc::clone(state);
-    sim.schedule_at(at, move || {
+    sim.schedule_at_keyed(at, key, move || {
         {
             let mut s = state.borrow_mut();
             s.pending = None;
@@ -1635,7 +1737,12 @@ impl DriveSession {
             Fault(usize),
             Bus(RestoredContinuation),
         }
-        let mut events: Vec<(SimTime, u64, Restored)> = Vec::new();
+        // `(time, key, seq, what)`: the key is each event's urgency key as
+        // it will be re-scheduled (the timer's config-derived key; fault
+        // events and bus continuations are key 0), so the re-insertion
+        // order below matches the heap order `(time, key, seq)` the
+        // original run dispatched in.
+        let mut events: Vec<(SimTime, u64, u64, Restored)> = Vec::new();
 
         r.expect_tag("timers");
         assert_eq!(r.get_usize(), self.timers.len(), "checkpoint timer count mismatch");
@@ -1644,7 +1751,8 @@ impl DriveSession {
             if r.get_bool() {
                 let at = SimTime::from_nanos(r.get_u64());
                 let seq = r.get_u64();
-                events.push((at, seq, Restored::Timer(i)));
+                let key = timer.borrow().key;
+                events.push((at, key, seq, Restored::Timer(i)));
             }
         }
 
@@ -1657,7 +1765,7 @@ impl DriveSession {
             // Events at or before the barrier already fired inside the
             // checkpointed prefix; their effects are in the saved state.
             if at > barrier {
-                events.push((at, seq, Restored::Fault(i)));
+                events.push((at, 0, seq, Restored::Fault(i)));
             }
         }
 
@@ -1692,7 +1800,7 @@ impl DriveSession {
         self.platform.cpu().load_state(&mut r);
         self.platform.gpu().load_state(&mut r);
         for c in self.bus.load_state(&mut r, &mut crate::snapshot::decode_msg) {
-            events.push((c.time, c.seq, Restored::Bus(c)));
+            events.push((c.time, 0, c.seq, Restored::Bus(c)));
         }
         let has_supervisor = r.get_bool();
         assert_eq!(has_supervisor, self.supervisor.is_some(), "checkpoint supervision mismatch");
@@ -1705,13 +1813,14 @@ impl DriveSession {
         }
         assert!(r.is_exhausted(), "checkpoint has trailing bytes");
 
-        // Re-insert every pending event in the original global order.
-        // Sequence numbers only increase, so events re-stamped in this
-        // order keep their relative order among themselves *and* precede
-        // everything scheduled after the barrier — exactly the FIFO
-        // relation the original run had.
-        events.sort_by_key(|&(time, seq, _)| (time, seq));
-        for (time, _, event) in events {
+        // Re-insert every pending event in the original global dispatch
+        // order `(time, key, seq)`. Sequence numbers only increase, so
+        // events re-stamped in this order keep their relative order among
+        // themselves *and* precede everything scheduled after the barrier
+        // — exactly the heap relation the original run had. (Under FIFO
+        // every key is 0 and this is the historical `(time, seq)` sort.)
+        events.sort_by_key(|&(time, key, seq, _)| (time, key, seq));
+        for (time, _, _, event) in events {
             match event {
                 Restored::Timer(i) => schedule_tick(&self.timers[i], time),
                 Restored::Fault(i) => {

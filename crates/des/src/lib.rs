@@ -14,8 +14,11 @@
 //!   Components (the topic bus, the platform model, sensor drivers) keep a
 //!   `Sim` clone and schedule closures; closures capture `Rc` handles to
 //!   whatever state they need.
-//! * Events at equal timestamps fire in scheduling order (FIFO tie-break),
-//!   so runs are deterministic.
+//! * Events at equal timestamps fire by urgency key, then scheduling
+//!   order — under the default FIFO policy every key is 0, so the order
+//!   is pure scheduling order and runs are deterministic. Pluggable
+//!   [`sched`] policies (priority / EDF / chain-aware) reorder only
+//!   same-instant events, never across distinct timestamps.
 //! * [`RngStreams`] — named, independently seeded random streams, so adding
 //!   a new consumer of randomness never perturbs existing streams.
 //!
@@ -38,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod rng;
+pub mod sched;
 mod sim;
 mod snap;
 mod time;
 
 pub use rng::{RngStreams, StreamRng};
+pub use sched::{ReadyItem, SchedPolicy, SchedPolicyKind};
 pub use sim::{EventHandle, Sim};
 pub use snap::{SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

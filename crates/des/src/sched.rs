@@ -1,0 +1,270 @@
+//! Pluggable deterministic scheduling policies.
+//!
+//! The executor answers one question many times per virtual instant:
+//! *of the ready items competing for a resource, which fires first?*
+//! Historically the answer was hard-coded FIFO (arrival order, ties by
+//! scheduling sequence). This module makes the answer a first-class,
+//! pluggable [`SchedPolicy`]: each policy maps a [`ReadyItem`] — the
+//! scheduling-relevant facts about one ready event — to an integer
+//! *urgency key*; lower keys fire first, and exact ties always fall
+//! back to the deterministic FIFO order (arrival, then sequence), so
+//! every policy is a total, reproducible order.
+//!
+//! The four shipped policies:
+//!
+//! | policy       | key                         | model |
+//! |--------------|-----------------------------|-------|
+//! | `fifo`       | constant `0`                | today's implicit arrival order (bit-identical) |
+//! | `priority`   | static per-source rank      | classic fixed-priority dispatch |
+//! | `edf`        | absolute path deadline      | earliest-deadline-first over lineage deadlines |
+//! | `chain`      | deadline − downstream cost  | least-slack-first over the remaining chain, after the Multi-Deadline DAG model for Autoware (arxiv 2505.06780) |
+//!
+//! Keys are only ever *compared*, never interpreted in absolute terms,
+//! so each caller is free to feed relative quantities (e.g. a budget
+//! rather than an absolute deadline) as long as it does so uniformly
+//! for every candidate of one decision.
+
+use crate::{SimDuration, SimTime};
+use std::fmt;
+
+/// The scheduling-relevant facts about one ready event, as seen by a
+/// [`SchedPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyItem {
+    /// Static priority rank of the event's source (lower = more
+    /// urgent). Only the `priority` policy reads it.
+    pub rank: u64,
+    /// When the item became ready (message arrival / event release).
+    pub arrival: SimTime,
+    /// Absolute deadline of the computation path this item feeds:
+    /// earliest lineage acquisition stamp plus the path budget. Items
+    /// with no lineage use `arrival + budget`.
+    pub deadline: SimTime,
+    /// Estimated remaining compute along the downstream chain from
+    /// here to the path sink (the DAG model's chain estimate).
+    pub downstream_cost: SimDuration,
+}
+
+impl ReadyItem {
+    /// A neutral item: rank 0, everything at `arrival`, no downstream
+    /// chain. Useful as a base in tests and for FIFO-only call sites.
+    pub fn at(arrival: SimTime) -> ReadyItem {
+        ReadyItem { rank: 0, arrival, deadline: arrival, downstream_cost: SimDuration::ZERO }
+    }
+}
+
+/// A deterministic dispatch-order policy: maps a ready item to an
+/// urgency key. Lower keys dispatch first; callers break exact key
+/// ties by the FIFO order (arrival, then scheduling sequence), so the
+/// induced order is always total and reproducible.
+pub trait SchedPolicy {
+    /// The policy's canonical lower-case name (`"fifo"`, `"edf"`, ...).
+    fn name(&self) -> &'static str;
+    /// The urgency key for `item`; lower fires first.
+    fn key(&self, item: &ReadyItem) -> i128;
+}
+
+/// FIFO: every item is equally urgent; dispatch order is pure arrival
+/// order. Bit-identical to the pre-policy implicit executor order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl SchedPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+    fn key(&self, _item: &ReadyItem) -> i128 {
+        0
+    }
+}
+
+/// Fixed-priority: dispatch by static per-source rank (lower rank
+/// first), arrival order within a rank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Priority;
+
+impl SchedPolicy for Priority {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+    fn key(&self, item: &ReadyItem) -> i128 {
+        item.rank as i128
+    }
+}
+
+/// Earliest-deadline-first over per-path deadlines propagated via
+/// lineage: the item whose path deadline expires soonest fires first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Edf;
+
+impl SchedPolicy for Edf {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+    fn key(&self, item: &ReadyItem) -> i128 {
+        item.deadline.as_nanos() as i128
+    }
+}
+
+/// Chain-aware least-slack-first: ranks by `deadline − downstream
+/// chain cost` — an item feeding a long remaining chain is more urgent
+/// than one with the same deadline but little work left, per the
+/// Multi-Deadline DAG scheduling model. Slack may be negative (already
+/// doomed paths dispatch first), hence the signed key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainAware;
+
+impl SchedPolicy for ChainAware {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+    fn key(&self, item: &ReadyItem) -> i128 {
+        item.deadline.as_nanos() as i128 - item.downstream_cost.as_nanos() as i128
+    }
+}
+
+/// The closed set of shipped policies — the form configs, wire
+/// protocols and checkpoints carry. [`SchedPolicyKind::policy`] yields
+/// the trait object that actually ranks items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SchedPolicyKind {
+    /// Arrival order — today's behavior, bit-identical.
+    #[default]
+    Fifo,
+    /// Static per-source ranks.
+    Priority,
+    /// Earliest-deadline-first over lineage path deadlines.
+    Edf,
+    /// Least slack over the remaining downstream chain.
+    ChainAware,
+}
+
+impl SchedPolicyKind {
+    /// Every policy, in canonical (wire/code) order.
+    pub const ALL: [SchedPolicyKind; 4] = [
+        SchedPolicyKind::Fifo,
+        SchedPolicyKind::Priority,
+        SchedPolicyKind::Edf,
+        SchedPolicyKind::ChainAware,
+    ];
+
+    /// The canonical lower-case wire name.
+    pub fn name(self) -> &'static str {
+        self.policy().name()
+    }
+
+    /// Stable numeric code for hashing and binary snapshots.
+    pub fn code(self) -> u8 {
+        match self {
+            SchedPolicyKind::Fifo => 0,
+            SchedPolicyKind::Priority => 1,
+            SchedPolicyKind::Edf => 2,
+            SchedPolicyKind::ChainAware => 3,
+        }
+    }
+
+    /// Inverse of [`SchedPolicyKind::code`].
+    pub fn from_code(code: u8) -> Option<SchedPolicyKind> {
+        SchedPolicyKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
+    /// Parses a wire name (case-insensitive; `chain_aware` and
+    /// `chain-aware` are accepted aliases for `chain`).
+    pub fn parse(name: &str) -> Result<SchedPolicyKind, String> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "fifo" => Ok(SchedPolicyKind::Fifo),
+            "priority" => Ok(SchedPolicyKind::Priority),
+            "edf" => Ok(SchedPolicyKind::Edf),
+            "chain" | "chain_aware" | "chain-aware" => Ok(SchedPolicyKind::ChainAware),
+            _ => Err(format!(
+                "unknown sched_policy {name:?} (expected one of fifo, priority, edf, chain)"
+            )),
+        }
+    }
+
+    /// The ranking implementation behind this kind.
+    pub fn policy(self) -> &'static dyn SchedPolicy {
+        match self {
+            SchedPolicyKind::Fifo => &Fifo,
+            SchedPolicyKind::Priority => &Priority,
+            SchedPolicyKind::Edf => &Edf,
+            SchedPolicyKind::ChainAware => &ChainAware,
+        }
+    }
+
+    /// Shorthand for `self.policy().key(item)`.
+    pub fn key(self, item: &ReadyItem) -> i128 {
+        self.policy().key(item)
+    }
+}
+
+impl fmt::Display for SchedPolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(rank: u64, arrival_ms: u64, deadline_ms: u64, chain_ms: u64) -> ReadyItem {
+        ReadyItem {
+            rank,
+            arrival: SimTime::from_millis(arrival_ms),
+            deadline: SimTime::from_millis(deadline_ms),
+            downstream_cost: SimDuration::from_millis(chain_ms),
+        }
+    }
+
+    #[test]
+    fn fifo_is_indifferent() {
+        assert_eq!(Fifo.key(&item(9, 1, 2, 3)), 0);
+        assert_eq!(Fifo.key(&item(0, 100, 50, 0)), 0);
+    }
+
+    #[test]
+    fn priority_orders_by_rank_only() {
+        assert!(Priority.key(&item(1, 50, 999, 0)) < Priority.key(&item(2, 0, 0, 0)));
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_only() {
+        assert!(Edf.key(&item(9, 50, 10, 0)) < Edf.key(&item(0, 0, 11, 99)));
+    }
+
+    #[test]
+    fn chain_aware_prefers_long_chains_at_equal_deadline() {
+        // Same deadline, longer remaining chain => less slack => first.
+        assert!(ChainAware.key(&item(0, 0, 100, 70)) < ChainAware.key(&item(0, 0, 100, 10)));
+    }
+
+    #[test]
+    fn chain_aware_slack_may_go_negative() {
+        let doomed = item(0, 0, 1, 50);
+        assert!(ChainAware.key(&doomed) < 0);
+    }
+
+    #[test]
+    fn names_codes_and_parse_round_trip() {
+        for kind in SchedPolicyKind::ALL {
+            assert_eq!(SchedPolicyKind::parse(kind.name()), Ok(kind));
+            assert_eq!(SchedPolicyKind::parse(&kind.name().to_uppercase()), Ok(kind));
+            assert_eq!(SchedPolicyKind::from_code(kind.code()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(SchedPolicyKind::parse("chain_aware"), Ok(SchedPolicyKind::ChainAware));
+        assert!(SchedPolicyKind::parse("rr").is_err());
+        assert!(SchedPolicyKind::from_code(99).is_none());
+        assert_eq!(SchedPolicyKind::default(), SchedPolicyKind::Fifo);
+    }
+
+    #[test]
+    fn kind_key_matches_trait_object() {
+        let it = item(3, 10, 90, 40);
+        for kind in SchedPolicyKind::ALL {
+            assert_eq!(kind.key(&it), kind.policy().key(&it));
+        }
+    }
+}

@@ -11,6 +11,7 @@ type EventFn = Box<dyn FnOnce()>;
 
 struct Entry {
     time: SimTime,
+    key: u64,
     seq: u64,
     cancelled: Rc<Cell<bool>>,
     callback: EventFn,
@@ -18,7 +19,7 @@ struct Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Entry) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 
@@ -33,8 +34,14 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Entry) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event
-        // first; equal times break ties by scheduling order (FIFO).
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        // first; equal times break ties by urgency key (a scheduling
+        // policy's rank — 0 everywhere under FIFO), then by scheduling
+        // order, so the order is always total and deterministic.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -141,8 +148,26 @@ impl Sim {
     /// Schedules `callback` to run at absolute virtual time `time`.
     ///
     /// Scheduling in the past is clamped to *now* (the event still runs,
-    /// immediately after currently pending same-time events).
+    /// immediately after currently pending same-time events). Events
+    /// scheduled this way carry urgency key 0 — pure FIFO among
+    /// themselves; see [`Sim::schedule_at_keyed`].
     pub fn schedule_at(&self, time: SimTime, callback: impl FnOnce() + 'static) -> EventHandle {
+        self.schedule_at_keyed(time, 0, callback)
+    }
+
+    /// Schedules `callback` at `time` with an explicit urgency `key`.
+    ///
+    /// The key only matters between events at the *same* virtual time:
+    /// lower keys fire first, equal keys fall back to scheduling order.
+    /// Scheduling policies (`av_des::sched`) use this to reorder
+    /// same-instant ready events; key 0 everywhere reproduces the
+    /// historical FIFO order bit-for-bit.
+    pub fn schedule_at_keyed(
+        &self,
+        time: SimTime,
+        key: u64,
+        callback: impl FnOnce() + 'static,
+    ) -> EventHandle {
         let mut core = self.core.borrow_mut();
         let time = time.max(core.now);
         let seq = core.next_seq;
@@ -150,6 +175,7 @@ impl Sim {
         let cancelled = Rc::new(Cell::new(false));
         core.queue.push(Entry {
             time,
+            key,
             seq,
             cancelled: Rc::clone(&cancelled),
             callback: Box::new(callback),
@@ -258,6 +284,33 @@ mod tests {
         }
         sim.run();
         assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equal_time_keys_outrank_scheduling_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, key) in [("low", 5u64), ("high", 1), ("mid", 3), ("high2", 1)] {
+            let order = Rc::clone(&order);
+            sim.schedule_at_keyed(SimTime::from_millis(5), key, move || {
+                order.borrow_mut().push(label)
+            });
+        }
+        // Lower key first; equal keys fall back to scheduling order.
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["high", "high2", "mid", "low"]);
+    }
+
+    #[test]
+    fn keys_never_reorder_across_distinct_times() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = Rc::clone(&order);
+        sim.schedule_at_keyed(SimTime::from_millis(10), 0, move || o.borrow_mut().push("later"));
+        let o = Rc::clone(&order);
+        sim.schedule_at_keyed(SimTime::from_millis(5), 99, move || o.borrow_mut().push("sooner"));
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["sooner", "later"]);
     }
 
     #[test]

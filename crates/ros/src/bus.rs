@@ -3,7 +3,9 @@
 use crate::node::{Execution, Node, Outbox, Phase};
 use crate::observer::{BusObserver, FaultKind, ProcessedEvent};
 use crate::{Header, Lineage, Message, Source};
-use av_des::{Sim, SimDuration, SimTime, SnapReader, SnapWriter, StreamRng};
+use av_des::{
+    ReadyItem, SchedPolicyKind, Sim, SimDuration, SimTime, SnapReader, SnapWriter, StreamRng,
+};
 use av_platform::{CpuTask, GpuJob, Platform};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -82,6 +84,12 @@ struct Subscription<M> {
     queue: VecDeque<PendingMsg<M>>,
     delivered: u64,
     dropped: u64,
+    /// Static priority rank of this input for the `priority` policy
+    /// (lower = more urgent). 0 until configured.
+    rank: u64,
+    /// Estimated remaining chain cost from this node to the path sink,
+    /// for the `chain` policy's slack. Zero until configured.
+    downstream: SimDuration,
 }
 
 struct NodeSlot<M> {
@@ -136,6 +144,14 @@ struct BusInner<M> {
     /// empty fault plan is bit-identical to one built before the fault
     /// plane existed.
     faults_armed: bool,
+    /// Dispatch-order policy for the next-message pull when a node
+    /// finishes a callback with several inputs pending. FIFO (the
+    /// default) takes the hard-coded earliest-arrival fast path and is
+    /// bit-identical to the pre-policy executor.
+    sched: SchedPolicyKind,
+    /// Per-path deadline budget the EDF/chain policies add to a
+    /// message's earliest lineage acquisition stamp.
+    sched_budget: SimDuration,
     edge_faults: Vec<EdgeFault>,
     lost_to_fault: u64,
     duplicated_by_fault: u64,
@@ -258,6 +274,8 @@ impl<M: 'static> Bus<M> {
                 subs_by_topic: HashMap::new(),
                 observer: None,
                 faults_armed: false,
+                sched: SchedPolicyKind::Fifo,
+                sched_budget: SimDuration::ZERO,
                 edge_faults: Vec::new(),
                 lost_to_fault: 0,
                 duplicated_by_fault: 0,
@@ -275,6 +293,42 @@ impl<M: 'static> Bus<M> {
     /// Installs a shared observer handle (lets the caller keep access to it).
     pub fn set_shared_observer(&self, observer: Rc<RefCell<dyn BusObserver>>) {
         self.inner.borrow_mut().observer = Some(observer);
+    }
+
+    /// Selects the dispatch-order policy for next-message pulls, with
+    /// the per-path deadline `budget` the EDF/chain policies add to a
+    /// message's earliest lineage acquisition stamp. The default
+    /// (FIFO) never consults ranks, deadlines or budgets and is
+    /// bit-identical to the pre-policy executor.
+    pub fn set_sched_policy(&self, policy: SchedPolicyKind, budget: SimDuration) {
+        let mut inner = self.inner.borrow_mut();
+        inner.sched = policy;
+        inner.sched_budget = budget;
+    }
+
+    /// The active dispatch-order policy.
+    pub fn sched_policy(&self) -> SchedPolicyKind {
+        self.inner.borrow().sched
+    }
+
+    /// Sets the static scheduling metadata of one `(node, topic)`
+    /// subscription: its priority `rank` (lower = more urgent) and the
+    /// estimated remaining `downstream` chain cost to the path sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node or its subscription is unknown.
+    pub fn set_sub_sched_meta(&self, node: &str, topic: &str, rank: u64, downstream: SimDuration) {
+        let mut inner = self.inner.borrow_mut();
+        let node_idx = inner.node_index(node);
+        let slot = &mut inner.nodes[node_idx];
+        let sub = slot
+            .subs
+            .iter_mut()
+            .find(|s| s.topic == topic)
+            .unwrap_or_else(|| panic!("node {node:?} has no subscription to {topic:?}"));
+        sub.rank = rank;
+        sub.downstream = downstream;
     }
 
     /// Registers a node with its subscriptions.
@@ -303,6 +357,8 @@ impl<M: 'static> Bus<M> {
                 queue: VecDeque::new(),
                 delivered: 0,
                 dropped: 0,
+                rank: 0,
+                downstream: SimDuration::ZERO,
             })
             .collect();
         for (sub_idx, sub) in subs.iter().enumerate() {
@@ -594,31 +650,55 @@ impl<M: 'static> Bus<M> {
             self.publish(&topic, payload, item_lineage);
         }
 
-        // Pull the next pending message (earliest arrival wins) or go idle.
-        let (next, dequeued) = {
+        // Pull the next pending message or go idle. Under FIFO the
+        // earliest arrival wins (ties by subscription order) — the
+        // pre-policy order, bit for bit. Non-FIFO policies rank the
+        // head of every queue by urgency key (lower first), with the
+        // FIFO order as the deterministic tie-break, and report the
+        // decision to the observer whenever there was a real choice.
+        let (next, dequeued, decision) = {
             let mut inner = self.inner.borrow_mut();
+            let policy = inner.sched;
+            let budget = inner.sched_budget;
             let slot = &mut inner.nodes[state.node_idx];
+            let mut considered = 0u64;
             let best = slot
                 .subs
                 .iter()
                 .enumerate()
-                .filter_map(|(i, s)| s.queue.front().map(|p| (i, p.arrival)))
-                .min_by_key(|&(_, arrival)| arrival)
-                .map(|(i, _)| i);
+                .filter_map(|(i, s)| {
+                    s.queue.front().map(|p| {
+                        considered += 1;
+                        let key = match policy {
+                            SchedPolicyKind::Fifo => 0,
+                            _ => policy.key(&ready_item(s, p, budget)),
+                        };
+                        (i, key, p.arrival)
+                    })
+                })
+                .min_by_key(|&(_, key, arrival)| (key, arrival))
+                .map(|(i, key, _)| (i, key));
             match best {
-                Some(sub_idx) => {
+                Some((sub_idx, key)) => {
                     let pending = slot.subs[sub_idx].queue.pop_front();
                     let depth = slot.subs[sub_idx].queue.len();
                     let topic = slot.subs[sub_idx].topic.clone();
-                    (pending, Some((topic, slot.name.clone(), depth)))
+                    let decision = (policy != SchedPolicyKind::Fifo && considered >= 2)
+                        .then(|| (topic.clone(), considered, key as i64));
+                    (pending, Some((topic, slot.name.clone(), depth)), decision)
                 }
                 None => {
                     slot.busy = false;
                     slot.busy_accum += now.saturating_since(slot.busy_since);
-                    (None, None)
+                    (None, None, None)
                 }
             }
         };
+        if let Some((topic, considered, key)) = decision {
+            if let Some(obs) = &observer {
+                obs.borrow_mut().sched_decision(&state.node_name, &topic, considered, key, now);
+            }
+        }
         if let Some((topic, node, depth)) = dequeued {
             if let Some(obs) = &observer {
                 obs.borrow_mut().message_dequeued(&topic, &node, depth, now);
@@ -1081,6 +1161,23 @@ impl<M: 'static> Bus<M> {
     }
 }
 
+/// The scheduling-relevant view of one pending message: its priority
+/// rank and downstream chain cost come from the subscription's static
+/// metadata; its deadline is the earliest lineage acquisition stamp
+/// (the moment the oldest contributing sensor sample left its device —
+/// the path's release time) plus the configured budget, falling back
+/// to the local arrival time for lineage-free messages.
+fn ready_item<M>(sub: &Subscription<M>, pending: &PendingMsg<M>, budget: SimDuration) -> ReadyItem {
+    let release =
+        pending.msg.header.lineage.iter().map(|(_, stamp)| stamp).min().unwrap_or(pending.arrival);
+    ReadyItem {
+        rank: sub.rank,
+        arrival: pending.arrival,
+        deadline: release + budget,
+        downstream_cost: sub.downstream,
+    }
+}
+
 fn save_lineage(w: &mut SnapWriter, lineage: &Lineage) {
     let entries: Vec<(Source, SimTime)> = lineage.iter().collect();
     w.put_usize(entries.len());
@@ -1206,6 +1303,7 @@ mod tests {
         dequeues: Vec<(String, String, usize)>,
         published: Vec<(String, u64)>,
         faults: Vec<(FaultKind, String, String)>,
+        scheds: Vec<(String, String, u64, i64)>,
     }
 
     impl BusObserver for Rc<RefCell<Recorder>> {
@@ -1226,6 +1324,16 @@ mod tests {
         }
         fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, _time: SimTime) {
             self.borrow_mut().faults.push((kind, node.to_string(), info.to_string()));
+        }
+        fn sched_decision(
+            &mut self,
+            node: &str,
+            topic: &str,
+            considered: u64,
+            key: i64,
+            _time: SimTime,
+        ) {
+            self.borrow_mut().scheds.push((node.to_string(), topic.to_string(), considered, key));
         }
     }
 
@@ -1362,6 +1470,84 @@ mod tests {
         sim.run();
         assert_eq!(bus.published_count("out_x"), 1);
         assert_eq!(bus.published_count("out_y"), 1);
+    }
+
+    /// Builds a two-input node with one message processing (arrived at
+    /// t=0 on `a`) and one message queued on each input: `a`'s queued
+    /// head arrives at 1 ms carrying a *young* lineage stamp (5 ms),
+    /// `b`'s head arrives at 2 ms carrying an *old* stamp (0 ms). The
+    /// pull at 10 ms is where the policies disagree.
+    fn contended_bus(policy: SchedPolicyKind) -> (Sim, Bus<u64>, Rc<RefCell<Recorder>>) {
+        let sim = Sim::new();
+        let platform = test_platform(&sim, 4);
+        let bus: Bus<u64> = Bus::new(&sim, &platform);
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.set_observer(Rc::clone(&rec));
+        bus.add_node(
+            "sink",
+            Relay { out_topic: "out", cost: SimDuration::from_millis(10) },
+            &[SubscriptionSpec::new("a", 4), SubscriptionSpec::new("b", 4)],
+        );
+        bus.set_sched_policy(policy, SimDuration::from_millis(100));
+        bus.set_sub_sched_meta("sink", "a", 5, SimDuration::from_millis(10));
+        bus.set_sub_sched_meta("sink", "b", 1, SimDuration::from_millis(70));
+        bus.publish("a", 0, Lineage::origin(Source::Lidar, SimTime::ZERO));
+        for (at_ms, topic, stamp_ms) in [(1u64, "a", 5u64), (2, "b", 0)] {
+            let bus = bus.clone();
+            sim.schedule_at(SimTime::from_millis(at_ms), move || {
+                bus.publish(
+                    topic,
+                    1,
+                    Lineage::origin(Source::Lidar, SimTime::from_millis(stamp_ms)),
+                );
+            });
+        }
+        (sim, bus, rec)
+    }
+
+    fn first_pull(rec: &Rc<RefCell<Recorder>>) -> (String, String) {
+        let rec = rec.borrow();
+        let (topic, node, _) = rec.dequeues.first().expect("a message was pulled").clone();
+        (topic, node)
+    }
+
+    #[test]
+    fn fifo_pull_is_earliest_arrival_and_reports_no_decisions() {
+        let (sim, _bus, rec) = contended_bus(SchedPolicyKind::Fifo);
+        sim.run();
+        assert_eq!(first_pull(&rec), ("a".to_string(), "sink".to_string()));
+        assert!(rec.borrow().scheds.is_empty(), "FIFO must never emit sched decisions");
+    }
+
+    #[test]
+    fn edf_pull_prefers_the_older_lineage_release() {
+        let (sim, _bus, rec) = contended_bus(SchedPolicyKind::Edf);
+        sim.run();
+        // b's head left its sensor at 0 ms => deadline 100 ms, vs a's
+        // 5 ms => 105 ms: EDF overrides b's later arrival.
+        assert_eq!(first_pull(&rec), ("b".to_string(), "sink".to_string()));
+        let scheds = rec.borrow().scheds.clone();
+        assert_eq!(scheds[0].0, "sink");
+        assert_eq!(scheds[0].1, "b");
+        assert_eq!(scheds[0].2, 2, "both heads were candidates");
+        assert_eq!(scheds[0].3, SimDuration::from_millis(100).as_nanos() as i64);
+    }
+
+    #[test]
+    fn priority_pull_prefers_the_lower_rank() {
+        let (sim, _bus, rec) = contended_bus(SchedPolicyKind::Priority);
+        sim.run();
+        assert_eq!(first_pull(&rec), ("b".to_string(), "sink".to_string()));
+        assert_eq!(rec.borrow().scheds[0].3, 1);
+    }
+
+    #[test]
+    fn chain_aware_pull_prefers_the_longer_remaining_chain() {
+        let (sim, _bus, rec) = contended_bus(SchedPolicyKind::ChainAware);
+        sim.run();
+        // slack(b) = 100 − 70 = 30 ms < slack(a) = 105 − 10 = 95 ms.
+        assert_eq!(first_pull(&rec), ("b".to_string(), "sink".to_string()));
+        assert_eq!(rec.borrow().scheds[0].3, SimDuration::from_millis(30).as_nanos() as i64);
     }
 
     /// A node that merges a cached lineage into its output (fusion-style).

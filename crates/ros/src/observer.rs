@@ -149,6 +149,22 @@ pub trait BusObserver {
     fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, time: SimTime) {
         let _ = (kind, node, info, time);
     }
+
+    /// A non-FIFO scheduling policy chose which pending message `node`
+    /// pulls next: `topic` won among `considered` (≥ 2) candidate
+    /// subscriptions with urgency key `key` (lower = more urgent; the
+    /// policy's own units). The FIFO policy never reports decisions, so
+    /// FIFO traces stay byte-identical to the pre-policy format.
+    fn sched_decision(
+        &mut self,
+        node: &str,
+        topic: &str,
+        considered: u64,
+        key: i64,
+        time: SimTime,
+    ) {
+        let _ = (node, topic, considered, key, time);
+    }
 }
 
 /// An observer that records nothing.
@@ -211,6 +227,19 @@ impl BusObserver for FanoutObserver {
     fn fault_event(&mut self, kind: FaultKind, node: &str, info: &str, time: SimTime) {
         for sink in &self.sinks {
             sink.borrow_mut().fault_event(kind, node, info, time);
+        }
+    }
+
+    fn sched_decision(
+        &mut self,
+        node: &str,
+        topic: &str,
+        considered: u64,
+        key: i64,
+        time: SimTime,
+    ) {
+        for sink in &self.sinks {
+            sink.borrow_mut().sched_decision(node, topic, considered, key, time);
         }
     }
 }

@@ -11,7 +11,7 @@
 //! external dependency.
 
 use av_core::fault::FaultPlan;
-use av_core::stack::{Blackout, StackConfig};
+use av_core::stack::{Blackout, SchedPolicyKind, StackConfig};
 use av_ros::Source;
 use av_vision::DetectorKind;
 use std::fmt::Write as _;
@@ -153,6 +153,8 @@ pub struct SweepPoint {
     pub faults: Option<FaultPlanSpec>,
     /// Supervision restart initial-backoff override, seconds.
     pub restart_backoff_s: Option<f64>,
+    /// Callback scheduling-policy override.
+    pub sched_policy: Option<SchedPolicyKind>,
 }
 
 impl SweepPoint {
@@ -192,6 +194,9 @@ impl SweepPoint {
         }
         if let Some(v) = self.restart_backoff_s {
             parts.push(format!("backoff={v}"));
+        }
+        if let Some(v) = self.sched_policy {
+            parts.push(format!("sched={}", v.name()));
         }
         if parts.is_empty() {
             "base".to_string()
@@ -234,6 +239,7 @@ impl SweepPoint {
                 "blackouts" => point.blackouts = Some(BlackoutSpec::parse(text()?)?),
                 "faults" => point.faults = Some(FaultPlanSpec::parse(text()?)?),
                 "restart_backoff_s" => point.restart_backoff_s = Some(num()?),
+                "sched_policy" => point.sched_policy = Some(SchedPolicyKind::parse(text()?)?),
                 other => return Err(format!("unknown point key {other:?}")),
             }
         }
@@ -272,6 +278,9 @@ impl SweepPoint {
         if let Some(v) = self.restart_backoff_s {
             fields.push(format!("\"restart_backoff_s\": {v:?}"));
         }
+        if let Some(v) = self.sched_policy {
+            fields.push(format!("\"sched_policy\": \"{}\"", v.name()));
+        }
         format!("{{{}}}", fields.join(", "))
     }
 
@@ -304,6 +313,9 @@ impl SweepPoint {
         }
         if let Some(v) = self.restart_backoff_s {
             config.supervision.restart_initial_backoff_s = v;
+        }
+        if let Some(v) = self.sched_policy {
+            config.sched_policy = v;
         }
         config
     }
@@ -338,6 +350,8 @@ pub struct SweepSpec {
     pub faults: Vec<FaultPlanSpec>,
     /// Restart initial-backoff axis, seconds.
     pub restart_backoff_s: Vec<f64>,
+    /// Scheduling-policy axis.
+    pub sched_policy: Vec<SchedPolicyKind>,
     /// Explicit extra points, appended after the grid.
     pub extra_points: Vec<SweepPoint>,
 }
@@ -358,6 +372,7 @@ impl SweepSpec {
             blackouts: Vec::new(),
             faults: Vec::new(),
             restart_backoff_s: Vec::new(),
+            sched_policy: Vec::new(),
             extra_points: Vec::new(),
         }
     }
@@ -369,7 +384,8 @@ impl SweepSpec {
 
     /// Expands the grid (fixed axis order: detector, density, camera
     /// rate, lidar rate, queue capacity, seed, blackouts, faults,
-    /// restart backoff — outermost first) and appends the explicit
+    /// restart backoff, scheduling policy — outermost first) and appends
+    /// the explicit
     /// points. Ordinals number the
     /// result sequentially, so the expansion is deterministic and
     /// independent of how the runner later schedules it.
@@ -393,7 +409,8 @@ impl SweepSpec {
             && self.seeds.is_empty()
             && self.blackouts.is_empty()
             && self.faults.is_empty()
-            && self.restart_backoff_s.is_empty();
+            && self.restart_backoff_s.is_empty()
+            && self.sched_policy.is_empty();
         let mut points = Vec::new();
         if grid_empty && !self.extra_points.is_empty() {
             for extra in &self.extra_points {
@@ -412,18 +429,21 @@ impl SweepSpec {
                                 for blackouts in axis(&self.blackouts) {
                                     for faults in axis(&self.faults) {
                                         for restart_backoff_s in axis(&self.restart_backoff_s) {
-                                            points.push(SweepPoint {
-                                                ordinal: points.len(),
-                                                detector,
-                                                traffic_density,
-                                                camera_rate_hz,
-                                                lidar_rate_hz,
-                                                queue_capacity,
-                                                seed,
-                                                blackouts: blackouts.clone(),
-                                                faults: faults.clone(),
-                                                restart_backoff_s,
-                                            });
+                                            for sched_policy in axis(&self.sched_policy) {
+                                                points.push(SweepPoint {
+                                                    ordinal: points.len(),
+                                                    detector,
+                                                    traffic_density,
+                                                    camera_rate_hz,
+                                                    lidar_rate_hz,
+                                                    queue_capacity,
+                                                    seed,
+                                                    blackouts: blackouts.clone(),
+                                                    faults: faults.clone(),
+                                                    restart_backoff_s,
+                                                    sched_policy,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -572,6 +592,12 @@ mod from_json {
                 "restart_backoff_s" => {
                     spec.restart_backoff_s = f64_list(&value, "grid.restart_backoff_s")?;
                 }
+                "sched_policy" => {
+                    spec.sched_policy = str_list(&value, "grid.sched_policy")?
+                        .into_iter()
+                        .map(SchedPolicyKind::parse)
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(format!("unknown grid axis {other:?}")),
             }
         }
@@ -649,11 +675,24 @@ impl SweepSpec {
         }
     }
 
+    /// The tier-1 scheduler gate's sweep: smoke world, FIFO vs EDF over
+    /// two camera rates — 4 points exercising the policy plumbing
+    /// end-to-end without paper-scale cost.
+    pub fn builtin_sched_smoke() -> SweepSpec {
+        SweepSpec {
+            duration_s: Some(8.0),
+            camera_rate_hz: vec![10.0, 20.0],
+            sched_policy: vec![SchedPolicyKind::Fifo, SchedPolicyKind::Edf],
+            ..SweepSpec::new("sched_smoke", WorldKind::Smoke)
+        }
+    }
+
     /// Named builtin lookup (for `sweep --builtin`).
     pub fn builtin(name: &str) -> Option<SweepSpec> {
         match name {
             "smoke" => Some(SweepSpec::builtin_smoke()),
             "detector-camera" => Some(SweepSpec::builtin_detector_camera()),
+            "sched-smoke" => Some(SweepSpec::builtin_sched_smoke()),
             _ => None,
         }
     }
@@ -758,6 +797,41 @@ mod tests {
         let parsed = SweepPoint::from_json_value(&av_trace::json::parse(&json).unwrap()).unwrap();
         assert_eq!(parsed.faults, point.faults);
         assert_eq!(parsed.restart_backoff_s, point.restart_backoff_s);
+    }
+
+    #[test]
+    fn sched_policy_axis_expands_applies_and_round_trips() {
+        let spec = SweepSpec {
+            camera_rate_hz: vec![10.0],
+            sched_policy: vec![SchedPolicyKind::Fifo, SchedPolicyKind::Edf],
+            ..SweepSpec::new("t", WorldKind::Smoke)
+        };
+        let points = spec.points();
+        assert_eq!(points.len(), 2);
+        // The policy axis is the innermost: it varies fastest.
+        assert_eq!(points[0].sched_policy, Some(SchedPolicyKind::Fifo));
+        assert_eq!(points[1].sched_policy, Some(SchedPolicyKind::Edf));
+        assert_eq!(points[1].label(), "camera_hz=10 sched=edf");
+
+        let config = points[1].apply(&spec.base_config());
+        assert_eq!(config.sched_policy, SchedPolicyKind::Edf);
+        let base = points[0].apply(&spec.base_config());
+        assert_eq!(base.sched_policy, SchedPolicyKind::Fifo);
+
+        let json = points[1].to_json();
+        assert!(json.contains("\"sched_policy\": \"edf\""));
+        let parsed = SweepPoint::from_json_value(&av_trace::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed.sched_policy, Some(SchedPolicyKind::Edf));
+
+        // Grid parsing, including the clean rejection of unknown names.
+        let text = r#"{"name": "s", "world": "smoke",
+                       "grid": {"sched_policy": ["fifo", "priority", "edf", "chain"]}}"#;
+        assert_eq!(SweepSpec::from_json(text).unwrap().points().len(), 4);
+        let bad = r#"{"name": "s", "grid": {"sched_policy": ["lifo"]}}"#;
+        let err = SweepSpec::from_json(bad).unwrap_err();
+        assert!(err.contains("unknown sched_policy"), "got: {err}");
+        let bad_point = r#"{"name": "s", "points": [{"sched_policy": 3}]}"#;
+        assert!(SweepSpec::from_json(bad_point).is_err());
     }
 
     #[test]

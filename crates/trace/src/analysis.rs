@@ -111,6 +111,23 @@ pub struct TraceReport {
     /// Fault/supervision event counts per `(kind name, node)` — empty for
     /// clean runs, so `trace_diff` flags faulted-vs-clean pairs.
     pub faults: BTreeMap<(String, String), u64>,
+    /// Scheduler policy name from the trace header (`otherData`), if the
+    /// run declared one. FIFO runs omit it.
+    pub policy: Option<String>,
+    /// Scheduler decision instants (`cat: "sched"`) seen in the trace.
+    /// Nonzero only under a non-FIFO policy.
+    pub sched_decisions: u64,
+}
+
+impl TraceReport {
+    /// `true` when the scheduler header is self-consistent: decision
+    /// events are only present if the run header names the policy that
+    /// produced them. Mirrors the [`PathVerdict::MissingLineage`] idea —
+    /// a trace with anonymous scheduling decisions is loud, not silently
+    /// accepted.
+    pub fn sched_header_consistent(&self) -> bool {
+        self.sched_decisions == 0 || self.policy.is_some()
+    }
 }
 
 fn str_field<'v>(event: &'v JsonValue, key: &str) -> Option<&'v str> {
@@ -142,6 +159,11 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
             .collect(),
         ..TraceReport::default()
     };
+    report.policy = trace
+        .get("otherData")
+        .and_then(|d| d.get("sched_policy"))
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
     // Sink publications lacking the lineage stamp, per path.
     let mut missing: Vec<u64> = vec![0; specs.len()];
 
@@ -196,6 +218,9 @@ pub fn analyze_trace(trace: &JsonValue, specs: &[TracePathSpec]) -> Result<Trace
                 let kind = str_field(args, "kind").ok_or("fault without kind")?.to_string();
                 let node = str_field(args, "node").ok_or("fault without node")?.to_string();
                 *report.faults.entry((kind, node)).or_insert(0) += 1;
+            }
+            ("i", "sched") => {
+                report.sched_decisions += 1;
             }
             ("C", "queue") => {
                 // Exported as `q <topic>→<node>` counters by the exporter;
@@ -293,6 +318,7 @@ mod tests {
                 },
             ],
             samples: vec![],
+            policy: None,
         };
         let json = render_chrome_trace("t", &data);
         let parsed = crate::json::parse(&json).unwrap();
@@ -408,6 +434,42 @@ mod tests {
         );
         assert!(!report.paths[1].verdict.is_ok());
         assert_eq!(report.paths[1].verdict.describe(), "missing-lineage(1)");
+    }
+
+    #[test]
+    fn sched_policy_and_decisions_roundtrip_through_export() {
+        let decision = TraceEvent::SchedDecision {
+            node: "fusion".to_string(),
+            topic: "/image_obj".to_string(),
+            considered: 2,
+            key: -42,
+            time: SimTime::from_millis(5),
+        };
+        let data = TraceData {
+            nodes: vec!["fusion".to_string()],
+            events: vec![decision.clone()],
+            policy: Some("edf".to_string()),
+            ..TraceData::default()
+        };
+        let json = render_chrome_trace("t", &data);
+        assert!(json.contains("\"sched_policy\":\"edf\""));
+        let parsed = crate::json::parse(&json).unwrap();
+        let report = analyze_trace(&parsed, &[]).unwrap();
+        assert_eq!(report.policy.as_deref(), Some("edf"));
+        assert_eq!(report.sched_decisions, 1);
+        assert!(report.sched_header_consistent());
+
+        // Decision events with no declared policy: loud inconsistency.
+        let anonymous = TraceData { events: vec![decision], policy: None, ..TraceData::default() };
+        let json = render_chrome_trace("t", &anonymous);
+        assert!(!json.contains("sched_policy"));
+        let report = analyze_trace(&crate::json::parse(&json).unwrap(), &[]).unwrap();
+        assert_eq!(report.policy, None);
+        assert_eq!(report.sched_decisions, 1);
+        assert!(!report.sched_header_consistent());
+
+        // FIFO-shaped traces (no decisions, no header) are consistent.
+        assert!(TraceReport::default().sched_header_consistent());
     }
 
     #[test]

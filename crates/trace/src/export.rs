@@ -88,6 +88,13 @@ pub fn render_event_jsonl(event: &TraceEvent) -> String {
             escape(info),
             time.as_nanos()
         ),
+        TraceEvent::SchedDecision { node, topic, considered, key, time } => format!(
+            "{{\"ev\":\"sched\",\"node\":\"{}\",\"topic\":\"{}\",\"considered\":{considered},\
+             \"key\":{key},\"time_ns\":{}}}",
+            escape(node),
+            escape(topic),
+            time.as_nanos()
+        ),
     }
 }
 
@@ -237,6 +244,18 @@ pub fn render_chrome_trace(run: &str, data: &TraceData) -> String {
                     escape(info)
                 ));
             }
+            TraceEvent::SchedDecision { node, topic, considered, key, time } => {
+                events.push(format!(
+                    "{{\"name\":\"sched:{}\",\"cat\":\"sched\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{\"node\":\"{}\",\"topic\":\"{}\",\"considered\":{},\"key\":{}}}}}",
+                    escape(topic),
+                    ts_us(*time),
+                    tid(node),
+                    escape(node),
+                    escape(topic),
+                    considered,
+                    key
+                ));
+            }
         }
     }
 
@@ -309,6 +328,13 @@ pub fn render_chrome_trace(run: &str, data: &TraceData) -> String {
         data.sample_interval.as_nanos(),
         data.nodes.len()
     );
+    // Run-header policy field: present exactly when the run executed
+    // under a non-FIFO scheduling policy, so FIFO exports keep their
+    // pre-policy bytes. `trace_report --verify` fails loudly on traces
+    // with sched events but no policy header.
+    if let Some(policy) = &data.policy {
+        let _ = write!(out, ",\"sched_policy\":\"{}\"", escape(policy));
+    }
     out.push_str("},\"traceEvents\":[\n");
     out.push_str(&events.join(",\n"));
     out.push_str("\n]}\n");
@@ -399,6 +425,7 @@ mod tests {
                 cpu_w: 50.0,
                 gpu_w: 20.5,
             }],
+            policy: None,
         }
     }
 

@@ -119,6 +119,21 @@ pub enum TraceEvent {
         /// Event time.
         time: SimTime,
     },
+    /// A non-FIFO scheduling policy chose among several pending inputs
+    /// (only real choices are recorded: FIFO runs never emit these, so
+    /// the FIFO trace stays byte-identical to the pre-policy format).
+    SchedDecision {
+        /// Node whose next message was chosen.
+        node: String,
+        /// Topic that won the pull.
+        topic: String,
+        /// How many queue heads competed (≥ 2).
+        considered: u64,
+        /// The winner's urgency key (lower = more urgent; policy units).
+        key: i64,
+        /// Decision time.
+        time: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -136,7 +151,8 @@ impl TraceEvent {
             TraceEvent::Enqueued { time, .. }
             | TraceEvent::Dequeued { time, .. }
             | TraceEvent::Dropped { time, .. }
-            | TraceEvent::Fault { time, .. } => *time,
+            | TraceEvent::Fault { time, .. }
+            | TraceEvent::SchedDecision { time, .. } => *time,
         }
     }
 }
@@ -170,6 +186,12 @@ pub struct MetricSample {
 pub struct TraceData {
     /// Metrics cadence the sampler used.
     pub sample_interval: SimDuration,
+    /// Name of the non-FIFO scheduling policy the run executed under,
+    /// or `None` for the default FIFO order. Kept optional so FIFO
+    /// traces (and their golden hashes) stay byte-identical to runs
+    /// recorded before policies existed; any trace containing
+    /// [`TraceEvent::SchedDecision`] events must carry `Some`.
+    pub policy: Option<String>,
     /// Node names in bus-registration order.
     pub nodes: Vec<String>,
     /// `(topic, node)` per subscription, in bus-registration order.
@@ -212,6 +234,11 @@ impl TraceData {
             }
         }
         counts
+    }
+
+    /// Number of scheduler-decision events recorded.
+    pub fn sched_decision_count(&self) -> u64 {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::SchedDecision { .. })).count() as u64
     }
 }
 
@@ -269,6 +296,23 @@ impl BusObserver for TraceRecorder {
             time,
         });
     }
+
+    fn sched_decision(
+        &mut self,
+        node: &str,
+        topic: &str,
+        considered: u64,
+        key: i64,
+        time: SimTime,
+    ) {
+        self.data.events.push(TraceEvent::SchedDecision {
+            node: node.to_string(),
+            topic: topic.to_string(),
+            considered,
+            key,
+            time,
+        });
+    }
 }
 
 /// Shared handle installing a [`TraceRecorder`] as a bus observer while
@@ -299,6 +343,14 @@ impl SharedTracer {
         let mut inner = self.inner.borrow_mut();
         inner.data.nodes = nodes;
         inner.data.subscriptions = subscriptions;
+    }
+
+    /// Records the run's non-FIFO scheduling policy in the trace
+    /// header. FIFO runs must *not* call this — their header stays
+    /// absent so pre-policy traces and hashes are reproduced
+    /// byte-for-byte.
+    pub fn set_policy(&self, policy: impl Into<String>) {
+        self.inner.borrow_mut().data.policy = Some(policy.into());
     }
 
     /// Appends one metrics sample.
@@ -334,6 +386,10 @@ impl SharedTracer {
         let data = &self.inner.borrow().data;
         w.put_tag("tracer");
         w.put_u64(data.sample_interval.as_nanos());
+        w.put_bool(data.policy.is_some());
+        if let Some(policy) = &data.policy {
+            w.put_str(policy);
+        }
         w.put_usize(data.nodes.len());
         for node in &data.nodes {
             w.put_str(node);
@@ -377,6 +433,9 @@ impl SharedTracer {
             sample_interval: SimDuration::from_nanos(r.get_u64()),
             ..TraceData::default()
         };
+        if r.get_bool() {
+            data.policy = Some(r.get_str());
+        }
         for _ in 0..r.get_usize() {
             data.nodes.push(r.get_str());
         }
@@ -459,6 +518,14 @@ fn save_event(event: &TraceEvent, w: &mut SnapWriter) {
             w.put_str(info);
             w.put_u64(time.as_nanos());
         }
+        TraceEvent::SchedDecision { node, topic, considered, key, time } => {
+            w.put_u8(5);
+            w.put_str(node);
+            w.put_str(topic);
+            w.put_u64(*considered);
+            w.put_u64(*key as u64);
+            w.put_u64(time.as_nanos());
+        }
     }
 }
 
@@ -506,6 +573,19 @@ fn load_event(r: &mut SnapReader<'_>) -> TraceEvent {
             let node = r.get_str();
             let info = r.get_str();
             TraceEvent::Fault { kind, node, info, time: SimTime::from_nanos(r.get_u64()) }
+        }
+        5 => {
+            let node = r.get_str();
+            let topic = r.get_str();
+            let considered = r.get_u64();
+            let key = r.get_u64() as i64;
+            TraceEvent::SchedDecision {
+                node,
+                topic,
+                considered,
+                key,
+                time: SimTime::from_nanos(r.get_u64()),
+            }
         }
         other => panic!("checkpoint corrupt: unknown trace event tag {other}"),
     }
@@ -574,7 +654,9 @@ mod tests {
                 published: vec!["/vision_objects".to_string()],
             });
             obs.fault_event(FaultKind::Crash, "ndt", "", SimTime::from_millis(5));
+            obs.sched_decision("vision", "/image_raw", 2, -42, SimTime::from_millis(6));
         }
+        tracer.set_policy("edf");
         tracer.push_sample(MetricSample {
             time: SimTime::from_millis(100),
             queue_depths: vec![1],

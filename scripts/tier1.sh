@@ -38,6 +38,31 @@ echo "== sweep determinism: 4-point smoke sweep across --jobs 1 vs --jobs 8 =="
 grep 'sweep golden hash' "$tmp/sweep.log"
 grep 'sweep determinism check passed' "$tmp/sweep.log"
 
+echo "== sched policies: FIFO pin + EDF smoke sweep across --jobs 1 vs --jobs 8 =="
+# The sched-smoke builtin interleaves FIFO and EDF points on the same
+# configs: the cross-jobs check must hold for both policies, and the
+# FIFO points must still land on the golden hashes the identical
+# configs produced before scheduling policies existed (p00/p02 here
+# equal the traced smoke sweep's p00/p01 — the sched axis must be
+# invisible at fifo). The untraced pins live in sched_determinism.rs;
+# traced runs fold trace bytes into the hash, so the constants differ.
+./target/release/sweep --builtin sched-smoke --trace --check-jobs 1,8 \
+    --results "$tmp/sched" >"$tmp/sched.log" 2>/dev/null
+grep 'sweep golden hash' "$tmp/sched.log"
+grep 'sweep determinism check passed' "$tmp/sched.log"
+grep -q '"id": "p00".*"hash": "0xb6f15c64078c718c"' "$tmp/sched/SWEEP_hashes.json" \
+    || { echo "FIFO point p00 broke the pre-policy golden hash pin" >&2; exit 1; }
+grep -q '"id": "p02".*"hash": "0x8a905cfa8be57c1b"' "$tmp/sched/SWEEP_hashes.json" \
+    || { echo "FIFO point p02 broke the pre-policy golden hash pin" >&2; exit 1; }
+# EDF traces carry the policy header and decision events; FIFO traces
+# carry neither.
+grep -q '"sched_policy":"edf"' "$tmp/sched/trace_p01.json"
+grep -q '"cat":"sched"' "$tmp/sched/trace_p01.json"
+if grep -q '"sched' "$tmp/sched/trace_p00.json"; then
+    echo "FIFO trace must carry no sched header or decision events" >&2; exit 1
+fi
+echo "FIFO pin holds; EDF sweep byte-stable across jobs levels"
+
 echo "== fault determinism: clean + crash point across --jobs 1 vs --jobs 8 =="
 # One clean point and one supervised ndt_matching crash: the faulted
 # run's golden hash and trace bytes must reproduce at any jobs level.

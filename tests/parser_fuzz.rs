@@ -8,6 +8,7 @@
 //! cap: before it, a few kilobytes of `[[[[…` were a stack-overflow
 //! abort that no test harness can catch.)
 
+use av_core::stack::SchedPolicyKind;
 use av_des::{RngStreams, StreamRng};
 use av_sweep::search::trajectory_from_json;
 use av_sweep::{SearchSpec, SweepSpec};
@@ -154,6 +155,118 @@ fn ten_thousand_mutants_error_but_never_panic() {
     // Sanity on the mutator itself: it must actually produce broken
     // documents, not near-copies the parser waves through.
     assert!(rejected * 2 > total, "mutator too tame: {rejected}/{total} rejected");
+}
+
+/// Derives a `sched_policy` value mutant: a valid name nudged by byte
+/// flips, truncation, case twiddling, and splices, constrained to
+/// JSON-string-safe printable ASCII so the document stays valid JSON and
+/// rejection must come from the policy validator, not the lexer.
+fn mutate_policy_name(rng: &mut StreamRng) -> String {
+    const BASES: [&str; 8] =
+        ["fifo", "priority", "edf", "chain", "chain_aware", "chain-aware", "FIFO", "Edf"];
+    // Needs no JSON escaping: no quote, no backslash, no control bytes.
+    const SAFE: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFXZ0123456789_-+ .:/#@!";
+    let mut name: Vec<u8> = BASES[rng.uniform_usize(BASES.len())].bytes().collect();
+    for _ in 0..rng.uniform_usize(4) {
+        match rng.uniform_usize(5) {
+            0 => {
+                if !name.is_empty() {
+                    name.truncate(rng.uniform_usize(name.len()));
+                }
+            }
+            1 => {
+                if !name.is_empty() {
+                    let at = rng.uniform_usize(name.len());
+                    name[at] = SAFE[rng.uniform_usize(SAFE.len())];
+                }
+            }
+            2 => {
+                let at = rng.uniform_usize(name.len() + 1);
+                name.insert(at, SAFE[rng.uniform_usize(SAFE.len())]);
+            }
+            3 => {
+                if !name.is_empty() {
+                    let at = rng.uniform_usize(name.len());
+                    if name[at].is_ascii_alphabetic() {
+                        name[at] ^= 0x20; // ASCII case flip
+                    }
+                }
+            }
+            _ => {
+                let other = BASES[rng.uniform_usize(BASES.len())];
+                let at = rng.uniform_usize(name.len() + 1);
+                name.splice(at..at, other.bytes());
+            }
+        }
+    }
+    String::from_utf8(name).expect("mutations stay ASCII")
+}
+
+/// ~1k+ mutants aimed specifically at the `sched_policy` field through
+/// every loader that accepts it: the sweep grid axis, sweep point
+/// overrides, and the search base point. The oracle is
+/// `SchedPolicyKind::parse` itself — a loader must accept exactly when
+/// the validator does, and every rejection must be a clean `Err` that
+/// names the field.
+#[test]
+fn sched_policy_field_mutants_error_cleanly_through_every_loader() {
+    let mut rng = RngStreams::new(0x5CED).stream("sched-policy-fuzz");
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    let mut accepted = 0usize;
+
+    let mut check = |value_json: &str, valid: Option<bool>, total: &mut usize| {
+        let sweep_grid = format!(
+            r#"{{"name": "s", "world": "smoke", "duration_s": 2.0,
+                "grid": {{"sched_policy": ["fifo", {value_json}]}}}}"#
+        );
+        let sweep_point = format!(
+            r#"{{"name": "s", "world": "smoke", "duration_s": 2.0,
+                "points": [{{"sched_policy": {value_json}}}]}}"#
+        );
+        let search_base = format!(
+            r#"{{"name": "s", "world": "smoke", "duration_s": 2.0,
+                "objective": "drop_pct", "base": {{"sched_policy": {value_json}}},
+                "bisect": {{"knob": "camera_rate_hz", "lo": 8.0, "hi": 40.0,
+                            "threshold": 2.0, "tolerance": 2.0, "sections": 2}}}}"#
+        );
+        let results = [
+            SweepSpec::from_json(&sweep_grid).map(|_| ()),
+            SweepSpec::from_json(&sweep_point).map(|_| ()),
+            SearchSpec::from_json(&search_base).map(|_| ()),
+        ];
+        for result in results {
+            *total += 1;
+            match (result, valid) {
+                (Ok(()), Some(false)) => panic!("loader accepted {value_json}"),
+                (Err(e), Some(true)) => panic!("loader rejected {value_json}: {e}"),
+                (Err(e), _) => {
+                    assert!(
+                        e.contains("sched_policy"),
+                        "rejection of {value_json} does not name the field: {e}"
+                    );
+                    rejected += 1;
+                }
+                (Ok(()), _) => accepted += 1,
+            }
+        }
+    };
+
+    // String mutants: accept/reject must agree with the validator.
+    for _ in 0..400 {
+        let name = mutate_policy_name(&mut rng);
+        let valid = SchedPolicyKind::parse(&name).is_ok();
+        check(&format!("\"{name}\""), Some(valid), &mut total);
+    }
+    // Structurally-wrong values: never strings, always rejected.
+    for wrong in ["3", "null", "true", "false", "[\"edf\"]", "{}", "1e999", "-0.5"] {
+        check(wrong, Some(false), &mut total);
+    }
+
+    assert!(total >= 1_200, "budget shrank: only {total} sched_policy mutants");
+    // The mutator must exercise both sides of the oracle.
+    assert!(rejected * 4 > total, "mutator too tame: {rejected}/{total} rejected");
+    assert!(accepted > 0, "mutator never produced a valid policy name");
 }
 
 #[test]

@@ -24,9 +24,9 @@ impl Lcg {
 fn seeds() -> Vec<String> {
     vec![
         r#"{"id":"a","kind":"ping"}"#.to_string(),
-        r#"{"id":"b","kind":"drive","world":"smoke","duration_s":4.0,"trace":true,"stream_trace":true,"point":{"detector":"YOLOv3","seed":7}}"#.to_string(),
+        r#"{"id":"b","kind":"drive","world":"smoke","duration_s":4.0,"trace":true,"stream_trace":true,"point":{"detector":"YOLOv3","seed":7,"sched_policy":"edf"}}"#.to_string(),
         r#"{"id":"c","kind":"blame","world":"paper","duration_s":8.0,"point":{"camera_rate_hz":30.0}}"#.to_string(),
-        r#"{"id":"d","kind":"sweep","jobs":2,"spec":{"name":"s","world":"smoke","duration_s":2.0,"grid":{"camera_rate_hz":[20.0,40.0]}}}"#.to_string(),
+        r#"{"id":"d","kind":"sweep","jobs":2,"spec":{"name":"s","world":"smoke","duration_s":2.0,"grid":{"camera_rate_hz":[20.0,40.0],"sched_policy":["fifo","chain"]}}}"#.to_string(),
         r#"{"id":"e","kind":"search","spec":{"name":"q","world":"smoke","objective":"e2e_p99_ms","strategy":{"bisect":{"knob":"traffic_density","lo":0.5,"hi":3.0,"threshold_ms":200.0,"tolerance":0.25}},"duration_s":2.0}}"#.to_string(),
         r#"{"id":"f","kind":"shutdown","drain":false}"#.to_string(),
     ]
@@ -87,6 +87,35 @@ fn ten_thousand_mutants_never_panic_the_parser() {
     }
     assert_eq!(parsed_ok + rejected, 10_000);
     assert!(rejected > 5_000, "mutation should break most frames (rejected {rejected})");
+}
+
+/// The scheduling-policy knob goes through the same validators over the
+/// wire as on disk: bogus names in a drive point or a sweep grid come
+/// back as clean errors that name the field, and every real name is
+/// accepted as work.
+#[test]
+fn sched_policy_over_the_wire_is_validated_with_clean_errors() {
+    for name in ["fifo", "priority", "edf", "chain", "chain_aware", "EDF"] {
+        let drive = format!(
+            r#"{{"id":"x","kind":"drive","world":"smoke","duration_s":2.0,"point":{{"sched_policy":"{name}"}}}}"#
+        );
+        assert!(
+            matches!(parse_request(&drive), Ok(Request::Work(_))),
+            "valid policy {name:?} must parse as work"
+        );
+    }
+    for bad in ["\"lifo\"", "\"\"", "\"edf \"", "3", "null", "[\"edf\"]"] {
+        let drive = format!(
+            r#"{{"id":"x","kind":"drive","world":"smoke","duration_s":2.0,"point":{{"sched_policy":{bad}}}}}"#
+        );
+        let err = parse_request(&drive).expect_err("bad policy must be rejected");
+        assert!(err.reason.contains("sched_policy"), "{bad}: {}", err.reason);
+        let sweep = format!(
+            r#"{{"id":"x","kind":"sweep","spec":{{"name":"s","world":"smoke","duration_s":2.0,"grid":{{"sched_policy":["fifo",{bad}]}}}}}}"#
+        );
+        let err = parse_request(&sweep).expect_err("bad grid policy must be rejected");
+        assert!(err.reason.contains("sched_policy"), "{bad}: {}", err.reason);
+    }
 }
 
 #[test]

@@ -30,7 +30,9 @@ fn residual_depths(trace: &TraceData) -> BTreeMap<(String, String), u64> {
             | TraceEvent::Dropped { topic, node, depth, .. } => {
                 depths.insert((topic.clone(), node.clone()), *depth as u64);
             }
-            TraceEvent::Callback { .. } | TraceEvent::Fault { .. } => {}
+            TraceEvent::Callback { .. }
+            | TraceEvent::Fault { .. }
+            | TraceEvent::SchedDecision { .. } => {}
         }
     }
     depths
@@ -70,7 +72,9 @@ fn trace_agrees_with_live_recorder_and_bus_counters() {
             TraceEvent::Enqueued { .. } => enq += 1,
             TraceEvent::Dequeued { .. } => deq += 1,
             TraceEvent::Dropped { .. } => dropped += 1,
-            TraceEvent::Callback { .. } | TraceEvent::Fault { .. } => {}
+            TraceEvent::Callback { .. }
+            | TraceEvent::Fault { .. }
+            | TraceEvent::SchedDecision { .. } => {}
         }
     }
     let residual: u64 = residual_depths(trace).values().sum();
