@@ -34,8 +34,9 @@
 //! clock, warm resumes, cache hits) to the given JSON file. This is
 //! the E-resume experiment of `EXPERIMENTS.md`.
 
+use av_core::ckptstore::CkptStore;
 use av_core::parallel::effective_jobs;
-use av_sweep::search::trajectory_from_json;
+use av_sweep::search::{run_search_with_store, trajectory_from_json};
 use av_sweep::{
     run_search, run_search_instrumented, search_artifacts, BatchRecord, SearchArtifacts, SearchSpec,
 };
@@ -50,13 +51,14 @@ struct Options {
     results_dir: PathBuf,
     list: bool,
     bench_resume: Option<PathBuf>,
+    ckpt_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: search [--spec <file.json> | --builtin <smoke>] [--jobs <N>] \
          [--check-jobs <N,M,...>] [--resume <trajectory.json>] [--results <dir>] [--list] \
-         [--bench-resume <file.json>]"
+         [--bench-resume <file.json>] [--ckpt-dir <dir>]"
     );
     std::process::exit(2);
 }
@@ -69,6 +71,7 @@ fn parse_args() -> Options {
     let mut results_dir = PathBuf::from("results/search");
     let mut list = false;
     let mut bench_resume = None;
+    let mut ckpt_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -117,6 +120,9 @@ fn parse_args() -> Options {
                 bench_resume =
                     Some(PathBuf::from(args.next().expect("--bench-resume needs a file")));
             }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(PathBuf::from(args.next().expect("--ckpt-dir needs a directory")));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -135,6 +141,7 @@ fn parse_args() -> Options {
         results_dir,
         list,
         bench_resume,
+        ckpt_dir,
     }
 }
 
@@ -232,8 +239,20 @@ fn main() {
     }
     println!("# search {:?}: jobs {}\n", options.spec.name, options.jobs);
 
+    // A durable checkpoint store survives this process: halving rungs
+    // resume from whatever barriers an earlier search left behind, and
+    // persist their own. The store never changes an output byte — the
+    // cross-jobs check below would catch it if it did.
+    let store = options.ckpt_dir.as_ref().map(|dir| {
+        let (store, recovery) = CkptStore::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint store {}: {e}", dir.display()));
+        eprint!("{}", recovery.render());
+        store
+    });
+
     let start = Instant::now();
-    let outcome = run_search(&options.spec, options.jobs, &options.prior);
+    let (outcome, stats) =
+        run_search_with_store(&options.spec, options.jobs, &options.prior, store.as_ref());
     let search_s = start.elapsed().as_secs_f64();
     let artifacts = search_artifacts(&options.spec, &outcome);
 
@@ -245,6 +264,19 @@ fn main() {
         options.results_dir.display(),
         outcome.evaluations()
     );
+    if let (Some(store), Some(dir)) = (&store, &options.ckpt_dir) {
+        println!(
+            "checkpoint store {}: {} entr{} ({} B); {} disk resume(s) skipping {:.1} virtual s, \
+             {} evaluation(s) served whole from disk",
+            dir.display(),
+            store.len(),
+            if store.len() == 1 { "y" } else { "ies" },
+            store.total_bytes(),
+            stats.store_resumes,
+            stats.store_prefix_s,
+            stats.store_hits
+        );
+    }
 
     // Cross-`--jobs` determinism check: rerun the whole search from
     // scratch (no prior) at every other requested level; every artifact

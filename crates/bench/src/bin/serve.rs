@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--port N] [--port-file FILE] [--workers N] [--queue N]
-//!       [--spool DIR] [--event-log FILE]
+//!       [--spool DIR] [--event-log FILE] [--ckpt-dir DIR]
 //! serve --check
 //! serve --bench [--out DIR] [--levels N,M,...] [--duration <s>]
 //! ```
@@ -11,7 +11,10 @@
 //! port), prints `host:port` on stdout (and to `--port-file` for
 //! scripts), and serves until a `shutdown` request arrives. `--spool`
 //! makes the content-addressed result store durable across restarts;
-//! `--event-log` appends every streamed event frame to a file.
+//! `--event-log` appends every streamed event frame to a file;
+//! `--ckpt-dir` opens a durable checkpoint store so drive sessions
+//! warm-start from stored barriers and `extend` requests resume prior
+//! drives to longer horizons byte-identically to cold runs.
 //!
 //! `--check` runs the built-in protocol self-test (ping, malformed
 //! frame, cold drive, byte-identical store-served repeat, oversized
@@ -67,6 +70,7 @@ fn parse_args() -> Options {
             }
             "--spool" => options.config.spool = Some(PathBuf::from(value("a directory"))),
             "--event-log" => options.config.event_log = Some(PathBuf::from(value("a path"))),
+            "--ckpt-dir" => options.config.ckpt_dir = Some(PathBuf::from(value("a directory"))),
             "--out" => options.out_dir = PathBuf::from(value("a directory")),
             "--levels" => {
                 options.bench.worker_levels = value("a comma-separated list")
@@ -82,7 +86,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve [--port N] [--port-file FILE] [--workers N] [--queue N] \
-                     [--spool DIR] [--event-log FILE] | serve --check | \
+                     [--spool DIR] [--event-log FILE] [--ckpt-dir DIR] | serve --check | \
                      serve --bench [--out DIR] [--levels N,M,...] [--duration <s>]"
                 );
                 std::process::exit(0);

@@ -23,9 +23,11 @@
 //! the batch at each listed level and **exits nonzero** unless every
 //! artifact byte and golden hash is identical.
 
+use av_core::ckptstore::CkptStore;
 use av_core::determinism::Fnv64;
 use av_core::parallel::effective_jobs;
 use av_core::stack::RunConfig;
+use av_sweep::runner::run_sweep_streamed_with_store;
 use av_sweep::{aggregate, run_sweep, PointResult, SweepArtifacts, SweepSpec};
 use av_trace::export::render_chrome_trace;
 use std::path::{Path, PathBuf};
@@ -38,13 +40,14 @@ struct Options {
     check_jobs: Vec<usize>,
     results_dir: PathBuf,
     list: bool,
+    ckpt_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--spec <file.json> | --builtin <smoke|detector-camera>] \
          [--jobs <N>] [--check-jobs <N,M,...>] [--duration <s>] [--trace] \
-         [--results <dir>] [--list]"
+         [--results <dir>] [--list] [--ckpt-dir <dir>]"
     );
     std::process::exit(2);
 }
@@ -57,6 +60,7 @@ fn parse_args() -> Options {
     let mut check_jobs: Vec<usize> = Vec::new();
     let mut results_dir = PathBuf::from("results/sweep");
     let mut list = false;
+    let mut ckpt_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,6 +101,9 @@ fn parse_args() -> Options {
                 results_dir = PathBuf::from(args.next().expect("--results needs a directory"));
             }
             "--list" => list = true,
+            "--ckpt-dir" => {
+                ckpt_dir = Some(PathBuf::from(args.next().expect("--ckpt-dir needs a directory")));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -117,6 +124,7 @@ fn parse_args() -> Options {
         check_jobs,
         results_dir,
         list,
+        ckpt_dir,
     }
 }
 
@@ -166,8 +174,25 @@ fn main() {
     let point_count = options.spec.points().len();
     println!("# sweep {:?}: {} point(s), jobs {}\n", options.spec.name, point_count, options.jobs);
 
+    // A durable checkpoint store survives this process: prefix-sharing
+    // groups restore their barrier from whatever an earlier sweep left
+    // behind and persist their own. It never changes an output byte —
+    // the cross-jobs check below would catch it if it did.
+    let store = options.ckpt_dir.as_ref().map(|dir| {
+        let (store, recovery) = CkptStore::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint store {}: {e}", dir.display()));
+        eprint!("{}", recovery.render());
+        store
+    });
+
     let start = Instant::now();
-    let results = run_sweep(&options.spec, &options.run, options.jobs);
+    let (results, stats) = run_sweep_streamed_with_store(
+        &options.spec,
+        &options.run,
+        options.jobs,
+        store.as_ref(),
+        |_| {},
+    );
     let batch_s = start.elapsed().as_secs_f64();
     let artifacts = aggregate(&options.spec, &results);
     let traces = render_traces(&results);
@@ -176,6 +201,19 @@ fn main() {
     print!("{}", artifacts.summary_txt);
     println!("sweep golden hash: {:#018x}", artifacts.sweep_hash);
     println!("artifacts: {} (batch took {batch_s:.1} s)", options.results_dir.display());
+    if let (Some(store), Some(dir)) = (&store, &options.ckpt_dir) {
+        println!(
+            "checkpoint store {}: {} entr{} ({} B); {} of {} prefix group(s) restored from \
+             disk, skipping {:.1} virtual s of leader prefix",
+            dir.display(),
+            store.len(),
+            if store.len() == 1 { "y" } else { "ies" },
+            store.total_bytes(),
+            stats.store_prefix_hits,
+            stats.prefix_groups,
+            stats.store_saved_s
+        );
+    }
     for (id, json) in &traces {
         println!("trace_{id}.json: {}", bytes_hash(json));
     }

@@ -19,6 +19,8 @@
 //! * [`findings`] — quantitative checks of the paper's Findings 1–5.
 //! * [`metrics`] — scalar per-run facts (tail latency, deadline factor,
 //!   drop rate) shared by the sweep aggregator and the search objective.
+//! * [`ckptstore`] — the crash-safe on-disk checkpoint store: persist,
+//!   verify, quarantine and resume drives across processes.
 //! * [`fault`] — the deterministic fault plan: seeded crashes, stalls,
 //!   slowdowns, edge drops/duplicates and timer skews, parsed from a
 //!   compact DSL.
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod ckptstore;
 pub mod determinism;
 pub mod experiments;
 pub mod fault;

@@ -582,9 +582,79 @@ pub fn run_drive_streamed(
     slice_s: f64,
     on_progress: &mut dyn FnMut(DriveProgress<'_>),
 ) -> RunReport {
+    drive_streamed(config, run, slice_s, None, false, on_progress).0
+}
+
+/// [`run_drive_streamed`], additionally capturing a [`Checkpoint`] at
+/// the run horizon (before the end-of-run drain) — how the scenario
+/// service persists a resumable snapshot of every drive it answers, so
+/// later `extend` requests pick up where this run stopped.
+///
+/// # Panics
+///
+/// Panics unless `slice_s` is positive and finite.
+pub fn run_drive_streamed_checkpointed(
+    config: &StackConfig,
+    run: &RunConfig,
+    slice_s: f64,
+    on_progress: &mut dyn FnMut(DriveProgress<'_>),
+) -> (RunReport, Checkpoint) {
+    let (report, checkpoint) = drive_streamed(config, run, slice_s, None, true, on_progress);
+    (report, checkpoint.expect("drive_streamed captures when asked"))
+}
+
+/// Resumes a drive from `checkpoint` and streams it to `run`'s duration
+/// like [`run_drive_streamed`] — including the pauses *before* the
+/// checkpoint barrier, which are replayed from the restored tracer so
+/// the full pulse sequence (times, event payloads, counts) is
+/// byte-identical to a cold streamed run of the same configuration.
+/// With `capture_final`, additionally captures a new checkpoint at the
+/// run horizon (the chaining primitive behind repeated `extend`s).
+///
+/// # Panics
+///
+/// Panics when the configuration does not match the checkpoint (see
+/// [`resume_drive`]), the run duration lies before the checkpoint's
+/// barrier, or `slice_s` is not positive and finite.
+pub fn resume_drive_streamed(
+    config: &StackConfig,
+    run: &RunConfig,
+    checkpoint: &Checkpoint,
+    slice_s: f64,
+    capture_final: bool,
+    on_progress: &mut dyn FnMut(DriveProgress<'_>),
+) -> (RunReport, Option<Checkpoint>) {
+    drive_streamed(config, run, slice_s, Some(checkpoint), capture_final, on_progress)
+}
+
+/// The engine behind the streamed entry points: run (fresh or resumed)
+/// to the horizon, pausing every `slice_s` virtual seconds. Pauses at
+/// or before a resumed checkpoint's barrier never touch the simulator —
+/// their event slices are re-partitioned out of the restored tracer by
+/// emission time, which the streaming invariant guarantees equals what
+/// the live pause delivered.
+fn drive_streamed(
+    config: &StackConfig,
+    run: &RunConfig,
+    slice_s: f64,
+    from: Option<&Checkpoint>,
+    capture_final: bool,
+    on_progress: &mut dyn FnMut(DriveProgress<'_>),
+) -> (RunReport, Option<Checkpoint>) {
     assert!(slice_s.is_finite() && slice_s > 0.0, "slice_s must be positive and finite");
     let session = build_session(config, run);
-    session.start_fresh();
+    match from {
+        None => session.start_fresh(),
+        Some(checkpoint) => session.resume_from(checkpoint, config),
+    }
+    // Everything the restored tracer already holds — exactly the events
+    // with emission time at or before the checkpoint barrier. Empty on a
+    // fresh start or an untraced run.
+    let restored: Vec<TraceEvent> = match &session.tracer {
+        Some(tracer) => tracer.events_since(0),
+        None => Vec::new(),
+    };
+    let start = session.sim.now();
     let events_at = |cursor: usize| match &session.tracer {
         Some(tracer) => tracer.events_since(cursor),
         None => Vec::new(),
@@ -596,8 +666,16 @@ pub fn run_drive_streamed(
         if barrier >= session.until {
             break;
         }
-        session.sim.run_until(barrier);
-        let new_events = events_at(cursor);
+        let new_events = if barrier < start {
+            // Replayed pause: the emission-time prefix of the restored
+            // trace, without advancing the simulator (it is already at
+            // the checkpoint barrier).
+            let n = restored[cursor..].iter().take_while(|e| e.emission_time() <= barrier).count();
+            restored[cursor..cursor + n].to_vec()
+        } else {
+            session.sim.run_until(barrier);
+            events_at(cursor)
+        };
         cursor += new_events.len();
         on_progress(DriveProgress {
             time_s: barrier.as_secs_f64(),
@@ -608,6 +686,7 @@ pub fn run_drive_streamed(
         slice += 1;
     }
     session.sim.run_until(session.until);
+    let checkpoint = capture_final.then(|| session.capture(config, session.until));
     // Let in-flight work complete so the last frames are counted.
     session.sim.run();
     let new_events = events_at(cursor);
@@ -618,7 +697,7 @@ pub fn run_drive_streamed(
         new_events: &new_events,
         events_total: cursor,
     });
-    session.report(config)
+    (session.report(config), checkpoint)
 }
 
 /// The one engine behind all four public drive entry points: build the
@@ -1485,7 +1564,10 @@ impl TracePrev {
     }
 }
 
-const CHECKPOINT_VERSION: u32 = 2;
+/// Checkpoint encoding version this build writes (and the only one it
+/// resumes). [`Checkpoint::from_bytes`] rejects other versions with an
+/// error; the on-disk store quarantines them.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A serialized mid-drive snapshot of the complete simulation state:
 /// event-queue identities, every RNG stream position, bus queues and
@@ -1509,9 +1591,133 @@ impl Checkpoint {
         self.barrier.as_secs_f64()
     }
 
+    /// The virtual time the checkpoint was captured at, nanoseconds.
+    pub fn barrier_ns(&self) -> u64 {
+        self.barrier.as_nanos()
+    }
+
     /// Size of the serialized state, bytes.
     pub fn size_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// The serialized state, ready to persist. The encoding is
+    /// self-describing: it starts with the [`CheckpointHeader`] fields,
+    /// so [`Checkpoint::from_bytes`] can rebuild the checkpoint from
+    /// these bytes alone.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The checkpoint's self-describing header: version, barrier,
+    /// configuration fingerprints, tracing mode.
+    pub fn header(&self) -> CheckpointHeader {
+        CheckpointHeader::parse(&self.bytes)
+            .expect("a captured checkpoint always carries a valid header")
+    }
+
+    /// Rebuilds a checkpoint from bytes previously produced by
+    /// [`Checkpoint::as_bytes`].
+    ///
+    /// Only the header is validated here (shape, magic tag, version) —
+    /// enough to reject foreign or version-skewed payloads with an
+    /// error instead of a panic. Integrity of the state sections beyond
+    /// the header is the storage layer's job (the on-disk store
+    /// checksums whole entries); feeding bytes that pass this check but
+    /// are corrupted deeper in will panic at resume time.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Checkpoint, String> {
+        let header = CheckpointHeader::parse(&bytes)?;
+        if header.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {} (this build writes {})",
+                header.version, CHECKPOINT_VERSION
+            ));
+        }
+        Ok(Checkpoint { barrier: SimTime::from_nanos(header.barrier_ns), bytes })
+    }
+}
+
+/// The self-describing prefix every serialized [`Checkpoint`] starts
+/// with: enough metadata to key, index and validate a checkpoint
+/// without deserializing (or trusting) the state sections behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointHeader {
+    /// Checkpoint encoding version the payload was written under.
+    pub version: u32,
+    /// Virtual time of the capture barrier, nanoseconds.
+    pub barrier_ns: u64,
+    /// Fingerprint of the full configuration ([`drive_fingerprint`]).
+    pub fingerprint: u64,
+    /// Blackout-stripped fingerprint ([`drive_fingerprint_stripped`]) —
+    /// the prefix-sharing identity.
+    pub fingerprint_stripped: u64,
+    /// Start of the earliest blackout window in the captured
+    /// configuration, seconds; `None` when it has no blackouts.
+    pub earliest_blackout_s: Option<f64>,
+    /// Whether the captured run was tracing. Resume requires the same
+    /// tracing mode, so stores index on this alongside the fingerprint.
+    pub traced: bool,
+}
+
+/// The tag every checkpoint payload opens with.
+const CHECKPOINT_TAG: &[u8] = b"av-checkpoint";
+
+impl CheckpointHeader {
+    /// Virtual time of the capture barrier, seconds.
+    pub fn barrier_s(&self) -> f64 {
+        self.barrier_ns as f64 / 1e9
+    }
+
+    /// Parses the header off the front of serialized checkpoint bytes.
+    ///
+    /// Unlike the snapshot reader this never panics: it is meant for
+    /// *untrusted* bytes (a store entry of unknown provenance), so every
+    /// malformation — truncation, wrong magic tag, mangled option byte —
+    /// comes back as an error string. Version skew is reported in the
+    /// parsed header, not rejected here, so callers can distinguish "not
+    /// a checkpoint" from "a checkpoint we no longer read".
+    pub fn parse(bytes: &[u8]) -> Result<CheckpointHeader, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > bytes.len() {
+                return Err(format!(
+                    "checkpoint header truncated: need {n} bytes at offset {pos}, have {}",
+                    bytes.len() - *pos
+                ));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let tag_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if tag_len != CHECKPOINT_TAG.len() || take(&mut pos, tag_len)? != CHECKPOINT_TAG {
+            return Err("not a checkpoint: magic tag mismatch".to_string());
+        }
+        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let get_u64 = |pos: &mut usize| -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+        let barrier_ns = get_u64(&mut pos)?;
+        let fingerprint = get_u64(&mut pos)?;
+        let fingerprint_stripped = get_u64(&mut pos)?;
+        let earliest_blackout_s = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => Some(f64::from_bits(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()))),
+            b => return Err(format!("checkpoint header corrupt: option byte {b}")),
+        };
+        let traced = match take(&mut pos, 1)?[0] {
+            0 => false,
+            1 => true,
+            b => return Err(format!("checkpoint header corrupt: bool byte {b}")),
+        };
+        Ok(CheckpointHeader {
+            version,
+            barrier_ns,
+            fingerprint,
+            fingerprint_stripped,
+            earliest_blackout_s,
+            traced,
+        })
     }
 }
 
@@ -1537,6 +1743,22 @@ fn config_fingerprint(config: &StackConfig, strip_blackouts: bool) -> u64 {
     } else {
         fnv64(format!("{config:?}").as_bytes())
     }
+}
+
+/// Public fingerprint of a drive configuration — the identity the
+/// on-disk checkpoint store keys entries by. Equal configurations (by
+/// the canonical debug rendering; every field is plain data) always
+/// fingerprint equal, and a checkpoint captured under `config` carries
+/// exactly this value in its [`CheckpointHeader::fingerprint`].
+pub fn drive_fingerprint(config: &StackConfig) -> u64 {
+    config_fingerprint(config, false)
+}
+
+/// [`drive_fingerprint`] with blackout windows excluded — the
+/// prefix-sharing identity under which runs differing only in
+/// post-barrier outages may resume from one another's checkpoints.
+pub fn drive_fingerprint_stripped(config: &StackConfig) -> u64 {
+    config_fingerprint(config, true)
 }
 
 fn earliest_blackout_start(config: &StackConfig) -> Option<f64> {

@@ -15,7 +15,18 @@
 //! {"id":"r4","kind":"sweep","spec":{...sweep spec...},"jobs":2}
 //! {"id":"r5","kind":"search","spec":{...search spec...}}
 //! {"id":"r6","kind":"shutdown","drain":true}
+//! {"id":"r7","kind":"extend","world":"smoke","duration_s":8.0,"trace":true}
 //! ```
+//!
+//! `extend` is a wire alias for `drive`: same members, same parsed
+//! work, same fingerprint. It exists so a client can say "resume the
+//! stored drive of this configuration out to a longer horizon" — on a
+//! server with a durable checkpoint store the session warm-starts from
+//! the newest stored barrier at or before the horizon and simulates
+//! only the remainder. Because resumption is byte-faithful, the answer
+//! is byte-identical to a cold `drive` of the full horizon, and the
+//! shared fingerprint means the result store serves `drive`/`extend`
+//! repeats of the same scenario interchangeably.
 //!
 //! Response frames (server → client), all carrying the request `id`:
 //!
@@ -316,7 +327,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             };
             Ok(Request::Shutdown { id, drain })
         }
-        "drive" => {
+        "drive" | "extend" => {
             check_keys(
                 members,
                 &["id", "kind", "world", "point", "duration_s", "trace", "stream_trace"],
@@ -553,6 +564,23 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint(), "id must not change the fingerprint");
         assert_ne!(a.fingerprint(), c.fingerprint(), "duration is content");
         assert_ne!(a.fingerprint(), d.fingerprint(), "tracing is content");
+    }
+
+    #[test]
+    fn extend_is_a_wire_alias_for_drive() {
+        let parse_work = |line: &str| match parse_request(line) {
+            Ok(Request::Work(wr)) => wr,
+            other => panic!("expected work, got {other:?}"),
+        };
+        let drive = parse_work(r#"{"id":"a","kind":"drive","duration_s":8.0,"trace":true}"#);
+        let extend = parse_work(r#"{"id":"b","kind":"extend","duration_s":8.0,"trace":true}"#);
+        assert!(matches!(extend.work, Work::Drive { .. }), "extend parses to the same work");
+        assert_eq!(
+            drive.fingerprint(),
+            extend.fingerprint(),
+            "same scenario under either kind must share a fingerprint, so the result \
+             store serves drive/extend repeats interchangeably"
+        );
     }
 
     #[test]

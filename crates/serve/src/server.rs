@@ -25,6 +25,7 @@ use crate::protocol::{
 };
 use crate::session;
 use crate::store::{ResultEntry, ResultStore};
+use av_core::ckptstore::CkptStore;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,11 +49,23 @@ pub struct ServeConfig {
     pub spool: Option<PathBuf>,
     /// Append every streamed event frame to this file as well.
     pub event_log: Option<PathBuf>,
+    /// Durable checkpoint-store directory (`None` = no warm starts).
+    /// With a store, drive/blame sessions resume from the newest stored
+    /// barrier of their configuration and persist their horizon — the
+    /// machinery behind the `extend` request kind.
+    pub ckpt_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { port: 0, workers: 2, queue_capacity: 16, spool: None, event_log: None }
+        ServeConfig {
+            port: 0,
+            workers: 2,
+            queue_capacity: 16,
+            spool: None,
+            event_log: None,
+            ckpt_dir: None,
+        }
     }
 }
 
@@ -68,6 +81,7 @@ struct Shared {
     workers: usize,
     queue: WorkQueue<Job>,
     store: ResultStore,
+    ckpt: Option<CkptStore>,
     event_log: Option<Arc<Mutex<File>>>,
     shutting_down: AtomicBool,
 }
@@ -102,6 +116,16 @@ impl Server {
             Some(dir) => ResultStore::with_spool(dir)?,
             None => ResultStore::in_memory(),
         };
+        let ckpt = match &config.ckpt_dir {
+            Some(dir) => {
+                let (ckpt, recovery) = CkptStore::open(dir)?;
+                // Recovery is loud but non-fatal: quarantined entries
+                // cost warm starts, never correctness.
+                eprint!("{}", recovery.render());
+                Some(ckpt)
+            }
+            None => None,
+        };
         let event_log = match &config.event_log {
             Some(path) => {
                 Some(Arc::new(Mutex::new(OpenOptions::new().create(true).append(true).open(path)?)))
@@ -113,6 +137,7 @@ impl Server {
             workers: config.workers,
             queue: WorkQueue::new(config.queue_capacity),
             store,
+            ckpt,
             event_log,
             shutting_down: AtomicBool::new(false),
         });
@@ -305,7 +330,9 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         bus.add_sink(Box::new(spool));
 
-        let outcome = catch_unwind(AssertUnwindSafe(|| session::execute(&job.request, &mut bus)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            session::execute(&job.request, &mut bus, shared.ckpt.as_ref())
+        }));
         let exec_ms = started.elapsed().as_secs_f64() * 1e3;
         match outcome {
             Ok(Ok(body)) => {
@@ -386,9 +413,73 @@ pub fn run_check() -> Result<String, String> {
         return Err(fail("shutdown", format!("unexpected reply {bye}")));
     }
     server.wait().map_err(|e| fail("wait", e.to_string()))?;
+
+    // Extend: a checkpoint-store-backed service that ran a short drive
+    // answers an `extend` to a longer horizon byte-identically to a
+    // plain service running the long drive cold — the durable-resume
+    // acceptance gate, over the wire.
+    let ckpt_dir = std::env::temp_dir().join(format!("av-serve-check-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let extend_result = (|| {
+        let plain = Server::start(ServeConfig { workers: 1, ..Default::default() })
+            .map_err(|e| fail("extend plain start", e.to_string()))?;
+        let mut client = Client::connect(plain.addr())
+            .map_err(|e| fail("extend plain connect", e.to_string()))?;
+        let long = |cid: &str, kind: &str| {
+            format!(
+                "{{\"id\":\"{cid}\",\"kind\":\"{kind}\",\"world\":\"smoke\",\"duration_s\":4.0,\
+                 \"trace\":true,\"stream_trace\":true}}"
+            )
+        };
+        let cold = client
+            .run(&long("chk-ext-cold", "drive"))
+            .map_err(|e| fail("extend cold drive", e.to_string()))?;
+        let Outcome::Completed { body: cold_body } = &cold.outcome else {
+            return Err(fail("extend cold drive", format!("{:?}", cold.outcome)));
+        };
+        client.shutdown("chk-ext-bye1", true).map_err(|e| fail("extend", e.to_string()))?;
+        plain.wait().map_err(|e| fail("extend plain wait", e.to_string()))?;
+
+        let durable = Server::start(ServeConfig {
+            workers: 1,
+            ckpt_dir: Some(ckpt_dir.clone()),
+            ..Default::default()
+        })
+        .map_err(|e| fail("extend durable start", e.to_string()))?;
+        let mut client = Client::connect(durable.addr())
+            .map_err(|e| fail("extend durable connect", e.to_string()))?;
+        let short = client
+            .run(
+                "{\"id\":\"chk-ext-short\",\"kind\":\"drive\",\"world\":\"smoke\",\
+                 \"duration_s\":2.0,\"trace\":true,\"stream_trace\":true}",
+            )
+            .map_err(|e| fail("extend short drive", e.to_string()))?;
+        if !matches!(short.outcome, Outcome::Completed { .. }) {
+            return Err(fail("extend short drive", format!("{:?}", short.outcome)));
+        }
+        let warm = client
+            .run(&long("chk-ext-warm", "extend"))
+            .map_err(|e| fail("extend request", e.to_string()))?;
+        let Outcome::Completed { body: warm_body } = &warm.outcome else {
+            return Err(fail("extend request", format!("{:?}", warm.outcome)));
+        };
+        if warm_body != cold_body {
+            return Err(fail("extend byte identity", "extend body differs from cold".to_string()));
+        }
+        if warm.events != cold.events {
+            return Err(fail("extend byte identity", "extend events differ from cold".to_string()));
+        }
+        client.shutdown("chk-ext-bye2", true).map_err(|e| fail("extend", e.to_string()))?;
+        durable.wait().map_err(|e| fail("extend durable wait", e.to_string()))?;
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    extend_result?;
+
     Ok(format!(
         "serve check ok: pong, malformed->error, cold drive ({} events), \
-         store-served repeat byte-identical, oversized frame bounded, graceful drain",
+         store-served repeat byte-identical, oversized frame bounded, graceful drain, \
+         extend-from-checkpoint byte-identical",
         cold.events.len()
     ))
 }

@@ -12,9 +12,13 @@
 use crate::bus::EventBus;
 use crate::protocol::{hex64, json_num, Work, WorkRequest};
 use crate::store::ResultEntry;
+use av_core::ckptstore::CkptStore;
 use av_core::determinism::run_hash;
 use av_core::metrics::{blame_scalars, run_metrics};
-use av_core::stack::{run_drive_streamed, RunConfig, RunReport};
+use av_core::stack::{
+    drive_fingerprint, resume_drive_streamed, run_drive_streamed, run_drive_streamed_checkpointed,
+    RunConfig, RunReport,
+};
 use av_sweep::{aggregate, run_search, run_sweep_streamed, SweepPoint, WorldKind};
 use av_trace::export::{escape, render_event_jsonl};
 
@@ -24,17 +28,29 @@ pub const DRIVE_SLICE_S: f64 = 1.0;
 /// Runs one request, emitting event payloads on `bus` while it
 /// executes, and returns the deterministic response body.
 ///
+/// With a durable checkpoint store (`ckpt`), drive and blame sessions
+/// warm-start from the newest stored barrier of their exact
+/// configuration and persist a snapshot at their horizon — the
+/// machinery behind the `extend` request kind. The store never changes
+/// a response byte: resumed sessions stream the same pulses, bodies and
+/// hashes as cold ones, which is what keeps the result store's
+/// byte-identity contract intact.
+///
 /// Errors are session-level failures (e.g. blame on a run that produced
 /// no trace); they are reported to the client as `error` frames and are
 /// never stored.
-pub fn execute(request: &WorkRequest, bus: &mut EventBus) -> Result<String, String> {
+pub fn execute(
+    request: &WorkRequest,
+    bus: &mut EventBus,
+    ckpt: Option<&CkptStore>,
+) -> Result<String, String> {
     match &request.work {
         Work::Drive { world, point, duration_s, trace } => {
             let mut run = RunConfig::seconds(*duration_s);
             if *trace {
                 run = run.with_trace();
             }
-            let report = streamed_drive(*world, point, &run, request.stream_trace, bus);
+            let report = streamed_drive(*world, point, &run, request.stream_trace, bus, ckpt);
             let events = report.trace.as_ref().map_or(0, |t| t.events.len());
             Ok(format!(
                 "{{\"kind\":\"drive\",\"world\":\"{}\",\"duration_s\":{},\
@@ -47,7 +63,7 @@ pub fn execute(request: &WorkRequest, bus: &mut EventBus) -> Result<String, Stri
         }
         Work::Blame { world, point, duration_s } => {
             let run = RunConfig::seconds(*duration_s).with_trace();
-            let report = streamed_drive(*world, point, &run, request.stream_trace, bus);
+            let report = streamed_drive(*world, point, &run, request.stream_trace, bus, ckpt);
             let scalars = blame_scalars(&report)?;
             let inner: Vec<String> = scalars
                 .iter()
@@ -154,6 +170,7 @@ fn streamed_drive(
     run: &RunConfig,
     stream_trace: bool,
     bus: &mut EventBus,
+    ckpt: Option<&CkptStore>,
 ) -> RunReport {
     let config = point.apply(&world.base_config());
     bus.emit(&format!(
@@ -161,7 +178,7 @@ fn streamed_drive(
         world.name(),
         escape(&point.label())
     ));
-    run_drive_streamed(&config, run, DRIVE_SLICE_S, &mut |p| {
+    let mut on_progress = |p: av_core::stack::DriveProgress<'_>| {
         if stream_trace {
             for event in p.new_events {
                 bus.emit(&render_event_jsonl(event));
@@ -173,7 +190,51 @@ fn streamed_drive(
             p.events_total,
             p.done
         ));
-    })
+    };
+    let Some(store) = ckpt else {
+        return run_drive_streamed(&config, run, DRIVE_SLICE_S, &mut on_progress);
+    };
+
+    // Durable warm start: resume from the newest stored barrier of this
+    // exact configuration (inclusive of the horizon itself — a finished
+    // drive replays as a pure drain) and persist a fresh snapshot at the
+    // horizon so the next, longer `extend` picks up here.
+    let horizon_s = run.duration_s.expect("served drives have a bounded horizon");
+    let horizon_ns = (horizon_s * 1e9).round() as u64;
+    let fingerprint = drive_fingerprint(&config);
+    match store.best_resume(fingerprint, run.trace.is_some(), horizon_ns) {
+        Some(from) => {
+            // A checkpoint can only be captured strictly ahead of its
+            // own barrier; at the horizon there is nothing new to snap.
+            let capture = from.barrier_s() < horizon_s - 1e-9;
+            let (report, snapshot) = resume_drive_streamed(
+                &config,
+                run,
+                &from,
+                DRIVE_SLICE_S,
+                capture,
+                &mut on_progress,
+            );
+            if let Some(snapshot) = &snapshot {
+                persist(store, snapshot);
+            }
+            report
+        }
+        None => {
+            let (report, snapshot) =
+                run_drive_streamed_checkpointed(&config, run, DRIVE_SLICE_S, &mut on_progress);
+            persist(store, &snapshot);
+            report
+        }
+    }
+}
+
+/// Persists a checkpoint, warning instead of failing the session: a
+/// lost snapshot only costs future warm starts, never this answer.
+fn persist(store: &CkptStore, checkpoint: &av_core::stack::Checkpoint) {
+    if let Err(e) = store.put(checkpoint) {
+        eprintln!("warning: could not persist checkpoint: {e}");
+    }
 }
 
 fn metrics_json(report: &RunReport) -> String {
@@ -209,12 +270,19 @@ mod tests {
         }
     }
 
-    fn run_collecting(request: &WorkRequest) -> (Vec<String>, String) {
+    fn run_collecting_with(
+        request: &WorkRequest,
+        ckpt: Option<&CkptStore>,
+    ) -> (Vec<String>, String) {
         let (tx, rx) = mpsc::channel();
         let mut bus = EventBus::new(&request.id);
         bus.add_sink(Box::new(ChannelSink::new(tx)));
-        let body = execute(request, &mut bus).expect("session succeeds");
+        let body = execute(request, &mut bus, ckpt).expect("session succeeds");
         (rx.try_iter().map(|(_, payload)| payload).collect(), body)
+    }
+
+    fn run_collecting(request: &WorkRequest) -> (Vec<String>, String) {
+        run_collecting_with(request, None)
     }
 
     #[test]
@@ -244,6 +312,43 @@ mod tests {
         replay(&entry, &mut bus);
         let replayed: Vec<String> = rx.try_iter().map(|(_, p)| p).collect();
         assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn store_backed_extend_streams_byte_identically_to_a_cold_drive() {
+        let dir =
+            std::env::temp_dir().join(format!("av-serve-session-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, recovery) = CkptStore::open(&dir).expect("open store");
+        assert!(recovery.is_clean());
+
+        let short = work(
+            r#"{"id":"e","kind":"drive","world":"smoke","duration_s":2.0,
+                "trace":true,"stream_trace":true}"#,
+        );
+        let long = work(
+            r#"{"id":"e","kind":"extend","world":"smoke","duration_s":4.0,
+                "trace":true,"stream_trace":true}"#,
+        );
+
+        // Straight-through reference, no store anywhere near it.
+        let (cold_events, cold_body) = run_collecting(&long);
+
+        // A store-backed short drive persists its horizon; extending to
+        // the longer horizon then warm-starts from that barrier, and
+        // every streamed byte must still match the cold run.
+        let _ = run_collecting_with(&short, Some(&store));
+        assert!(!store.is_empty(), "short drive persisted its horizon checkpoint");
+        let (warm_events, warm_body) = run_collecting_with(&long, Some(&store));
+        assert_eq!(warm_body, cold_body, "extend body must match a cold drive");
+        assert_eq!(warm_events, cold_events, "extend event stream must match a cold drive");
+
+        // Re-asking at the stored horizon is a pure drain — still
+        // byte-identical, and it must not fail on "nothing to capture".
+        let (drain_events, drain_body) = run_collecting_with(&long, Some(&store));
+        assert_eq!(drain_body, cold_body);
+        assert_eq!(drain_events, cold_events);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! fingerprint uses), so the cache needs no serialization format of its
 //! own and cannot confuse two configurations that differ in any field.
 
-use av_core::stack::{RunConfig, RunReport, StackConfig};
+use av_core::ckptstore::CkptStore;
+use av_core::determinism::run_hash;
+use av_core::stack::{drive_fingerprint, resume_drive, RunConfig, RunReport, StackConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -32,6 +34,7 @@ pub struct EvalCache {
     map: Mutex<HashMap<u64, CachedRun>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    store_hits: AtomicUsize,
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -77,9 +80,56 @@ impl EvalCache {
         self.map.lock().unwrap().insert(key, CachedRun { report: report.clone(), run_hash });
     }
 
+    /// [`EvalCache::lookup`] with a disk-store fallback: a memory miss
+    /// consults the durable checkpoint store for a *full-horizon*
+    /// checkpoint of exactly this `(config, run)` pair — a finished run
+    /// whose report is reconstructed by resuming at the horizon (a pure
+    /// end-of-run drain, no prefix re-simulated) — and repopulates the
+    /// in-memory map from it.
+    ///
+    /// This is what keeps the cache and the store *agreeing after GC*:
+    /// the memory map is not a second source of truth that can outlive
+    /// an evicted entry — an entry the store no longer holds (or holds
+    /// under a different tracing mode or barrier) is simply a clean
+    /// miss, and the evaluation runs cold and may repopulate both.
+    pub fn lookup_or_resume(
+        &self,
+        key: u64,
+        config: &StackConfig,
+        run: &RunConfig,
+        store: Option<&CkptStore>,
+    ) -> Option<CachedRun> {
+        if let Some(hit) = self.lookup(key) {
+            return Some(hit);
+        }
+        let store = store?;
+        let duration_s = run.duration_s?;
+        let horizon_ns = (duration_s * 1e9).round() as u64;
+        let checkpoint =
+            store.best_resume(drive_fingerprint(config), run.trace.is_some(), horizon_ns)?;
+        // Only a checkpoint captured exactly at the horizon is a
+        // finished run; an earlier barrier would have to simulate the
+        // remainder, which is the warm-start seam's job, not the
+        // cache's.
+        if checkpoint.barrier_ns() != horizon_ns {
+            return None;
+        }
+        let report = resume_drive(config, run, &checkpoint);
+        let hash = run_hash(&report);
+        self.insert(key, &report, hash);
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        Some(CachedRun { report, run_hash: hash })
+    }
+
     /// Number of lookups that found a memoized run.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of memory misses served by resuming a full-horizon
+    /// checkpoint from the disk store.
+    pub fn store_hits(&self) -> usize {
+        self.store_hits.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that missed.

@@ -47,8 +47,8 @@ pub use cache::{CachedRun, EvalCache};
 pub use objective::Objective;
 pub use runner::{run_sweep, run_sweep_instrumented, run_sweep_streamed, PointResult, SweepStats};
 pub use search::{
-    run_search, run_search_instrumented, run_search_with, search_artifacts, BatchRecord,
-    BisectSpec, EvalRecord, HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer,
+    run_search, run_search_instrumented, run_search_with, run_search_with_store, search_artifacts,
+    BatchRecord, BisectSpec, EvalRecord, HalvingSpec, Knob, KnobRange, PlannedEval, SearchAnswer,
     SearchArtifacts, SearchOutcome, SearchSpec, SearchStats, Strategy,
 };
 pub use spec::{BlackoutSpec, FaultPlanSpec, SweepPoint, SweepSpec, WorldKind};

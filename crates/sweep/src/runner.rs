@@ -30,10 +30,12 @@
 
 use crate::cache::EvalCache;
 use crate::spec::{SweepPoint, SweepSpec};
+use av_core::ckptstore::CkptStore;
 use av_core::determinism::run_hash;
 use av_core::parallel::parallel_map_streamed;
 use av_core::stack::{
-    checkpoint_drive, resume_drive, run_drive, RunConfig, RunReport, StackConfig,
+    checkpoint_drive, drive_fingerprint, drive_fingerprint_stripped, resume_drive, run_drive,
+    Checkpoint, RunConfig, RunReport, StackConfig,
 };
 use std::collections::HashMap;
 
@@ -69,6 +71,12 @@ pub struct SweepStats {
     pub shared_prefix_s: f64,
     /// Virtual seconds of drive horizon actually simulated.
     pub simulated_s: f64,
+    /// Prefix groups whose shared barrier was restored from the durable
+    /// checkpoint store (left behind by an earlier process) instead of
+    /// being simulated by this sweep.
+    pub store_prefix_hits: usize,
+    /// Virtual seconds of group-leader prefix those restores skipped.
+    pub store_saved_s: f64,
 }
 
 /// The run configuration a sweep point effectively executes: the CLI
@@ -103,8 +111,11 @@ enum Task {
     /// An independent cold run.
     Single(usize),
     /// A prefix-sharing group: the first member runs through a
-    /// checkpoint at `barrier_s`; the rest fork from the snapshot.
-    Shared { barrier_s: f64, members: Vec<usize> },
+    /// checkpoint at `barrier_s`; the rest fork from the snapshot. When
+    /// a durable store already held the barrier (`prefix`), *every*
+    /// member forks from the restored snapshot and nobody simulates
+    /// the prefix.
+    Shared { barrier_s: f64, members: Vec<usize>, prefix: Option<Checkpoint> },
 }
 
 /// Runs every point of the sweep over `jobs` worker threads, in
@@ -137,6 +148,23 @@ pub fn run_sweep_streamed(
     spec: &SweepSpec,
     run: &RunConfig,
     jobs: usize,
+    on_point: impl FnMut(&PointResult),
+) -> (Vec<PointResult>, SweepStats) {
+    run_sweep_streamed_with_store(spec, run, jobs, None, on_point)
+}
+
+/// [`run_sweep_streamed`] backed by a durable checkpoint store. Each
+/// prefix-sharing group first looks for its shared barrier among the
+/// checkpoints an earlier process persisted — a hit means *no* member
+/// simulates the prefix — and on a miss the group leader's freshly
+/// captured barrier is written back through the store's crash-safe
+/// path for the next session. Byte-identical to the store-less sweep
+/// at every `jobs` level; only [`SweepStats`] can tell the difference.
+pub fn run_sweep_streamed_with_store(
+    spec: &SweepSpec,
+    run: &RunConfig,
+    jobs: usize,
+    store: Option<&CkptStore>,
     mut on_point: impl FnMut(&PointResult),
 ) -> (Vec<PointResult>, SweepStats) {
     let base = spec.base_config();
@@ -184,12 +212,33 @@ pub fn run_sweep_streamed(
         let configs: Vec<&StackConfig> = members.iter().map(|&i| &reps[i]).collect();
         match (members.len() >= 2).then(|| shared_barrier_s(duration_s, &configs)).flatten() {
             Some(barrier_s) => {
+                // Probe the durable store here, in the sequential
+                // task-build loop, so the stats stay a pure function of
+                // the store's state at launch — independent of worker
+                // count and completion order.
+                let prefix = store.and_then(|st| {
+                    let leader = &reps[members[0]];
+                    st.best_prefix(
+                        drive_fingerprint(leader),
+                        drive_fingerprint_stripped(leader),
+                        run.trace.is_some(),
+                        (barrier_s * 1e9).round() as u64,
+                    )
+                });
                 stats.prefix_groups += 1;
-                stats.resumed_points += members.len() - 1;
-                stats.shared_prefix_s += barrier_s * (members.len() - 1) as f64;
-                stats.simulated_s +=
-                    duration_s + (duration_s - barrier_s) * (members.len() - 1) as f64;
-                tasks.push(Task::Shared { barrier_s, members });
+                if prefix.is_some() {
+                    stats.store_prefix_hits += 1;
+                    stats.store_saved_s += barrier_s;
+                    stats.resumed_points += members.len();
+                    stats.shared_prefix_s += barrier_s * members.len() as f64;
+                    stats.simulated_s += (duration_s - barrier_s) * members.len() as f64;
+                } else {
+                    stats.resumed_points += members.len() - 1;
+                    stats.shared_prefix_s += barrier_s * (members.len() - 1) as f64;
+                    stats.simulated_s +=
+                        duration_s + (duration_s - barrier_s) * (members.len() - 1) as f64;
+                }
+                tasks.push(Task::Shared { barrier_s, members, prefix });
             }
             None => {
                 stats.simulated_s += duration_s * members.len() as f64;
@@ -218,10 +267,25 @@ pub fn run_sweep_streamed(
             };
             match task {
                 Task::Single(rep) => vec![finish(rep, run_drive(&reps[rep], run_ref))],
-                Task::Shared { barrier_s, members } => {
-                    let (first, checkpoint) =
-                        checkpoint_drive(&reps[members[0]], run_ref, barrier_s);
-                    let mut out = vec![finish(members[0], first)];
+                Task::Shared { barrier_s, members, prefix } => {
+                    let (mut out, checkpoint) = match prefix {
+                        // The barrier came out of the store: every
+                        // member forks from the restored snapshot.
+                        Some(cp) => (
+                            vec![finish(members[0], resume_drive(&reps[members[0]], run_ref, &cp))],
+                            cp,
+                        ),
+                        None => {
+                            let (first, cp) =
+                                checkpoint_drive(&reps[members[0]], run_ref, barrier_s);
+                            if let Some(st) = store {
+                                if let Err(e) = st.put(&cp) {
+                                    eprintln!("warning: could not persist checkpoint: {e}");
+                                }
+                            }
+                            (vec![finish(members[0], first)], cp)
+                        }
+                    };
                     for &rep in &members[1..] {
                         out.push(finish(rep, resume_drive(&reps[rep], run_ref, &checkpoint)));
                     }

@@ -33,10 +33,12 @@
 use crate::cache::EvalCache;
 use crate::objective::Objective;
 use crate::spec::{SweepPoint, WorldKind};
+use av_core::ckptstore::CkptStore;
 use av_core::determinism::{run_hash, Fnv64};
 use av_core::parallel::parallel_map;
 use av_core::stack::{
-    checkpoint_drive, resume_drive_checkpointed, run_drive, Checkpoint, RunConfig,
+    checkpoint_drive, drive_fingerprint, resume_drive_checkpointed, run_drive, Checkpoint,
+    RunConfig,
 };
 use av_des::RngStreams;
 use av_trace::json::{self, JsonValue};
@@ -602,6 +604,15 @@ pub struct SearchStats {
     pub resumed_prefix_s: f64,
     /// Evaluations served whole from the (spec-hash → result) cache.
     pub cache_hits: usize,
+    /// Of the warm resumes, how many restored their prefix from the
+    /// durable disk store — a checkpoint some *earlier process* left
+    /// behind — rather than from this search's in-memory chain.
+    pub store_resumes: usize,
+    /// Virtual seconds of prefix those disk restores skipped.
+    pub store_prefix_s: f64,
+    /// Memory-cache misses served whole by resuming a full-horizon
+    /// checkpoint from the disk store (a pure end-of-run drain).
+    pub store_hits: usize,
 }
 
 /// Runs the search for real: every evaluation is a simulated drive,
@@ -630,6 +641,32 @@ pub fn run_search_instrumented(
     prior: &[BatchRecord],
     warm: bool,
 ) -> (SearchOutcome, SearchStats) {
+    search_engine(spec, jobs, prior, warm, None)
+}
+
+/// [`run_search`] backed by a durable checkpoint store: rung
+/// evaluations first look for a resumable prefix among the checkpoints
+/// an *earlier process* persisted (then fall back to this search's own
+/// in-memory chain), and every checkpoint captured here is written back
+/// through the store's crash-safe path. Byte-identical to the
+/// store-less search — the store only changes how many virtual seconds
+/// are re-simulated, never a single output byte.
+pub fn run_search_with_store(
+    spec: &SearchSpec,
+    jobs: usize,
+    prior: &[BatchRecord],
+    store: Option<&CkptStore>,
+) -> (SearchOutcome, SearchStats) {
+    search_engine(spec, jobs, prior, true, store)
+}
+
+fn search_engine(
+    spec: &SearchSpec,
+    jobs: usize,
+    prior: &[BatchRecord],
+    warm: bool,
+    store: Option<&CkptStore>,
+) -> (SearchOutcome, SearchStats) {
     let base = spec.world.base_config();
     let objective = &spec.objective;
     // Checkpoints only pay off when a later evaluation extends the same
@@ -650,19 +687,34 @@ pub fn run_search_instrumented(
             };
             if warm {
                 let key = EvalCache::spec_hash(&config, &run);
-                if let Some(hit) = cache.lookup(key) {
+                if let Some(hit) = cache.lookup_or_resume(key, &config, &run, store) {
                     return (objective.evaluate(&hit.report), hit.run_hash);
                 }
                 // Checkpoints are keyed by configuration alone: rungs
                 // differ only in duration, and a snapshot from a
-                // shorter run seeds any longer one.
+                // shorter run seeds any longer one. Memory first, then
+                // whatever prefix an earlier process left in the store.
                 let ckey = EvalCache::spec_hash(&config, &RunConfig::default());
-                let from: Option<Checkpoint> = if capture {
-                    let store = checkpoints.lock().unwrap();
-                    store.get(&ckey).filter(|cp| cp.barrier_s() < pe.duration_s).cloned()
+                let mut from: Option<Checkpoint> = if capture {
+                    let mem = checkpoints.lock().unwrap();
+                    mem.get(&ckey).filter(|cp| cp.barrier_s() < pe.duration_s).cloned()
                 } else {
                     None
                 };
+                let mut from_store = false;
+                if from.is_none() && capture {
+                    if let Some(st) = store {
+                        let horizon_ns = (pe.duration_s * 1e9).round() as u64;
+                        from = st
+                            .best_resume(
+                                drive_fingerprint(&config),
+                                run.trace.is_some(),
+                                horizon_ns,
+                            )
+                            .filter(|cp| cp.barrier_s() < pe.duration_s);
+                        from_store = from.is_some();
+                    }
+                }
                 let resumed_from = from.as_ref().map(Checkpoint::barrier_s);
                 let (report, checkpoint) = if let Some(cp) = &from {
                     let (r, c) = resume_drive_checkpointed(&config, &run, cp, pe.duration_s);
@@ -674,6 +726,11 @@ pub fn run_search_instrumented(
                     (run_drive(&config, &run), None)
                 };
                 if let Some(c) = checkpoint {
+                    if let Some(st) = store {
+                        if let Err(e) = st.put(&c) {
+                            eprintln!("warning: could not persist checkpoint: {e}");
+                        }
+                    }
                     checkpoints.lock().unwrap().insert(ckey, c);
                 }
                 let hash = run_hash(&report);
@@ -685,6 +742,10 @@ pub fn run_search_instrumented(
                 if resumed_from.is_some() {
                     s.warm_resumes += 1;
                     s.resumed_prefix_s += prefix;
+                }
+                if from_store {
+                    s.store_resumes += 1;
+                    s.store_prefix_s += prefix;
                 }
                 drop(s);
                 (objective.evaluate(&report), hash)
@@ -700,6 +761,7 @@ pub fn run_search_instrumented(
     });
     let mut final_stats = stats.into_inner().unwrap();
     final_stats.cache_hits = cache.hits();
+    final_stats.store_hits = cache.store_hits();
     (outcome, final_stats)
 }
 

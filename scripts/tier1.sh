@@ -149,12 +149,54 @@ for point in p00 p01 p02 p03; do
 done
 echo "blame exports byte-identical across jobs levels"
 
+echo "== durable checkpoint store: cross-process resume, quarantine, GC =="
+# Round trip: process one checkpoints a traced drive every 2 s into a
+# durable store; a torn write corrupts the newest (6 s) barrier; process
+# two quarantines it on open (loudly, never silently deleting), resumes
+# from the newest intact barrier (4 s), and must reproduce the
+# straight-through run's trace bytes and summary (golden hash) exactly.
+mkdir -p "$tmp/ckpt"
+./target/release/drive --duration 6 --trace \
+    --trace-out "$tmp/ckpt/cold.trace" --summary-out "$tmp/ckpt/cold.json" >/dev/null
+./target/release/drive --duration 6 --trace --ckpt-dir "$tmp/ckpt/store" \
+    --ckpt-every 2 >/dev/null 2>&1
+newest=$(ls "$tmp/ckpt/store"/*.ckpt | sort | tail -1)
+# Flip a payload byte (offset 40 is inside the "av-checkpoint" header
+# text, never already 0xff) so the entry's checksum no longer matches.
+printf '\xff' | dd of="$newest" bs=1 seek=40 count=1 conv=notrunc status=none
+./target/release/drive --duration 6 --trace --ckpt-dir "$tmp/ckpt/store" \
+    --trace-out "$tmp/ckpt/warm.trace" --summary-out "$tmp/ckpt/warm.json" \
+    >"$tmp/ckpt/warm.log" 2>"$tmp/ckpt/warm.err"
+grep -q 'QUARANTINED' "$tmp/ckpt/warm.err"
+grep -q 'resumed at 4.0 s' "$tmp/ckpt/warm.log"
+cmp "$tmp/ckpt/cold.trace" "$tmp/ckpt/warm.trace"
+cmp "$tmp/ckpt/cold.json" "$tmp/ckpt/warm.json"
+# The operator gate stays red while quarantine holds entries.
+if ./target/release/ckpt verify --dir "$tmp/ckpt/store" >/dev/null 2>&1; then
+    echo "ckpt verify must exit nonzero on a quarantined store" >&2; exit 1
+fi
+# GC determinism: identically-populated stores under the same budget
+# evict the same entries and keep the same survivor set.
+for side in a b; do
+    ./target/release/drive --duration 3 --ckpt-every 1 \
+        --ckpt-dir "$tmp/ckpt/gc_$side" >/dev/null 2>&1
+    ./target/release/ckpt gc --dir "$tmp/ckpt/gc_$side" --max-bytes 2048 \
+        >"$tmp/ckpt/gc_$side.log"
+    ./target/release/ckpt ls --dir "$tmp/ckpt/gc_$side" | tail -n +2 >"$tmp/ckpt/ls_$side.log"
+done
+cmp "$tmp/ckpt/gc_a.log" "$tmp/ckpt/gc_b.log"
+cmp "$tmp/ckpt/ls_a.log" "$tmp/ckpt/ls_b.log"
+./target/release/ckpt verify --dir "$tmp/ckpt/gc_a" >/dev/null
+echo "cross-process resume byte-identical; corruption quarantined; GC deterministic"
+
 echo "== scenario service: serve --check self-test =="
 # In-process end-to-end: ping, malformed frame -> error, cold streamed
 # drive, store-served repeat byte-identical, oversized frame bounded,
-# graceful drain. serve --check exits nonzero on any failure.
+# graceful drain, extend-from-checkpoint byte-identical to a cold run
+# of the longer horizon. serve --check exits nonzero on any failure.
 ./target/release/serve --check >"$tmp/serve_check.log"
 grep 'serve check ok' "$tmp/serve_check.log"
+grep -q 'extend-from-checkpoint byte-identical' "$tmp/serve_check.log"
 
 echo "== scenario service: store-served repeat is byte-identical over the wire =="
 # A live daemon on a loopback port: the same drive request sent twice

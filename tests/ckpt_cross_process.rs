@@ -1,0 +1,268 @@
+//! The acceptance gate for the durable checkpoint store, across real
+//! process boundaries: one `drive` process persists checkpoints, a
+//! *different* process resumes them — after a simulated torn write has
+//! quarantined the newest barrier — and every output byte (Chrome
+//! trace, metrics CSV, summary with the golden hash) matches a
+//! straight-through run. The `ckpt` operator binary is exercised the
+//! way `scripts/tier1.sh` drives it: `verify` goes red on a quarantined
+//! store and stays green on a clean one, and `gc` evicts the same
+//! survivor set on identically-populated stores.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn drive_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_drive")
+}
+
+fn ckpt_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ckpt")
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("av-ckpt-xproc-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn process");
+    assert!(
+        out.status.success(),
+        "process failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The stored entry with the largest barrier in its filename
+/// (`{fingerprint:016x}-{barrier_ns:016x}.ckpt`).
+fn newest_entry(store: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(store)
+        .expect("list store")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    assert!(!entries.is_empty(), "store holds no entries");
+    entries.sort_by_key(|p| {
+        let name = p.file_stem().unwrap().to_string_lossy().to_string();
+        u64::from_str_radix(&name[17..33], 16).expect("barrier field in name")
+    });
+    entries.pop().unwrap()
+}
+
+#[test]
+fn resume_after_quarantined_torn_write_matches_straight_through() {
+    let dir = scratch("quarantine");
+    let store = dir.join("store");
+    // The crash at 3 s puts the 4 s barrier mid-fault-recovery: the
+    // fallback localizer is active and the restart timer is pending
+    // inside the checkpoint the second process will resume from.
+    let point = r#"{"faults":"crash:ndt_matching@3"}"#;
+    let base = |out_prefix: &str| {
+        let mut cmd = Command::new(drive_bin());
+        cmd.args(["--world", "smoke", "--point", point, "--duration", "6", "--trace"])
+            .args(["--trace-out".as_ref(), dir.join(format!("{out_prefix}.trace")).as_os_str()])
+            .args(["--metrics-out".as_ref(), dir.join(format!("{out_prefix}.csv")).as_os_str()])
+            .args(["--summary-out".as_ref(), dir.join(format!("{out_prefix}.json")).as_os_str()]);
+        cmd
+    };
+
+    // Reference: straight through, no store anywhere near it.
+    run_ok(&mut base("cold"));
+
+    // Process one: checkpoint every 2 s (2, 4, and the 6 s horizon).
+    run_ok(Command::new(drive_bin()).args([
+        "--world",
+        "smoke",
+        "--point",
+        point,
+        "--duration",
+        "6",
+        "--trace",
+        "--ckpt-every",
+        "2",
+        "--ckpt-dir",
+        store.to_str().unwrap(),
+    ]));
+
+    // A torn write lands on the newest barrier: flip one payload byte
+    // of the 6 s entry so its checksum no longer matches.
+    let newest = newest_entry(&store);
+    let mut bytes = read(&newest);
+    bytes[40] ^= 0xff;
+    std::fs::write(&newest, bytes).expect("corrupt entry");
+
+    // Process two: recovery quarantines the torn 6 s entry, resumption
+    // falls back to the intact 4 s (mid-recovery) barrier, and the
+    // outputs are byte-identical to the straight-through run.
+    let mut warm = base("warm");
+    warm.args(["--ckpt-dir", store.to_str().unwrap()]);
+    let out = run_ok(&mut warm);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("QUARANTINED") && stderr.contains("checksum mismatch"),
+        "recovery must be loud: {stderr}"
+    );
+    assert!(
+        stdout.contains("resumed at 4.0 s"),
+        "must resume from the newest intact barrier: {stdout}"
+    );
+    for artifact in ["trace", "csv", "json"] {
+        assert_eq!(
+            read(&dir.join(format!("cold.{artifact}"))),
+            read(&dir.join(format!("warm.{artifact}"))),
+            "{artifact} bytes diverged between straight-through and quarantine-recovery resume"
+        );
+    }
+
+    // The quarantine keeps the bytes (plus a reason sidecar) — nothing
+    // was silently deleted — and the resumed process re-persisted the
+    // horizon it reached.
+    let quarantined: Vec<_> = std::fs::read_dir(store.join("quarantine"))
+        .expect("quarantine dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .collect();
+    assert!(
+        quarantined.iter().any(|n| n.ends_with(".ckpt")),
+        "quarantine must keep the corrupted bytes: {quarantined:?}"
+    );
+    assert!(
+        quarantined.iter().any(|n| n.ends_with(".reason")),
+        "quarantine must explain itself: {quarantined:?}"
+    );
+
+    // `ckpt verify` stays red until an operator inspects and clears the
+    // quarantine, even though every remaining entry checksums clean.
+    let verify = Command::new(ckpt_bin())
+        .args(["verify", "--dir", store.to_str().unwrap()])
+        .output()
+        .expect("spawn ckpt");
+    assert!(!verify.status.success(), "verify must exit nonzero while quarantine holds entries");
+    assert!(
+        String::from_utf8_lossy(&verify.stderr).contains("verify FAILED"),
+        "verify must say why it failed"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_process_extends_a_stored_drive_byte_identically() {
+    let dir = scratch("extend");
+    let store = dir.join("store");
+    let outputs = |cmd: &mut Command, prefix: &str| {
+        cmd.args(["--trace-out".as_ref(), dir.join(format!("{prefix}.trace")).as_os_str()])
+            .args(["--summary-out".as_ref(), dir.join(format!("{prefix}.json")).as_os_str()]);
+    };
+
+    let mut cold = Command::new(drive_bin());
+    cold.args(["--world", "smoke", "--duration", "6", "--trace"]);
+    outputs(&mut cold, "cold");
+    run_ok(&mut cold);
+
+    // Process one stops at 4 s and leaves its horizon checkpoint.
+    run_ok(Command::new(drive_bin()).args([
+        "--world",
+        "smoke",
+        "--duration",
+        "4",
+        "--trace",
+        "--ckpt-dir",
+        store.to_str().unwrap(),
+    ]));
+
+    // Process two extends the stored drive out to 6 s.
+    let mut extend = Command::new(drive_bin());
+    extend
+        .args(["--world", "smoke", "--duration", "6", "--trace"])
+        .args(["--ckpt-dir", store.to_str().unwrap()]);
+    outputs(&mut extend, "ext");
+    let out = run_ok(&mut extend);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("resumed at 4.0 s"),
+        "the extension must warm-start from the stored horizon"
+    );
+    for artifact in ["trace", "json"] {
+        assert_eq!(
+            read(&dir.join(format!("cold.{artifact}"))),
+            read(&dir.join(format!("ext.{artifact}"))),
+            "{artifact} bytes diverged between straight-through and cross-process extend"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ckpt_verify_stays_green_and_gc_is_deterministic() {
+    let dir = scratch("gc");
+    let populate = |store: &Path| {
+        run_ok(Command::new(drive_bin()).args([
+            "--world",
+            "smoke",
+            "--duration",
+            "3",
+            "--ckpt-every",
+            "1",
+            "--ckpt-dir",
+            store.to_str().unwrap(),
+        ]));
+    };
+    let store_a = dir.join("a");
+    let store_b = dir.join("b");
+    populate(&store_a);
+    populate(&store_b);
+
+    let verify =
+        run_ok(Command::new(ckpt_bin()).args(["verify", "--dir", store_a.to_str().unwrap()]));
+    assert!(
+        String::from_utf8_lossy(&verify.stdout).contains("verify passed"),
+        "a clean store must verify green"
+    );
+
+    // Identical stores, identical budget: the evicted set, the survivor
+    // set, and every line of output must agree — GC is a deterministic
+    // function of store state.
+    let gc = |store: &Path| {
+        let out = run_ok(Command::new(ckpt_bin()).args([
+            "gc",
+            "--dir",
+            store.to_str().unwrap(),
+            "--max-bytes",
+            "2048",
+        ]));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let ls = |store: &Path| {
+        let out = run_ok(Command::new(ckpt_bin()).args(["ls", "--dir", store.to_str().unwrap()]));
+        // Drop the first line: it embeds the store path.
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        text.split_once('\n').map(|(_, rest)| rest.to_string()).unwrap_or_default()
+    };
+    let gc_a = gc(&store_a);
+    let gc_b = gc(&store_b);
+    assert_eq!(gc_a, gc_b, "same inputs, same eviction narration");
+    assert!(gc_a.contains("evicted"), "the budget must actually evict something: {gc_a}");
+    assert_eq!(ls(&store_a), ls(&store_b), "same inputs, same survivor set");
+    assert!(
+        String::from_utf8_lossy(
+            &run_ok(Command::new(ckpt_bin()).args(["verify", "--dir", store_a.to_str().unwrap()]))
+                .stdout
+        )
+        .contains("verify passed"),
+        "gc must leave a verifiable store"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

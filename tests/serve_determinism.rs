@@ -44,7 +44,7 @@ fn isolated(line: &str) -> (Vec<String>, String) {
     let (tx, rx) = mpsc::channel();
     let mut bus = EventBus::new(&request.id);
     bus.add_sink(Box::new(ChannelSink::new(tx)));
-    let body = av_serve::session::execute(&request, &mut bus).expect("isolated run succeeds");
+    let body = av_serve::session::execute(&request, &mut bus, None).expect("isolated run succeeds");
     (rx.try_iter().map(|(_, payload)| payload).collect(), body)
 }
 
